@@ -1,0 +1,528 @@
+//! Arbitrary-precision signed integers built on top of [`Natural`].
+
+use core::cmp::Ordering;
+use core::fmt;
+use core::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Rem, Sub, SubAssign};
+use core::str::FromStr;
+
+use crate::natural::{Natural, ParseNaturalError};
+
+/// Sign of an [`Integer`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash, PartialOrd, Ord)]
+pub enum Sign {
+    /// Strictly negative.
+    Negative,
+    /// Exactly zero.
+    Zero,
+    /// Strictly positive.
+    Positive,
+}
+
+impl Sign {
+    /// Returns the sign of a product of two signed values.
+    pub fn mul(self, other: Sign) -> Sign {
+        match (self, other) {
+            (Sign::Zero, _) | (_, Sign::Zero) => Sign::Zero,
+            (a, b) if a == b => Sign::Positive,
+            _ => Sign::Negative,
+        }
+    }
+
+    /// Flips the sign (zero stays zero).
+    pub fn negate(self) -> Sign {
+        match self {
+            Sign::Negative => Sign::Positive,
+            Sign::Zero => Sign::Zero,
+            Sign::Positive => Sign::Negative,
+        }
+    }
+}
+
+/// An arbitrary-precision signed integer.
+///
+/// # Examples
+///
+/// ```
+/// use dioph_arith::Integer;
+///
+/// let a = Integer::from(-7i64);
+/// let b = Integer::from(3i64);
+/// assert_eq!(&a * &b, Integer::from(-21i64));
+/// assert_eq!((&a + &b).to_i64(), Some(-4));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Integer {
+    sign: Sign,
+    magnitude: Natural,
+}
+
+impl Default for Integer {
+    fn default() -> Self {
+        Integer::zero()
+    }
+}
+
+impl Integer {
+    /// The integer zero.
+    pub fn zero() -> Self {
+        Integer { sign: Sign::Zero, magnitude: Natural::zero() }
+    }
+
+    /// The integer one.
+    pub fn one() -> Self {
+        Integer { sign: Sign::Positive, magnitude: Natural::one() }
+    }
+
+    /// The integer minus one.
+    pub fn minus_one() -> Self {
+        Integer { sign: Sign::Negative, magnitude: Natural::one() }
+    }
+
+    /// Builds an integer from a sign and magnitude (normalising zero).
+    pub fn from_sign_magnitude(sign: Sign, magnitude: Natural) -> Self {
+        if magnitude.is_zero() {
+            Integer::zero()
+        } else {
+            assert!(sign != Sign::Zero, "non-zero magnitude with Sign::Zero");
+            Integer { sign, magnitude }
+        }
+    }
+
+    /// The sign of this integer.
+    pub fn sign(&self) -> Sign {
+        self.sign
+    }
+
+    /// The absolute value as a [`Natural`].
+    pub fn magnitude(&self) -> &Natural {
+        &self.magnitude
+    }
+
+    /// Consumes the integer, returning its absolute value.
+    pub fn into_magnitude(self) -> Natural {
+        self.magnitude
+    }
+
+    /// `true` iff the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.sign == Sign::Zero
+    }
+
+    /// `true` iff the value is one.
+    pub fn is_one(&self) -> bool {
+        self.sign == Sign::Positive && self.magnitude.is_one()
+    }
+
+    /// `true` iff the value is strictly positive.
+    pub fn is_positive(&self) -> bool {
+        self.sign == Sign::Positive
+    }
+
+    /// `true` iff the value is strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.sign == Sign::Negative
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> Integer {
+        Integer::from_sign_magnitude(
+            if self.is_zero() { Sign::Zero } else { Sign::Positive },
+            self.magnitude.clone(),
+        )
+    }
+
+    /// Converts to `i64` if the value fits.
+    pub fn to_i64(&self) -> Option<i64> {
+        let mag = self.magnitude.to_u128()?;
+        match self.sign {
+            Sign::Zero => Some(0),
+            Sign::Positive => i64::try_from(mag).ok(),
+            Sign::Negative => {
+                if mag <= i64::MAX as u128 + 1 {
+                    Some((mag as i128).wrapping_neg() as i64)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Converts to `i128` if the value fits.
+    pub fn to_i128(&self) -> Option<i128> {
+        let mag = self.magnitude.to_u128()?;
+        match self.sign {
+            Sign::Zero => Some(0),
+            Sign::Positive => i128::try_from(mag).ok(),
+            Sign::Negative => {
+                if mag <= i128::MAX as u128 + 1 {
+                    Some((mag as i128).wrapping_neg())
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Lossy conversion to `f64` for reporting purposes only.
+    pub fn to_f64_lossy(&self) -> f64 {
+        let m = self.magnitude.to_f64_lossy();
+        match self.sign {
+            Sign::Negative => -m,
+            _ => m,
+        }
+    }
+
+    /// Converts a non-negative integer into a [`Natural`]; `None` for negatives.
+    pub fn to_natural(&self) -> Option<Natural> {
+        match self.sign {
+            Sign::Negative => None,
+            _ => Some(self.magnitude.clone()),
+        }
+    }
+
+    /// Exponentiation by squaring.
+    pub fn pow(&self, exp: u64) -> Integer {
+        let mag = self.magnitude.pow(exp);
+        let sign = match self.sign {
+            Sign::Zero => {
+                if exp == 0 {
+                    Sign::Positive
+                } else {
+                    Sign::Zero
+                }
+            }
+            Sign::Positive => Sign::Positive,
+            Sign::Negative => {
+                if exp % 2 == 0 {
+                    Sign::Positive
+                } else {
+                    Sign::Negative
+                }
+            }
+        };
+        Integer::from_sign_magnitude(sign, if self.is_zero() && exp == 0 { Natural::one() } else { mag })
+    }
+
+    /// Greatest common divisor of absolute values (always non-negative).
+    pub fn gcd(&self, other: &Integer) -> Natural {
+        self.magnitude.gcd(&other.magnitude)
+    }
+
+    /// Truncated division: returns `(quotient, remainder)` with the remainder
+    /// carrying the sign of the dividend (like Rust's `/` and `%` on
+    /// primitive integers).
+    pub fn div_rem(&self, other: &Integer) -> (Integer, Integer) {
+        assert!(!other.is_zero(), "division by zero");
+        let (q_mag, r_mag) = self.magnitude.div_rem(&other.magnitude);
+        let q_sign = if q_mag.is_zero() { Sign::Zero } else { self.sign.mul(other.sign) };
+        let r_sign = if r_mag.is_zero() { Sign::Zero } else { self.sign };
+        (
+            Integer::from_sign_magnitude(q_sign, q_mag),
+            Integer::from_sign_magnitude(r_sign, r_mag),
+        )
+    }
+}
+
+impl From<Natural> for Integer {
+    fn from(n: Natural) -> Self {
+        let sign = if n.is_zero() { Sign::Zero } else { Sign::Positive };
+        Integer { sign, magnitude: n }
+    }
+}
+
+impl From<&Natural> for Integer {
+    fn from(n: &Natural) -> Self {
+        Integer::from(n.clone())
+    }
+}
+
+macro_rules! impl_from_signed {
+    ($($t:ty),*) => {
+        $(impl From<$t> for Integer {
+            fn from(v: $t) -> Self {
+                let sign = match v.cmp(&0) {
+                    Ordering::Less => Sign::Negative,
+                    Ordering::Equal => Sign::Zero,
+                    Ordering::Greater => Sign::Positive,
+                };
+                Integer { sign, magnitude: Natural::from(v.unsigned_abs() as u128) }
+            }
+        })*
+    };
+}
+
+impl_from_signed!(i8, i16, i32, i64, i128, isize);
+
+macro_rules! impl_from_unsigned {
+    ($($t:ty),*) => {
+        $(impl From<$t> for Integer {
+            fn from(v: $t) -> Self {
+                Integer::from(Natural::from(v as u128))
+            }
+        })*
+    };
+}
+
+impl_from_unsigned!(u8, u16, u32, u64, u128, usize);
+
+/// Error produced when parsing an [`Integer`] from a string fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseIntegerError(ParseNaturalError);
+
+impl fmt::Display for ParseIntegerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid integer literal: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseIntegerError {}
+
+impl FromStr for Integer {
+    type Err = ParseIntegerError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim();
+        let (neg, rest) = match s.strip_prefix('-') {
+            Some(rest) => (true, rest),
+            None => (false, s.strip_prefix('+').unwrap_or(s)),
+        };
+        let mag = Natural::from_decimal_str(rest).map_err(ParseIntegerError)?;
+        let sign = if mag.is_zero() {
+            Sign::Zero
+        } else if neg {
+            Sign::Negative
+        } else {
+            Sign::Positive
+        };
+        Ok(Integer::from_sign_magnitude(sign, mag))
+    }
+}
+
+impl Ord for Integer {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match self.sign.cmp(&other.sign) {
+            Ordering::Equal => match self.sign {
+                Sign::Zero => Ordering::Equal,
+                Sign::Positive => self.magnitude.cmp(&other.magnitude),
+                Sign::Negative => other.magnitude.cmp(&self.magnitude),
+            },
+            ord => ord,
+        }
+    }
+}
+
+impl PartialOrd for Integer {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl fmt::Display for Integer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.sign {
+            Sign::Negative => write!(f, "-{}", self.magnitude),
+            _ => write!(f, "{}", self.magnitude),
+        }
+    }
+}
+
+impl fmt::Debug for Integer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Integer({self})")
+    }
+}
+
+impl Neg for &Integer {
+    type Output = Integer;
+    fn neg(self) -> Integer {
+        Integer { sign: self.sign.negate(), magnitude: self.magnitude.clone() }
+    }
+}
+
+impl Neg for Integer {
+    type Output = Integer;
+    fn neg(self) -> Integer {
+        Integer { sign: self.sign.negate(), magnitude: self.magnitude }
+    }
+}
+
+impl Add for &Integer {
+    type Output = Integer;
+    fn add(self, rhs: &Integer) -> Integer {
+        match (self.sign, rhs.sign) {
+            (Sign::Zero, _) => rhs.clone(),
+            (_, Sign::Zero) => self.clone(),
+            (a, b) if a == b => Integer::from_sign_magnitude(a, &self.magnitude + &rhs.magnitude),
+            _ => {
+                // Opposite signs: subtract the smaller magnitude from the larger.
+                match self.magnitude.cmp(&rhs.magnitude) {
+                    Ordering::Equal => Integer::zero(),
+                    Ordering::Greater => Integer::from_sign_magnitude(
+                        self.sign,
+                        &self.magnitude - &rhs.magnitude,
+                    ),
+                    Ordering::Less => Integer::from_sign_magnitude(
+                        rhs.sign,
+                        &rhs.magnitude - &self.magnitude,
+                    ),
+                }
+            }
+        }
+    }
+}
+
+impl Add for Integer {
+    type Output = Integer;
+    fn add(self, rhs: Integer) -> Integer {
+        &self + &rhs
+    }
+}
+
+impl AddAssign<&Integer> for Integer {
+    fn add_assign(&mut self, rhs: &Integer) {
+        *self = &*self + rhs;
+    }
+}
+
+impl AddAssign for Integer {
+    fn add_assign(&mut self, rhs: Integer) {
+        *self += &rhs;
+    }
+}
+
+impl Sub for &Integer {
+    type Output = Integer;
+    fn sub(self, rhs: &Integer) -> Integer {
+        self + &(-rhs)
+    }
+}
+
+impl Sub for Integer {
+    type Output = Integer;
+    fn sub(self, rhs: Integer) -> Integer {
+        &self - &rhs
+    }
+}
+
+impl SubAssign<&Integer> for Integer {
+    fn sub_assign(&mut self, rhs: &Integer) {
+        *self = &*self - rhs;
+    }
+}
+
+impl Mul for &Integer {
+    type Output = Integer;
+    fn mul(self, rhs: &Integer) -> Integer {
+        Integer::from_sign_magnitude(self.sign.mul(rhs.sign), &self.magnitude * &rhs.magnitude)
+    }
+}
+
+impl Mul for Integer {
+    type Output = Integer;
+    fn mul(self, rhs: Integer) -> Integer {
+        &self * &rhs
+    }
+}
+
+impl MulAssign<&Integer> for Integer {
+    fn mul_assign(&mut self, rhs: &Integer) {
+        *self = &*self * rhs;
+    }
+}
+
+impl Div for &Integer {
+    type Output = Integer;
+    fn div(self, rhs: &Integer) -> Integer {
+        self.div_rem(rhs).0
+    }
+}
+
+impl Rem for &Integer {
+    type Output = Integer;
+    fn rem(self, rhs: &Integer) -> Integer {
+        self.div_rem(rhs).1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn int(v: i128) -> Integer {
+        Integer::from(v)
+    }
+
+    #[test]
+    fn sign_normalisation() {
+        assert_eq!(int(0).sign(), Sign::Zero);
+        assert_eq!(int(5).sign(), Sign::Positive);
+        assert_eq!(int(-5).sign(), Sign::Negative);
+        assert_eq!(Integer::from(Natural::zero()).sign(), Sign::Zero);
+    }
+
+    #[test]
+    fn addition_all_sign_combinations() {
+        let cases = [(3, 4), (-3, -4), (3, -4), (-3, 4), (5, -5), (0, 7), (7, 0), (0, 0), (i64::MAX as i128, i64::MAX as i128)];
+        for (a, b) in cases {
+            assert_eq!(&int(a) + &int(b), int(a + b), "{a} + {b}");
+            assert_eq!(&int(a) - &int(b), int(a - b), "{a} - {b}");
+        }
+    }
+
+    #[test]
+    fn multiplication_sign_rules() {
+        let cases = [(3, 4), (-3, 4), (3, -4), (-3, -4), (0, -9), (-9, 0)];
+        for (a, b) in cases {
+            assert_eq!(&int(a) * &int(b), int(a * b), "{a} * {b}");
+        }
+    }
+
+    #[test]
+    fn truncated_division_matches_rust_semantics() {
+        let cases = [(7, 2), (-7, 2), (7, -2), (-7, -2), (6, 3), (-6, 3), (0, 5)];
+        for (a, b) in cases {
+            let (q, r) = int(a).div_rem(&int(b));
+            assert_eq!(q, int(a / b), "{a} / {b}");
+            assert_eq!(r, int(a % b), "{a} % {b}");
+        }
+    }
+
+    #[test]
+    fn pow_and_parity() {
+        assert_eq!(int(-2).pow(3), int(-8));
+        assert_eq!(int(-2).pow(4), int(16));
+        assert_eq!(int(0).pow(0), int(1));
+        assert_eq!(int(0).pow(3), int(0));
+        assert_eq!(int(5).pow(0), int(1));
+    }
+
+    #[test]
+    fn ordering_across_signs() {
+        assert!(int(-10) < int(-2));
+        assert!(int(-2) < int(0));
+        assert!(int(0) < int(3));
+        assert!(int(3) < int(10));
+        assert!(int(-1) < int(1));
+    }
+
+    #[test]
+    fn parse_and_display() {
+        for s in ["0", "-1", "12345678901234567890123456789", "-98765432109876543210"] {
+            let v: Integer = s.parse().unwrap();
+            assert_eq!(v.to_string(), s);
+        }
+        assert_eq!("+7".parse::<Integer>().unwrap(), int(7));
+        assert_eq!("-0".parse::<Integer>().unwrap(), int(0));
+        assert!("--3".parse::<Integer>().is_err());
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(int(-42).to_i64(), Some(-42));
+        assert_eq!(int(i64::MIN as i128).to_i64(), Some(i64::MIN));
+        assert_eq!(int(i64::MAX as i128 + 1).to_i64(), None);
+        assert_eq!(int(-5).to_natural(), None);
+        assert_eq!(int(5).to_natural(), Some(Natural::from(5u64)));
+        assert_eq!(int(-3).abs(), int(3));
+        assert_eq!(int(7).gcd(&int(-21)), Natural::from(7u64));
+    }
+}

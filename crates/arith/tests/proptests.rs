@@ -1,0 +1,215 @@
+//! Property-based tests for the exact arithmetic substrate.
+//!
+//! Every law is checked against `u128`/`i128` ground truth where the values
+//! fit, and against algebraic identities (ring/field axioms, division
+//! invariants) for values that do not fit machine integers.
+
+use dioph_arith::{Integer, Natural, Rational};
+use proptest::prelude::*;
+
+/// Strategy for naturals with up to ~256 bits, biased towards interesting
+/// small values and limb boundaries.
+fn natural_strategy() -> impl Strategy<Value = Natural> {
+    prop_oneof![
+        3 => any::<u64>().prop_map(Natural::from),
+        2 => any::<u128>().prop_map(Natural::from),
+        1 => Just(Natural::zero()),
+        1 => Just(Natural::one()),
+        1 => Just(Natural::from(u64::MAX)),
+        3 => proptest::collection::vec(any::<u64>(), 1..5).prop_map(Natural::from_limbs),
+    ]
+}
+
+fn integer_strategy() -> impl Strategy<Value = Integer> {
+    (natural_strategy(), any::<bool>()).prop_map(|(n, neg)| {
+        let i = Integer::from(n);
+        if neg {
+            -i
+        } else {
+            i
+        }
+    })
+}
+
+fn rational_strategy() -> impl Strategy<Value = Rational> {
+    (any::<i64>(), 1..10_000i64).prop_map(|(n, d)| Rational::from_i64s(n, d))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    // ---------------- Natural: agreement with u128 ----------------
+
+    #[test]
+    fn natural_add_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+        let expect = Natural::from(a as u128 + b as u128);
+        prop_assert_eq!(&Natural::from(a) + &Natural::from(b), expect);
+    }
+
+    #[test]
+    fn natural_mul_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+        let expect = Natural::from(a as u128 * b as u128);
+        prop_assert_eq!(&Natural::from(a) * &Natural::from(b), expect);
+    }
+
+    #[test]
+    fn natural_div_rem_matches_u128(a in any::<u128>(), b in 1..=u128::MAX) {
+        let (q, r) = Natural::from(a).div_rem(&Natural::from(b));
+        prop_assert_eq!(q, Natural::from(a / b));
+        prop_assert_eq!(r, Natural::from(a % b));
+    }
+
+    #[test]
+    fn natural_cmp_matches_u128(a in any::<u128>(), b in any::<u128>()) {
+        prop_assert_eq!(Natural::from(a).cmp(&Natural::from(b)), a.cmp(&b));
+    }
+
+    // ---------------- Natural: algebraic laws on big values ----------------
+
+    #[test]
+    fn natural_add_commutative_associative(a in natural_strategy(), b in natural_strategy(), c in natural_strategy()) {
+        prop_assert_eq!(&a + &b, &b + &a);
+        prop_assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
+    }
+
+    #[test]
+    fn natural_mul_commutative_associative_distributive(a in natural_strategy(), b in natural_strategy(), c in natural_strategy()) {
+        prop_assert_eq!(&a * &b, &b * &a);
+        prop_assert_eq!(&(&a * &b) * &c, &a * &(&b * &c));
+        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+    }
+
+    #[test]
+    fn natural_sub_inverts_add(a in natural_strategy(), b in natural_strategy()) {
+        prop_assert_eq!(&(&a + &b) - &b, a);
+    }
+
+    #[test]
+    fn natural_division_invariant(a in natural_strategy(), b in natural_strategy()) {
+        prop_assume!(!b.is_zero());
+        let (q, r) = a.div_rem(&b);
+        prop_assert!(r < b);
+        prop_assert_eq!(&(&q * &b) + &r, a);
+    }
+
+    #[test]
+    fn natural_gcd_laws(a in natural_strategy(), b in natural_strategy()) {
+        let g = a.gcd(&b);
+        prop_assert_eq!(&g, &b.gcd(&a));
+        if !g.is_zero() {
+            prop_assert!((&a % &g).is_zero());
+            prop_assert!((&b % &g).is_zero());
+        } else {
+            prop_assert!(a.is_zero() && b.is_zero());
+        }
+        // gcd * lcm == a * b
+        prop_assert_eq!(&a.lcm(&b) * &g, &a * &b);
+    }
+
+    #[test]
+    fn natural_shift_roundtrip(a in natural_strategy(), s in 0usize..200) {
+        prop_assert_eq!(&(&a << s) >> s, a.clone());
+        // Shifting left by s multiplies by 2^s.
+        prop_assert_eq!(&a << s, &a * &Natural::from(2u64).pow(s as u64));
+    }
+
+    #[test]
+    fn natural_pow_law(a in any::<u32>(), e in 0u64..6, f in 0u64..6) {
+        let a = Natural::from(a);
+        prop_assert_eq!(&a.pow(e) * &a.pow(f), a.pow(e + f));
+    }
+
+    #[test]
+    fn natural_decimal_roundtrip(a in natural_strategy()) {
+        let s = a.to_decimal_string();
+        prop_assert_eq!(s.parse::<Natural>().unwrap(), a);
+    }
+
+    // ---------------- Integer ----------------
+
+    #[test]
+    fn integer_matches_i128(a in any::<i64>(), b in any::<i64>()) {
+        let (ia, ib) = (Integer::from(a), Integer::from(b));
+        prop_assert_eq!(&ia + &ib, Integer::from(a as i128 + b as i128));
+        prop_assert_eq!(&ia - &ib, Integer::from(a as i128 - b as i128));
+        prop_assert_eq!(&ia * &ib, Integer::from(a as i128 * b as i128));
+        prop_assert_eq!(ia.cmp(&ib), a.cmp(&b));
+    }
+
+    #[test]
+    fn integer_div_rem_matches_i128(a in any::<i64>(), b in any::<i64>()) {
+        prop_assume!(b != 0);
+        let (q, r) = Integer::from(a).div_rem(&Integer::from(b));
+        prop_assert_eq!(q, Integer::from(a as i128 / b as i128));
+        prop_assert_eq!(r, Integer::from(a as i128 % b as i128));
+    }
+
+    #[test]
+    fn integer_ring_laws(a in integer_strategy(), b in integer_strategy(), c in integer_strategy()) {
+        prop_assert_eq!(&a + &b, &b + &a);
+        prop_assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
+        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+        prop_assert_eq!(&a + &(-&a), Integer::zero());
+        prop_assert_eq!(&a * &Integer::one(), a.clone());
+    }
+
+    #[test]
+    fn integer_division_invariant(a in integer_strategy(), b in integer_strategy()) {
+        prop_assume!(!b.is_zero());
+        let (q, r) = a.div_rem(&b);
+        prop_assert_eq!(&(&q * &b) + &r, a.clone());
+        prop_assert!(r.magnitude() < b.magnitude());
+        // Remainder carries the sign of the dividend (or is zero).
+        if !r.is_zero() {
+            prop_assert_eq!(r.sign(), a.sign());
+        }
+    }
+
+    // ---------------- Rational ----------------
+
+    #[test]
+    fn rational_field_laws(a in rational_strategy(), b in rational_strategy(), c in rational_strategy()) {
+        prop_assert_eq!(&a + &b, &b + &a);
+        prop_assert_eq!(&a * &b, &b * &a);
+        prop_assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
+        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+        prop_assert_eq!(&a - &a, Rational::zero());
+        if !a.is_zero() {
+            prop_assert_eq!(&a * &a.recip(), Rational::one());
+            prop_assert_eq!(&(&b / &a) * &a, b.clone());
+        }
+    }
+
+    #[test]
+    fn rational_is_reduced(n in any::<i64>(), d in 1..10_000i64) {
+        let r = Rational::from_i64s(n, d);
+        let g = r.numer().magnitude().gcd(r.denom());
+        prop_assert!(g.is_one() || r.is_zero());
+        prop_assert!(!r.denom().is_zero());
+    }
+
+    #[test]
+    fn rational_ordering_consistent_with_f64(a in rational_strategy(), b in rational_strategy()) {
+        // f64 comparison agrees whenever the difference is not microscopic.
+        let (fa, fb) = (a.to_f64_lossy(), b.to_f64_lossy());
+        if (fa - fb).abs() > 1e-6 {
+            prop_assert_eq!(a < b, fa < fb);
+        }
+    }
+
+    #[test]
+    fn rational_floor_ceil_bracket(a in rational_strategy()) {
+        let fl = Rational::from(a.floor());
+        let ce = Rational::from(a.ceil());
+        prop_assert!(fl <= a && a <= ce);
+        prop_assert!(&ce - &fl <= Rational::one());
+        if a.is_integer() {
+            prop_assert_eq!(fl, ce);
+        }
+    }
+
+    #[test]
+    fn rational_parse_roundtrip(a in rational_strategy()) {
+        prop_assert_eq!(a.to_string().parse::<Rational>().unwrap(), a);
+    }
+}

@@ -1,0 +1,87 @@
+//! E4 — Theorem 5.2: the decision procedure is Π₂ᵖ in the size of the
+//! containing query and CoNP in the size of the containee.
+//!
+//! Two sweeps isolate the two dependencies:
+//! * containee size (self-containment of growing path queries) — the cost is
+//!   dominated by the polynomially many unknowns and stays modest;
+//! * containing-query size (the `2^k`-mapping family) — the number of
+//!   containment mappings, and hence the compiled polynomial, grows
+//!   exponentially, which is the exponential dependence the theorem permits.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use dioph_bench::{exponential_mapping_instance, path_self_containment};
+use dioph_containment::{Algorithm, BagContainmentDecider};
+
+fn bench_containee_scaling(c: &mut Criterion) {
+    let decider = BagContainmentDecider::new(Algorithm::MostGeneralProbe);
+    let mut group = c.benchmark_group("E4/containee_size");
+    for length in [1usize, 2, 4, 8, 12, 16] {
+        let (containee, containing) = path_self_containment(length);
+        let verdict = decider.decide(&containee, &containing).unwrap().holds();
+        println!("E4: path containee with {length:>2} atoms → contained = {verdict}");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(length),
+            &(containee, containing),
+            |b, (containee, containing)| {
+                b.iter(|| decider.decide(black_box(containee), black_box(containing)).unwrap())
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_containing_scaling(c: &mut Criterion) {
+    let decider = BagContainmentDecider::new(Algorithm::MostGeneralProbe);
+    let mut group = c.benchmark_group("E4/containing_size");
+    for k in [2usize, 4, 6, 8, 10, 12] {
+        let (containee, containing) = exponential_mapping_instance(k);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(k),
+            &(containee, containing),
+            |b, (containee, containing)| {
+                b.iter(|| decider.decide(black_box(containee), black_box(containing)).unwrap())
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_all_probes_vs_most_general(c: &mut Criterion) {
+    // Theorem 5.3 (single probe) vs Corollary 3.1 (all probes): the all-probe
+    // variant pays an extra factor exponential in the containee arity.
+    let mut group = c.benchmark_group("E4/probe_strategy");
+    for length in [2usize, 3, 4] {
+        let (containee, containing) = path_self_containment(length);
+        for (label, algorithm) in
+            [("most_general", Algorithm::MostGeneralProbe), ("all_probes", Algorithm::AllProbes)]
+        {
+            let decider = BagContainmentDecider::new(algorithm);
+            group.bench_with_input(
+                BenchmarkId::new(label, length),
+                &(containee.clone(), containing.clone()),
+                |b, (containee, containing)| {
+                    b.iter(|| decider.decide(black_box(containee), black_box(containing)).unwrap())
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_containee_scaling, bench_containing_scaling, bench_all_probes_vs_most_general
+}
+criterion_main!(benches);

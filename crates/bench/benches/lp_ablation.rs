@@ -1,0 +1,115 @@
+//! E7 — ablation of the feasibility engine behind Theorem 4.1/4.2:
+//! exact phase-1 simplex vs Fourier–Motzkin elimination.
+//!
+//! Both engines decide the same strict homogeneous systems (and are
+//! cross-checked to agree); the sweep over dimension and row count shows
+//! Fourier–Motzkin's combinatorial blow-up against the simplex's steady
+//! growth — the reason the simplex is the default engine.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use dioph_bench::{bench_rng, random_mpi};
+use dioph_linalg::{FeasibilityEngine, StrictHomogeneousSystem};
+use rand::{Rng, RngExt};
+
+fn random_system(dimension: usize, rows: usize, rng: &mut impl Rng) -> StrictHomogeneousSystem {
+    let mut sys = StrictHomogeneousSystem::new(dimension);
+    for _ in 0..rows {
+        let row: Vec<i64> = (0..dimension).map(|_| rng.random_range(-4..=6)).collect();
+        sys.push_row(row.into_iter().map(dioph_arith::Integer::from).collect());
+    }
+    sys
+}
+
+fn bench_dimension_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E7/dimension_sweep");
+    for dimension in [2usize, 3, 4, 5, 6] {
+        let mut rng = bench_rng();
+        let systems: Vec<_> = (0..6).map(|_| random_system(dimension, 8, &mut rng)).collect();
+        // Engines must agree on every instance.
+        for sys in &systems {
+            assert_eq!(
+                sys.is_feasible(FeasibilityEngine::Simplex),
+                sys.is_feasible(FeasibilityEngine::FourierMotzkin),
+            );
+        }
+        for engine in [FeasibilityEngine::Simplex, FeasibilityEngine::FourierMotzkin] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{engine:?}"), dimension),
+                &systems,
+                |b, systems| {
+                    b.iter(|| {
+                        for sys in systems {
+                            black_box(sys.is_feasible(engine));
+                        }
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_row_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E7/row_sweep");
+    for rows in [4usize, 8, 16, 32] {
+        let mut rng = bench_rng();
+        let systems: Vec<_> = (0..6).map(|_| random_system(5, rows, &mut rng)).collect();
+        for engine in [FeasibilityEngine::Simplex, FeasibilityEngine::FourierMotzkin] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{engine:?}"), rows),
+                &systems,
+                |b, systems| {
+                    b.iter(|| {
+                        for sys in systems {
+                            black_box(sys.is_feasible(engine));
+                        }
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_mpi_derived_systems(c: &mut Criterion) {
+    // Systems exactly as they arise from compiled MPIs (non-negative
+    // exponents, row = e − e_i), rather than uniform random coefficients.
+    let mut group = c.benchmark_group("E7/mpi_derived_systems");
+    for unknowns in [3usize, 5, 7] {
+        let mut rng = bench_rng();
+        let systems: Vec<_> =
+            (0..6).map(|_| random_mpi(unknowns, 12, 5, &mut rng).to_strict_system()).collect();
+        for engine in [FeasibilityEngine::Simplex, FeasibilityEngine::FourierMotzkin] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{engine:?}"), unknowns),
+                &systems,
+                |b, systems| {
+                    b.iter(|| {
+                        for sys in systems {
+                            black_box(sys.is_feasible(engine));
+                        }
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_dimension_sweep, bench_row_sweep, bench_mpi_derived_systems
+}
+criterion_main!(benches);

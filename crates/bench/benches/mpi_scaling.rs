@@ -1,0 +1,84 @@
+//! E3 — Theorem 4.2: the Diophantine-solution problem for MPIs is solved in
+//! polynomial time via linear-programming feasibility.
+//!
+//! The bench sweeps the number of unknowns `n` and the number of polynomial
+//! monomials `m` on pseudo-random MPIs and times the full decision (build the
+//! strict homogeneous system, run the exact simplex). The expected shape is
+//! polynomial growth in both parameters — contrast with the enumeration
+//! baseline of E6.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use dioph_bench::{bench_rng, random_mpi};
+use dioph_linalg::FeasibilityEngine;
+
+fn bench_unknown_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E3/mpi_vs_unknowns");
+    for unknowns in [2usize, 4, 8, 16, 32] {
+        let mut rng = bench_rng();
+        let instances: Vec<_> = (0..8).map(|_| random_mpi(unknowns, 16, 6, &mut rng)).collect();
+        let solvable = instances
+            .iter()
+            .filter(|m| m.has_diophantine_solution(FeasibilityEngine::Simplex))
+            .count();
+        println!("E3: n = {unknowns:>2}, m = 16 → {solvable}/8 instances solvable");
+        group.bench_with_input(BenchmarkId::from_parameter(unknowns), &instances, |b, instances| {
+            b.iter(|| {
+                for mpi in instances {
+                    black_box(mpi.has_diophantine_solution(FeasibilityEngine::Simplex));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_term_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E3/mpi_vs_polynomial_terms");
+    for terms in [4usize, 16, 64, 256] {
+        let mut rng = bench_rng();
+        let instances: Vec<_> = (0..4).map(|_| random_mpi(6, terms, 6, &mut rng)).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(terms), &instances, |b, instances| {
+            b.iter(|| {
+                for mpi in instances {
+                    black_box(mpi.has_diophantine_solution(FeasibilityEngine::Simplex));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_witness_extraction(c: &mut Criterion) {
+    // Constructive direction: also extract the explicit natural witness.
+    let mut group = c.benchmark_group("E3/witness_extraction");
+    for unknowns in [2usize, 4, 8] {
+        let mut rng = bench_rng();
+        let instances: Vec<_> = (0..8).map(|_| random_mpi(unknowns, 8, 4, &mut rng)).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(unknowns), &instances, |b, instances| {
+            b.iter(|| {
+                for mpi in instances {
+                    black_box(mpi.diophantine_solution(FeasibilityEngine::Simplex));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_unknown_scaling, bench_term_scaling, bench_witness_extraction
+}
+criterion_main!(benches);

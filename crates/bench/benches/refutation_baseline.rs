@@ -1,0 +1,84 @@
+//! E8 — the complete decision procedure vs sound-but-incomplete random-bag
+//! refutation.
+//!
+//! On a *non-contained* instance whose violating bags are sparse (the paper's
+//! Section 3 running example), random sampling needs many Equation-2
+//! evaluations before it stumbles on a witness — if it ever does — while the
+//! LP-based decider produces one directly. On *contained* instances the
+//! refuter can never terminate with an answer at all; the bench shows the
+//! cost of its wasted attempts.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use dioph_bench::{bench_rng, contained_instance, refutation_instance};
+use dioph_containment::{Algorithm, BagContainmentDecider};
+use dioph_workloads::{refute_by_random_bags, RefutationConfig};
+
+fn bench_not_contained_instance(c: &mut Criterion) {
+    let (containee, containing) = refutation_instance();
+    let decider = BagContainmentDecider::new(Algorithm::MostGeneralProbe);
+
+    // Report how often random search succeeds at various budgets (the "table"
+    // of E8), then time both approaches.
+    for attempts in [10usize, 100, 1_000] {
+        let mut rng = bench_rng();
+        let config = RefutationConfig { attempts, max_multiplicity: 10 };
+        let hits = (0..20)
+            .filter(|_| refute_by_random_bags(&containee, &containing, config, &mut rng).is_some())
+            .count();
+        println!("E8: random refuter with {attempts:>5} attempts finds a witness in {hits}/20 runs");
+    }
+
+    let mut group = c.benchmark_group("E8/running_example");
+    group.bench_function("complete_decider", |b| {
+        b.iter(|| decider.decide(black_box(&containee), black_box(&containing)).unwrap())
+    });
+    for attempts in [10usize, 100, 1_000] {
+        group.bench_with_input(
+            BenchmarkId::new("random_refuter", attempts),
+            &attempts,
+            |b, &attempts| {
+                let config = RefutationConfig { attempts, max_multiplicity: 10 };
+                let mut rng = bench_rng();
+                b.iter(|| {
+                    black_box(refute_by_random_bags(&containee, &containing, config, &mut rng))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_contained_instance(c: &mut Criterion) {
+    // On a contained instance the refuter burns its whole budget for nothing;
+    // the complete decider proves containment outright.
+    let (containee, containing) = contained_instance(3, 11);
+    let decider = BagContainmentDecider::new(Algorithm::MostGeneralProbe);
+    let mut group = c.benchmark_group("E8/contained_instance");
+    group.bench_function("complete_decider", |b| {
+        b.iter(|| decider.decide(black_box(&containee), black_box(&containing)).unwrap())
+    });
+    group.bench_function("random_refuter_200_attempts", |b| {
+        let config = RefutationConfig { attempts: 200, max_multiplicity: 6 };
+        let mut rng = bench_rng();
+        b.iter(|| black_box(refute_by_random_bags(&containee, &containing, config, &mut rng)))
+    });
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_not_contained_instance, bench_contained_instance
+}
+criterion_main!(benches);

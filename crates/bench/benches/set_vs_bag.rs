@@ -1,0 +1,74 @@
+//! E9 — set containment (Chandra–Merlin, NP) vs bag containment (this paper,
+//! Π₂ᵖ), on the same instances.
+//!
+//! Bag containment implies set containment (Section 2 of the paper), so the
+//! set decider is both a baseline and a cheap necessary-condition filter. The
+//! bench measures the price of the finer bag semantics: the extra work of
+//! compiling the MPI and running the LP on top of the containment-mapping
+//! search the set decider already does.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use dioph_bench::contained_instance;
+use dioph_containment::{is_bag_contained, set_containment};
+use dioph_cq::paper_examples;
+
+fn bench_contained_family(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E9/contained_family");
+    for atoms in [2usize, 4, 6, 8] {
+        let (containee, containing) = contained_instance(atoms, 23 + atoms as u64);
+        // Bag containment implies set containment: assert the implication on
+        // the benchmark instances themselves.
+        let bag = is_bag_contained(&containee, &containing).unwrap().holds();
+        let set = set_containment(&containee, &containing).holds();
+        assert!(!bag || set, "bag containment must imply set containment");
+        println!("E9: {atoms} atoms → set: {set}, bag: {bag}");
+        group.bench_with_input(
+            BenchmarkId::new("set", atoms),
+            &(containee.clone(), containing.clone()),
+            |b, (containee, containing)| {
+                b.iter(|| set_containment(black_box(containee), black_box(containing)).holds())
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("bag", atoms),
+            &(containee, containing),
+            |b, (containee, containing)| {
+                b.iter(|| is_bag_contained(black_box(containee), black_box(containing)).unwrap().holds())
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_paper_pairs(c: &mut Criterion) {
+    // The Section 2 pair is the canonical case where the two semantics
+    // disagree: set-equivalent, not bag-equivalent.
+    let q1 = paper_examples::section2_query_q1();
+    let q2 = paper_examples::section2_query_q2();
+    let mut group = c.benchmark_group("E9/paper_pair");
+    group.bench_function("set_q2_in_q1", |b| {
+        b.iter(|| set_containment(black_box(&q2), black_box(&q1)).holds())
+    });
+    group.bench_function("bag_q2_in_q1", |b| {
+        b.iter(|| is_bag_contained(black_box(&q2), black_box(&q1)).unwrap().holds())
+    });
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_contained_family, bench_paper_pairs
+}
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! E5 — Theorem 5.4: NP-hardness via 3-colorability.
+//!
+//! Times the bag-containment decision on the `(q_T, q_T ∧ q_G)` instances
+//! produced from random graphs of growing size, and compares with the direct
+//! backtracking colorability search. Both answers are asserted to agree, and
+//! the exponential growth (in the number of graph vertices / containment
+//! mappings) is the expected shape.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use dioph_bench::bench_graph;
+use dioph_containment::{Algorithm, BagContainmentDecider};
+use dioph_workloads::threecol::{three_colorability_instance, three_colorable_via_containment};
+
+fn bench_random_graphs(c: &mut Criterion) {
+    let decider = BagContainmentDecider::new(Algorithm::MostGeneralProbe);
+    let mut group = c.benchmark_group("E5/random_graph_via_containment");
+    for vertices in [4usize, 5, 6, 7, 8] {
+        let graph = bench_graph(vertices, 0.5);
+        let direct = graph.is_three_colorable();
+        let via = three_colorable_via_containment(&graph, &decider);
+        assert_eq!(direct, via);
+        println!(
+            "E5: G({vertices}, 0.5) with {} edges → 3-colorable = {via}",
+            graph.edge_count()
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(vertices), &graph, |b, graph| {
+            b.iter(|| three_colorable_via_containment(black_box(graph), &decider))
+        });
+    }
+    group.finish();
+}
+
+fn bench_direct_oracle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E5/random_graph_direct_backtracking");
+    for vertices in [4usize, 6, 8, 10, 12] {
+        let graph = bench_graph(vertices, 0.5);
+        group.bench_with_input(BenchmarkId::from_parameter(vertices), &graph, |b, graph| {
+            b.iter(|| black_box(graph).is_three_colorable())
+        });
+    }
+    group.finish();
+}
+
+fn bench_hard_instances(c: &mut Criterion) {
+    // Uncolorable cliques: the reduction must prove non-containment, i.e. the
+    // compiled polynomial is empty (no proper colorings).
+    let decider = BagContainmentDecider::new(Algorithm::MostGeneralProbe);
+    let mut group = c.benchmark_group("E5/uncolorable_cliques");
+    for vertices in [4usize, 5, 6] {
+        let graph = dioph_workloads::Graph::complete(vertices);
+        let (containee, containing) = three_colorability_instance(&graph);
+        assert!(!decider.decide(&containee, &containing).unwrap().holds());
+        group.bench_with_input(
+            BenchmarkId::from_parameter(vertices),
+            &(containee, containing),
+            |b, (containee, containing)| {
+                b.iter(|| decider.decide(black_box(containee), black_box(containing)).unwrap())
+            },
+        );
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_random_graphs, bench_direct_oracle, bench_hard_instances
+}
+criterion_main!(benches);

@@ -1,0 +1,166 @@
+//! # dioph-bench — shared workload builders for the benchmark harness
+//!
+//! Each Criterion bench target in `benches/` regenerates one experiment of
+//! `EXPERIMENTS.md` (E1–E9). The instance families are defined here so that
+//! the bench files stay small and the workloads are identical across
+//! experiments that compare different components on the same inputs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngExt, SeedableRng};
+
+use dioph_cq::{Atom, ConjunctiveQuery, Term};
+use dioph_poly::{Monomial, Mpi, Polynomial};
+use dioph_workloads::random::{specialization_pair, QueryShape};
+use dioph_workloads::Graph;
+
+/// The deterministic seed every benchmark uses.
+pub const BENCH_SEED: u64 = 0x2019_0630;
+
+/// A fresh deterministic RNG for benchmark workload generation.
+pub fn bench_rng() -> StdRng {
+    StdRng::seed_from_u64(BENCH_SEED)
+}
+
+fn var(name: &str) -> Term {
+    Term::var(name)
+}
+
+/// E4 (containee scaling): a projection-free "path" containee with
+/// `length` binary atoms `R(x0,x1), …, R(x_{length-1}, x_length)`, paired with
+/// itself as the containing query (a contained instance, so the decider does
+/// the full infeasibility proof).
+pub fn path_self_containment(length: usize) -> (ConjunctiveQuery, ConjunctiveQuery) {
+    assert!(length >= 1);
+    let head: Vec<Term> = (0..=length).map(|i| var(&format!("x{i}"))).collect();
+    let body: Vec<Atom> = (0..length)
+        .map(|i| Atom::new("R", vec![var(&format!("x{i}")), var(&format!("x{}", i + 1))]))
+        .collect();
+    let q = ConjunctiveQuery::from_atom_list("q_path", head, body);
+    (q.clone(), q)
+}
+
+/// E4 (containing-query scaling): a fixed three-atom containee
+/// `q1(x) ← R(x,x), E(x,'a'), E(x,'b')` against a containing query with
+/// `k` existential edge atoms `E(x, z_i)`, which admits `2^k` containment
+/// mappings (each `z_i` maps to `'a'` or `'b'`). This isolates the
+/// exponential dependence on the containing query that Theorem 5.2 allows.
+pub fn exponential_mapping_instance(k: usize) -> (ConjunctiveQuery, ConjunctiveQuery) {
+    let containee = ConjunctiveQuery::from_atom_list(
+        "q_containee",
+        vec![var("x")],
+        vec![
+            Atom::new("R", vec![var("x"), var("x")]),
+            Atom::new("E", vec![var("x"), Term::constant("a")]),
+            Atom::new("E", vec![var("x"), Term::constant("b")]),
+        ],
+    );
+    let mut body = vec![Atom::new("R", vec![var("x"), var("x")])];
+    for i in 0..k {
+        body.push(Atom::new("E", vec![var("x"), var(&format!("z{i}"))]));
+    }
+    let containing = ConjunctiveQuery::from_atom_list("q_containing", vec![var("x")], body);
+    (containee, containing)
+}
+
+/// E3 / E7: a pseudo-random n-MPI with `terms` polynomial monomials and
+/// exponents bounded by `max_exponent`. Roughly half of the generated
+/// instances are solvable, so both code paths of the feasibility engines are
+/// exercised.
+pub fn random_mpi(unknowns: usize, terms: usize, max_exponent: u64, rng: &mut impl Rng) -> Mpi {
+    let monomial = Monomial::new((0..unknowns).map(|_| rng.random_range(1..=max_exponent)).collect());
+    let mut polynomial = Polynomial::zero(unknowns);
+    for _ in 0..terms {
+        let exponents: Vec<u64> =
+            (0..unknowns).map(|_| rng.random_range(0..=max_exponent)).collect();
+        polynomial.add_monomial(Monomial::new(exponents));
+    }
+    Mpi::new(polynomial, monomial)
+}
+
+/// E5: the random graphs used by the 3-colorability benchmark.
+pub fn bench_graph(vertices: usize, edge_probability: f64) -> Graph {
+    let mut rng = bench_rng();
+    Graph::random(vertices, edge_probability, &mut rng)
+}
+
+/// E6 / E9: contained-by-construction instances of growing size, produced by
+/// the specialisation generator over a schema with `atoms` body atoms.
+pub fn contained_instance(atoms: usize, seed: u64) -> (ConjunctiveQuery, ConjunctiveQuery) {
+    let shape = QueryShape {
+        relations: vec![("R".to_string(), 2), ("S".to_string(), 2)],
+        atom_occurrences: atoms,
+        head_variables: 2,
+        existential_variables: 2,
+        constants: 1,
+        max_multiplicity: 2,
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    specialization_pair(&shape, &mut rng)
+}
+
+/// E8: the paper's Section 3 running example, whose violating bags are sparse
+/// enough that random sampling needs many attempts — the workload for the
+/// refutation-baseline comparison.
+pub fn refutation_instance() -> (ConjunctiveQuery, ConjunctiveQuery) {
+    (
+        dioph_cq::paper_examples::section3_query_q1(),
+        dioph_cq::paper_examples::section3_query_q2(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dioph_containment::is_bag_contained;
+
+    #[test]
+    fn path_instances_are_valid_and_contained() {
+        for length in [1, 3, 6] {
+            let (containee, containing) = path_self_containment(length);
+            assert!(containee.is_projection_free());
+            assert_eq!(containee.total_atom_count(), length as u64);
+            assert!(is_bag_contained(&containee, &containing).unwrap().holds());
+        }
+    }
+
+    #[test]
+    fn exponential_mapping_instances_have_expected_mapping_count() {
+        use dioph_containment::CompiledProbe;
+        use dioph_cq::most_general_probe_tuple;
+        for k in [1, 3, 5] {
+            let (containee, containing) = exponential_mapping_instance(k);
+            let probe = most_general_probe_tuple(&containee);
+            let compiled = CompiledProbe::compile(&containee, &containing, &probe).unwrap();
+            assert_eq!(compiled.mapping_count(), 1 << k);
+        }
+    }
+
+    #[test]
+    fn random_mpis_are_well_formed_and_decidable() {
+        let mut rng = bench_rng();
+        for _ in 0..10 {
+            let mpi = random_mpi(4, 6, 5, &mut rng);
+            assert_eq!(mpi.dimension(), 4);
+            // Both engines agree.
+            let a = mpi.has_diophantine_solution(dioph_linalg::FeasibilityEngine::Simplex);
+            let b = mpi.has_diophantine_solution(dioph_linalg::FeasibilityEngine::FourierMotzkin);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn contained_instances_are_contained() {
+        for seed in 0..5 {
+            let (containee, containing) = contained_instance(4, seed);
+            assert!(is_bag_contained(&containee, &containing).unwrap().holds());
+        }
+    }
+
+    #[test]
+    fn bench_graphs_are_deterministic() {
+        assert_eq!(bench_graph(8, 0.5), bench_graph(8, 0.5));
+    }
+}

@@ -1,0 +1,272 @@
+//! Compilation of a bag-containment instance into a Monomial–Polynomial
+//! Inequality (Definitions 3.2 and 3.3 of the paper).
+//!
+//! Fixing a projection-free containee `q1(x1)`, a probe tuple `t` and the
+//! containing query `q2(x2)`:
+//!
+//! * the **unknowns** are the distinct atoms of `body(q1(t))` (equivalently,
+//!   the facts of the canonical instance `I_{q1(t)}`), each standing for the
+//!   unknown multiplicity that a bag assigns to that fact;
+//! * the **monomial** `M_{q1(t)}(u)` has exponent `µ_{q1(t)}(α)` for the
+//!   unknown of atom `α`;
+//! * the **polynomial** `P^{q2}_{q1(t)}(u)` has one monomial per containment
+//!   mapping `h ∈ CM(q2(x2), q1(t))`, namely the monomial of the collapsed
+//!   image query `h(q2)`; mappings with identical images accumulate into the
+//!   coefficient.
+//!
+//! Corollary 3.1 / Theorem 5.3 then reduce the containment question to the
+//! (un)solvability of `P(u) < M(u)` over the naturals.
+
+use dioph_arith::Natural;
+use dioph_bagdb::BagInstance;
+use dioph_cq::{containment_mappings_to_grounded, Atom, ConjunctiveQuery, Term};
+use dioph_poly::{Monomial, Mpi, Polynomial};
+
+/// A bag-containment instance compiled to an MPI for one probe tuple.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CompiledProbe {
+    /// The probe tuple `t`.
+    probe: Vec<Term>,
+    /// The grounded containee `q1(t)`.
+    grounded_containee: ConjunctiveQuery,
+    /// The unknown vector: atom `atoms[j]` corresponds to unknown `u_j`.
+    atoms: Vec<Atom>,
+    /// The MPI `P^{q2}_{q1(t)}(u) < M_{q1(t)}(u)`.
+    mpi: Mpi,
+    /// Number of containment mappings found (before accumulation).
+    mapping_count: usize,
+}
+
+impl CompiledProbe {
+    /// Compiles the MPI for containee `q1`, containing query `q2` and probe
+    /// tuple `probe`.
+    ///
+    /// Returns `None` when the probe tuple is not unifiable with the head of
+    /// `q1` (such tuples are not probe tuples of `q1` at all).
+    pub fn compile(
+        containee: &ConjunctiveQuery,
+        containing: &ConjunctiveQuery,
+        probe: &[Term],
+    ) -> Option<CompiledProbe> {
+        let grounded = containee.ground_with(probe)?;
+        // Unknowns: the distinct atoms of body(q1(t)), in deterministic order.
+        let atoms: Vec<Atom> = grounded.body_atoms().cloned().collect();
+        let n = atoms.len();
+        let index_of = |atom: &Atom| -> Option<usize> { atoms.iter().position(|a| a == atom) };
+
+        // Monomial side: exponents are the body multiplicities of q1(t).
+        let mut mono_exponents = vec![0u64; n];
+        for (atom, mult) in grounded.body() {
+            let j = index_of(atom).expect("atom of the grounded body must be an unknown");
+            mono_exponents[j] = mult;
+        }
+        let monomial = Monomial::new(mono_exponents);
+
+        // Polynomial side: one monomial per containment mapping h ∈ CM(q2, q1(t)).
+        let mappings = containment_mappings_to_grounded(containing, &grounded);
+        let mapping_count = mappings.len();
+        let mut polynomial = Polynomial::zero(n);
+        for h in &mappings {
+            let image = containing.apply_substitution(h);
+            let mut exponents = vec![0u64; n];
+            for (atom, mult) in image.body() {
+                let j = index_of(atom)
+                    .expect("the image of a containment mapping lies inside the canonical instance");
+                exponents[j] = mult;
+            }
+            polynomial.add_monomial(Monomial::new(exponents));
+        }
+
+        Some(CompiledProbe {
+            probe: probe.to_vec(),
+            grounded_containee: grounded,
+            atoms,
+            mpi: Mpi::new(polynomial, monomial),
+            mapping_count,
+        })
+    }
+
+    /// The probe tuple.
+    pub fn probe(&self) -> &[Term] {
+        &self.probe
+    }
+
+    /// The grounded containee `q1(t)`.
+    pub fn grounded_containee(&self) -> &ConjunctiveQuery {
+        &self.grounded_containee
+    }
+
+    /// The unknown vector: the atom associated with each unknown.
+    pub fn atoms(&self) -> &[Atom] {
+        &self.atoms
+    }
+
+    /// The number of unknowns.
+    pub fn dimension(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// The compiled MPI `P(u) < M(u)`.
+    pub fn mpi(&self) -> &Mpi {
+        &self.mpi
+    }
+
+    /// The number of containment mappings from the containing query into
+    /// `q1(t)` (the number of monomial contributions before accumulation).
+    pub fn mapping_count(&self) -> usize {
+        self.mapping_count
+    }
+
+    /// Human-readable unknown names `u_{α}` for display.
+    pub fn unknown_names(&self) -> Vec<String> {
+        self.atoms.iter().map(|a| format!("u_{a}")).collect()
+    }
+
+    /// Turns a natural assignment to the unknowns into the corresponding bag
+    /// over the canonical instance `I_{q1(t)}`.
+    ///
+    /// # Panics
+    /// Panics if the assignment's length differs from the number of unknowns.
+    pub fn assignment_to_bag(&self, assignment: &[Natural]) -> BagInstance {
+        assert_eq!(assignment.len(), self.atoms.len(), "assignment dimension mismatch");
+        BagInstance::from_multiplicities(
+            self.atoms.iter().cloned().zip(assignment.iter().cloned()),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dioph_arith::Natural;
+    use dioph_cq::paper_examples;
+    use dioph_linalg::FeasibilityEngine;
+
+    fn nat(v: u64) -> Natural {
+        Natural::from(v)
+    }
+
+    #[test]
+    fn paper_section3_running_example_compiles_to_the_printed_mpi() {
+        // q1(x1,x2) ← R²(x1,x2), R(c1,x2), R³(x1,c2), probe (x̂1, x̂2),
+        // q2(x1,x2) ← R³(x1,x2), R²(x1,y1), R²(y2,y1).
+        // The paper derives M = u1²·u2·u3³ and P = u1⁷ + u1⁵·u2² + u1³·u3⁴
+        // with u1 = u_{R(x̂1,x̂2)}, u2 = u_{R(c1,x̂2)}, u3 = u_{R(x̂1,c2)}.
+        let q1 = paper_examples::section3_query_q1();
+        let q2 = paper_examples::section3_query_q2();
+        let probe = vec![Term::canon("x1"), Term::canon("x2")];
+        let compiled = CompiledProbe::compile(&q1, &q2, &probe).unwrap();
+
+        assert_eq!(compiled.dimension(), 3);
+        assert_eq!(compiled.mapping_count(), 3);
+
+        // Identify the positions of the three unknowns.
+        let pos = |atom: &Atom| compiled.atoms().iter().position(|a| a == atom).unwrap();
+        let u1 = pos(&Atom::new("R", vec![Term::canon("x1"), Term::canon("x2")]));
+        let u2 = pos(&Atom::new("R", vec![Term::constant("c1"), Term::canon("x2")]));
+        let u3 = pos(&Atom::new("R", vec![Term::canon("x1"), Term::constant("c2")]));
+
+        // Monomial exponents: (2, 1, 3) on (u1, u2, u3).
+        let mono = compiled.mpi().monomial();
+        assert_eq!(mono.exponent(u1), 2);
+        assert_eq!(mono.exponent(u2), 1);
+        assert_eq!(mono.exponent(u3), 3);
+
+        // Polynomial terms: u1^7, u1^5*u2^2, u1^3*u3^4, all with coefficient 1.
+        let poly = compiled.mpi().polynomial();
+        assert_eq!(poly.term_count(), 3);
+        let mut expected = vec![
+            (7u64, 0u64, 0u64),
+            (5, 2, 0),
+            (3, 0, 4),
+        ];
+        let mut actual: Vec<(u64, u64, u64)> = poly
+            .terms()
+            .map(|(c, m)| {
+                assert!(c.is_one());
+                (m.exponent(u1), m.exponent(u2), m.exponent(u3))
+            })
+            .collect();
+        expected.sort_unstable();
+        actual.sort_unstable();
+        assert_eq!(actual, expected);
+
+        // The paper's evaluation: at (u1,u2,u3) = (1,4,3), P = 98 < 108 = M.
+        let mut point = vec![Natural::zero(); 3];
+        point[u1] = nat(1);
+        point[u2] = nat(4);
+        point[u3] = nat(3);
+        assert!(compiled.mpi().is_solution(&point));
+    }
+
+    #[test]
+    fn compile_fails_for_non_unifiable_probe() {
+        // Head (x, x) cannot be grounded with two distinct constants.
+        let q1 = dioph_cq::parse_query("q(x, x) <- R(x, x)").unwrap();
+        let q2 = dioph_cq::parse_query("p(x, y) <- R(x, y)").unwrap();
+        assert!(CompiledProbe::compile(&q1, &q2, &[Term::canon("x"), Term::constant("c")]).is_none());
+        assert!(CompiledProbe::compile(&q1, &q2, &[Term::canon("x"), Term::canon("x")]).is_some());
+    }
+
+    #[test]
+    fn zero_polynomial_when_no_containment_mapping_exists() {
+        // q2 uses a relation S that q1 does not mention: no containment mapping.
+        let q1 = dioph_cq::parse_query("q(x) <- R(x, x)").unwrap();
+        let q2 = dioph_cq::parse_query("p(x) <- S(x, x)").unwrap();
+        let probe = vec![Term::canon("x")];
+        let compiled = CompiledProbe::compile(&q1, &q2, &probe).unwrap();
+        assert_eq!(compiled.mapping_count(), 0);
+        assert!(compiled.mpi().polynomial().is_zero());
+        // The MPI is then trivially solvable (containment fails).
+        assert!(compiled.mpi().has_diophantine_solution(FeasibilityEngine::Simplex));
+    }
+
+    #[test]
+    fn identical_images_accumulate_coefficients() {
+        // q1(x) ← R(x,x); q2(x) ← R(x,y1), R(y2,x): on the probe x̂ both
+        // existential variables must map to x̂, and the two mappings' images
+        // are distinct mappings but... here there is exactly one mapping.
+        // Use a containing query with two interchangeable existential atoms
+        // instead: q2(x) ← R(x,y1), R(x,y2) over q1(x) ← R(x,c1), R(x,c2):
+        // mappings send (y1,y2) to (c1,c1), (c1,c2), (c2,c1), (c2,c2); the
+        // images for (c1,c2) and (c2,c1) coincide, so that monomial gets
+        // coefficient 2.
+        let q1 = dioph_cq::parse_query("q(x) <- R(x, 'c1'), R(x, 'c2')").unwrap();
+        let q2 = dioph_cq::parse_query("p(x) <- R(x, y1), R(x, y2)").unwrap();
+        let probe = vec![Term::canon("x")];
+        let compiled = CompiledProbe::compile(&q1, &q2, &probe).unwrap();
+        assert_eq!(compiled.mapping_count(), 4);
+        assert_eq!(compiled.mpi().polynomial().term_count(), 3);
+        let coeffs: Vec<Natural> = compiled.mpi().polynomial().terms().map(|(c, _)| c.clone()).collect();
+        assert!(coeffs.contains(&nat(2)));
+        assert_eq!(compiled.mpi().polynomial().coefficient_sum(), nat(4));
+    }
+
+    #[test]
+    fn assignment_to_bag_roundtrip() {
+        let q1 = paper_examples::section3_query_q1();
+        let q2 = paper_examples::section3_query_q2();
+        let probe = vec![Term::canon("x1"), Term::canon("x2")];
+        let compiled = CompiledProbe::compile(&q1, &q2, &probe).unwrap();
+        let assignment = vec![nat(1), nat(4), nat(3)];
+        let bag = compiled.assignment_to_bag(&assignment);
+        assert_eq!(bag.support_size(), 3);
+        for (atom, value) in compiled.atoms().iter().zip(&assignment) {
+            assert_eq!(&bag.multiplicity(atom), value);
+        }
+    }
+
+    #[test]
+    fn grounding_merges_atoms_in_the_monomial() {
+        // q1(x1,x2) ← R(x1,x2), R(x2,x1): on the diagonal probe (x̂, x̂) the two
+        // atoms merge into a single unknown with monomial exponent 2.
+        let q1 = dioph_cq::parse_query("q(x1, x2) <- R(x1, x2), R(x2, x1)").unwrap();
+        let q2 = dioph_cq::parse_query("p(x1, x2) <- R(x1, x2)").unwrap();
+        let diag = vec![Term::canon("z"), Term::canon("z")];
+        // (x̂z, x̂z) is unifiable with (x1, x2) — both map to the same constant.
+        let compiled = CompiledProbe::compile(&q1, &q2, &diag).unwrap();
+        assert_eq!(compiled.dimension(), 1);
+        assert_eq!(compiled.mpi().monomial().exponent(0), 2);
+        assert_eq!(compiled.mpi().polynomial().term_count(), 1);
+    }
+}

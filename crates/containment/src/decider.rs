@@ -1,0 +1,562 @@
+//! The bag-containment decision procedures.
+//!
+//! Three algorithms are provided, all deciding `q1 ⊑b q2` for a
+//! projection-free containee `q1` and an arbitrary containing CQ `q2`:
+//!
+//! * [`Algorithm::MostGeneralProbe`] — the paper's headline procedure
+//!   (Theorem 5.3): compile a single MPI for the most-general probe tuple and
+//!   decide its solvability through the linear-system reduction
+//!   (Theorems 4.1 and 4.2).
+//! * [`Algorithm::AllProbes`] — the Corollary 3.1 characterisation: one MPI
+//!   per probe tuple. Exponentially many probes, used for differential
+//!   testing and the E6 crossover experiment.
+//! * [`Algorithm::GuessCheck`] — the enumeration underlying the Π₂ᵖ
+//!   procedure of Theorem 5.1: instead of solving an LP, enumerate candidate
+//!   natural vectors `d` up to the small-solution bound of Lemma 5.1 and
+//!   check each against every containment mapping. Exponential; serves as
+//!   the baseline the LP route is compared against.
+//!
+//! Whenever containment fails, an explicit, independently verifiable
+//! [`Counterexample`] bag is produced.
+
+use dioph_arith::Natural;
+use dioph_bagdb::bag_answer_multiplicity;
+use dioph_cq::{most_general_probe_tuple, probe_tuples, ConjunctiveQuery, Term};
+use dioph_linalg::FeasibilityEngine;
+
+use crate::certificate::{BagContainment, ContainmentError, Counterexample};
+use crate::compile::CompiledProbe;
+
+/// Which decision algorithm to run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Algorithm {
+    /// Theorem 5.3: single MPI for the most-general probe tuple (default).
+    #[default]
+    MostGeneralProbe,
+    /// Corollary 3.1: one MPI per probe tuple.
+    AllProbes,
+    /// Theorem 5.1 / Lemma 5.1: bounded enumeration of candidate vectors,
+    /// with a budget on the number of enumerated vectors (the decider reports
+    /// [`ContainmentError::BudgetExceeded`] when the bound would be passed).
+    GuessCheck {
+        /// Maximum number of candidate vectors to enumerate per probe tuple.
+        budget: u64,
+    },
+}
+
+/// A configured bag-containment decider.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BagContainmentDecider {
+    /// The algorithm to run.
+    pub algorithm: Algorithm,
+    /// The LP feasibility engine used by the MPI-based algorithms.
+    pub engine: FeasibilityEngine,
+}
+
+impl BagContainmentDecider {
+    /// A decider with the given algorithm and the default (simplex) engine.
+    pub fn new(algorithm: Algorithm) -> Self {
+        BagContainmentDecider { algorithm, engine: FeasibilityEngine::default() }
+    }
+
+    /// Overrides the feasibility engine.
+    pub fn with_engine(mut self, engine: FeasibilityEngine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Decides `containee ⊑b containing`.
+    ///
+    /// # Errors
+    /// * [`ContainmentError::ContaineeNotProjectionFree`] if the containee
+    ///   has existential variables (outside the fragment solved by the paper);
+    /// * [`ContainmentError::UnsafeQuery`] if the containee has a head
+    ///   variable that does not occur in its body;
+    /// * [`ContainmentError::EmptyBody`] if the containee has no body atoms;
+    /// * [`ContainmentError::BudgetExceeded`] if the guess-and-check
+    ///   enumeration would exceed its configured budget.
+    pub fn decide(
+        &self,
+        containee: &ConjunctiveQuery,
+        containing: &ConjunctiveQuery,
+    ) -> Result<BagContainment, ContainmentError> {
+        validate_containee(containee)?;
+        match self.algorithm {
+            Algorithm::MostGeneralProbe => self.decide_most_general(containee, containing),
+            Algorithm::AllProbes => self.decide_all_probes(containee, containing),
+            Algorithm::GuessCheck { budget } => self.decide_guess_check(containee, containing, budget),
+        }
+    }
+
+    fn decide_most_general(
+        &self,
+        containee: &ConjunctiveQuery,
+        containing: &ConjunctiveQuery,
+    ) -> Result<BagContainment, ContainmentError> {
+        let probe = most_general_probe_tuple(containee);
+        let compiled = CompiledProbe::compile(containee, containing, &probe)
+            .expect("the most-general probe tuple always unifies with the head");
+        match compiled.mpi().diophantine_solution(self.engine) {
+            Some(assignment) => Ok(BagContainment::NotContained(Box::new(build_counterexample(
+                containee, containing, &compiled, &assignment,
+            )))),
+            None => Ok(BagContainment::Contained { probes_checked: 1 }),
+        }
+    }
+
+    fn decide_all_probes(
+        &self,
+        containee: &ConjunctiveQuery,
+        containing: &ConjunctiveQuery,
+    ) -> Result<BagContainment, ContainmentError> {
+        let probes = probe_tuples(containee);
+        let mut checked = 0usize;
+        for probe in probes {
+            let compiled = CompiledProbe::compile(containee, containing, &probe)
+                .expect("probe tuples are unifiable with the head by construction");
+            checked += 1;
+            if let Some(assignment) = compiled.mpi().diophantine_solution(self.engine) {
+                return Ok(BagContainment::NotContained(Box::new(build_counterexample(
+                    containee, containing, &compiled, &assignment,
+                ))));
+            }
+        }
+        Ok(BagContainment::Contained { probes_checked: checked })
+    }
+
+    fn decide_guess_check(
+        &self,
+        containee: &ConjunctiveQuery,
+        containing: &ConjunctiveQuery,
+        budget: u64,
+    ) -> Result<BagContainment, ContainmentError> {
+        let probes = probe_tuples(containee);
+        let mut checked = 0usize;
+        for probe in probes {
+            let compiled = CompiledProbe::compile(containee, containing, &probe)
+                .expect("probe tuples are unifiable with the head by construction");
+            checked += 1;
+            let n = compiled.dimension();
+            let mono = compiled.mpi().monomial().exponents_as_integers();
+            let rows: Vec<Vec<i128>> = compiled
+                .mpi()
+                .polynomial()
+                .terms()
+                .map(|(_, m)| {
+                    let ei = m.exponents_as_integers();
+                    mono.iter()
+                        .zip(&ei)
+                        .map(|(a, b)| {
+                            (a - b).to_i128().expect("exponent differences fit in i128")
+                        })
+                        .collect()
+                })
+                .collect();
+
+            if rows.is_empty() {
+                // No containment mapping at all: the all-ones bag already
+                // violates containment for this probe tuple.
+                let assignment = vec![Natural::one(); n];
+                return Ok(BagContainment::NotContained(Box::new(build_counterexample(
+                    containee, containing, &compiled, &assignment,
+                ))));
+            }
+
+            // Small-solution bound (Lemma 5.1): a solution exists iff one
+            // exists with component sum at most 6·n³·φ. We use the safe
+            // over-approximation φ = max_h (1 + Σ_j |(e − e_h)_j|).
+            let phi: u64 = rows
+                .iter()
+                .map(|row| 1 + row.iter().map(|c| c.unsigned_abs() as u64).sum::<u64>())
+                .max()
+                .unwrap_or(1);
+            let bound = 6u64
+                .saturating_mul(n as u64)
+                .saturating_mul(n as u64)
+                .saturating_mul(n as u64)
+                .saturating_mul(phi);
+
+            // Enumerate candidate vectors by increasing component sum, so the
+            // smallest violating directions are found first.
+            let mut enumerated = 0u64;
+            let mut found: Option<Vec<u64>> = None;
+            let mut current = vec![0u64; n];
+            'sums: for total in 0..=bound {
+                let control = enumerate_compositions(&mut current, 0, total, &mut |candidate| {
+                    enumerated += 1;
+                    if enumerated > budget {
+                        return EnumerationControl::Abort;
+                    }
+                    let satisfies_all = rows.iter().all(|row| {
+                        row.iter()
+                            .zip(candidate)
+                            .map(|(&c, &d)| c * d as i128)
+                            .sum::<i128>()
+                            > 0
+                    });
+                    if satisfies_all {
+                        found = Some(candidate.to_vec());
+                        EnumerationControl::Stop
+                    } else {
+                        EnumerationControl::Continue
+                    }
+                });
+                match control {
+                    EnumerationControl::Continue => {}
+                    EnumerationControl::Stop | EnumerationControl::Abort => break 'sums,
+                }
+            }
+            if enumerated > budget {
+                return Err(ContainmentError::BudgetExceeded { budget });
+            }
+            if let Some(direction) = found {
+                let direction: Vec<Natural> = direction.into_iter().map(Natural::from).collect();
+                let base = compiled
+                    .mpi()
+                    .smallest_base_for(&direction)
+                    .expect("a direction satisfying every inequality yields a base");
+                let assignment: Vec<Natural> = direction
+                    .iter()
+                    .map(|d| base.pow(d.to_u64().expect("bounded enumeration keeps exponents small")))
+                    .collect();
+                return Ok(BagContainment::NotContained(Box::new(build_counterexample(
+                    containee, containing, &compiled, &assignment,
+                ))));
+            }
+        }
+        Ok(BagContainment::Contained { probes_checked: checked })
+    }
+}
+
+/// Convenience wrapper: decides `containee ⊑b containing` with the default
+/// decider (most-general probe tuple + exact simplex).
+pub fn is_bag_contained(
+    containee: &ConjunctiveQuery,
+    containing: &ConjunctiveQuery,
+) -> Result<BagContainment, ContainmentError> {
+    BagContainmentDecider::default().decide(containee, containing)
+}
+
+/// Decides bag **equivalence** of two projection-free conjunctive queries:
+/// containment in both directions. Returns the two directional results, so a
+/// failed equivalence still exposes which direction broke and with which
+/// witness bag.
+///
+/// # Errors
+/// Propagates the validation errors of [`BagContainmentDecider::decide`]
+/// (both queries must be projection-free, safe and non-empty, since each acts
+/// as the containee in one direction).
+pub fn bag_equivalence(
+    q1: &ConjunctiveQuery,
+    q2: &ConjunctiveQuery,
+) -> Result<(BagContainment, BagContainment), ContainmentError> {
+    let decider = BagContainmentDecider::default();
+    let forward = decider.decide(q1, q2)?;
+    let backward = decider.decide(q2, q1)?;
+    Ok((forward, backward))
+}
+
+/// `true` iff both directions of [`bag_equivalence`] hold.
+pub fn are_bag_equivalent(
+    q1: &ConjunctiveQuery,
+    q2: &ConjunctiveQuery,
+) -> Result<bool, ContainmentError> {
+    let (forward, backward) = bag_equivalence(q1, q2)?;
+    Ok(forward.holds() && backward.holds())
+}
+
+fn validate_containee(containee: &ConjunctiveQuery) -> Result<(), ContainmentError> {
+    if containee.distinct_atom_count() == 0 {
+        return Err(ContainmentError::EmptyBody { query: containee.name().to_string() });
+    }
+    let existential: Vec<String> = containee.existential_variables().into_iter().collect();
+    if !existential.is_empty() {
+        return Err(ContainmentError::ContaineeNotProjectionFree { existential_variables: existential });
+    }
+    if !containee.is_safe() {
+        let body = containee.body_variables();
+        let missing: Vec<String> = containee
+            .head_variables()
+            .into_iter()
+            .filter(|v| !body.contains(v))
+            .collect();
+        return Err(ContainmentError::UnsafeQuery {
+            query: containee.name().to_string(),
+            missing_variables: missing,
+        });
+    }
+    Ok(())
+}
+
+fn build_counterexample(
+    containee: &ConjunctiveQuery,
+    containing: &ConjunctiveQuery,
+    compiled: &CompiledProbe,
+    assignment: &[Natural],
+) -> Counterexample {
+    let bag = compiled.assignment_to_bag(assignment);
+    let probe: Vec<Term> = compiled.probe().to_vec();
+    let containee_multiplicity = bag_answer_multiplicity(containee, &bag, &probe);
+    let containing_multiplicity = bag_answer_multiplicity(containing, &bag, &probe);
+    assert!(
+        containee_multiplicity > containing_multiplicity,
+        "internal soundness violation: extracted bag does not violate containment \
+         (containee {containee_multiplicity} vs containing {containing_multiplicity})"
+    );
+    Counterexample { probe, bag, containee_multiplicity, containing_multiplicity }
+}
+
+/// Flow control for [`enumerate_compositions`].
+enum EnumerationControl {
+    Continue,
+    Stop,
+    Abort,
+}
+
+/// Enumerates every vector of naturals of the current length whose components
+/// sum to exactly `remaining`, invoking `visit` on each. Returns the first
+/// non-`Continue` control requested by the visitor (or `Continue` if the
+/// enumeration ran to completion).
+fn enumerate_compositions(
+    current: &mut Vec<u64>,
+    position: usize,
+    remaining: u64,
+    visit: &mut impl FnMut(&[u64]) -> EnumerationControl,
+) -> EnumerationControl {
+    if position + 1 == current.len() {
+        current[position] = remaining;
+        return visit(current);
+    }
+    if position == current.len() {
+        // Zero-dimensional vector: only the empty composition of 0 exists.
+        return if remaining == 0 { visit(current) } else { EnumerationControl::Continue };
+    }
+    for value in 0..=remaining {
+        current[position] = value;
+        match enumerate_compositions(current, position + 1, remaining - value, visit) {
+            EnumerationControl::Continue => {}
+            stop => return stop,
+        }
+    }
+    current[position] = 0;
+    EnumerationControl::Continue
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dioph_cq::paper_examples;
+    use dioph_cq::parse_query;
+
+    const ENGINES: [FeasibilityEngine; 2] =
+        [FeasibilityEngine::Simplex, FeasibilityEngine::FourierMotzkin];
+
+    fn all_deciders() -> Vec<BagContainmentDecider> {
+        let mut out = Vec::new();
+        for engine in ENGINES {
+            out.push(BagContainmentDecider::new(Algorithm::MostGeneralProbe).with_engine(engine));
+            out.push(BagContainmentDecider::new(Algorithm::AllProbes).with_engine(engine));
+        }
+        out.push(BagContainmentDecider::new(Algorithm::GuessCheck { budget: 2_000_000 }));
+        out
+    }
+
+    fn assert_contained(q1: &ConjunctiveQuery, q2: &ConjunctiveQuery) {
+        for decider in all_deciders() {
+            let result = decider.decide(q1, q2).expect("decision should succeed");
+            assert!(result.holds(), "{decider:?} claims {q1} is not contained in {q2}: {result}");
+        }
+    }
+
+    fn assert_not_contained(q1: &ConjunctiveQuery, q2: &ConjunctiveQuery) {
+        for decider in all_deciders() {
+            let result = decider.decide(q1, q2).expect("decision should succeed");
+            assert!(!result.holds(), "{decider:?} wrongly claims {q1} ⊑b {q2}");
+            let ce = result.counterexample().expect("non-containment must carry a witness");
+            assert!(ce.verify(q1, q2), "counterexample {ce} fails verification for {q1} vs {q2}");
+        }
+    }
+
+    #[test]
+    fn paper_section2_containment_relations() {
+        // From the paper: q1 ⊑b q2, q2 ⋢b q1, q1 ⊑b q3, q2 ⊑b q3.
+        let q1 = paper_examples::section2_query_q1();
+        let q2 = paper_examples::section2_query_q2();
+        let q3 = paper_examples::section2_query_q3();
+        assert_contained(&q1, &q2);
+        assert_not_contained(&q2, &q1);
+        assert_contained(&q1, &q3);
+        assert_contained(&q2, &q3);
+    }
+
+    #[test]
+    fn paper_section3_running_example_is_not_contained() {
+        // The Section 3/4 running example: the MPI has Diophantine solutions
+        // (the paper exhibits (1, 4, 3)), so q1 ⋢b q2.
+        let q1 = paper_examples::section3_query_q1();
+        let q2 = paper_examples::section3_query_q2();
+        assert_not_contained(&q1, &q2);
+    }
+
+    #[test]
+    fn identical_queries_are_contained() {
+        let q = paper_examples::section2_query_q1();
+        assert_contained(&q, &q.clone());
+        let q3 = parse_query("q(x) <- R(x, x), S(x)").unwrap();
+        assert_contained(&q3, &q3.clone());
+    }
+
+    #[test]
+    fn extra_atoms_break_containment_under_bag_semantics() {
+        // Under SET semantics, q1(x) ← R(x,x), S(x) is contained in
+        // q2(x) ← R(x,x) (drop a conjunct). Under BAG semantics it is NOT:
+        // with µ(R(c,c)) = 1 and µ(S(c)) = 2 the containee's multiplicity is
+        // 2 while the containing query's is 1. The MPI view makes this
+        // immediate: u_R < u_R·u_S is solvable.
+        let q1 = parse_query("q(x) <- R(x, x), S(x)").unwrap();
+        let q2 = parse_query("p(x) <- R(x, x)").unwrap();
+        assert!(dioph_cq::is_set_contained(&q1, &q2));
+        assert_not_contained(&q1, &q2);
+        // The converse also fails (q2 has answers on bags with no S at all).
+        assert_not_contained(&q2, &q1);
+    }
+
+    #[test]
+    fn higher_multiplicity_on_containing_side_is_not_contained() {
+        // q2 ⋢b q1 from the paper is one instance; a minimal one:
+        // p(x) ← R²(x,x) is not bag-contained in q(x) ← R(x,x)? Wait: the
+        // containee is the query whose multiplicities must be dominated:
+        // R²(x,x) gives µ², R(x,x) gives µ; µ² > µ as soon as µ ≥ 2.
+        let containee = parse_query("p(x) <- R^2(x, x)").unwrap();
+        let containing = parse_query("q(x) <- R(x, x)").unwrap();
+        assert_not_contained(&containee, &containing);
+        // The other direction holds: µ ≤ µ² for µ ≥ 1 and equals at µ = 1... but
+        // at µ = 0 both are 0, so containment holds.
+        assert_contained(&containing, &containee);
+    }
+
+    #[test]
+    fn disjoint_relations_are_never_contained() {
+        let q1 = parse_query("q(x) <- R(x, x)").unwrap();
+        let q2 = parse_query("p(x) <- S(x, x)").unwrap();
+        assert_not_contained(&q1, &q2);
+        assert_not_contained(&q2, &q1);
+    }
+
+    #[test]
+    fn arity_mismatch_is_not_contained() {
+        let q1 = parse_query("q(x, y) <- R(x, y)").unwrap();
+        let q2 = parse_query("p(x) <- R(x, x)").unwrap();
+        assert_not_contained(&q1, &q2);
+    }
+
+    #[test]
+    fn repeated_head_variables_constrain_the_containing_query() {
+        // q1(x,x) asks for the diagonal; q2(x,y) ← R(x,y) contains it.
+        let q1 = parse_query("q(x, x) <- R(x, x)").unwrap();
+        let q2 = parse_query("p(x, y) <- R(x, y)").unwrap();
+        assert_contained(&q1, &q2);
+        // The converse is false (q2 returns non-diagonal tuples).
+        assert_not_contained(&q2, &q1);
+    }
+
+    #[test]
+    fn constants_in_the_containing_query() {
+        // q1(x) ← R(x,'c')  ⊑b  q2(x) ← R(x,y) (projecting away the constant).
+        let q1 = parse_query("q(x) <- R(x, 'c')").unwrap();
+        let q2 = parse_query("p(x) <- R(x, y)").unwrap();
+        assert_contained(&q1, &q2);
+    }
+
+    #[test]
+    fn containment_with_existential_multiplication() {
+        // Paper-style phenomenon: the containing query can use an existential
+        // variable to pick up extra multiplicity.
+        // q1(x) ← R²(x,x)  vs  q2(x) ← R(x,y), R(y,x):
+        // On the canonical instance {R(x̂,x̂)} the only mapping gives u², equal
+        // to the containee's u², so containment holds.
+        let q1 = parse_query("q(x) <- R^2(x, x)").unwrap();
+        let q2 = parse_query("p(x) <- R(x, y), R(y, x)").unwrap();
+        assert_contained(&q1, &q2);
+    }
+
+    #[test]
+    fn boolean_queries_work() {
+        // A ground Boolean containee (its body mentions only constants) is
+        // bag-contained in the Boolean query asking for a symmetric pair of
+        // edges anywhere: the containing query's sum includes the containee's
+        // product as one of its terms.
+        let q1 = parse_query("b1() <- E('a', 'b'), E('b', 'a')").unwrap();
+        let q2 = parse_query("b2() <- E(x, y), E(y, x)").unwrap();
+        assert_contained(&q1, &q2);
+    }
+
+    #[test]
+    fn validation_errors() {
+        let not_pf = parse_query("q(x) <- R(x, y)").unwrap();
+        let ok = parse_query("p(x) <- R(x, x)").unwrap();
+        let err = is_bag_contained(&not_pf, &ok).unwrap_err();
+        assert!(matches!(err, ContainmentError::ContaineeNotProjectionFree { .. }));
+
+        let unsafe_q = ConjunctiveQuery::from_atom_list(
+            "u",
+            vec![Term::var("x"), Term::var("z")],
+            vec![dioph_cq::Atom::new("R", vec![Term::var("x"), Term::var("x")])],
+        );
+        let err = is_bag_contained(&unsafe_q, &ok).unwrap_err();
+        assert!(matches!(err, ContainmentError::UnsafeQuery { .. }));
+
+        let empty = ConjunctiveQuery::from_atom_list("e", vec![], vec![]);
+        let err = is_bag_contained(&empty, &ok).unwrap_err();
+        assert!(matches!(err, ContainmentError::EmptyBody { .. }));
+
+        // The containing query may freely have projections — only the
+        // containee is restricted.
+        let has_proj = parse_query("p(x) <- R(x, y), R(y, y)").unwrap();
+        assert!(is_bag_contained(&ok, &has_proj).is_ok());
+    }
+
+    #[test]
+    fn bag_equivalence_checks_both_directions() {
+        let q1 = paper_examples::section2_query_q1();
+        let q2 = paper_examples::section2_query_q2();
+        // Set-equivalent but not bag-equivalent: the backward direction fails.
+        let (forward, backward) = bag_equivalence(&q1, &q2).unwrap();
+        assert!(forward.holds());
+        assert!(!backward.holds());
+        assert!(backward.counterexample().unwrap().verify(&q2, &q1));
+        assert!(!are_bag_equivalent(&q1, &q2).unwrap());
+        // Every query is bag-equivalent to itself.
+        assert!(are_bag_equivalent(&q1, &q1.clone()).unwrap());
+        // Projections anywhere make the equivalence question leave the fragment.
+        let q3 = paper_examples::section2_query_q3();
+        assert!(bag_equivalence(&q1, &q3).is_err());
+    }
+
+    #[test]
+    fn guess_check_budget_is_enforced() {
+        let q1 = paper_examples::section3_query_q1();
+        let q2 = paper_examples::section3_query_q2();
+        let decider = BagContainmentDecider::new(Algorithm::GuessCheck { budget: 3 });
+        let err = decider.decide(&q1, &q2).unwrap_err();
+        assert!(matches!(err, ContainmentError::BudgetExceeded { budget: 3 }));
+    }
+
+    #[test]
+    fn bag_containment_implies_set_containment_on_fixtures() {
+        // Sanity check of the basic observation from Section 2 on the
+        // paper fixtures and a few crafted pairs.
+        let pairs = [
+            (paper_examples::section2_query_q1(), paper_examples::section2_query_q2()),
+            (paper_examples::section2_query_q1(), paper_examples::section2_query_q3()),
+            (parse_query("q(x) <- R(x, x), S(x)").unwrap(), parse_query("p(x) <- R(x, x)").unwrap()),
+        ];
+        for (q1, q2) in pairs {
+            let bag = is_bag_contained(&q1, &q2).unwrap().holds();
+            let set = dioph_cq::is_set_contained(&q1, &q2);
+            if bag {
+                assert!(set, "bag containment must imply set containment ({q1} vs {q2})");
+            }
+        }
+    }
+}

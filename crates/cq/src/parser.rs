@@ -1,0 +1,350 @@
+//! A small parser for conjunctive queries in the paper's datalog notation.
+//!
+//! Grammar (whitespace-insensitive):
+//!
+//! ```text
+//! query     ::=  head "<-" body "."?
+//! head      ::=  NAME "(" terms? ")"
+//! body      ::=  "true" | atom ("," atom)*
+//! atom      ::=  NAME mult? "(" terms? ")"
+//! mult      ::=  "^" NUMBER
+//! terms     ::=  term ("," term)*
+//! term      ::=  NAME            (a variable, e.g. x1, y)
+//!             |  "'" NAME "'"    (a language constant, e.g. 'c1')
+//!             |  NUMBER          (a numeric language constant)
+//!             |  "^" NAME        (a canonical constant, e.g. ^x1)
+//! ```
+//!
+//! Example (the paper's Section 2 running query):
+//!
+//! ```
+//! use dioph_cq::parse_query;
+//! let q = parse_query("q(x1, x2) <- R^2(x1, y1), R(x1, y2), P^2(y2, y3), P(x2, y4).").unwrap();
+//! assert_eq!(q.total_atom_count(), 6);
+//! assert_eq!(q.distinct_atom_count(), 4);
+//! ```
+
+use core::fmt;
+
+use crate::atom::Atom;
+use crate::query::ConjunctiveQuery;
+use crate::term::Term;
+use crate::ucq::UnionOfConjunctiveQueries;
+
+/// Error produced when parsing a query fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseQueryError {
+    /// Human-readable description of the problem.
+    message: String,
+    /// Byte offset in the input at which the problem was detected.
+    position: usize,
+}
+
+impl ParseQueryError {
+    fn new(message: impl Into<String>, position: usize) -> Self {
+        ParseQueryError { message: message.into(), position }
+    }
+
+    /// The byte offset at which parsing failed.
+    pub fn position(&self) -> usize {
+        self.position
+    }
+}
+
+impl fmt::Display for ParseQueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseQueryError {}
+
+/// Parses a conjunctive query written in datalog notation with optional
+/// multiplicity superscripts (see the module documentation for the grammar).
+pub fn parse_query(input: &str) -> Result<ConjunctiveQuery, ParseQueryError> {
+    let mut p = Parser::new(input);
+    let q = p.query()?;
+    p.skip_ws();
+    if !p.at_end() {
+        return Err(ParseQueryError::new("unexpected trailing input", p.pos));
+    }
+    Ok(q)
+}
+
+/// Parses a union of conjunctive queries: one query per non-empty line (or
+/// queries separated by `;`). All disjuncts must share the same arity.
+pub fn parse_ucq(input: &str) -> Result<UnionOfConjunctiveQueries, ParseQueryError> {
+    let mut disjuncts = Vec::new();
+    for piece in input.split(|ch| ch == ';' || ch == '\n') {
+        if piece.trim().is_empty() {
+            continue;
+        }
+        disjuncts.push(parse_query(piece)?);
+    }
+    if disjuncts.is_empty() {
+        return Err(ParseQueryError::new("a UCQ needs at least one disjunct", 0));
+    }
+    let arity = disjuncts[0].arity();
+    if disjuncts.iter().any(|d| d.arity() != arity) {
+        return Err(ParseQueryError::new("all UCQ disjuncts must have the same arity", 0));
+    }
+    Ok(UnionOfConjunctiveQueries::new(disjuncts))
+}
+
+struct Parser<'a> {
+    input: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Self {
+        Parser { input, bytes: input.as_bytes(), pos: 0 }
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.bytes.len()
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek();
+        if b.is_some() {
+            self.pos += 1;
+        }
+        b
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b) if b.is_ascii_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, expected: u8) -> Result<(), ParseQueryError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b) if b == expected => {
+                self.pos += 1;
+                Ok(())
+            }
+            other => Err(ParseQueryError::new(
+                format!(
+                    "expected '{}', found {}",
+                    expected as char,
+                    other.map_or("end of input".to_string(), |b| format!("'{}'", b as char))
+                ),
+                self.pos,
+            )),
+        }
+    }
+
+    fn identifier(&mut self) -> Result<String, ParseQueryError> {
+        self.skip_ws();
+        let start = self.pos;
+        while matches!(self.peek(), Some(b) if b.is_ascii_alphanumeric() || b == b'_') {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return Err(ParseQueryError::new("expected an identifier", self.pos));
+        }
+        Ok(self.input[start..self.pos].to_string())
+    }
+
+    fn number(&mut self) -> Result<u64, ParseQueryError> {
+        self.skip_ws();
+        let start = self.pos;
+        while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return Err(ParseQueryError::new("expected a number", self.pos));
+        }
+        self.input[start..self.pos]
+            .parse()
+            .map_err(|_| ParseQueryError::new("number too large", start))
+    }
+
+    fn query(&mut self) -> Result<ConjunctiveQuery, ParseQueryError> {
+        let name = self.identifier()?;
+        self.expect(b'(')?;
+        let head = self.term_list(b')')?;
+        self.expect(b')')?;
+        // Arrow: "<-" or ":-".
+        self.skip_ws();
+        match (self.bump(), self.bump()) {
+            (Some(b'<'), Some(b'-')) | (Some(b':'), Some(b'-')) => {}
+            _ => return Err(ParseQueryError::new("expected '<-' or ':-'", self.pos.saturating_sub(2))),
+        }
+        self.skip_ws();
+        // Body: "true" or a list of atoms.
+        let mut atoms: Vec<(Atom, u64)> = Vec::new();
+        if self.input[self.pos..].trim_start().starts_with("true") {
+            self.skip_ws();
+            self.pos += 4;
+        } else {
+            loop {
+                atoms.push(self.atom()?);
+                self.skip_ws();
+                if self.peek() == Some(b',') {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+        self.skip_ws();
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+        }
+        Ok(ConjunctiveQuery::new(name, head, atoms))
+    }
+
+    fn atom(&mut self) -> Result<(Atom, u64), ParseQueryError> {
+        let relation = self.identifier()?;
+        self.skip_ws();
+        let mult = if self.peek() == Some(b'^') {
+            self.pos += 1;
+            self.number()?
+        } else {
+            1
+        };
+        self.expect(b'(')?;
+        let terms = self.term_list(b')')?;
+        self.expect(b')')?;
+        Ok((Atom::new(relation, terms), mult))
+    }
+
+    fn term_list(&mut self, closing: u8) -> Result<Vec<Term>, ParseQueryError> {
+        let mut terms = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(closing) {
+            return Ok(terms);
+        }
+        loop {
+            terms.push(self.term()?);
+            self.skip_ws();
+            if self.peek() == Some(b',') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        Ok(terms)
+    }
+
+    fn term(&mut self) -> Result<Term, ParseQueryError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'\'') => {
+                self.pos += 1;
+                let name = self.identifier()?;
+                self.expect(b'\'')?;
+                Ok(Term::constant(name))
+            }
+            Some(b'^') => {
+                self.pos += 1;
+                let name = self.identifier()?;
+                Ok(Term::canon(name))
+            }
+            Some(b) if b.is_ascii_digit() => {
+                let n = self.number()?;
+                Ok(Term::constant(n.to_string()))
+            }
+            Some(b) if b.is_ascii_alphabetic() || b == b'_' => Ok(Term::var(self.identifier()?)),
+            other => Err(ParseQueryError::new(
+                format!(
+                    "expected a term, found {}",
+                    other.map_or("end of input".to_string(), |b| format!("'{}'", b as char))
+                ),
+                self.pos,
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper_examples;
+
+    #[test]
+    fn parses_paper_section2_query() {
+        let q = parse_query("q3(x1, x2) <- R^2(x1, y1), R(x1, y2), P^2(y2, y3), P(x2, y4).").unwrap();
+        assert_eq!(q, paper_examples::section2_query_q3());
+    }
+
+    #[test]
+    fn parses_constants_and_canonical_constants() {
+        let q = parse_query("q(x1, x2) <- R^2(x1, x2), R('c1', x2), R^3(x1, 'c2')").unwrap();
+        assert_eq!(q, paper_examples::section3_query_q1().with_name("q"));
+        let g = parse_query("g(^x1, ^x2) <- R(^x1, ^x2)").unwrap();
+        assert_eq!(g.head(), &[Term::canon("x1"), Term::canon("x2")]);
+        assert!(g.body_atoms().all(Atom::is_ground));
+    }
+
+    #[test]
+    fn numeric_constants() {
+        let q = parse_query("q(x) <- R(x, 42)").unwrap();
+        let atom = q.body_atoms().next().unwrap();
+        assert_eq!(atom.terms()[1], Term::constant("42"));
+    }
+
+    #[test]
+    fn boolean_and_empty_body_queries() {
+        let b = parse_query("b() <- R('a', 'b'), R('b', 'c')").unwrap();
+        assert!(b.is_boolean());
+        assert_eq!(b.total_atom_count(), 2);
+        let t = parse_query("t() <- true.").unwrap();
+        assert!(t.is_boolean());
+        assert_eq!(t.total_atom_count(), 0);
+    }
+
+    #[test]
+    fn prolog_style_arrow_and_no_period() {
+        let q = parse_query("q(x) :- R(x, x)").unwrap();
+        assert_eq!(q.arity(), 1);
+    }
+
+    #[test]
+    fn roundtrip_through_display() {
+        // Display output re-parses to the same query.
+        for q in [
+            paper_examples::section2_query_q1(),
+            paper_examples::section2_query_q2(),
+            paper_examples::section2_query_q3(),
+            paper_examples::section3_query_q1(),
+            paper_examples::section3_query_q2(),
+        ] {
+            let reparsed = parse_query(&q.to_string()).unwrap();
+            assert_eq!(reparsed, q, "round-trip failed for {q}");
+        }
+    }
+
+    #[test]
+    fn error_positions_and_messages() {
+        let err = parse_query("q(x) <- ").unwrap_err();
+        assert!(err.to_string().contains("identifier"));
+        let err = parse_query("q(x R(x)").unwrap_err();
+        assert!(err.position() > 0);
+        assert!(parse_query("q(x) - R(x)").is_err());
+        assert!(parse_query("q(x) <- R(x, )").is_err());
+        assert!(parse_query("q(x) <- R(x) extra").is_err());
+        assert!(parse_query("").is_err());
+        assert!(parse_query("q(x) <- R^(x)").is_err());
+        assert!(parse_query("q(x) <- R('unterminated)").is_err());
+    }
+
+    #[test]
+    fn parses_ucqs() {
+        let ucq = parse_ucq("q1(x) <- R(x, x); q2(x) <- S(x, 'c')").unwrap();
+        assert_eq!(ucq.disjuncts().len(), 2);
+        let ucq2 = parse_ucq("q1(x) <- R(x, x)\nq2(x) <- S(x, 'c')\n").unwrap();
+        assert_eq!(ucq2.disjuncts().len(), 2);
+        assert!(parse_ucq("").is_err());
+        assert!(parse_ucq("q1(x) <- R(x); q2(x, y) <- R(x, y)").is_err());
+    }
+}

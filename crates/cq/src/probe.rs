@@ -1,0 +1,198 @@
+//! Probe tuples (Definition 3.1 of the paper).
+//!
+//! Given a projection-free CQ `q(x)` over an n-tuple of free variables, a
+//! *probe tuple* is an n-tuple of constants drawn from the active domain of
+//! the canonical instance `I_{q(x)}` — i.e. from the canonical constants of
+//! the variables of `q` plus the language constants of `q` — that is
+//! unifiable with `x` (positions carrying the same variable receive the same
+//! constant).
+//!
+//! Theorem 3.1 checks bag containment over every probe tuple; Theorem 5.3
+//! later shows the single *most-general* probe tuple suffices. Both sets are
+//! produced here.
+
+use std::collections::BTreeSet;
+
+use crate::query::ConjunctiveQuery;
+use crate::term::Term;
+
+/// The active domain of the canonical instance `I_{q(x)}`: canonical
+/// constants of the query's variables plus its language constants.
+pub fn canonical_active_domain(query: &ConjunctiveQuery) -> BTreeSet<Term> {
+    let mut domain: BTreeSet<Term> = query.variables().into_iter().map(Term::CanonConst).collect();
+    domain.extend(query.constants());
+    domain
+}
+
+/// Enumerates all probe tuples of a query (Definition 3.1): every
+/// `|head|`-tuple over the canonical active domain that is unifiable with the
+/// head.
+///
+/// The number of probe tuples is `|adom(I_q)|^{arity}` before the
+/// unifiability filter, so this is exponential in the arity; Theorem 5.3
+/// (`most_general_probe_tuple`) avoids the enumeration in the decision
+/// procedure, but the full set is still used for differential testing
+/// (Corollary 3.1) and for the paper's Section 3 example.
+///
+/// # Panics
+/// Panics if a head term is a constant (probe tuples are defined for queries
+/// whose head is a tuple of variables).
+pub fn probe_tuples(query: &ConjunctiveQuery) -> Vec<Vec<Term>> {
+    for t in query.head() {
+        assert!(
+            t.is_var(),
+            "probe tuples are defined for queries with an all-variable head, found {t}"
+        );
+    }
+    let domain: Vec<Term> = canonical_active_domain(query).into_iter().collect();
+    let arity = query.arity();
+    if arity == 0 {
+        // A Boolean query has exactly one (empty) probe tuple.
+        return vec![Vec::new()];
+    }
+    if domain.is_empty() {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    let mut current = vec![0usize; arity];
+    loop {
+        let tuple: Vec<Term> = current.iter().map(|&i| domain[i].clone()).collect();
+        if unifiable_with_head(query.head(), &tuple) {
+            out.push(tuple);
+        }
+        // Advance the mixed-radix counter.
+        let mut pos = arity;
+        loop {
+            if pos == 0 {
+                return out;
+            }
+            pos -= 1;
+            current[pos] += 1;
+            if current[pos] < domain.len() {
+                break;
+            }
+            current[pos] = 0;
+        }
+    }
+}
+
+/// The *most-general* probe tuple `t*` (Theorem 5.3): each head variable is
+/// replaced by its own canonical constant.
+pub fn most_general_probe_tuple(query: &ConjunctiveQuery) -> Vec<Term> {
+    query.head().iter().map(Term::canonicalize).collect()
+}
+
+fn unifiable_with_head(head: &[Term], tuple: &[Term]) -> bool {
+    let mut sigma = crate::substitution::Substitution::identity();
+    sigma.unify_tuples(head, tuple)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::Atom;
+    use crate::paper_examples;
+
+    fn v(n: &str) -> Term {
+        Term::var(n)
+    }
+
+    #[test]
+    fn paper_section3_sixteen_probe_tuples() {
+        // q(x1,x2) ← R(x1,x2), R(c1,x2), R(x1,c2) has 16 probe tuples:
+        // all pairs over {x̂1, x̂2, c1, c2}.
+        let q = paper_examples::section3_probe_example();
+        let domain = canonical_active_domain(&q);
+        assert_eq!(domain.len(), 4);
+        let tuples = probe_tuples(&q);
+        assert_eq!(tuples.len(), 16);
+        // Spot-check a few members listed in the paper.
+        assert!(tuples.contains(&vec![Term::canon("x1"), Term::canon("x1")]));
+        assert!(tuples.contains(&vec![Term::canon("x1"), Term::constant("c1")]));
+        assert!(tuples.contains(&vec![Term::constant("c2"), Term::constant("c1")]));
+        // Every tuple is over the domain and has the right arity.
+        for t in &tuples {
+            assert_eq!(t.len(), 2);
+            assert!(t.iter().all(|x| domain.contains(x)));
+        }
+    }
+
+    #[test]
+    fn most_general_probe_is_canonical_head() {
+        let q = paper_examples::section3_query_q1();
+        assert_eq!(
+            most_general_probe_tuple(&q),
+            vec![Term::canon("x1"), Term::canon("x2")]
+        );
+        // It is always one of the probe tuples.
+        assert!(probe_tuples(&q).contains(&most_general_probe_tuple(&q)));
+    }
+
+    #[test]
+    fn repeated_head_variables_restrict_probe_tuples() {
+        // q(x, x) ← R(x, x): only "diagonal" tuples are unifiable with the head.
+        let q = ConjunctiveQuery::from_atom_list(
+            "q",
+            vec![v("x"), v("x")],
+            vec![Atom::new("R", vec![v("x"), v("x")])],
+        );
+        let tuples = probe_tuples(&q);
+        // Domain is {x̂}, and only (x̂, x̂) unifies.
+        assert_eq!(tuples, vec![vec![Term::canon("x"), Term::canon("x")]]);
+    }
+
+    #[test]
+    fn constants_enlarge_the_domain() {
+        // q(x) ← R(x, c1): domain {x̂, c1}, probe tuples (x̂) and (c1).
+        let q = ConjunctiveQuery::from_atom_list(
+            "q",
+            vec![v("x")],
+            vec![Atom::new("R", vec![v("x"), Term::constant("c1")])],
+        );
+        let tuples = probe_tuples(&q);
+        assert_eq!(tuples.len(), 2);
+        assert!(tuples.contains(&vec![Term::canon("x")]));
+        assert!(tuples.contains(&vec![Term::constant("c1")]));
+    }
+
+    #[test]
+    fn boolean_query_has_one_empty_probe_tuple() {
+        let q = ConjunctiveQuery::from_atom_list(
+            "b",
+            vec![],
+            vec![Atom::new("R", vec![Term::constant("a"), Term::constant("b")])],
+        );
+        assert_eq!(probe_tuples(&q), vec![Vec::<Term>::new()]);
+        assert_eq!(most_general_probe_tuple(&q), Vec::<Term>::new());
+    }
+
+    #[test]
+    fn existential_variables_contribute_canonical_constants() {
+        // Even for a non-projection-free query, the canonical active domain
+        // includes canonical constants of existential variables (they are
+        // part of the canonical instance).
+        let q = paper_examples::section2_query_q3();
+        let domain = canonical_active_domain(&q);
+        assert!(domain.contains(&Term::canon("y1")));
+        assert!(domain.contains(&Term::canon("x1")));
+        assert_eq!(domain.len(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "all-variable head")]
+    fn grounded_heads_are_rejected() {
+        let q = paper_examples::section3_query_q1().most_general_grounding();
+        let _ = probe_tuples(&q);
+    }
+
+    #[test]
+    fn probe_tuple_count_grows_with_domain_and_arity() {
+        // q(x1,x2,x3) ← R(x1,x2,x3): 27 probe tuples (3 canonical constants).
+        let q = ConjunctiveQuery::from_atom_list(
+            "q",
+            vec![v("x1"), v("x2"), v("x3")],
+            vec![Atom::new("R", vec![v("x1"), v("x2"), v("x3")])],
+        );
+        assert_eq!(probe_tuples(&q).len(), 27);
+    }
+}

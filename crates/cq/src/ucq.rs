@@ -1,0 +1,111 @@
+//! Unions of conjunctive queries (UCQs).
+//!
+//! UCQs matter to the bag-containment story because Ioannidis & Ramakrishnan
+//! proved that bag containment of UCQs is *undecidable* (by reduction from
+//! the Diophantine inequality problem), in contrast to the positive result
+//! for projection-free CQs that this workspace reproduces. The type is used
+//! by the workload generators to build the polynomial-encoding query families
+//! discussed in the paper's related-work section, and by the bag engine to
+//! evaluate unions (the bag answer of a union is the *sum* of the disjuncts'
+//! bag answers).
+
+use core::fmt;
+
+use crate::query::ConjunctiveQuery;
+
+/// A union `q₁ ∪ … ∪ qₖ` of conjunctive queries of the same arity.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct UnionOfConjunctiveQueries {
+    disjuncts: Vec<ConjunctiveQuery>,
+}
+
+impl UnionOfConjunctiveQueries {
+    /// Builds a UCQ from its disjuncts.
+    ///
+    /// # Panics
+    /// Panics if the list is empty or the disjuncts disagree on arity.
+    pub fn new(disjuncts: Vec<ConjunctiveQuery>) -> Self {
+        assert!(!disjuncts.is_empty(), "a UCQ needs at least one disjunct");
+        let arity = disjuncts[0].arity();
+        assert!(
+            disjuncts.iter().all(|d| d.arity() == arity),
+            "all UCQ disjuncts must share the same arity"
+        );
+        UnionOfConjunctiveQueries { disjuncts }
+    }
+
+    /// Wraps a single CQ as a one-disjunct union.
+    pub fn singleton(query: ConjunctiveQuery) -> Self {
+        UnionOfConjunctiveQueries { disjuncts: vec![query] }
+    }
+
+    /// The disjuncts.
+    pub fn disjuncts(&self) -> &[ConjunctiveQuery] {
+        &self.disjuncts
+    }
+
+    /// The common arity of all disjuncts.
+    pub fn arity(&self) -> usize {
+        self.disjuncts[0].arity()
+    }
+
+    /// `true` iff every disjunct is projection-free.
+    pub fn is_projection_free(&self) -> bool {
+        self.disjuncts.iter().all(ConjunctiveQuery::is_projection_free)
+    }
+}
+
+impl fmt::Display for UnionOfConjunctiveQueries {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, d) in self.disjuncts.iter().enumerate() {
+            if i > 0 {
+                writeln!(f, " ;")?;
+            }
+            write!(f, "{d}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::Atom;
+    use crate::term::Term;
+
+    fn cq(name: &str, arity: usize) -> ConjunctiveQuery {
+        let head: Vec<Term> = (0..arity).map(|i| Term::var(format!("x{i}"))).collect();
+        ConjunctiveQuery::from_atom_list(name, head.clone(), vec![Atom::new("R", head)])
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let ucq = UnionOfConjunctiveQueries::new(vec![cq("a", 2), cq("b", 2)]);
+        assert_eq!(ucq.disjuncts().len(), 2);
+        assert_eq!(ucq.arity(), 2);
+        assert!(ucq.is_projection_free());
+        let single = UnionOfConjunctiveQueries::singleton(cq("a", 1));
+        assert_eq!(single.arity(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "same arity")]
+    fn arity_mismatch_is_rejected() {
+        let _ = UnionOfConjunctiveQueries::new(vec![cq("a", 1), cq("b", 2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn empty_union_is_rejected() {
+        let _ = UnionOfConjunctiveQueries::new(vec![]);
+    }
+
+    #[test]
+    fn display_joins_disjuncts() {
+        let ucq = UnionOfConjunctiveQueries::new(vec![cq("a", 1), cq("b", 1)]);
+        let s = ucq.to_string();
+        assert!(s.contains("a(x0)"));
+        assert!(s.contains(";"));
+        assert!(s.contains("b(x0)"));
+    }
+}

@@ -1,0 +1,284 @@
+//! Feasibility of strict homogeneous linear systems.
+//!
+//! Theorem 4.1 of the paper reduces the Diophantine-solution problem for an
+//! n-MPI `P(u) < M(u)` to the question of whether the system
+//!
+//! ```text
+//!     (e − e_i)ᵀ · ε > 0     for i = 1..m,      ε ≥ 0
+//! ```
+//!
+//! has a solution over the naturals, which (as observed in the paper's proof)
+//! is equivalent to rational feasibility because the system is homogeneous
+//! with rational coefficients: any rational solution can be scaled by the
+//! least common multiple of its denominators into a natural one.
+//!
+//! [`StrictHomogeneousSystem`] captures exactly that shape and offers two
+//! independent engines ([`FeasibilityEngine::Simplex`] and
+//! [`FeasibilityEngine::FourierMotzkin`]) for deciding it and extracting
+//! natural witnesses.
+
+use dioph_arith::{Integer, Natural, Rational};
+
+use crate::fourier_motzkin::{self, FmOutcome};
+use crate::simplex::{self, SimplexOutcome};
+use crate::system::{dot_int_nat, Constraint, LinearSystem, Relation};
+
+/// Which engine to use when deciding feasibility.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum FeasibilityEngine {
+    /// Exact rational phase-1 simplex (default; polynomial in practice).
+    #[default]
+    Simplex,
+    /// Fourier–Motzkin elimination (simple, doubly exponential worst case).
+    FourierMotzkin,
+}
+
+/// A system `{ rows[i] · ε > 0 }` over non-negative unknowns `ε`.
+///
+/// Rows have integer coefficients (the exponent differences `e − e_i` of the
+/// paper are integer vectors).
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct StrictHomogeneousSystem {
+    dimension: usize,
+    rows: Vec<Vec<Integer>>,
+}
+
+impl StrictHomogeneousSystem {
+    /// Creates an empty system over `dimension` unknowns.
+    pub fn new(dimension: usize) -> Self {
+        StrictHomogeneousSystem { dimension, rows: Vec::new() }
+    }
+
+    /// Number of unknowns.
+    pub fn dimension(&self) -> usize {
+        self.dimension
+    }
+
+    /// The coefficient rows.
+    pub fn rows(&self) -> &[Vec<Integer>] {
+        &self.rows
+    }
+
+    /// Number of rows (strict inequalities).
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` iff the system has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Adds the strict inequality `row · ε > 0`.
+    ///
+    /// # Panics
+    /// Panics if the row length differs from the system dimension.
+    pub fn push_row(&mut self, row: Vec<Integer>) {
+        assert_eq!(row.len(), self.dimension, "row dimension mismatch");
+        self.rows.push(row);
+    }
+
+    /// Adds a row given as `i64` coefficients (convenience).
+    pub fn push_row_i64(&mut self, row: &[i64]) {
+        self.push_row(row.iter().map(|&c| Integer::from(c)).collect());
+    }
+
+    /// Checks whether a natural-number assignment satisfies every row.
+    pub fn is_satisfied_by_naturals(&self, point: &[Natural]) -> bool {
+        assert_eq!(point.len(), self.dimension, "point dimension mismatch");
+        self.rows.iter().all(|row| dot_int_nat(row, point).is_positive())
+    }
+
+    /// Renders the system as a [`LinearSystem`] with strict rows and explicit
+    /// non-negativity constraints (used by the Fourier–Motzkin engine and by
+    /// tests).
+    pub fn to_linear_system(&self) -> LinearSystem {
+        let mut sys = LinearSystem::new(self.dimension);
+        for row in &self.rows {
+            sys.push(Constraint::from_integers(row, Relation::Gt, Integer::zero()));
+        }
+        sys.push_nonnegativity();
+        sys
+    }
+
+    /// Decides rational feasibility and returns a rational witness if one
+    /// exists.
+    ///
+    /// An empty system (no rows) over at least one unknown is trivially
+    /// feasible (witness: all zeros); over zero unknowns it is also feasible
+    /// with the empty witness.
+    pub fn rational_solution(&self, engine: FeasibilityEngine) -> Option<Vec<Rational>> {
+        if self.rows.is_empty() {
+            return Some(vec![Rational::zero(); self.dimension]);
+        }
+        // A row of all zeros can never be strictly positive.
+        if self.rows.iter().any(|row| row.iter().all(|c| c.is_zero())) {
+            return None;
+        }
+        match engine {
+            FeasibilityEngine::Simplex => {
+                // Homogeneity: A·ε > 0, ε ≥ 0 feasible  ⟺  A·ε ≥ 1, ε ≥ 0 feasible.
+                let a: Vec<Vec<Rational>> = self
+                    .rows
+                    .iter()
+                    .map(|row| row.iter().cloned().map(Rational::from).collect())
+                    .collect();
+                let b = vec![Rational::one(); self.rows.len()];
+                match simplex::feasible_point(&a, &b) {
+                    SimplexOutcome::Feasible(x) => Some(x),
+                    SimplexOutcome::Infeasible => None,
+                }
+            }
+            FeasibilityEngine::FourierMotzkin => match fourier_motzkin::solve(&self.to_linear_system()) {
+                FmOutcome::Feasible(x) => Some(x),
+                FmOutcome::Infeasible => None,
+            },
+        }
+    }
+
+    /// Decides feasibility and returns a **natural-number** witness if one
+    /// exists (Theorem 4.1's "Diophantine solution" of the linear system).
+    ///
+    /// The witness is obtained by scaling a rational solution by the least
+    /// common multiple of its denominators; since the system is homogeneous
+    /// and all rational components are non-negative, the scaled vector is a
+    /// valid natural solution.
+    pub fn natural_solution(&self, engine: FeasibilityEngine) -> Option<Vec<Natural>> {
+        let rational = self.rational_solution(engine)?;
+        Some(scale_to_naturals(&rational))
+    }
+
+    /// `true` iff the system admits a solution (equivalently: the associated
+    /// MPI admits a Diophantine solution, by Theorem 4.1).
+    pub fn is_feasible(&self, engine: FeasibilityEngine) -> bool {
+        self.rational_solution(engine).is_some()
+    }
+}
+
+/// Scales a non-negative rational vector by the LCM of its denominators,
+/// producing a natural vector pointing in the same direction.
+///
+/// # Panics
+/// Panics if any component is negative.
+pub fn scale_to_naturals(point: &[Rational]) -> Vec<Natural> {
+    let mut lcm = Natural::one();
+    for value in point {
+        assert!(!value.is_negative(), "cannot scale a negative rational to a natural");
+        lcm = lcm.lcm(value.denom());
+    }
+    point
+        .iter()
+        .map(|value| {
+            let scaled = value.numer().magnitude() * &(&lcm / value.denom());
+            scaled
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ENGINES: [FeasibilityEngine; 2] =
+        [FeasibilityEngine::Simplex, FeasibilityEngine::FourierMotzkin];
+
+    #[test]
+    fn empty_system_is_feasible() {
+        for engine in ENGINES {
+            let sys = StrictHomogeneousSystem::new(3);
+            assert!(sys.is_feasible(engine));
+            assert_eq!(sys.natural_solution(engine).unwrap().len(), 3);
+        }
+    }
+
+    #[test]
+    fn paper_running_example_is_feasible() {
+        // {-5ε1 + ε2 + 3ε3 > 0, -3ε1 - ε2 + 3ε3 > 0, -ε1 + ε2 - ε3 > 0}
+        // The paper exhibits the solution (0, 2, 1).
+        for engine in ENGINES {
+            let mut sys = StrictHomogeneousSystem::new(3);
+            sys.push_row_i64(&[-5, 1, 3]);
+            sys.push_row_i64(&[-3, -1, 3]);
+            sys.push_row_i64(&[-1, 1, -1]);
+            let nat = sys.natural_solution(engine).expect("feasible");
+            assert!(sys.is_satisfied_by_naturals(&nat), "{engine:?}: witness {nat:?}");
+            // The paper's own solution works too.
+            let paper = vec![Natural::zero(), Natural::from(2u64), Natural::from(1u64)];
+            assert!(sys.is_satisfied_by_naturals(&paper));
+        }
+    }
+
+    #[test]
+    fn zero_row_is_infeasible() {
+        for engine in ENGINES {
+            let mut sys = StrictHomogeneousSystem::new(2);
+            sys.push_row_i64(&[0, 0]);
+            sys.push_row_i64(&[1, 1]);
+            assert!(!sys.is_feasible(engine));
+        }
+    }
+
+    #[test]
+    fn all_negative_row_is_infeasible() {
+        for engine in ENGINES {
+            let mut sys = StrictHomogeneousSystem::new(2);
+            sys.push_row_i64(&[-1, -2]);
+            assert!(!sys.is_feasible(engine));
+        }
+    }
+
+    #[test]
+    fn opposing_rows_are_infeasible() {
+        // ε1 - ε2 > 0 and ε2 - ε1 > 0 cannot both hold.
+        for engine in ENGINES {
+            let mut sys = StrictHomogeneousSystem::new(2);
+            sys.push_row_i64(&[1, -1]);
+            sys.push_row_i64(&[-1, 1]);
+            assert!(!sys.is_feasible(engine));
+        }
+    }
+
+    #[test]
+    fn single_positive_direction() {
+        for engine in ENGINES {
+            let mut sys = StrictHomogeneousSystem::new(1);
+            sys.push_row_i64(&[3]);
+            let nat = sys.natural_solution(engine).unwrap();
+            assert!(sys.is_satisfied_by_naturals(&nat));
+        }
+    }
+
+    #[test]
+    fn engines_agree_on_structured_instances() {
+        // A family of instances where feasibility flips with a parameter.
+        for k in -4i64..=4 {
+            let mut sys = StrictHomogeneousSystem::new(3);
+            sys.push_row_i64(&[k, 1, -1]);
+            sys.push_row_i64(&[1, -2, 1]);
+            sys.push_row_i64(&[-1, 1, 1]);
+            let a = sys.is_feasible(FeasibilityEngine::Simplex);
+            let b = sys.is_feasible(FeasibilityEngine::FourierMotzkin);
+            assert_eq!(a, b, "engines disagree at k={k}");
+            if let Some(nat) = sys.natural_solution(FeasibilityEngine::Simplex) {
+                assert!(sys.is_satisfied_by_naturals(&nat));
+            }
+        }
+    }
+
+    #[test]
+    fn scale_to_naturals_clears_denominators() {
+        let point = vec![
+            Rational::from_i64s(1, 2),
+            Rational::from_i64s(2, 3),
+            Rational::from_i64s(0, 1),
+        ];
+        let nat = scale_to_naturals(&point);
+        assert_eq!(nat, vec![Natural::from(3u64), Natural::from(4u64), Natural::zero()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative rational")]
+    fn scale_to_naturals_rejects_negative() {
+        let _ = scale_to_naturals(&[Rational::from_i64s(-1, 2)]);
+    }
+}

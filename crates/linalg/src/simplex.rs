@@ -1,0 +1,375 @@
+//! Exact rational phase-1 simplex.
+//!
+//! This is the scalable feasibility engine backing Theorem 4.2 of the paper
+//! (polynomial-time decidability of the Diophantine-solution problem for
+//! MPIs). It decides whether the polyhedron
+//!
+//! ```text
+//!     { x ∈ ℚⁿ  :  A·x ≥ b,  x ≥ 0 }
+//! ```
+//!
+//! is non-empty and, if so, returns a rational point inside it. All pivoting
+//! is performed with exact [`Rational`] arithmetic; Bland's rule guarantees
+//! termination (no cycling).
+//!
+//! Strict inequalities are handled one level up (in [`crate::feasibility`])
+//! via the homogeneity of the systems produced by the paper's reduction:
+//! `A·x > 0, x ≥ 0` is rationally feasible iff `A·x ≥ 1, x ≥ 0` is.
+
+use dioph_arith::Rational;
+
+/// Result of a phase-1 simplex run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimplexOutcome {
+    /// A feasible point `x ≥ 0` with `A·x ≥ b` was found.
+    Feasible(Vec<Rational>),
+    /// The polyhedron is empty.
+    Infeasible,
+}
+
+impl SimplexOutcome {
+    /// Returns the witness if feasible.
+    pub fn witness(&self) -> Option<&[Rational]> {
+        match self {
+            SimplexOutcome::Feasible(w) => Some(w),
+            SimplexOutcome::Infeasible => None,
+        }
+    }
+
+    /// `true` iff a feasible point was found.
+    pub fn is_feasible(&self) -> bool {
+        matches!(self, SimplexOutcome::Feasible(_))
+    }
+}
+
+/// Finds `x ≥ 0` with `A·x ≥ b` (row-wise), if such a point exists.
+///
+/// `a` is a dense row-major matrix; every row must have the same length.
+///
+/// # Panics
+/// Panics if the number of rows of `a` differs from the length of `b`, or if
+/// the rows of `a` have inconsistent lengths.
+pub fn feasible_point(a: &[Vec<Rational>], b: &[Rational]) -> SimplexOutcome {
+    assert_eq!(a.len(), b.len(), "row count mismatch between A and b");
+    let m = a.len();
+    let n = a.first().map_or(0, |r| r.len());
+    for row in a {
+        assert_eq!(row.len(), n, "ragged matrix passed to simplex");
+    }
+    if m == 0 {
+        return SimplexOutcome::Feasible(vec![Rational::zero(); n]);
+    }
+
+    // Standard form: for every row  a_i·x - s_i = b_i  with s_i ≥ 0.
+    // Rows are normalised so the right-hand side is non-negative; rows that
+    // end up with rhs = 0 or that originally had b_i ≤ 0 can use the surplus
+    // (or its negation, a slack) as the initial basic variable, all other
+    // rows receive an artificial variable.
+    //
+    // Column layout: [ x (n) | s (m) | artificials (k) ].
+    let mut rows: Vec<Vec<Rational>> = Vec::with_capacity(m);
+    let mut rhs: Vec<Rational> = Vec::with_capacity(m);
+    let mut needs_artificial: Vec<bool> = Vec::with_capacity(m);
+
+    for i in 0..m {
+        let mut row: Vec<Rational> = Vec::with_capacity(n + m);
+        // a_i·x - s_i = b_i
+        for j in 0..n {
+            row.push(a[i][j].clone());
+        }
+        for j in 0..m {
+            row.push(if j == i { -&Rational::one() } else { Rational::zero() });
+        }
+        let mut rhs_i = b[i].clone();
+        if rhs_i.is_negative() {
+            // Multiply the whole equation by -1 so the rhs is non-negative;
+            // the surplus column then carries +1 and can serve as the basis.
+            for v in row.iter_mut() {
+                *v = -&*v;
+            }
+            rhs_i = -rhs_i;
+            needs_artificial.push(false);
+        } else if rhs_i.is_zero() {
+            // rhs already zero: the surplus variable (value 0) can be basic
+            // only if its coefficient is +1; flip the row to make it so.
+            for v in row.iter_mut() {
+                *v = -&*v;
+            }
+            needs_artificial.push(false);
+        } else {
+            needs_artificial.push(true);
+        }
+        rows.push(row);
+        rhs.push(rhs_i);
+    }
+
+    let artificial_rows: Vec<usize> = (0..m).filter(|&i| needs_artificial[i]).collect();
+    let k = artificial_rows.len();
+    let total = n + m + k;
+
+    // Extend rows with artificial columns and record the initial basis.
+    let mut basis: Vec<usize> = Vec::with_capacity(m);
+    {
+        let mut art_idx = 0;
+        for i in 0..m {
+            for &ar in &artificial_rows {
+                rows[i].push(if ar == i { Rational::one() } else { Rational::zero() });
+            }
+            if needs_artificial[i] {
+                basis.push(n + m + art_idx);
+                art_idx += 1;
+            } else {
+                // The surplus/slack column of this row has coefficient +1.
+                basis.push(n + i);
+            }
+        }
+    }
+
+    // Cost: 1 for artificial variables, 0 otherwise (phase-1 objective).
+    let cost = |j: usize| -> Rational {
+        if j >= n + m {
+            Rational::one()
+        } else {
+            Rational::zero()
+        }
+    };
+
+    // Bring the tableau into basic form: basic columns must be unit columns.
+    // By construction they already are (surplus ±1 flipped to +1, artificials +1),
+    // except that surplus columns for flipped rows are +1 only in their own row
+    // (they are zero elsewhere), so nothing to do.
+
+    let max_iterations = 50_usize.saturating_mul((total + 1) * (m + 1)).max(10_000);
+    let mut iterations = 0usize;
+
+    loop {
+        iterations += 1;
+        assert!(
+            iterations <= max_iterations,
+            "simplex exceeded its iteration budget (cycling should be impossible with Bland's rule)"
+        );
+
+        // Reduced costs: r_j = c_j - Σ_i c_{basis[i]} * T[i][j].
+        // Entering variable: smallest index with negative reduced cost (Bland).
+        let mut entering: Option<usize> = None;
+        for j in 0..total {
+            if basis.contains(&j) {
+                continue;
+            }
+            let mut r = cost(j);
+            for i in 0..m {
+                let cb = cost(basis[i]);
+                if !cb.is_zero() && !rows[i][j].is_zero() {
+                    r -= &(&cb * &rows[i][j]);
+                }
+            }
+            if r.is_negative() {
+                entering = Some(j);
+                break;
+            }
+        }
+
+        let Some(enter) = entering else {
+            // Optimal: compute the objective value (sum of artificial basics).
+            let mut obj = Rational::zero();
+            for i in 0..m {
+                if basis[i] >= n + m {
+                    obj += &rhs[i];
+                }
+            }
+            if !obj.is_zero() {
+                return SimplexOutcome::Infeasible;
+            }
+            // Feasible: read off the x-part of the basic solution.
+            let mut x = vec![Rational::zero(); n];
+            for i in 0..m {
+                if basis[i] < n {
+                    x[basis[i]] = rhs[i].clone();
+                }
+            }
+            return SimplexOutcome::Feasible(x);
+        };
+
+        // Ratio test (Bland tie-breaking by smallest basic variable index).
+        let mut leaving: Option<usize> = None;
+        let mut best_ratio: Option<Rational> = None;
+        for i in 0..m {
+            if rows[i][enter].is_positive() {
+                let ratio = &rhs[i] / &rows[i][enter];
+                let better = match &best_ratio {
+                    None => true,
+                    Some(best) => {
+                        ratio < *best
+                            || (ratio == *best
+                                && basis[i] < basis[leaving.expect("leaving set with best_ratio")])
+                    }
+                };
+                if better {
+                    best_ratio = Some(ratio);
+                    leaving = Some(i);
+                }
+            }
+        }
+
+        let Some(leave) = leaving else {
+            // The phase-1 objective is bounded below by zero, so an unbounded
+            // direction cannot occur; defensively treat it as infeasibility.
+            unreachable!("phase-1 simplex objective cannot be unbounded");
+        };
+
+        // Pivot on (leave, enter).
+        let pivot = rows[leave][enter].clone();
+        for v in rows[leave].iter_mut() {
+            *v = &*v / &pivot;
+        }
+        rhs[leave] = &rhs[leave] / &pivot;
+        for i in 0..m {
+            if i == leave || rows[i][enter].is_zero() {
+                continue;
+            }
+            let factor = rows[i][enter].clone();
+            for j in 0..total {
+                let delta = &factor * &rows[leave][j];
+                rows[i][j] -= &delta;
+            }
+            let delta = &factor * &rhs[leave];
+            rhs[i] -= &delta;
+        }
+        basis[leave] = enter;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i64, d: i64) -> Rational {
+        Rational::from_i64s(n, d)
+    }
+
+    fn mat(rows: &[&[i64]]) -> Vec<Vec<Rational>> {
+        rows.iter().map(|row| row.iter().map(|&v| Rational::from(v)).collect()).collect()
+    }
+
+    fn vec_r(vals: &[i64]) -> Vec<Rational> {
+        vals.iter().map(|&v| Rational::from(v)).collect()
+    }
+
+    fn assert_feasible(a: &[Vec<Rational>], b: &[Rational]) -> Vec<Rational> {
+        match feasible_point(a, b) {
+            SimplexOutcome::Feasible(x) => {
+                for (row, bi) in a.iter().zip(b) {
+                    let lhs = crate::system::dot(row, &x);
+                    assert!(lhs >= *bi, "row violated: {lhs} < {bi}");
+                }
+                for v in &x {
+                    assert!(!v.is_negative(), "negative component in witness");
+                }
+                x
+            }
+            SimplexOutcome::Infeasible => panic!("expected feasible"),
+        }
+    }
+
+    #[test]
+    fn trivial_origin_is_feasible() {
+        // A x >= b with b <= 0 is satisfied by x = 0.
+        let a = mat(&[&[1, 2], &[3, -1]]);
+        let b = vec_r(&[0, -5]);
+        let x = assert_feasible(&a, &b);
+        assert_eq!(x, vec_r(&[0, 0]));
+    }
+
+    #[test]
+    fn single_constraint_needs_positive_x() {
+        // x0 + x1 >= 3
+        let a = mat(&[&[1, 1]]);
+        let b = vec_r(&[3]);
+        assert_feasible(&a, &b);
+    }
+
+    #[test]
+    fn infeasible_negative_coefficients() {
+        // -x0 - x1 >= 1 with x >= 0 is impossible.
+        let a = mat(&[&[-1, -1]]);
+        let b = vec_r(&[1]);
+        assert_eq!(feasible_point(&a, &b), SimplexOutcome::Infeasible);
+    }
+
+    #[test]
+    fn mixed_system() {
+        //  x0 - x1 >= 2
+        // -x0 + 3x1 >= 1
+        let a = mat(&[&[1, -1], &[-1, 3]]);
+        let b = vec_r(&[2, 1]);
+        assert_feasible(&a, &b);
+    }
+
+    #[test]
+    fn infeasible_opposing_rows() {
+        //  x0 >= 5  and  -x0 >= -2  (i.e. x0 <= 2)
+        let a = mat(&[&[1], &[-1]]);
+        let b = vec_r(&[5, -2]);
+        assert_eq!(feasible_point(&a, &b), SimplexOutcome::Infeasible);
+    }
+
+    #[test]
+    fn paper_running_example() {
+        // Homogeneous system from the paper's 3-MPI scaled to >= 1:
+        //   -5e1 +  e2 + 3e3 >= 1
+        //   -3e1 -  e2 + 3e3 >= 1
+        //   - e1 +  e2 -  e3 >= 1
+        let a = mat(&[&[-5, 1, 3], &[-3, -1, 3], &[-1, 1, -1]]);
+        let b = vec_r(&[1, 1, 1]);
+        let x = assert_feasible(&a, &b);
+        // The paper's solution direction (0, 2, 1) also satisfies the scaled system.
+        assert!(crate::system::dot(&a[0], &vec_r(&[0, 2, 1])) >= r(1, 1));
+        assert!(!x.iter().all(|v| v.is_zero()));
+    }
+
+    #[test]
+    fn infeasible_homogeneous_row_of_zeros() {
+        // 0·x >= 1 is impossible.
+        let a = mat(&[&[0, 0, 0]]);
+        let b = vec_r(&[1]);
+        assert_eq!(feasible_point(&a, &b), SimplexOutcome::Infeasible);
+    }
+
+    #[test]
+    fn zero_rhs_rows_are_fine() {
+        // x0 - x1 >= 0, x1 >= 2.
+        let a = mat(&[&[1, -1], &[0, 1]]);
+        let b = vec_r(&[0, 2]);
+        assert_feasible(&a, &b);
+    }
+
+    #[test]
+    fn empty_system() {
+        let x = feasible_point(&[], &[]);
+        assert_eq!(x, SimplexOutcome::Feasible(vec![]));
+    }
+
+    #[test]
+    fn rational_coefficients() {
+        // (1/2)x0 >= 3/2  =>  x0 >= 3.
+        let a = vec![vec![r(1, 2)]];
+        let b = vec![r(3, 2)];
+        let x = assert_feasible(&a, &b);
+        assert!(x[0] >= r(3, 1));
+    }
+
+    #[test]
+    fn larger_random_like_instance() {
+        // A structured 5x4 instance with known solution (1, 2, 3, 4).
+        let a = mat(&[
+            &[1, 1, 1, 1],
+            &[2, -1, 0, 1],
+            &[-1, 2, -1, 1],
+            &[0, 0, 3, -2],
+            &[1, 0, 0, 0],
+        ]);
+        let sol = vec_r(&[1, 2, 3, 4]);
+        let b: Vec<Rational> = a.iter().map(|row| crate::system::dot(row, &sol)).collect();
+        assert_feasible(&a, &b);
+    }
+}

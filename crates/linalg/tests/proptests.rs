@@ -1,0 +1,127 @@
+//! Property-based tests for the feasibility engines.
+//!
+//! The central invariants:
+//! * Fourier–Motzkin and the exact simplex agree on feasibility of strict
+//!   homogeneous systems (the shape produced by the paper's Theorem 4.1);
+//! * every witness returned actually satisfies the system it was asked about;
+//! * natural witnesses scale correctly from rational ones.
+
+use dioph_arith::Integer;
+use dioph_linalg::{
+    Constraint, FeasibilityEngine, FmOutcome, LinearSystem, Relation, StrictHomogeneousSystem,
+};
+use proptest::prelude::*;
+
+/// A random strict homogeneous system with small integer coefficients.
+fn shs_strategy() -> impl Strategy<Value = StrictHomogeneousSystem> {
+    (1usize..5, 1usize..6).prop_flat_map(|(dim, rows)| {
+        proptest::collection::vec(proptest::collection::vec(-5i64..=5, dim), rows).prop_map(
+            move |rows| {
+                let mut sys = StrictHomogeneousSystem::new(dim);
+                for row in rows {
+                    sys.push_row(row.into_iter().map(Integer::from).collect());
+                }
+                sys
+            },
+        )
+    })
+}
+
+/// A random general (non-homogeneous) linear system for the FM engine.
+fn linear_system_strategy() -> impl Strategy<Value = LinearSystem> {
+    (1usize..4, 1usize..5).prop_flat_map(|(dim, rows)| {
+        let row = (
+            proptest::collection::vec(-4i64..=4, dim),
+            prop_oneof![
+                Just(Relation::Le),
+                Just(Relation::Lt),
+                Just(Relation::Ge),
+                Just(Relation::Gt),
+                Just(Relation::Eq)
+            ],
+            -6i64..=6,
+        );
+        proptest::collection::vec(row, rows).prop_map(move |rows| {
+            let mut sys = LinearSystem::new(dim);
+            for (coeffs, rel, rhs) in rows {
+                sys.push(Constraint::from_i64s(&coeffs, rel, rhs));
+            }
+            sys
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The two engines must agree on every strict homogeneous system.
+    #[test]
+    fn engines_agree_on_strict_homogeneous_systems(sys in shs_strategy()) {
+        let simplex = sys.is_feasible(FeasibilityEngine::Simplex);
+        let fm = sys.is_feasible(FeasibilityEngine::FourierMotzkin);
+        prop_assert_eq!(simplex, fm, "engines disagree on {:?}", sys);
+    }
+
+    /// Natural witnesses must satisfy the system (both engines).
+    #[test]
+    fn natural_witnesses_are_valid(sys in shs_strategy()) {
+        for engine in [FeasibilityEngine::Simplex, FeasibilityEngine::FourierMotzkin] {
+            if let Some(w) = sys.natural_solution(engine) {
+                prop_assert_eq!(w.len(), sys.dimension());
+                prop_assert!(sys.is_satisfied_by_naturals(&w), "{:?} gave invalid witness {:?} for {:?}", engine, w, sys);
+            }
+        }
+    }
+
+    /// Scaling the system's rows by positive constants does not change
+    /// feasibility (homogeneity).
+    #[test]
+    fn row_scaling_preserves_feasibility(sys in shs_strategy(), scale in 1i64..8) {
+        let mut scaled = StrictHomogeneousSystem::new(sys.dimension());
+        for row in sys.rows() {
+            scaled.push_row(row.iter().map(|c| c * &Integer::from(scale)).collect());
+        }
+        prop_assert_eq!(
+            sys.is_feasible(FeasibilityEngine::Simplex),
+            scaled.is_feasible(FeasibilityEngine::Simplex)
+        );
+    }
+
+    /// Adding a row can only shrink the feasible set.
+    #[test]
+    fn adding_rows_is_monotone(sys in shs_strategy(), extra in proptest::collection::vec(-5i64..=5, 1..5)) {
+        let feasible_before = sys.is_feasible(FeasibilityEngine::Simplex);
+        let mut bigger = sys.clone();
+        let mut row = extra;
+        row.resize(sys.dimension(), 0);
+        bigger.push_row(row.into_iter().map(Integer::from).collect());
+        let feasible_after = bigger.is_feasible(FeasibilityEngine::Simplex);
+        if feasible_after {
+            prop_assert!(feasible_before, "adding a constraint made an infeasible system feasible");
+        }
+    }
+
+    /// FM witnesses for general systems satisfy all constraints.
+    #[test]
+    fn fm_witnesses_satisfy_general_systems(sys in linear_system_strategy()) {
+        match dioph_linalg::fourier_motzkin::solve(&sys) {
+            FmOutcome::Feasible(w) => prop_assert!(sys.is_satisfied_by(&w)),
+            FmOutcome::Infeasible => {
+                // Spot-check: a handful of small integer points must all fail.
+                let dim = sys.dimension();
+                let candidates: Vec<Vec<dioph_arith::Rational>> = (-2i64..=2)
+                    .flat_map(|v| {
+                        (0..dim).map(move |i| {
+                            let mut p = vec![dioph_arith::Rational::zero(); dim];
+                            p[i] = dioph_arith::Rational::from(v);
+                            p
+                        })
+                    })
+                    .collect();
+                for p in candidates {
+                    prop_assert!(!sys.is_satisfied_by(&p), "FM said infeasible but {:?} satisfies it", p);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! Generalized Monomial–Polynomial Inequalities (GMPIs).
+//!
+//! Definition 4.1 of the paper also introduces *generalized* MPIs, in which
+//! exponents may be non-negative reals. They are only used in the proofs
+//! (the collapsed parametric 1-GMPI of Theorem 4.1's "only if" direction uses
+//! exponents `logζ*(ξ_j)` which are genuinely real), but Lemma 4.1 — the
+//! degree criterion for one-dimensional GMPIs — is an executable statement
+//! and is reproduced here over **rational** exponents and coefficients, the
+//! exactly-representable subset of the reals.
+
+use core::fmt;
+
+use dioph_arith::{Natural, Rational};
+
+/// A one-dimensional GMPI `Σ aᵢ·u^{eᵢ} < u^{e}` with rational coefficients
+/// `aᵢ ≥ 1` and non-negative rational exponents.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct OneDimGmpi {
+    terms: Vec<(Rational, Rational)>,
+    monomial_exponent: Rational,
+}
+
+impl OneDimGmpi {
+    /// Builds a 1-GMPI from `(coefficient, exponent)` terms and the monomial
+    /// exponent.
+    ///
+    /// # Panics
+    /// Panics if any coefficient is smaller than 1, or any exponent (on
+    /// either side) is negative — the shapes excluded by Definition 4.1 and
+    /// Lemma 4.1.
+    pub fn new(terms: Vec<(Rational, Rational)>, monomial_exponent: Rational) -> Self {
+        for (c, e) in &terms {
+            assert!(*c >= Rational::one(), "GMPI coefficients must be >= 1 (Lemma 4.1 hypothesis)");
+            assert!(!e.is_negative(), "GMPI exponents must be non-negative");
+        }
+        assert!(!monomial_exponent.is_negative(), "GMPI exponents must be non-negative");
+        OneDimGmpi { terms, monomial_exponent }
+    }
+
+    /// The polynomial terms `(coefficient, exponent)`.
+    pub fn terms(&self) -> &[(Rational, Rational)] {
+        &self.terms
+    }
+
+    /// Degree of the polynomial side (0 for the empty polynomial).
+    pub fn polynomial_degree(&self) -> Rational {
+        self.terms.iter().map(|(_, e)| e.clone()).max().unwrap_or_else(Rational::zero)
+    }
+
+    /// Degree (exponent) of the monomial side.
+    pub fn monomial_degree(&self) -> &Rational {
+        &self.monomial_exponent
+    }
+
+    /// Lemma 4.1: the 1-GMPI admits a positive Diophantine solution iff the
+    /// degree of the polynomial side is strictly smaller than the degree of
+    /// the monomial side.
+    pub fn is_solvable(&self) -> bool {
+        if self.terms.is_empty() {
+            return true;
+        }
+        self.polynomial_degree() < self.monomial_exponent
+    }
+
+    /// A solution bound in the spirit of the constructive half of Lemma 4.1:
+    /// when solvable, every natural `u` with
+    /// `u^(gap) > Σ aᵢ` (where `gap = deg(M) − deg(P) > 0`) is a solution.
+    /// This returns one such `u` (not necessarily the smallest), or `None`
+    /// when the GMPI is unsolvable.
+    ///
+    /// Correctness: for `u ≥ 1`, each term satisfies
+    /// `aᵢ·u^{eᵢ} ≤ aᵢ·u^{deg(P)}`, so
+    /// `P(u) ≤ (Σ aᵢ)·u^{deg(P)} < u^{gap}·u^{deg(P)} ≤ u^{deg(M)} = M(u)`.
+    pub fn witness_bound(&self) -> Option<Natural> {
+        if !self.is_solvable() {
+            return None;
+        }
+        if self.terms.is_empty() {
+            return Some(Natural::one());
+        }
+        let gap = &self.monomial_exponent - &self.polynomial_degree();
+        debug_assert!(gap.is_positive());
+        // Choose u = ceil((Σ aᵢ + 1)^{1/gap}); since computing rational roots
+        // exactly is unnecessary, we simply search for the least natural u
+        // with u^ceil? — instead use the conservative bound
+        // u = ceil(Σ aᵢ / gap) + 2, and then verify by the degree argument:
+        // we need u^gap > Σ aᵢ, i.e. gap·log(u) > log(Σ aᵢ); the search below
+        // finds the least u with u^⌈1/gap⌉-free check via exact rationals.
+        let coeff_sum: Rational = self
+            .terms
+            .iter()
+            .fold(Rational::zero(), |acc, (c, _)| &acc + c);
+        // Find the least natural u ≥ 2 with u^gap > coeff_sum, checked exactly
+        // by comparing u^{gap.numer} > coeff_sum^{gap.denom} (both natural powers).
+        let gap_num = gap
+            .numer()
+            .to_natural()
+            .expect("gap is positive")
+            .to_u64()
+            .expect("exponent numerator fits u64");
+        let gap_den = gap.denom().to_u64().expect("exponent denominator fits u64");
+        let mut u = Natural::from(2u64);
+        loop {
+            let lhs = u.pow(gap_num);
+            // coeff_sum^gap_den as an exact rational power.
+            let rhs = coeff_sum.pow(gap_den);
+            if Rational::from(lhs) > rhs {
+                return Some(u);
+            }
+            u = &u + &Natural::one();
+        }
+    }
+}
+
+impl fmt::Display for OneDimGmpi {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.terms.is_empty() {
+            write!(f, "0")?;
+        } else {
+            for (i, (c, e)) in self.terms.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " + ")?;
+                }
+                write!(f, "{c}*u^({e})")?;
+            }
+        }
+        write!(f, " < u^({})", self.monomial_exponent)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i64, d: i64) -> Rational {
+        Rational::from_i64s(n, d)
+    }
+
+    #[test]
+    fn integer_exponent_cases_match_lemma() {
+        // u^4 + u^2 < u^4: unsolvable.
+        let bad = OneDimGmpi::new(vec![(r(1, 1), r(4, 1)), (r(1, 1), r(2, 1))], r(4, 1));
+        assert!(!bad.is_solvable());
+        assert_eq!(bad.witness_bound(), None);
+
+        // 2u^4 + 1 < u^5: solvable.
+        let good = OneDimGmpi::new(vec![(r(2, 1), r(4, 1)), (r(1, 1), r(0, 1))], r(5, 1));
+        assert!(good.is_solvable());
+        let w = good.witness_bound().unwrap();
+        // The bound is valid: w^1 > 3.
+        assert!(w > Natural::from(3u64));
+    }
+
+    #[test]
+    fn fractional_exponents() {
+        // u^(7/2) < u^(15/4): solvable (degree 7/2 < 15/4).
+        let g = OneDimGmpi::new(vec![(r(1, 1), r(7, 2))], r(15, 4));
+        assert!(g.is_solvable());
+        assert!(g.witness_bound().is_some());
+
+        // u^(15/4) < u^(7/2): unsolvable.
+        let g2 = OneDimGmpi::new(vec![(r(1, 1), r(15, 4))], r(7, 2));
+        assert!(!g2.is_solvable());
+    }
+
+    #[test]
+    fn empty_polynomial_is_solvable() {
+        let g = OneDimGmpi::new(vec![], r(3, 2));
+        assert!(g.is_solvable());
+        assert_eq!(g.witness_bound(), Some(Natural::one()));
+    }
+
+    #[test]
+    #[should_panic(expected = "coefficients must be >= 1")]
+    fn small_coefficients_are_rejected() {
+        let _ = OneDimGmpi::new(vec![(r(1, 2), r(1, 1))], r(2, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_exponents_are_rejected() {
+        let _ = OneDimGmpi::new(vec![(r(1, 1), r(-1, 1))], r(2, 1));
+    }
+
+    #[test]
+    fn display() {
+        let g = OneDimGmpi::new(vec![(r(2, 1), r(4, 1))], r(9, 2));
+        assert_eq!(g.to_string(), "2*u^(4) < u^(9/2)");
+    }
+}

@@ -1,0 +1,45 @@
+//! # dioph-poly — monomials, polynomials and Monomial–Polynomial Inequalities
+//!
+//! The symbolic layer of the *"Attacking Diophantus"* (PODS 2019)
+//! reproduction. Conjunctive queries are compiled (in `dioph-containment`)
+//! into the objects defined here:
+//!
+//! * [`Monomial`] — `u^e` with natural exponents (Definition 3.2);
+//! * [`Polynomial`] — `Σ aᵢ·u^{eᵢ}` with natural coefficients
+//!   (Definition 3.3);
+//! * [`Mpi`] — an n-dimensional Monomial–Polynomial Inequality
+//!   `P(u) < M(u)` (Definition 4.1), together with its Diophantine-solution
+//!   procedure: the reduction to a strict homogeneous linear system
+//!   (Theorem 4.1), feasibility via `dioph-linalg` (Theorem 4.2), and the
+//!   constructive extraction of explicit natural witnesses;
+//! * [`OneDimMpi`] / [`OneDimGmpi`] — the one-dimensional (generalized)
+//!   inequalities of Lemma 4.1.
+//!
+//! ```
+//! use dioph_arith::Natural;
+//! use dioph_linalg::FeasibilityEngine;
+//! use dioph_poly::{Monomial, Mpi, Polynomial};
+//!
+//! // The paper's running example: u1^7 + u1^5*u2^2 + u1^3*u3^4 < u1^2*u2*u3^3.
+//! let p = Polynomial::from_terms(3, [
+//!     (Natural::one(), Monomial::new(vec![7, 0, 0])),
+//!     (Natural::one(), Monomial::new(vec![5, 2, 0])),
+//!     (Natural::one(), Monomial::new(vec![3, 0, 4])),
+//! ]);
+//! let mpi = Mpi::new(p, Monomial::new(vec![2, 1, 3]));
+//! let witness = mpi.diophantine_solution(FeasibilityEngine::Simplex).unwrap();
+//! assert!(mpi.is_solution(&witness));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod gmpi;
+mod monomial;
+mod mpi;
+mod polynomial;
+
+pub use gmpi::OneDimGmpi;
+pub use monomial::{Monomial, MonomialDisplay};
+pub use mpi::{Mpi, MpiDisplay, OneDimMpi};
+pub use polynomial::{Polynomial, PolynomialDisplay};

@@ -1,0 +1,30 @@
+//! # dioph-workloads — workload generators for the diophantus workspace
+//!
+//! Everything the examples, property tests and benchmarks feed into the
+//! bag-containment machinery:
+//!
+//! * [`graphs`] — undirected graphs, generators and a brute-force
+//!   3-colorability oracle;
+//! * [`threecol`] — the Theorem 5.4 reduction from 3-colorability to bag
+//!   containment (NP-hardness workload, experiment E5);
+//! * [`random`] — random conjunctive queries, including pairs that are
+//!   bag-contained by construction (specialisation pairs) and pairs designed
+//!   to break containment (experiments E4, E6, E9);
+//! * [`refutation`] — the sound-but-incomplete random-bag refutation baseline
+//!   (experiment E8);
+//! * [`polynomials`] — the Ioannidis–Ramakrishnan-style encoding of
+//!   polynomials as unions of conjunctive queries over star bags
+//!   (experiments E2/E3 and the `diophantine_lab` example).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod graphs;
+pub mod polynomials;
+pub mod random;
+pub mod refutation;
+pub mod threecol;
+
+pub use graphs::Graph;
+pub use random::QueryShape;
+pub use refutation::{refute_by_random_bags, RefutationConfig};

@@ -1,0 +1,186 @@
+//! Polynomials as unions of conjunctive queries.
+//!
+//! Ioannidis & Ramakrishnan proved undecidability of bag containment for
+//! *unions* of CQs by encoding arbitrary polynomial inequalities as UCQ
+//! containment questions. This module implements the evaluation direction of
+//! that encoding, which the paper's related-work section discusses: a
+//! polynomial `P(u₁,…,uₙ)` with natural coefficients and no constant term is
+//! turned into a Boolean UCQ `q_P` over unary relations `U₁,…,Uₙ` such that
+//! on the "star bag" assigning multiplicity `ξᵢ` to the single fact `Uᵢ(⋆)`,
+//! the bag answer of `q_P` is exactly `P(ξ)`.
+//!
+//! This gives an executable bridge between the polynomial world of
+//! `dioph-poly` and the query world: pointwise dominance of polynomials
+//! corresponds to bag containment of the encodings over the star-bag family.
+//! It is used by the `diophantine_lab` example and the E2/E3 experiments, and
+//! doubles as a differential test for the bag-semantics evaluator.
+
+use dioph_arith::Natural;
+use dioph_bagdb::BagInstance;
+use dioph_cq::{Atom, ConjunctiveQuery, Term, UnionOfConjunctiveQueries};
+use dioph_poly::{Monomial, Polynomial};
+
+/// The constant every unary fact in a star bag is built over.
+pub const STAR_CONSTANT: &str = "star";
+
+fn unknown_relation(prefix: &str, index: usize) -> String {
+    format!("{prefix}{index}")
+}
+
+fn star_term() -> Term {
+    Term::constant(STAR_CONSTANT)
+}
+
+/// Encodes a monomial `u^e` as a Boolean CQ: relation `Uᵢ(⋆)` repeated `eᵢ`
+/// times. Its bag answer on a star bag with multiplicities `ξ` is `ξ^e`.
+pub fn monomial_to_query(monomial: &Monomial, prefix: &str) -> ConjunctiveQuery {
+    let body = (0..monomial.dimension()).filter_map(|i| {
+        let exp = monomial.exponent(i);
+        if exp == 0 {
+            None
+        } else {
+            Some((Atom::new(unknown_relation(prefix, i), vec![star_term()]), exp))
+        }
+    });
+    ConjunctiveQuery::new("q_monomial", vec![], body)
+}
+
+/// Encodes a polynomial as a Boolean UCQ: one disjunct per monomial, with a
+/// coefficient `a` represented by `a` copies of the disjunct (the bag answer
+/// of a UCQ is the sum over disjuncts).
+///
+/// # Panics
+/// Panics if the polynomial is zero (a UCQ needs at least one disjunct) or
+/// has a constant term (the encoding, like the paper's, requires no constant
+/// terms), or if a coefficient does not fit in `u64`.
+pub fn polynomial_to_ucq(polynomial: &Polynomial, prefix: &str) -> UnionOfConjunctiveQueries {
+    assert!(!polynomial.is_zero(), "cannot encode the zero polynomial as a UCQ");
+    let mut disjuncts = Vec::new();
+    for (coeff, mono) in polynomial.terms() {
+        assert!(!mono.is_constant(), "the encoding requires polynomials with no constant term");
+        let copies = coeff.to_u64().expect("encoded coefficients must fit in u64");
+        for copy in 0..copies {
+            disjuncts.push(monomial_to_query(mono, prefix).with_name(format!("m{}_{copy}", disjuncts.len())));
+        }
+    }
+    UnionOfConjunctiveQueries::new(disjuncts)
+}
+
+/// The star bag for an assignment `ξ`: fact `Uᵢ(⋆)` with multiplicity `ξᵢ`.
+pub fn assignment_to_star_bag(assignment: &[Natural], prefix: &str) -> BagInstance {
+    BagInstance::from_multiplicities(assignment.iter().enumerate().map(|(i, m)| {
+        (Atom::new(unknown_relation(prefix, i), vec![star_term()]), m.clone())
+    }))
+}
+
+/// Evaluates an encoded polynomial on a star bag: the multiplicity of the
+/// empty tuple in the UCQ's bag answer.
+pub fn evaluate_ucq_on_star_bag(ucq: &UnionOfConjunctiveQueries, bag: &BagInstance) -> Natural {
+    dioph_bagdb::ucq_bag_answers(ucq, bag)
+        .remove(&Vec::new())
+        .unwrap_or_else(Natural::zero)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nat(v: u64) -> Natural {
+        Natural::from(v)
+    }
+
+    /// The paper's running polynomial u1^7 + u1^5*u2^2 + u1^3*u3^4.
+    fn paper_polynomial() -> Polynomial {
+        Polynomial::from_terms(
+            3,
+            [
+                (nat(1), Monomial::new(vec![7, 0, 0])),
+                (nat(1), Monomial::new(vec![5, 2, 0])),
+                (nat(1), Monomial::new(vec![3, 0, 4])),
+            ],
+        )
+    }
+
+    #[test]
+    fn monomial_encoding_evaluates_correctly() {
+        let mono = Monomial::new(vec![2, 1, 3]);
+        let q = monomial_to_query(&mono, "U");
+        assert!(q.is_boolean());
+        assert_eq!(q.total_atom_count(), 6);
+        let bag = assignment_to_star_bag(&[nat(1), nat(4), nat(3)], "U");
+        let value = dioph_bagdb::bag_answer_multiplicity(&q, &bag, &[]);
+        // The paper: M(1,4,3) = 108.
+        assert_eq!(value, nat(108));
+        assert_eq!(value, mono.evaluate(&[nat(1), nat(4), nat(3)]));
+    }
+
+    #[test]
+    fn polynomial_encoding_matches_direct_evaluation() {
+        let poly = paper_polynomial();
+        let ucq = polynomial_to_ucq(&poly, "U");
+        assert_eq!(ucq.disjuncts().len(), 3);
+        for assignment in [
+            vec![nat(1), nat(4), nat(3)],
+            vec![nat(1), nat(9), nat(3)],
+            vec![nat(2), nat(1), nat(1)],
+            vec![nat(1), nat(1), nat(1)],
+            vec![nat(0), nat(5), nat(7)],
+        ] {
+            let bag = assignment_to_star_bag(&assignment, "U");
+            assert_eq!(
+                evaluate_ucq_on_star_bag(&ucq, &bag),
+                poly.evaluate(&assignment),
+                "mismatch at {assignment:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn coefficients_become_duplicate_disjuncts() {
+        // 2u^4 + 1·u  (no constant term allowed, so use 2u0^4 + u1).
+        let poly = Polynomial::from_terms(
+            2,
+            [(nat(2), Monomial::new(vec![4, 0])), (nat(1), Monomial::new(vec![0, 1]))],
+        );
+        let ucq = polynomial_to_ucq(&poly, "U");
+        assert_eq!(ucq.disjuncts().len(), 3);
+        let bag = assignment_to_star_bag(&[nat(3), nat(5)], "U");
+        assert_eq!(evaluate_ucq_on_star_bag(&ucq, &bag), nat(2 * 81 + 5));
+    }
+
+    #[test]
+    fn pointwise_dominance_matches_bag_dominance_on_star_bags() {
+        // P1 = u1*u2 and P2 = u1^2*u2^2 + u1: P1(ξ) ≤ P2(ξ) for all ξ ≥ 0.
+        let p1 = Polynomial::from_terms(2, [(nat(1), Monomial::new(vec![1, 1]))]);
+        let p2 = Polynomial::from_terms(
+            2,
+            [(nat(1), Monomial::new(vec![2, 2])), (nat(1), Monomial::new(vec![1, 0]))],
+        );
+        let u1 = polynomial_to_ucq(&p1, "U");
+        let u2 = polynomial_to_ucq(&p2, "U");
+        for a in 0..5u64 {
+            for b in 0..5u64 {
+                let assignment = vec![nat(a), nat(b)];
+                let bag = assignment_to_star_bag(&assignment, "U");
+                let v1 = evaluate_ucq_on_star_bag(&u1, &bag);
+                let v2 = evaluate_ucq_on_star_bag(&u2, &bag);
+                assert!(v1 <= v2, "dominance fails at ({a}, {b})");
+                assert_eq!(v1, p1.evaluate(&assignment));
+                assert_eq!(v2, p2.evaluate(&assignment));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero polynomial")]
+    fn zero_polynomial_is_rejected() {
+        let _ = polynomial_to_ucq(&Polynomial::zero(2), "U");
+    }
+
+    #[test]
+    #[should_panic(expected = "no constant term")]
+    fn constant_terms_are_rejected() {
+        let poly = Polynomial::from_terms(1, [(nat(1), Monomial::constant(1))]);
+        let _ = polynomial_to_ucq(&poly, "U");
+    }
+}

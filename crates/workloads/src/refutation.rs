@@ -1,0 +1,141 @@
+//! A sound-but-incomplete baseline: random-bag refutation.
+//!
+//! Before the paper's result, a natural (and still useful) way to attack a
+//! suspected non-containment `q1 ⋢b q2` was to search for a violating bag by
+//! sampling: pick bags over the canonical instance of `q1(t*)` with random
+//! multiplicities and evaluate both sides with Equation 2. Any violation
+//! found is a genuine counterexample (the method is *sound*), but failing to
+//! find one proves nothing (it is *incomplete*) — which is exactly the gap
+//! the paper's complete decision procedure closes. Experiment E8 measures
+//! this gap quantitatively.
+
+use rand::{Rng, RngExt};
+
+use dioph_arith::Natural;
+use dioph_bagdb::{bag_answer_multiplicity, BagInstance};
+use dioph_containment::Counterexample;
+use dioph_cq::{most_general_probe_tuple, Atom, ConjunctiveQuery, Term};
+
+/// Configuration for the random-bag refuter.
+#[derive(Clone, Copy, Debug)]
+pub struct RefutationConfig {
+    /// Number of random bags to try.
+    pub attempts: usize,
+    /// Multiplicities are sampled uniformly from `0..=max_multiplicity`.
+    pub max_multiplicity: u64,
+}
+
+impl Default for RefutationConfig {
+    fn default() -> Self {
+        RefutationConfig { attempts: 200, max_multiplicity: 8 }
+    }
+}
+
+/// Attempts to refute `containee ⊑b containing` by sampling random bags over
+/// the canonical instance of the containee grounded with its most-general
+/// probe tuple.
+///
+/// Returns a verified [`Counterexample`] if one of the sampled bags violates
+/// containment, and `None` otherwise (which does **not** establish
+/// containment).
+///
+/// # Panics
+/// Panics if the containee is not projection-free (the probe-tuple machinery
+/// is only defined for that fragment).
+pub fn refute_by_random_bags(
+    containee: &ConjunctiveQuery,
+    containing: &ConjunctiveQuery,
+    config: RefutationConfig,
+    rng: &mut impl Rng,
+) -> Option<Counterexample> {
+    assert!(
+        containee.is_projection_free(),
+        "random-bag refutation requires a projection-free containee"
+    );
+    let probe: Vec<Term> = most_general_probe_tuple(containee);
+    let grounded = containee
+        .ground_with(&probe)
+        .expect("the most-general probe tuple unifies with the head");
+    let atoms: Vec<Atom> = grounded.body_atoms().cloned().collect();
+    if atoms.is_empty() {
+        return None;
+    }
+
+    for _ in 0..config.attempts {
+        let bag = BagInstance::from_multiplicities(atoms.iter().map(|a| {
+            (a.clone(), Natural::from(rng.random_range(0..=config.max_multiplicity)))
+        }));
+        let lhs = bag_answer_multiplicity(containee, &bag, &probe);
+        if lhs.is_zero() {
+            continue;
+        }
+        let rhs = bag_answer_multiplicity(containing, &bag, &probe);
+        if lhs > rhs {
+            let ce = Counterexample {
+                probe: probe.clone(),
+                bag,
+                containee_multiplicity: lhs,
+                containing_multiplicity: rhs,
+            };
+            debug_assert!(ce.verify(containee, containing));
+            return Some(ce);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dioph_containment::is_bag_contained;
+    use dioph_cq::paper_examples;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn refutes_easy_non_containment() {
+        // q2 ⋢b q1 from the paper's Section 2: a violating bag is found with
+        // very small multiplicities, so random search succeeds quickly.
+        let q1 = paper_examples::section2_query_q1();
+        let q2 = paper_examples::section2_query_q2();
+        let mut rng = StdRng::seed_from_u64(42);
+        let ce = refute_by_random_bags(&q2, &q1, RefutationConfig::default(), &mut rng)
+            .expect("an easy violation should be sampled");
+        assert!(ce.verify(&q2, &q1));
+    }
+
+    #[test]
+    fn never_refutes_true_containment() {
+        let q1 = paper_examples::section2_query_q1();
+        let q2 = paper_examples::section2_query_q2();
+        let mut rng = StdRng::seed_from_u64(7);
+        // q1 ⊑b q2 holds, so no bag can violate it.
+        assert!(refute_by_random_bags(&q1, &q2, RefutationConfig::default(), &mut rng).is_none());
+    }
+
+    #[test]
+    fn found_counterexamples_agree_with_the_complete_decider() {
+        let q1 = paper_examples::section3_query_q1();
+        let q2 = paper_examples::section3_query_q2();
+        // The complete decider says "not contained".
+        assert!(!is_bag_contained(&q1, &q2).unwrap().holds());
+        // Whatever the refuter finds (if anything) must verify; with enough
+        // attempts and a generous multiplicity range it does find a witness
+        // for this instance (the paper's own witness uses multiplicities ≤ 9).
+        let mut rng = StdRng::seed_from_u64(2019);
+        let config = RefutationConfig { attempts: 5_000, max_multiplicity: 12 };
+        let ce = refute_by_random_bags(&q1, &q2, config, &mut rng);
+        if let Some(ce) = &ce {
+            assert!(ce.verify(&q1, &q2));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "projection-free")]
+    fn rejects_projected_containees() {
+        let q3 = paper_examples::section2_query_q3();
+        let q1 = paper_examples::section2_query_q1();
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = refute_by_random_bags(&q3, &q1, RefutationConfig::default(), &mut rng);
+    }
+}

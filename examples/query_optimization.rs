@@ -1,0 +1,77 @@
+//! A query-optimizer scenario: which rewrites stay correct under SQL's bag
+//! semantics?
+//!
+//! Query optimizers rewrite queries and must guarantee the rewrite returns
+//! the same answers. Classical CQ theory answers this for SET semantics via
+//! containment mappings, but commercial systems evaluate under BAG semantics
+//! (duplicates matter, e.g. for `COUNT(*)` and `SUM`). This example walks
+//! through rewrites that are sound under set semantics but change
+//! multiplicities — exactly the phenomenon the paper's decision procedure
+//! detects — plus rewrites that remain sound under bags.
+//!
+//! Run with `cargo run --example query_optimization`.
+
+use diophantus::{is_bag_contained, parse_query, set_containment, ConjunctiveQuery};
+
+fn report(name: &str, original: &ConjunctiveQuery, rewrite: &ConjunctiveQuery) {
+    println!("── {name}");
+    println!("   original: {original}");
+    println!("   rewrite : {rewrite}");
+    let set_fwd = set_containment(original, rewrite).holds();
+    let set_bwd = set_containment(rewrite, original).holds();
+    println!("   set semantics : original ⊑s rewrite: {set_fwd}, rewrite ⊑s original: {set_bwd}");
+
+    // Bag containment of the original (projection-free) query into the rewrite.
+    match is_bag_contained(original, rewrite) {
+        Ok(result) => {
+            println!("   bag semantics : original ⊑b rewrite: {}", result.holds());
+            if let Some(ce) = result.counterexample() {
+                println!("     duplicate-count mismatch on bag {}", ce.bag);
+                println!(
+                    "     original returns the tuple {} times, the rewrite only {} times",
+                    ce.containee_multiplicity, ce.containing_multiplicity
+                );
+            }
+        }
+        Err(err) => println!("   bag semantics : not in the decidable fragment ({err})"),
+    }
+    println!();
+}
+
+fn main() {
+    println!("Redundant-join elimination under set vs bag semantics\n");
+
+    // 1. A genuinely redundant self-join: joining Emp with itself on the same
+    //    key and projecting nothing away. Removing the duplicate atom is NOT
+    //    multiplicity-preserving: the original counts each employee row
+    //    squared, the rewrite counts it once.
+    let original = parse_query("emp_sq(e, d) <- Emp^2(e, d)").unwrap();
+    let rewrite = parse_query("emp(e, d) <- Emp(e, d)").unwrap();
+    report("drop a duplicate self-join (changes COUNT results)", &original, &rewrite);
+
+    // 2. The safe direction: adding the duplicate atom to the rewrite can only
+    //    increase multiplicities, so the original is bag-contained in it.
+    report("keep the duplicate (bag-safe over-approximation)", &rewrite, &original);
+
+    // 3. Join with a filtering relation vs dropping the filter. Sound for
+    //    sets in one direction, unsound for bags in both (the filter's
+    //    multiplicity scales the count).
+    let filtered = parse_query("paid_orders(o, c) <- Orders(o, c), Paid(o)").unwrap();
+    let unfiltered = parse_query("all_orders(o, c) <- Orders(o, c)").unwrap();
+    report("drop a semijoin-style filter", &filtered, &unfiltered);
+
+    // 4. A rewrite that introduces an existential join partner. The original
+    //    is contained in the rewrite because the rewrite's sum includes the
+    //    identity assignment.
+    let original = parse_query("pairs(a, b) <- Follows(a, b), Follows(b, a)").unwrap();
+    let rewrite = parse_query("pairs_rw(a, b) <- Follows(a, b), Follows(b, z)").unwrap();
+    report("generalise one join endpoint (bag-safe)", &original, &rewrite);
+
+    // 5. The paper's own Section 2 example: q1 ⊑b q2 but q2 ⋢b q1 even though
+    //    the two are set-equivalent — the canonical illustration that bag
+    //    semantics is strictly finer than set semantics.
+    let q1 = diophantus::cq::paper_examples::section2_query_q1();
+    let q2 = diophantus::cq::paper_examples::section2_query_q2();
+    report("the paper's Section 2 pair (set-equivalent, not bag-equivalent)", &q1, &q2);
+    report("...and the converse direction", &q2, &q1);
+}

@@ -1,0 +1,80 @@
+//! The NP-hardness reduction of Theorem 5.4, run forwards: decide graph
+//! 3-colorability by asking a bag-containment question.
+//!
+//! For a graph `G`, the ground triangle query `q_T` is bag-contained in
+//! `q_T ∧ q_G` exactly when `G` is 3-colorable. The example builds a few
+//! structured graphs plus random ones, decides colorability both directly
+//! (backtracking) and through the containment decider, and checks they agree.
+//!
+//! Run with `cargo run --example three_coloring`.
+
+use diophantus::workloads::graphs::Graph;
+use diophantus::workloads::threecol::{three_colorability_instance, three_colorable_via_containment};
+use diophantus::{Algorithm, BagContainmentDecider};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn describe(name: &str, graph: &Graph, decider: &BagContainmentDecider) {
+    let direct = graph.is_three_colorable();
+    let via_containment = three_colorable_via_containment(graph, decider);
+    println!(
+        "{name:<22} |V| = {:>2}, |E| = {:>2}   direct: {:<5}  via ⊑b: {:<5}  {}",
+        graph.vertex_count(),
+        graph.edge_count(),
+        direct,
+        via_containment,
+        if direct == via_containment { "agree" } else { "DISAGREE!" }
+    );
+    assert_eq!(direct, via_containment, "the reduction must agree with the direct oracle");
+}
+
+fn main() {
+    let decider = BagContainmentDecider::new(Algorithm::MostGeneralProbe);
+
+    println!("Theorem 5.4: G is 3-colorable  ⟺  q_T ⊑b q_T ∧ q_G\n");
+
+    describe("triangle K3", &Graph::complete(3), &decider);
+    describe("clique K4", &Graph::complete(4), &decider);
+    describe("5-cycle", &Graph::cycle(5), &decider);
+    describe("6-cycle", &Graph::cycle(6), &decider);
+    describe("K_{3,3}", &Graph::complete_bipartite(3, 3), &decider);
+    describe("empty graph", &Graph::new(6), &decider);
+
+    let mut wheel = Graph::cycle(5);
+    // A wheel W5: a 5-cycle plus a hub adjacent to every rim vertex. Needs 4 colors.
+    let mut w = Graph::new(6);
+    for (u, v) in wheel.edges().collect::<Vec<_>>() {
+        w.add_edge(u, v);
+    }
+    for v in 0..5 {
+        w.add_edge(5, v);
+    }
+    wheel = w;
+    describe("wheel W5", &wheel, &decider);
+
+    println!("\nRandom graphs G(n, 0.5):");
+    let mut rng = StdRng::seed_from_u64(2019);
+    for n in 4..=7 {
+        let graph = Graph::random(n, 0.5, &mut rng);
+        describe(&format!("G({n}, 0.5)"), &graph, &decider);
+    }
+
+    // Show what the queries of the reduction actually look like for K4, and
+    // print the counterexample bag that witnesses non-containment.
+    println!("\nInside the reduction for K4:");
+    let k4 = Graph::complete(4);
+    let (containee, containing) = three_colorability_instance(&k4);
+    println!("  containee  (q_T)      : {containee}");
+    println!("  containing (q_T ∧ q_G): {containing}");
+    let result = decider.decide(&containee, &containing).unwrap();
+    match result.counterexample() {
+        Some(ce) => {
+            println!("  K4 is not 3-colorable; violating bag: {}", ce.bag);
+            println!(
+                "  q_T multiplicity {} > q_T∧q_G multiplicity {}",
+                ce.containee_multiplicity, ce.containing_multiplicity
+            );
+        }
+        None => println!("  unexpectedly contained!"),
+    }
+}
