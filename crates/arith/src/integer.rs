@@ -18,16 +18,20 @@ pub enum Sign {
     Positive,
 }
 
-impl Sign {
+impl Mul for Sign {
+    type Output = Sign;
+
     /// Returns the sign of a product of two signed values.
-    pub fn mul(self, other: Sign) -> Sign {
+    fn mul(self, other: Sign) -> Sign {
         match (self, other) {
             (Sign::Zero, _) | (_, Sign::Zero) => Sign::Zero,
             (a, b) if a == b => Sign::Positive,
             _ => Sign::Negative,
         }
     }
+}
 
+impl Sign {
     /// Flips the sign (zero stays zero).
     pub fn negate(self) -> Sign {
         match self {
@@ -193,14 +197,17 @@ impl Integer {
             }
             Sign::Positive => Sign::Positive,
             Sign::Negative => {
-                if exp % 2 == 0 {
+                if exp.is_multiple_of(2) {
                     Sign::Positive
                 } else {
                     Sign::Negative
                 }
             }
         };
-        Integer::from_sign_magnitude(sign, if self.is_zero() && exp == 0 { Natural::one() } else { mag })
+        Integer::from_sign_magnitude(
+            sign,
+            if self.is_zero() && exp == 0 { Natural::one() } else { mag },
+        )
     }
 
     /// Greatest common divisor of absolute values (always non-negative).
@@ -214,12 +221,9 @@ impl Integer {
     pub fn div_rem(&self, other: &Integer) -> (Integer, Integer) {
         assert!(!other.is_zero(), "division by zero");
         let (q_mag, r_mag) = self.magnitude.div_rem(&other.magnitude);
-        let q_sign = if q_mag.is_zero() { Sign::Zero } else { self.sign.mul(other.sign) };
+        let q_sign = if q_mag.is_zero() { Sign::Zero } else { self.sign * other.sign };
         let r_sign = if r_mag.is_zero() { Sign::Zero } else { self.sign };
-        (
-            Integer::from_sign_magnitude(q_sign, q_mag),
-            Integer::from_sign_magnitude(r_sign, r_mag),
-        )
+        (Integer::from_sign_magnitude(q_sign, q_mag), Integer::from_sign_magnitude(r_sign, r_mag))
     }
 }
 
@@ -356,14 +360,12 @@ impl Add for &Integer {
                 // Opposite signs: subtract the smaller magnitude from the larger.
                 match self.magnitude.cmp(&rhs.magnitude) {
                     Ordering::Equal => Integer::zero(),
-                    Ordering::Greater => Integer::from_sign_magnitude(
-                        self.sign,
-                        &self.magnitude - &rhs.magnitude,
-                    ),
-                    Ordering::Less => Integer::from_sign_magnitude(
-                        rhs.sign,
-                        &rhs.magnitude - &self.magnitude,
-                    ),
+                    Ordering::Greater => {
+                        Integer::from_sign_magnitude(self.sign, &self.magnitude - &rhs.magnitude)
+                    }
+                    Ordering::Less => {
+                        Integer::from_sign_magnitude(rhs.sign, &rhs.magnitude - &self.magnitude)
+                    }
                 }
             }
         }
@@ -412,7 +414,7 @@ impl SubAssign<&Integer> for Integer {
 impl Mul for &Integer {
     type Output = Integer;
     fn mul(self, rhs: &Integer) -> Integer {
-        Integer::from_sign_magnitude(self.sign.mul(rhs.sign), &self.magnitude * &rhs.magnitude)
+        Integer::from_sign_magnitude(self.sign * rhs.sign, &self.magnitude * &rhs.magnitude)
     }
 }
 
@@ -461,7 +463,17 @@ mod tests {
 
     #[test]
     fn addition_all_sign_combinations() {
-        let cases = [(3, 4), (-3, -4), (3, -4), (-3, 4), (5, -5), (0, 7), (7, 0), (0, 0), (i64::MAX as i128, i64::MAX as i128)];
+        let cases = [
+            (3, 4),
+            (-3, -4),
+            (3, -4),
+            (-3, 4),
+            (5, -5),
+            (0, 7),
+            (7, 0),
+            (0, 0),
+            (i64::MAX as i128, i64::MAX as i128),
+        ];
         for (a, b) in cases {
             assert_eq!(&int(a) + &int(b), int(a + b), "{a} + {b}");
             assert_eq!(&int(a) - &int(b), int(a - b), "{a} - {b}");

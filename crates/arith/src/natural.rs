@@ -82,12 +82,12 @@ impl Natural {
     pub fn bit(&self, i: usize) -> bool {
         let limb = i / 64;
         let off = i % 64;
-        self.limbs.get(limb).map_or(false, |&l| (l >> off) & 1 == 1)
+        self.limbs.get(limb).is_some_and(|&l| (l >> off) & 1 == 1)
     }
 
     /// `true` iff the value is even.
     pub fn is_even(&self) -> bool {
-        self.limbs.first().map_or(true, |&l| l & 1 == 0)
+        self.limbs.first().is_none_or(|&l| l & 1 == 0)
     }
 
     /// Converts to `u64` if the value fits.
@@ -129,8 +129,7 @@ impl Natural {
         let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
         let mut out = Vec::with_capacity(long.len() + 1);
         let mut carry = 0u64;
-        for i in 0..long.len() {
-            let x = long[i];
+        for (i, &x) in long.iter().enumerate() {
             let y = short.get(i).copied().unwrap_or(0);
             let (s1, c1) = x.overflowing_add(y);
             let (s2, c2) = s1.overflowing_add(carry);
@@ -254,10 +253,7 @@ impl Natural {
         let u = to_half_limbs(&self.limbs);
         let v = to_half_limbs(&divisor.limbs);
         let (q32, r32) = knuth_div(&u, &v);
-        (
-            Natural::from_limbs(from_half_limbs(&q32)),
-            Natural::from_limbs(from_half_limbs(&r32)),
-        )
+        (Natural::from_limbs(from_half_limbs(&q32)), Natural::from_limbs(from_half_limbs(&r32)))
     }
 
     /// Exponentiation by squaring.
@@ -385,7 +381,9 @@ impl fmt::Display for ParseNaturalError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ParseNaturalError::Empty => write!(f, "empty natural-number literal"),
-            ParseNaturalError::InvalidDigit(c) => write!(f, "invalid digit {c:?} in natural-number literal"),
+            ParseNaturalError::InvalidDigit(c) => {
+                write!(f, "invalid digit {c:?} in natural-number literal")
+            }
         }
     }
 }
@@ -440,9 +438,7 @@ fn knuth_div(u: &[u32], v: &[u32]) -> (Vec<u32>, Vec<u32>) {
         let top = (un[j + n] as u64) * BASE + un[j + n - 1] as u64;
         let mut q_hat = top / vn[n - 1] as u64;
         let mut r_hat = top % vn[n - 1] as u64;
-        while q_hat >= BASE
-            || q_hat * vn[n - 2] as u64 > r_hat * BASE + un[j + n - 2] as u64
-        {
+        while q_hat >= BASE || q_hat * vn[n - 2] as u64 > r_hat * BASE + un[j + n - 2] as u64 {
             q_hat -= 1;
             r_hat += vn[n - 1] as u64;
             if r_hat >= BASE {
@@ -756,7 +752,13 @@ mod tests {
 
     #[test]
     fn addition_matches_u128() {
-        let cases = [(0u128, 0u128), (1, 1), (u64::MAX as u128, 1), (u64::MAX as u128, u64::MAX as u128), (1 << 100, 1 << 99)];
+        let cases = [
+            (0u128, 0u128),
+            (1, 1),
+            (u64::MAX as u128, 1),
+            (u64::MAX as u128, u64::MAX as u128),
+            (1 << 100, 1 << 99),
+        ];
         for (a, b) in cases {
             assert_eq!(&nat(a) + &nat(b), nat(a + b), "{a} + {b}");
         }
@@ -764,7 +766,8 @@ mod tests {
 
     #[test]
     fn subtraction_matches_u128() {
-        let cases = [(5u128, 3u128), (u64::MAX as u128 + 5, 6), (1 << 100, 1), ((1 << 100) + 7, 1 << 100)];
+        let cases =
+            [(5u128, 3u128), (u64::MAX as u128 + 5, 6), (1 << 100, 1), ((1 << 100) + 7, 1 << 100)];
         for (a, b) in cases {
             assert_eq!(&nat(a) - &nat(b), nat(a - b), "{a} - {b}");
         }
@@ -779,7 +782,13 @@ mod tests {
 
     #[test]
     fn multiplication_matches_u128() {
-        let cases = [(0u128, 17u128), (1, 1), (u64::MAX as u128, u64::MAX as u128), (123456789, 987654321), (1 << 63, 1 << 63)];
+        let cases = [
+            (0u128, 17u128),
+            (1, 1),
+            (u64::MAX as u128, u64::MAX as u128),
+            (123456789, 987654321),
+            (1 << 63, 1 << 63),
+        ];
         for (a, b) in cases {
             assert_eq!(&nat(a) * &nat(b), nat(a * b), "{a} * {b}");
         }
@@ -879,7 +888,14 @@ mod tests {
 
     #[test]
     fn decimal_roundtrip() {
-        for s in ["0", "1", "42", "18446744073709551616", "340282366920938463463374607431768211456", "99999999999999999999999999999999999999999999"] {
+        for s in [
+            "0",
+            "1",
+            "42",
+            "18446744073709551616",
+            "340282366920938463463374607431768211456",
+            "99999999999999999999999999999999999999999999",
+        ] {
             let n: Natural = s.parse().unwrap();
             assert_eq!(n.to_decimal_string(), s);
         }

@@ -206,7 +206,9 @@ impl fmt::Display for ParseRationalError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ParseRationalError::Component(e) => write!(f, "invalid rational literal: {e}"),
-            ParseRationalError::ZeroDenominator => write!(f, "rational literal with zero denominator"),
+            ParseRationalError::ZeroDenominator => {
+                write!(f, "rational literal with zero denominator")
+            }
             ParseRationalError::NegativeDenominator => {
                 write!(f, "rational literal with negative denominator")
             }

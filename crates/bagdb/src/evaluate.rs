@@ -50,9 +50,7 @@ pub fn bag_answers(query: &ConjunctiveQuery, bag: &BagInstance) -> BTreeMap<Vec<
     for h in query_homomorphisms(query, support.facts()) {
         let tuple = h.apply_tuple(query.head());
         let contribution = homomorphism_contribution(query, &h, bag);
-        out.entry(tuple)
-            .and_modify(|m| *m += &contribution)
-            .or_insert(contribution);
+        out.entry(tuple).and_modify(|m| *m += &contribution).or_insert(contribution);
     }
     // Homomorphisms can contribute zero only if the bag assigns zero to a
     // fact of its image, which cannot happen because the support is derived
@@ -186,7 +184,8 @@ mod tests {
         // which shows q2 ⋢b q1 (and is consistent with q1 ⊑b q2).
         let q1 = paper_examples::section2_query_q1();
         let q2 = paper_examples::section2_query_q2();
-        let bag = BagInstance::from_u64_multiplicities(paper_examples::section2_counterexample_bag());
+        let bag =
+            BagInstance::from_u64_multiplicities(paper_examples::section2_counterexample_bag());
         assert_eq!(bag_answer_multiplicity(&q1, &bag, &[c("c1"), c("c2")]), nat(4));
         assert_eq!(bag_answer_multiplicity(&q2, &bag, &[c("c1"), c("c2")]), nat(8));
         assert!(bag_containment_holds_on(&q1, &q2, &bag));
@@ -208,11 +207,7 @@ mod tests {
     #[test]
     fn boolean_query_multiplicity() {
         // b() <- R(a, b), R(a, b): multiplicity is µ(R(a,b))^2.
-        let q = ConjunctiveQuery::new(
-            "b",
-            vec![],
-            [(Atom::new("R", vec![c("a"), c("b")]), 2u64)],
-        );
+        let q = ConjunctiveQuery::new("b", vec![], [(Atom::new("R", vec![c("a"), c("b")]), 2u64)]);
         let bag = BagInstance::from_u64_multiplicities([(Atom::new("R", vec![c("a"), c("b")]), 5)]);
         assert_eq!(bag_answer_multiplicity(&q, &bag, &[]), nat(25));
         // On a bag missing the fact entirely the query has no answers.
@@ -279,7 +274,8 @@ mod tests {
     fn huge_multiplicities_stay_exact() {
         let q = dioph_cq::parse_query("q(x) <- R^3(x, y)").unwrap();
         let big = Natural::from(10u64).pow(20);
-        let bag = BagInstance::from_multiplicities([(Atom::new("R", vec![c("a"), c("b")]), big.clone())]);
+        let bag =
+            BagInstance::from_multiplicities([(Atom::new("R", vec![c("a"), c("b")]), big.clone())]);
         assert_eq!(bag_answer_multiplicity(&q, &bag, &[c("a")]), big.pow(3));
     }
 }

@@ -150,10 +150,7 @@ impl BagInstance {
         if mult.is_zero() {
             return;
         }
-        self.multiplicities
-            .entry(fact)
-            .and_modify(|m| *m += &mult)
-            .or_insert(mult);
+        self.multiplicities.entry(fact).and_modify(|m| *m += &mult).or_insert(mult);
     }
 
     /// Sets the multiplicity of `fact` (removing it when zero).

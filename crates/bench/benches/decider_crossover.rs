@@ -8,6 +8,7 @@
 //! * the LP-based decider (Theorem 5.3 + Theorem 4.2),
 //! * the bounded enumeration of Lemma 5.1 (deterministic guess & check),
 //! * the all-probes variant of Corollary 3.1,
+//!
 //! and shows where the enumeration blows up while the LP route stays flat.
 
 use std::time::Duration;

@@ -13,7 +13,7 @@ use std::hint::black_box;
 
 use dioph_bench::{bench_rng, random_mpi};
 use dioph_linalg::{FeasibilityEngine, StrictHomogeneousSystem};
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 fn random_system(dimension: usize, rows: usize, rng: &mut impl Rng) -> StrictHomogeneousSystem {
     let mut sys = StrictHomogeneousSystem::new(dimension);

@@ -25,13 +25,17 @@ fn bench_unknown_scaling(c: &mut Criterion) {
             .filter(|m| m.has_diophantine_solution(FeasibilityEngine::Simplex))
             .count();
         println!("E3: n = {unknowns:>2}, m = 16 → {solvable}/8 instances solvable");
-        group.bench_with_input(BenchmarkId::from_parameter(unknowns), &instances, |b, instances| {
-            b.iter(|| {
-                for mpi in instances {
-                    black_box(mpi.has_diophantine_solution(FeasibilityEngine::Simplex));
-                }
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(unknowns),
+            &instances,
+            |b, instances| {
+                b.iter(|| {
+                    for mpi in instances {
+                        black_box(mpi.has_diophantine_solution(FeasibilityEngine::Simplex));
+                    }
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -58,13 +62,17 @@ fn bench_witness_extraction(c: &mut Criterion) {
     for unknowns in [2usize, 4, 8] {
         let mut rng = bench_rng();
         let instances: Vec<_> = (0..8).map(|_| random_mpi(unknowns, 8, 4, &mut rng)).collect();
-        group.bench_with_input(BenchmarkId::from_parameter(unknowns), &instances, |b, instances| {
-            b.iter(|| {
-                for mpi in instances {
-                    black_box(mpi.diophantine_solution(FeasibilityEngine::Simplex));
-                }
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(unknowns),
+            &instances,
+            |b, instances| {
+                b.iter(|| {
+                    for mpi in instances {
+                        black_box(mpi.diophantine_solution(FeasibilityEngine::Simplex));
+                    }
+                })
+            },
+        );
     }
     group.finish();
 }

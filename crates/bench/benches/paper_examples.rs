@@ -65,7 +65,9 @@ fn bench_section3_compilation_and_mpi(c: &mut Criterion) {
     println!("E2: compiled MPI has 3 monomials, degree 7 vs 6 — matches the paper");
 
     c.bench_function("E2/compile_running_example_mpi", |b| {
-        b.iter(|| CompiledProbe::compile(black_box(&q1), black_box(&q2), black_box(&probe)).unwrap())
+        b.iter(|| {
+            CompiledProbe::compile(black_box(&q1), black_box(&q2), black_box(&probe)).unwrap()
+        })
     });
     for engine in [FeasibilityEngine::Simplex, FeasibilityEngine::FourierMotzkin] {
         c.bench_function(&format!("E2/solve_running_example_mpi/{engine:?}"), |b| {

@@ -29,7 +29,9 @@ fn bench_not_contained_instance(c: &mut Criterion) {
         let hits = (0..20)
             .filter(|_| refute_by_random_bags(&containee, &containing, config, &mut rng).is_some())
             .count();
-        println!("E8: random refuter with {attempts:>5} attempts finds a witness in {hits}/20 runs");
+        println!(
+            "E8: random refuter with {attempts:>5} attempts finds a witness in {hits}/20 runs"
+        );
     }
 
     let mut group = c.benchmark_group("E8/running_example");

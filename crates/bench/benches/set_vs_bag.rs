@@ -37,7 +37,9 @@ fn bench_contained_family(c: &mut Criterion) {
             BenchmarkId::new("bag", atoms),
             &(containee, containing),
             |b, (containee, containing)| {
-                b.iter(|| is_bag_contained(black_box(containee), black_box(containing)).unwrap().holds())
+                b.iter(|| {
+                    is_bag_contained(black_box(containee), black_box(containing)).unwrap().holds()
+                })
             },
         );
     }

@@ -23,10 +23,7 @@ fn bench_random_graphs(c: &mut Criterion) {
         let direct = graph.is_three_colorable();
         let via = three_colorable_via_containment(&graph, &decider);
         assert_eq!(direct, via);
-        println!(
-            "E5: G({vertices}, 0.5) with {} edges → 3-colorable = {via}",
-            graph.edge_count()
-        );
+        println!("E5: G({vertices}, 0.5) with {} edges → 3-colorable = {via}", graph.edge_count());
         group.bench_with_input(BenchmarkId::from_parameter(vertices), &graph, |b, graph| {
             b.iter(|| three_colorable_via_containment(black_box(graph), &decider))
         });

@@ -9,7 +9,7 @@
 #![warn(missing_docs)]
 
 use rand::rngs::StdRng;
-use rand::{Rng, RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 use dioph_cq::{Atom, ConjunctiveQuery, Term};
 use dioph_poly::{Monomial, Mpi, Polynomial};
@@ -70,7 +70,8 @@ pub fn exponential_mapping_instance(k: usize) -> (ConjunctiveQuery, ConjunctiveQ
 /// instances are solvable, so both code paths of the feasibility engines are
 /// exercised.
 pub fn random_mpi(unknowns: usize, terms: usize, max_exponent: u64, rng: &mut impl Rng) -> Mpi {
-    let monomial = Monomial::new((0..unknowns).map(|_| rng.random_range(1..=max_exponent)).collect());
+    let monomial =
+        Monomial::new((0..unknowns).map(|_| rng.random_range(1..=max_exponent)).collect());
     let mut polynomial = Polynomial::zero(unknowns);
     for _ in 0..terms {
         let exponents: Vec<u64> =
@@ -105,10 +106,7 @@ pub fn contained_instance(atoms: usize, seed: u64) -> (ConjunctiveQuery, Conjunc
 /// enough that random sampling needs many attempts — the workload for the
 /// refutation-baseline comparison.
 pub fn refutation_instance() -> (ConjunctiveQuery, ConjunctiveQuery) {
-    (
-        dioph_cq::paper_examples::section3_query_q1(),
-        dioph_cq::paper_examples::section3_query_q2(),
-    )
+    (dioph_cq::paper_examples::section3_query_q1(), dioph_cq::paper_examples::section3_query_q2())
 }
 
 #[cfg(test)]

@@ -161,7 +161,8 @@ mod tests {
         // The paper's q2 ⋢b q1 witness: Iµ = {R²(c1,c2), P(c2,c2)}, tuple (c1,c2).
         let q1 = paper_examples::section2_query_q1();
         let q2 = paper_examples::section2_query_q2();
-        let bag = BagInstance::from_u64_multiplicities(paper_examples::section2_counterexample_bag());
+        let bag =
+            BagInstance::from_u64_multiplicities(paper_examples::section2_counterexample_bag());
         let good = Counterexample {
             probe: vec![c("c1"), c("c2")],
             bag: bag.clone(),

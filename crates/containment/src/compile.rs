@@ -70,8 +70,9 @@ impl CompiledProbe {
             let image = containing.apply_substitution(h);
             let mut exponents = vec![0u64; n];
             for (atom, mult) in image.body() {
-                let j = index_of(atom)
-                    .expect("the image of a containment mapping lies inside the canonical instance");
+                let j = index_of(atom).expect(
+                    "the image of a containment mapping lies inside the canonical instance",
+                );
                 exponents[j] = mult;
             }
             polynomial.add_monomial(Monomial::new(exponents));
@@ -129,9 +130,7 @@ impl CompiledProbe {
     /// Panics if the assignment's length differs from the number of unknowns.
     pub fn assignment_to_bag(&self, assignment: &[Natural]) -> BagInstance {
         assert_eq!(assignment.len(), self.atoms.len(), "assignment dimension mismatch");
-        BagInstance::from_multiplicities(
-            self.atoms.iter().cloned().zip(assignment.iter().cloned()),
-        )
+        BagInstance::from_multiplicities(self.atoms.iter().cloned().zip(assignment.iter().cloned()))
     }
 }
 
@@ -175,11 +174,7 @@ mod tests {
         // Polynomial terms: u1^7, u1^5*u2^2, u1^3*u3^4, all with coefficient 1.
         let poly = compiled.mpi().polynomial();
         assert_eq!(poly.term_count(), 3);
-        let mut expected = vec![
-            (7u64, 0u64, 0u64),
-            (5, 2, 0),
-            (3, 0, 4),
-        ];
+        let mut expected = vec![(7u64, 0u64, 0u64), (5, 2, 0), (3, 0, 4)];
         let mut actual: Vec<(u64, u64, u64)> = poly
             .terms()
             .map(|(c, m)| {
@@ -204,7 +199,9 @@ mod tests {
         // Head (x, x) cannot be grounded with two distinct constants.
         let q1 = dioph_cq::parse_query("q(x, x) <- R(x, x)").unwrap();
         let q2 = dioph_cq::parse_query("p(x, y) <- R(x, y)").unwrap();
-        assert!(CompiledProbe::compile(&q1, &q2, &[Term::canon("x"), Term::constant("c")]).is_none());
+        assert!(
+            CompiledProbe::compile(&q1, &q2, &[Term::canon("x"), Term::constant("c")]).is_none()
+        );
         assert!(CompiledProbe::compile(&q1, &q2, &[Term::canon("x"), Term::canon("x")]).is_some());
     }
 
@@ -237,7 +234,8 @@ mod tests {
         let compiled = CompiledProbe::compile(&q1, &q2, &probe).unwrap();
         assert_eq!(compiled.mapping_count(), 4);
         assert_eq!(compiled.mpi().polynomial().term_count(), 3);
-        let coeffs: Vec<Natural> = compiled.mpi().polynomial().terms().map(|(c, _)| c.clone()).collect();
+        let coeffs: Vec<Natural> =
+            compiled.mpi().polynomial().terms().map(|(c, _)| c.clone()).collect();
         assert!(coeffs.contains(&nat(2)));
         assert_eq!(compiled.mpi().polynomial().coefficient_sum(), nat(4));
     }

@@ -84,7 +84,9 @@ impl BagContainmentDecider {
         match self.algorithm {
             Algorithm::MostGeneralProbe => self.decide_most_general(containee, containing),
             Algorithm::AllProbes => self.decide_all_probes(containee, containing),
-            Algorithm::GuessCheck { budget } => self.decide_guess_check(containee, containing, budget),
+            Algorithm::GuessCheck { budget } => {
+                self.decide_guess_check(containee, containing, budget)
+            }
         }
     }
 
@@ -98,7 +100,10 @@ impl BagContainmentDecider {
             .expect("the most-general probe tuple always unifies with the head");
         match compiled.mpi().diophantine_solution(self.engine) {
             Some(assignment) => Ok(BagContainment::NotContained(Box::new(build_counterexample(
-                containee, containing, &compiled, &assignment,
+                containee,
+                containing,
+                &compiled,
+                &assignment,
             )))),
             None => Ok(BagContainment::Contained { probes_checked: 1 }),
         }
@@ -117,7 +122,10 @@ impl BagContainmentDecider {
             checked += 1;
             if let Some(assignment) = compiled.mpi().diophantine_solution(self.engine) {
                 return Ok(BagContainment::NotContained(Box::new(build_counterexample(
-                    containee, containing, &compiled, &assignment,
+                    containee,
+                    containing,
+                    &compiled,
+                    &assignment,
                 ))));
             }
         }
@@ -146,9 +154,7 @@ impl BagContainmentDecider {
                     let ei = m.exponents_as_integers();
                     mono.iter()
                         .zip(&ei)
-                        .map(|(a, b)| {
-                            (a - b).to_i128().expect("exponent differences fit in i128")
-                        })
+                        .map(|(a, b)| (a - b).to_i128().expect("exponent differences fit in i128"))
                         .collect()
                 })
                 .collect();
@@ -158,7 +164,10 @@ impl BagContainmentDecider {
                 // violates containment for this probe tuple.
                 let assignment = vec![Natural::one(); n];
                 return Ok(BagContainment::NotContained(Box::new(build_counterexample(
-                    containee, containing, &compiled, &assignment,
+                    containee,
+                    containing,
+                    &compiled,
+                    &assignment,
                 ))));
             }
 
@@ -188,11 +197,7 @@ impl BagContainmentDecider {
                         return EnumerationControl::Abort;
                     }
                     let satisfies_all = rows.iter().all(|row| {
-                        row.iter()
-                            .zip(candidate)
-                            .map(|(&c, &d)| c * d as i128)
-                            .sum::<i128>()
-                            > 0
+                        row.iter().zip(candidate).map(|(&c, &d)| c * d as i128).sum::<i128>() > 0
                     });
                     if satisfies_all {
                         found = Some(candidate.to_vec());
@@ -217,10 +222,15 @@ impl BagContainmentDecider {
                     .expect("a direction satisfying every inequality yields a base");
                 let assignment: Vec<Natural> = direction
                     .iter()
-                    .map(|d| base.pow(d.to_u64().expect("bounded enumeration keeps exponents small")))
+                    .map(|d| {
+                        base.pow(d.to_u64().expect("bounded enumeration keeps exponents small"))
+                    })
                     .collect();
                 return Ok(BagContainment::NotContained(Box::new(build_counterexample(
-                    containee, containing, &compiled, &assignment,
+                    containee,
+                    containing,
+                    &compiled,
+                    &assignment,
                 ))));
             }
         }
@@ -271,15 +281,14 @@ fn validate_containee(containee: &ConjunctiveQuery) -> Result<(), ContainmentErr
     }
     let existential: Vec<String> = containee.existential_variables().into_iter().collect();
     if !existential.is_empty() {
-        return Err(ContainmentError::ContaineeNotProjectionFree { existential_variables: existential });
+        return Err(ContainmentError::ContaineeNotProjectionFree {
+            existential_variables: existential,
+        });
     }
     if !containee.is_safe() {
         let body = containee.body_variables();
-        let missing: Vec<String> = containee
-            .head_variables()
-            .into_iter()
-            .filter(|v| !body.contains(v))
-            .collect();
+        let missing: Vec<String> =
+            containee.head_variables().into_iter().filter(|v| !body.contains(v)).collect();
         return Err(ContainmentError::UnsafeQuery {
             query: containee.name().to_string(),
             missing_variables: missing,
@@ -549,7 +558,10 @@ mod tests {
         let pairs = [
             (paper_examples::section2_query_q1(), paper_examples::section2_query_q2()),
             (paper_examples::section2_query_q1(), paper_examples::section2_query_q3()),
-            (parse_query("q(x) <- R(x, x), S(x)").unwrap(), parse_query("p(x) <- R(x, x)").unwrap()),
+            (
+                parse_query("q(x) <- R(x, x), S(x)").unwrap(),
+                parse_query("p(x) <- R(x, x)").unwrap(),
+            ),
         ];
         for (q1, q2) in pairs {
             let bag = is_bag_contained(&q1, &q2).unwrap().holds();

@@ -43,10 +43,7 @@ impl Atom {
 
     /// The set of variable names occurring in the atom.
     pub fn variables(&self) -> BTreeSet<String> {
-        self.terms
-            .iter()
-            .filter_map(|t| t.as_var().map(str::to_string))
-            .collect()
+        self.terms.iter().filter_map(|t| t.as_var().map(str::to_string)).collect()
     }
 
     /// The set of constants (language and canonical) occurring in the atom.

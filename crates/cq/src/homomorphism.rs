@@ -82,7 +82,10 @@ fn search(
 
 /// `Hom(q(x), I)`: all homomorphisms of `body(q)` into the ground instance
 /// `instance`.
-pub fn query_homomorphisms(query: &ConjunctiveQuery, instance: &BTreeSet<Atom>) -> Vec<Substitution> {
+pub fn query_homomorphisms(
+    query: &ConjunctiveQuery,
+    instance: &BTreeSet<Atom>,
+) -> Vec<Substitution> {
     let atoms: Vec<Atom> = query.body_atoms().cloned().collect();
     homomorphisms_into(&atoms, instance, &Substitution::identity())
 }
@@ -122,8 +125,7 @@ pub fn containment_mappings(
     }
     let instance = containee.canonical_instance();
     let canonical_head: Vec<Term> = containee.head().iter().map(Term::canonicalize).collect();
-    let mappings =
-        query_homomorphisms_with_answer(containing, &instance, &canonical_head);
+    let mappings = query_homomorphisms_with_answer(containing, &instance, &canonical_head);
     mappings.into_iter().map(|m| decanonicalize_substitution(&m)).collect()
 }
 
@@ -146,11 +148,7 @@ pub fn containment_mappings_to_grounded(
 /// Replaces canonical constants by their variables in every image of the
 /// substitution.
 fn decanonicalize_substitution(sigma: &Substitution) -> Substitution {
-    Substitution::from_pairs(
-        sigma
-            .bindings()
-            .map(|(v, t)| (v.to_string(), t.decanonicalize())),
-    )
+    Substitution::from_pairs(sigma.bindings().map(|(v, t)| (v.to_string(), t.decanonicalize())))
 }
 
 /// Decides classical **set containment** `q1 ⊑s q2` via the Chandra–Merlin
@@ -175,10 +173,8 @@ mod tests {
     #[test]
     fn homomorphisms_into_small_instance() {
         // body: R(x, y), R(y, z); instance: R(a,b), R(b,c), R(b,b).
-        let atoms = vec![
-            Atom::new("R", vec![v("x"), v("y")]),
-            Atom::new("R", vec![v("y"), v("z")]),
-        ];
+        let atoms =
+            vec![Atom::new("R", vec![v("x"), v("y")]), Atom::new("R", vec![v("y"), v("z")])];
         let instance: BTreeSet<Atom> = [
             Atom::new("R", vec![c("a"), c("b")]),
             Atom::new("R", vec![c("b"), c("c")]),

@@ -23,10 +23,7 @@ pub fn section2_query_q1() -> ConjunctiveQuery {
     ConjunctiveQuery::new(
         "q1",
         vec![v("x1"), v("x2")],
-        [
-            (Atom::new("R", vec![v("x1"), v("x2")]), 2),
-            (Atom::new("P", vec![v("x2"), v("x2")]), 3),
-        ],
+        [(Atom::new("R", vec![v("x1"), v("x2")]), 2), (Atom::new("P", vec![v("x2"), v("x2")]), 3)],
     )
 }
 
@@ -35,10 +32,7 @@ pub fn section2_query_q2() -> ConjunctiveQuery {
     ConjunctiveQuery::new(
         "q2",
         vec![v("x1"), v("x2")],
-        [
-            (Atom::new("R", vec![v("x1"), v("x2")]), 3),
-            (Atom::new("P", vec![v("x2"), v("x2")]), 3),
-        ],
+        [(Atom::new("R", vec![v("x1"), v("x2")]), 3), (Atom::new("P", vec![v("x2"), v("x2")]), 3)],
     )
 }
 
@@ -86,12 +80,9 @@ pub fn section2_bag() -> BTreeMap<Atom, u64> {
 /// Section 2: the bag instance `Iµ = {R²(c1,c2), P(c2,c2)}` used to show
 /// `q2 ⋢b q1`.
 pub fn section2_counterexample_bag() -> BTreeMap<Atom, u64> {
-    [
-        (Atom::new("R", vec![c("c1"), c("c2")]), 2),
-        (Atom::new("P", vec![c("c2"), c("c2")]), 1),
-    ]
-    .into_iter()
-    .collect()
+    [(Atom::new("R", vec![c("c1"), c("c2")]), 2), (Atom::new("P", vec![c("c2"), c("c2")]), 1)]
+        .into_iter()
+        .collect()
 }
 
 /// Section 3: the projection-free query

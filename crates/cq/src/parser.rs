@@ -75,7 +75,7 @@ pub fn parse_query(input: &str) -> Result<ConjunctiveQuery, ParseQueryError> {
 /// queries separated by `;`). All disjuncts must share the same arity.
 pub fn parse_ucq(input: &str) -> Result<UnionOfConjunctiveQueries, ParseQueryError> {
     let mut disjuncts = Vec::new();
-    for piece in input.split(|ch| ch == ';' || ch == '\n') {
+    for piece in input.split([';', '\n']) {
         if piece.trim().is_empty() {
             continue;
         }
@@ -177,7 +177,12 @@ impl<'a> Parser<'a> {
         self.skip_ws();
         match (self.bump(), self.bump()) {
             (Some(b'<'), Some(b'-')) | (Some(b':'), Some(b'-')) => {}
-            _ => return Err(ParseQueryError::new("expected '<-' or ':-'", self.pos.saturating_sub(2))),
+            _ => {
+                return Err(ParseQueryError::new(
+                    "expected '<-' or ':-'",
+                    self.pos.saturating_sub(2),
+                ))
+            }
         }
         self.skip_ws();
         // Body: "true" or a list of atoms.
@@ -273,7 +278,8 @@ mod tests {
 
     #[test]
     fn parses_paper_section2_query() {
-        let q = parse_query("q3(x1, x2) <- R^2(x1, y1), R(x1, y2), P^2(y2, y3), P(x2, y4).").unwrap();
+        let q =
+            parse_query("q3(x1, x2) <- R^2(x1, y1), R(x1, y2), P^2(y2, y3), P(x2, y4).").unwrap();
         assert_eq!(q, paper_examples::section2_query_q3());
     }
 

@@ -120,10 +120,7 @@ mod tests {
     #[test]
     fn most_general_probe_is_canonical_head() {
         let q = paper_examples::section3_query_q1();
-        assert_eq!(
-            most_general_probe_tuple(&q),
-            vec![Term::canon("x1"), Term::canon("x2")]
-        );
+        assert_eq!(most_general_probe_tuple(&q), vec![Term::canon("x1"), Term::canon("x2")]);
         // It is always one of the probe tuples.
         assert!(probe_tuples(&q).contains(&most_general_probe_tuple(&q)));
     }

@@ -136,7 +136,8 @@ impl ConjunctiveQuery {
     /// The constants (language and canonical) occurring in the query
     /// (`adom(q)` in the paper).
     pub fn constants(&self) -> BTreeSet<Term> {
-        let mut out: BTreeSet<Term> = self.head.iter().filter(|t| t.is_constant()).cloned().collect();
+        let mut out: BTreeSet<Term> =
+            self.head.iter().filter(|t| t.is_constant()).cloned().collect();
         for atom in self.body.keys() {
             out.extend(atom.constants());
         }
@@ -292,10 +293,7 @@ mod tests {
         let pf = ConjunctiveQuery::from_atom_list(
             "p",
             vec![v("x1"), v("x2")],
-            vec![
-                Atom::new("R", vec![v("x1"), v("x2")]),
-                Atom::new("P", vec![v("x2"), v("x2")]),
-            ],
+            vec![Atom::new("R", vec![v("x1"), v("x2")]), Atom::new("P", vec![v("x2"), v("x2")])],
         );
         assert!(pf.is_projection_free());
         assert!(pf.is_safe());
@@ -349,7 +347,10 @@ mod tests {
         // R(x1,x2) -> R(c1,c2), R(c1,x2) -> R(c1,c2), R(x1,c2) -> R(c1,c2): all merge.
         let g2 = q.ground_with(&[Term::constant("c1"), Term::constant("c2")]).unwrap();
         assert_eq!(g2.distinct_atom_count(), 1);
-        assert_eq!(g2.multiplicity(&Atom::new("R", vec![Term::constant("c1"), Term::constant("c2")])), 3);
+        assert_eq!(
+            g2.multiplicity(&Atom::new("R", vec![Term::constant("c1"), Term::constant("c2")])),
+            3
+        );
         // Arity mismatch.
         assert!(q.ground_with(&[Term::constant("c1")]).is_none());
         // Repeated head variables need equal components.

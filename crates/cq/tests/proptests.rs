@@ -3,8 +3,8 @@
 use std::collections::BTreeSet;
 
 use dioph_cq::{
-    containment_mappings, is_set_contained, parse_query, probe_tuples, query_homomorphisms,
-    Atom, ConjunctiveQuery, Substitution, Term,
+    containment_mappings, is_set_contained, parse_query, probe_tuples, query_homomorphisms, Atom,
+    ConjunctiveQuery, Substitution, Term,
 };
 use proptest::prelude::*;
 
@@ -38,7 +38,9 @@ fn query_strategy() -> impl Strategy<Value = ConjunctiveQuery> {
                 Vec::new()
             } else {
                 let arity = (pick as usize % vars.len().min(3)) + 1;
-                (0..arity).map(|i| Term::var(vars[(pick as usize + i) % vars.len()].clone())).collect()
+                (0..arity)
+                    .map(|i| Term::var(vars[(pick as usize + i) % vars.len()].clone()))
+                    .collect()
             };
             ConjunctiveQuery::new("q", head, body)
         },
@@ -53,9 +55,13 @@ fn specializing_substitution(query: &ConjunctiveQuery, salt: u64) -> Substitutio
     if targets.is_empty() {
         targets.push(Term::constant("c0"));
     }
-    Substitution::from_pairs(query.existential_variables().into_iter().enumerate().map(|(i, v)| {
-        (v, targets[(i + salt as usize) % targets.len()].clone())
-    }))
+    Substitution::from_pairs(
+        query
+            .existential_variables()
+            .into_iter()
+            .enumerate()
+            .map(|(i, v)| (v, targets[(i + salt as usize) % targets.len()].clone())),
+    )
 }
 
 proptest! {

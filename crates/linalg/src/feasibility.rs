@@ -129,10 +129,12 @@ impl StrictHomogeneousSystem {
                     SimplexOutcome::Infeasible => None,
                 }
             }
-            FeasibilityEngine::FourierMotzkin => match fourier_motzkin::solve(&self.to_linear_system()) {
-                FmOutcome::Feasible(x) => Some(x),
-                FmOutcome::Infeasible => None,
-            },
+            FeasibilityEngine::FourierMotzkin => {
+                match fourier_motzkin::solve(&self.to_linear_system()) {
+                    FmOutcome::Feasible(x) => Some(x),
+                    FmOutcome::Infeasible => None,
+                }
+            }
         }
     }
 
@@ -267,11 +269,8 @@ mod tests {
 
     #[test]
     fn scale_to_naturals_clears_denominators() {
-        let point = vec![
-            Rational::from_i64s(1, 2),
-            Rational::from_i64s(2, 3),
-            Rational::from_i64s(0, 1),
-        ];
+        let point =
+            vec![Rational::from_i64s(1, 2), Rational::from_i64s(2, 3), Rational::from_i64s(0, 1)];
         let nat = scale_to_naturals(&point);
         assert_eq!(nat, vec![Natural::from(3u64), Natural::from(4u64), Natural::zero()]);
     }

@@ -24,10 +24,20 @@ struct UpperForm {
 fn normalise(c: &Constraint) -> Vec<UpperForm> {
     let neg = |v: &[Rational]| v.iter().map(|x| -x).collect::<Vec<_>>();
     match c.relation {
-        Relation::Le => vec![UpperForm { coeffs: c.coeffs.clone(), strict: false, constant: c.constant.clone() }],
-        Relation::Lt => vec![UpperForm { coeffs: c.coeffs.clone(), strict: true, constant: c.constant.clone() }],
-        Relation::Ge => vec![UpperForm { coeffs: neg(&c.coeffs), strict: false, constant: -&c.constant }],
-        Relation::Gt => vec![UpperForm { coeffs: neg(&c.coeffs), strict: true, constant: -&c.constant }],
+        Relation::Le => vec![UpperForm {
+            coeffs: c.coeffs.clone(),
+            strict: false,
+            constant: c.constant.clone(),
+        }],
+        Relation::Lt => {
+            vec![UpperForm { coeffs: c.coeffs.clone(), strict: true, constant: c.constant.clone() }]
+        }
+        Relation::Ge => {
+            vec![UpperForm { coeffs: neg(&c.coeffs), strict: false, constant: -&c.constant }]
+        }
+        Relation::Gt => {
+            vec![UpperForm { coeffs: neg(&c.coeffs), strict: true, constant: -&c.constant }]
+        }
         Relation::Eq => vec![
             UpperForm { coeffs: c.coeffs.clone(), strict: false, constant: c.constant.clone() },
             UpperForm { coeffs: neg(&c.coeffs), strict: false, constant: -&c.constant },
@@ -77,7 +87,7 @@ impl FmOutcome {
 /// debug builds).
 pub fn solve(system: &LinearSystem) -> FmOutcome {
     let dim = system.dimension();
-    let mut current: Vec<UpperForm> = system.constraints().iter().flat_map(|c| normalise(c)).collect();
+    let mut current: Vec<UpperForm> = system.constraints().iter().flat_map(normalise).collect();
     let mut steps: Vec<EliminationStep> = Vec::with_capacity(dim);
 
     // Eliminate variables from the highest index down to 0.
@@ -101,7 +111,7 @@ pub fn solve(system: &LinearSystem) -> FmOutcome {
                 // standard combination: multiply `up` by |l| and `lo` by u and add so x_var cancels.
                 let l = &lo.coeffs[var]; // negative
                 let u = &up.coeffs[var]; // positive
-                // combined = u * lo + (-l) * up   (both multipliers positive)
+                                         // combined = u * lo + (-l) * up   (both multipliers positive)
                 let minus_l = -l;
                 let mut coeffs = Vec::with_capacity(dim);
                 for i in 0..dim {
@@ -138,9 +148,9 @@ pub fn solve(system: &LinearSystem) -> FmOutcome {
         for lo in &step.lowers {
             let coeff = &lo.coeffs[var]; // negative
             let mut rest_val = Rational::zero();
-            for i in 0..dim {
+            for (i, p) in point.iter().enumerate().take(dim) {
                 if i != var && !lo.coeffs[i].is_zero() {
-                    rest_val += &(&lo.coeffs[i] * &point[i]);
+                    rest_val += &(&lo.coeffs[i] * p);
                 }
             }
             // coeff * x_var ≤ constant - rest  with coeff < 0
@@ -156,9 +166,9 @@ pub fn solve(system: &LinearSystem) -> FmOutcome {
         for up in &step.uppers {
             let coeff = &up.coeffs[var]; // positive
             let mut rest_val = Rational::zero();
-            for i in 0..dim {
+            for (i, p) in point.iter().enumerate().take(dim) {
                 if i != var && !up.coeffs[i].is_zero() {
-                    rest_val += &(&up.coeffs[i] * &point[i]);
+                    rest_val += &(&up.coeffs[i] * p);
                 }
             }
             let bound = &(&up.constant - &rest_val) / coeff;

@@ -31,9 +31,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod feasibility;
 pub mod fourier_motzkin;
 pub mod simplex;
-mod feasibility;
 mod system;
 
 pub use feasibility::{scale_to_naturals, FeasibilityEngine, StrictHomogeneousSystem};

@@ -71,16 +71,14 @@ pub fn feasible_point(a: &[Vec<Rational>], b: &[Rational]) -> SimplexOutcome {
     let mut rhs: Vec<Rational> = Vec::with_capacity(m);
     let mut needs_artificial: Vec<bool> = Vec::with_capacity(m);
 
-    for i in 0..m {
+    for (i, (a_row, b_i)) in a.iter().zip(b).enumerate() {
         let mut row: Vec<Rational> = Vec::with_capacity(n + m);
         // a_i·x - s_i = b_i
-        for j in 0..n {
-            row.push(a[i][j].clone());
-        }
+        row.extend(a_row.iter().cloned());
         for j in 0..m {
             row.push(if j == i { -&Rational::one() } else { Rational::zero() });
         }
-        let mut rhs_i = b[i].clone();
+        let mut rhs_i = b_i.clone();
         if rhs_i.is_negative() {
             // Multiply the whole equation by -1 so the rhs is non-negative;
             // the surplus column then carries +1 and can serve as the basis.
@@ -157,10 +155,10 @@ pub fn feasible_point(a: &[Vec<Rational>], b: &[Rational]) -> SimplexOutcome {
                 continue;
             }
             let mut r = cost(j);
-            for i in 0..m {
-                let cb = cost(basis[i]);
-                if !cb.is_zero() && !rows[i][j].is_zero() {
-                    r -= &(&cb * &rows[i][j]);
+            for (row, &basic) in rows.iter().zip(&basis) {
+                let cb = cost(basic);
+                if !cb.is_zero() && !row[j].is_zero() {
+                    r -= &(&cb * &row[j]);
                 }
             }
             if r.is_negative() {
@@ -228,9 +226,16 @@ pub fn feasible_point(a: &[Vec<Rational>], b: &[Rational]) -> SimplexOutcome {
                 continue;
             }
             let factor = rows[i][enter].clone();
-            for j in 0..total {
-                let delta = &factor * &rows[leave][j];
-                rows[i][j] -= &delta;
+            let (leave_row, target_row) = if leave < i {
+                let (head, tail) = rows.split_at_mut(i);
+                (&head[leave], &mut tail[0])
+            } else {
+                let (head, tail) = rows.split_at_mut(leave);
+                (&tail[0], &mut head[i])
+            };
+            for (target, pivot_coeff) in target_row.iter_mut().zip(leave_row.iter()) {
+                let delta = &factor * pivot_coeff;
+                *target -= &delta;
             }
             let delta = &factor * &rhs[leave];
             rhs[i] -= &delta;
@@ -361,13 +366,8 @@ mod tests {
     #[test]
     fn larger_random_like_instance() {
         // A structured 5x4 instance with known solution (1, 2, 3, 4).
-        let a = mat(&[
-            &[1, 1, 1, 1],
-            &[2, -1, 0, 1],
-            &[-1, 2, -1, 1],
-            &[0, 0, 3, -2],
-            &[1, 0, 0, 0],
-        ]);
+        let a =
+            mat(&[&[1, 1, 1, 1], &[2, -1, 0, 1], &[-1, 2, -1, 1], &[0, 0, 3, -2], &[1, 0, 0, 0]]);
         let sol = vec_r(&[1, 2, 3, 4]);
         let b: Vec<Rational> = a.iter().map(|row| crate::system::dot(row, &sol)).collect();
         assert_feasible(&a, &b);

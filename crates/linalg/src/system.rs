@@ -256,7 +256,9 @@ mod tests {
         assert!(Relation::Gt.holds(&r(3, 2), &r(1, 2)));
         assert!(Relation::Eq.holds(&r(2, 4), &r(1, 2)));
         assert!(Relation::Lt.is_strict() && Relation::Gt.is_strict());
-        assert!(!Relation::Le.is_strict() && !Relation::Ge.is_strict() && !Relation::Eq.is_strict());
+        assert!(
+            !Relation::Le.is_strict() && !Relation::Ge.is_strict() && !Relation::Eq.is_strict()
+        );
     }
 
     #[test]
@@ -271,16 +273,19 @@ mod tests {
     #[test]
     fn dot_products() {
         assert_eq!(dot(&[r(1, 2), r(2, 1)], &[r(4, 1), r(3, 1)]), r(8, 1));
+        assert_eq!(dot_int(&[Integer::from(2), Integer::from(-1)], &[r(1, 2), r(3, 1)]), r(-2, 1));
         assert_eq!(
-            dot_int(&[Integer::from(2), Integer::from(-1)], &[r(1, 2), r(3, 1)]),
-            r(-2, 1)
-        );
-        assert_eq!(
-            dot_int_int(&[Integer::from(2), Integer::from(-1)], &[Integer::from(5), Integer::from(3)]),
+            dot_int_int(
+                &[Integer::from(2), Integer::from(-1)],
+                &[Integer::from(5), Integer::from(3)]
+            ),
             Integer::from(7)
         );
         assert_eq!(
-            dot_int_nat(&[Integer::from(-2), Integer::from(3)], &[Natural::from(5u64), Natural::from(4u64)]),
+            dot_int_nat(
+                &[Integer::from(-2), Integer::from(3)],
+                &[Natural::from(5u64), Natural::from(4u64)]
+            ),
             Integer::from(2)
         );
     }

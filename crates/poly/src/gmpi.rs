@@ -86,10 +86,7 @@ impl OneDimGmpi {
         // u = ceil(Σ aᵢ / gap) + 2, and then verify by the degree argument:
         // we need u^gap > Σ aᵢ, i.e. gap·log(u) > log(Σ aᵢ); the search below
         // finds the least u with u^⌈1/gap⌉-free check via exact rationals.
-        let coeff_sum: Rational = self
-            .terms
-            .iter()
-            .fold(Rational::zero(), |acc, (c, _)| &acc + c);
+        let coeff_sum: Rational = self.terms.iter().fold(Rational::zero(), |acc, (c, _)| &acc + c);
         // Find the least natural u ≥ 2 with u^gap > coeff_sum, checked exactly
         // by comparing u^{gap.numer} > coeff_sum^{gap.denom} (both natural powers).
         let gap_num = gap

@@ -334,11 +334,8 @@ mod tests {
         let sys = paper_mpi().to_strict_system();
         assert_eq!(sys.dimension(), 3);
         assert_eq!(sys.len(), 3);
-        let rows: Vec<Vec<i64>> = sys
-            .rows()
-            .iter()
-            .map(|r| r.iter().map(|c| c.to_i64().unwrap()).collect())
-            .collect();
+        let rows: Vec<Vec<i64>> =
+            sys.rows().iter().map(|r| r.iter().map(|c| c.to_i64().unwrap()).collect()).collect();
         assert!(rows.contains(&vec![-5, 1, 3]));
         assert!(rows.contains(&vec![-3, -1, 3]));
         assert!(rows.contains(&vec![-1, 1, -1]));
@@ -360,7 +357,10 @@ mod tests {
     #[test]
     fn unsolvable_mpi_u4_plus_u2() {
         // u^4 + u^2 < u^4 is unsolvable (paper, Section 4).
-        let p = Polynomial::from_terms(1, [(nat(1), Monomial::new(vec![4])), (nat(1), Monomial::new(vec![2]))]);
+        let p = Polynomial::from_terms(
+            1,
+            [(nat(1), Monomial::new(vec![4])), (nat(1), Monomial::new(vec![2]))],
+        );
         let mpi = Mpi::new(p, Monomial::new(vec![4]));
         for engine in ENGINES {
             assert!(!mpi.has_diophantine_solution(engine));

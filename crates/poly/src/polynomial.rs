@@ -35,7 +35,10 @@ impl Polynomial {
     ///
     /// # Panics
     /// Panics if any monomial's dimension differs from `dimension`.
-    pub fn from_terms(dimension: usize, terms: impl IntoIterator<Item = (Natural, Monomial)>) -> Self {
+    pub fn from_terms(
+        dimension: usize,
+        terms: impl IntoIterator<Item = (Natural, Monomial)>,
+    ) -> Self {
         let mut p = Polynomial::zero(dimension);
         for (coeff, mono) in terms {
             p.add_term(coeff, mono);
@@ -72,10 +75,7 @@ impl Polynomial {
         if coeff.is_zero() {
             return;
         }
-        self.terms
-            .entry(mono)
-            .and_modify(|c| *c += &coeff)
-            .or_insert(coeff);
+        self.terms.entry(mono).and_modify(|c| *c += &coeff).or_insert(coeff);
     }
 
     /// Adds a monomial with coefficient one (the common case when summing
@@ -246,7 +246,10 @@ mod tests {
 
     #[test]
     fn addition_and_multiplication() {
-        let a = Polynomial::from_terms(2, [(nat(2), Monomial::new(vec![1, 0])), (nat(1), Monomial::constant(2))]);
+        let a = Polynomial::from_terms(
+            2,
+            [(nat(2), Monomial::new(vec![1, 0])), (nat(1), Monomial::constant(2))],
+        );
         let b = Polynomial::from_terms(2, [(nat(3), Monomial::new(vec![0, 1]))]);
         // (2x + 1)(3y) = 6xy + 3y
         let prod = a.mul(&b);
@@ -273,10 +276,7 @@ mod tests {
     fn degree_of_mixed_terms() {
         let p = Polynomial::from_terms(
             3,
-            [
-                (nat(1), Monomial::new(vec![1, 1, 1])),
-                (nat(5), Monomial::new(vec![0, 0, 2])),
-            ],
+            [(nat(1), Monomial::new(vec![1, 1, 1])), (nat(5), Monomial::new(vec![0, 0, 2]))],
         );
         assert_eq!(p.degree(), 3);
     }

@@ -14,10 +14,9 @@ fn monomial_strategy(dim: usize) -> impl Strategy<Value = Monomial> {
 }
 
 fn polynomial_strategy(dim: usize) -> impl Strategy<Value = Polynomial> {
-    proptest::collection::vec((1u64..4, monomial_strategy(dim)), 0..6)
-        .prop_map(move |terms| {
-            Polynomial::from_terms(dim, terms.into_iter().map(|(c, m)| (nat(c), m)))
-        })
+    proptest::collection::vec((1u64..4, monomial_strategy(dim)), 0..6).prop_map(move |terms| {
+        Polynomial::from_terms(dim, terms.into_iter().map(|(c, m)| (nat(c), m)))
+    })
 }
 
 fn point_strategy(dim: usize) -> impl Strategy<Value = Vec<Natural>> {

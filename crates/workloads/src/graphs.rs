@@ -5,7 +5,7 @@
 
 use std::collections::BTreeSet;
 
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 /// An undirected graph on vertices `0..n` with no self-loops.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -145,8 +145,7 @@ impl Graph {
 
     /// Verifies that a coloring is proper (adjacent vertices differ).
     pub fn is_proper_coloring(&self, colors: &[u8]) -> bool {
-        colors.len() == self.vertices
-            && self.edges.iter().all(|&(u, v)| colors[u] != colors[v])
+        colors.len() == self.vertices && self.edges.iter().all(|&(u, v)| colors[u] != colors[v])
     }
 
     fn neighbors(&self, vertex: usize) -> impl Iterator<Item = usize> + '_ {

@@ -60,7 +60,9 @@ pub fn polynomial_to_ucq(polynomial: &Polynomial, prefix: &str) -> UnionOfConjun
         assert!(!mono.is_constant(), "the encoding requires polynomials with no constant term");
         let copies = coeff.to_u64().expect("encoded coefficients must fit in u64");
         for copy in 0..copies {
-            disjuncts.push(monomial_to_query(mono, prefix).with_name(format!("m{}_{copy}", disjuncts.len())));
+            disjuncts.push(
+                monomial_to_query(mono, prefix).with_name(format!("m{}_{copy}", disjuncts.len())),
+            );
         }
     }
     UnionOfConjunctiveQueries::new(disjuncts)
@@ -68,17 +70,18 @@ pub fn polynomial_to_ucq(polynomial: &Polynomial, prefix: &str) -> UnionOfConjun
 
 /// The star bag for an assignment `ξ`: fact `Uᵢ(⋆)` with multiplicity `ξᵢ`.
 pub fn assignment_to_star_bag(assignment: &[Natural], prefix: &str) -> BagInstance {
-    BagInstance::from_multiplicities(assignment.iter().enumerate().map(|(i, m)| {
-        (Atom::new(unknown_relation(prefix, i), vec![star_term()]), m.clone())
-    }))
+    BagInstance::from_multiplicities(
+        assignment
+            .iter()
+            .enumerate()
+            .map(|(i, m)| (Atom::new(unknown_relation(prefix, i), vec![star_term()]), m.clone())),
+    )
 }
 
 /// Evaluates an encoded polynomial on a star bag: the multiplicity of the
 /// empty tuple in the UCQ's bag answer.
 pub fn evaluate_ucq_on_star_bag(ucq: &UnionOfConjunctiveQueries, bag: &BagInstance) -> Natural {
-    dioph_bagdb::ucq_bag_answers(ucq, bag)
-        .remove(&Vec::new())
-        .unwrap_or_else(Natural::zero)
+    dioph_bagdb::ucq_bag_answers(ucq, bag).remove(&Vec::new()).unwrap_or_else(Natural::zero)
 }
 
 #[cfg(test)]

@@ -15,7 +15,7 @@
 //! All generators are deterministic given the caller-provided RNG, so every
 //! benchmark and test is reproducible.
 
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 use dioph_cq::{Atom, ConjunctiveQuery, Substitution, Term};
 
@@ -90,11 +90,7 @@ fn random_term(shape: &QueryShape, projection_free: bool, rng: &mut impl Rng) ->
     }
 }
 
-fn random_body(
-    shape: &QueryShape,
-    projection_free: bool,
-    rng: &mut impl Rng,
-) -> Vec<(Atom, u64)> {
+fn random_body(shape: &QueryShape, projection_free: bool, rng: &mut impl Rng) -> Vec<(Atom, u64)> {
     assert!(!shape.relations.is_empty(), "the schema needs at least one relation");
     let mut atoms = Vec::new();
     let mut occurrences = 0;
@@ -113,10 +109,8 @@ fn random_body(
 /// Ensures every head variable occurs in the body (safety), by appending an
 /// atom mentioning the missing ones if needed.
 fn make_safe(shape: &QueryShape, head: &[Term], body: &mut Vec<(Atom, u64)>) {
-    let body_vars: std::collections::BTreeSet<String> = body
-        .iter()
-        .flat_map(|(a, _)| a.variables())
-        .collect();
+    let body_vars: std::collections::BTreeSet<String> =
+        body.iter().flat_map(|(a, _)| a.variables()).collect();
     let missing: Vec<Term> = head
         .iter()
         .filter(|t| t.as_var().map(|v| !body_vars.contains(v)).unwrap_or(false))
@@ -193,10 +187,8 @@ pub fn inflated_pair(
     let (containee, containing) = specialization_pair(shape, rng);
     let atoms: Vec<(Atom, u64)> = containee.body().map(|(a, m)| (a.clone(), m)).collect();
     let bump = rng.random_range(0..atoms.len());
-    let body = atoms
-        .into_iter()
-        .enumerate()
-        .map(|(i, (a, m))| (a, if i == bump { m + 1 } else { m }));
+    let body =
+        atoms.into_iter().enumerate().map(|(i, (a, m))| (a, if i == bump { m + 1 } else { m }));
     let inflated = ConjunctiveQuery::new("q_containee_inflated", containee.head().to_vec(), body);
     (inflated, containing)
 }

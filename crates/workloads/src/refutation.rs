@@ -9,7 +9,7 @@
 //! the paper's complete decision procedure closes. Experiment E8 measures
 //! this gap quantitatively.
 
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 use dioph_arith::Natural;
 use dioph_bagdb::{bag_answer_multiplicity, BagInstance};
@@ -53,18 +53,18 @@ pub fn refute_by_random_bags(
         "random-bag refutation requires a projection-free containee"
     );
     let probe: Vec<Term> = most_general_probe_tuple(containee);
-    let grounded = containee
-        .ground_with(&probe)
-        .expect("the most-general probe tuple unifies with the head");
+    let grounded =
+        containee.ground_with(&probe).expect("the most-general probe tuple unifies with the head");
     let atoms: Vec<Atom> = grounded.body_atoms().cloned().collect();
     if atoms.is_empty() {
         return None;
     }
 
     for _ in 0..config.attempts {
-        let bag = BagInstance::from_multiplicities(atoms.iter().map(|a| {
-            (a.clone(), Natural::from(rng.random_range(0..=config.max_multiplicity)))
-        }));
+        let bag =
+            BagInstance::from_multiplicities(atoms.iter().map(|a| {
+                (a.clone(), Natural::from(rng.random_range(0..=config.max_multiplicity)))
+            }));
         let lhs = bag_answer_multiplicity(containee, &bag, &probe);
         if lhs.is_zero() {
             continue;

@@ -118,12 +118,9 @@ mod tests {
 
     #[test]
     fn colorable_graphs_yield_containment() {
-        for g in [
-            Graph::complete(3),
-            Graph::cycle(5),
-            Graph::complete_bipartite(2, 3),
-            Graph::new(3),
-        ] {
+        for g in
+            [Graph::complete(3), Graph::cycle(5), Graph::complete_bipartite(2, 3), Graph::new(3)]
+        {
             assert!(g.is_three_colorable());
             assert!(
                 three_colorable_via_containment(&g, &decider()),

@@ -13,8 +13,8 @@
 //!
 //! Run with `cargo run --example counterexample_hunt`.
 
-use diophantus::cq::paper_examples;
 use diophantus::containment::CompiledProbe;
+use diophantus::cq::paper_examples;
 use diophantus::workloads::{refute_by_random_bags, RefutationConfig};
 use diophantus::{bag_answer_multiplicity, is_bag_contained, FeasibilityEngine, Term};
 use rand::rngs::StdRng;

@@ -63,7 +63,10 @@ fn main() {
     // 2. An unsolvable MPI and Lemma 4.1 in one dimension.
     // ------------------------------------------------------------------
     let unsolvable = Mpi::new(
-        Polynomial::from_terms(1, [(nat(1), Monomial::new(vec![4])), (nat(1), Monomial::new(vec![2]))]),
+        Polynomial::from_terms(
+            1,
+            [(nat(1), Monomial::new(vec![4])), (nat(1), Monomial::new(vec![2]))],
+        ),
         Monomial::new(vec![4]),
     );
     println!("\nunsolvable MPI: {unsolvable}");
@@ -89,7 +92,10 @@ fn main() {
     //    Ioannidis–Ramakrishnan undecidability construction for UCQs).
     // ------------------------------------------------------------------
     let ucq = polynomial_to_ucq(&polynomial, "U");
-    println!("\nthe polynomial side encoded as a Boolean UCQ ({} disjuncts):", ucq.disjuncts().len());
+    println!(
+        "\nthe polynomial side encoded as a Boolean UCQ ({} disjuncts):",
+        ucq.disjuncts().len()
+    );
     println!("{ucq}");
     for assignment in [vec![nat(1), nat(4), nat(3)], vec![nat(2), nat(3), nat(5)]] {
         let bag = assignment_to_star_bag(&assignment, "U");

@@ -10,8 +10,8 @@ fn main() {
     // Under SET semantics the first is contained in the second (just drop the
     // S conjunct); under BAG semantics the extra S factor can push the
     // containee's multiplicity above the containing query's.
-    let containee = parse_query("orders_with_priority(x) <- Order(x, x), Priority(x)")
-        .expect("valid query");
+    let containee =
+        parse_query("orders_with_priority(x) <- Order(x, x), Priority(x)").expect("valid query");
     let containing = parse_query("orders(x) <- Order(x, x)").expect("valid query");
 
     println!("containee : {containee}");

@@ -9,7 +9,9 @@
 //! Run with `cargo run --example three_coloring`.
 
 use diophantus::workloads::graphs::Graph;
-use diophantus::workloads::threecol::{three_colorability_instance, three_colorable_via_containment};
+use diophantus::workloads::threecol::{
+    three_colorability_instance, three_colorable_via_containment,
+};
 use diophantus::{Algorithm, BagContainmentDecider};
 use rand::rngs::StdRng;
 use rand::SeedableRng;

@@ -2,9 +2,9 @@
 //! paper (experiments E1 and E2 of EXPERIMENTS.md), exercised through the
 //! public facade crate only.
 
+use diophantus::containment::CompiledProbe;
 use diophantus::cq::paper_examples;
 use diophantus::cq::{probe_tuples, Term};
-use diophantus::containment::CompiledProbe;
 use diophantus::{
     bag_answer_multiplicity, is_bag_contained, parse_query, set_containment, Algorithm,
     BagContainmentDecider, BagInstance, FeasibilityEngine, Natural,

@@ -1,0 +1,140 @@
+//! Smoke test: every fixture of `dioph_cq::paper_examples` through the full
+//! parse → compile → decide pipeline.
+//!
+//! Each fixture query is round-tripped through the datalog parser (so the
+//! textual pipeline is exercised, not just the programmatic constructors),
+//! then every admissible ordered pair is decided. Pairs whose verdict the
+//! paper states are asserted exactly; all other pairs are checked for
+//! unanimity across algorithms and engines, with every non-containment
+//! verdict backed by a counterexample bag that the independent Equation-2
+//! evaluator verifies.
+
+use diophantus::cq::paper_examples;
+use diophantus::{
+    parse_query, set_containment, Algorithm, BagContainmentDecider, ConjunctiveQuery,
+    ContainmentError, FeasibilityEngine,
+};
+
+/// All fixture queries exported by `paper_examples`, by name.
+fn fixtures() -> Vec<ConjunctiveQuery> {
+    vec![
+        paper_examples::section2_query_q1(),
+        paper_examples::section2_query_q2(),
+        paper_examples::section2_query_q3(),
+        paper_examples::section3_probe_example(),
+        paper_examples::section3_query_q1(),
+        paper_examples::section3_query_q2(),
+    ]
+}
+
+fn deciders() -> Vec<BagContainmentDecider> {
+    vec![
+        BagContainmentDecider::new(Algorithm::MostGeneralProbe),
+        BagContainmentDecider::new(Algorithm::MostGeneralProbe)
+            .with_engine(FeasibilityEngine::FourierMotzkin),
+        BagContainmentDecider::new(Algorithm::AllProbes),
+        BagContainmentDecider::new(Algorithm::AllProbes)
+            .with_engine(FeasibilityEngine::FourierMotzkin),
+    ]
+}
+
+/// Decides `containee ⊑b containing` with every decider, asserting unanimity
+/// and verifying any counterexample; returns the common verdict.
+fn unanimous_verdict(containee: &ConjunctiveQuery, containing: &ConjunctiveQuery) -> bool {
+    let mut verdict = None;
+    for decider in deciders() {
+        let result = decider
+            .decide(containee, containing)
+            .unwrap_or_else(|e| panic!("{containee} vs {containing} must be decidable: {e:?}"));
+        if let Some(ce) = result.counterexample() {
+            assert!(
+                ce.verify(containee, containing),
+                "unverifiable counterexample for {containee} vs {containing}"
+            );
+        }
+        match verdict {
+            None => verdict = Some(result.holds()),
+            Some(v) => assert_eq!(
+                v,
+                result.holds(),
+                "{decider:?} disagrees on {containee} vs {containing}"
+            ),
+        }
+    }
+    verdict.expect("at least one decider ran")
+}
+
+/// Every fixture prints to datalog text that re-parses to the same query.
+#[test]
+fn fixtures_roundtrip_through_the_parser() {
+    for query in fixtures() {
+        let reparsed = parse_query(&query.to_string())
+            .unwrap_or_else(|e| panic!("fixture {query} must re-parse: {e:?}"));
+        assert_eq!(reparsed, query, "parser round-trip must be the identity");
+    }
+}
+
+/// The verdicts the paper states, asserted through the full pipeline on the
+/// re-parsed fixtures.
+#[test]
+fn paper_stated_verdicts_hold() {
+    let reparse = |q: ConjunctiveQuery| parse_query(&q.to_string()).unwrap();
+    let s2q1 = reparse(paper_examples::section2_query_q1());
+    let s2q2 = reparse(paper_examples::section2_query_q2());
+    let s2q3 = reparse(paper_examples::section2_query_q3());
+    let s3q1 = reparse(paper_examples::section3_query_q1());
+    let s3q2 = reparse(paper_examples::section3_query_q2());
+
+    // Section 2: q1 ⊑b q2 but q2 ⋢b q1, despite mutual set containment.
+    assert!(unanimous_verdict(&s2q1, &s2q2));
+    assert!(!unanimous_verdict(&s2q2, &s2q1));
+    assert!(set_containment(&s2q1, &s2q2).holds());
+    assert!(set_containment(&s2q2, &s2q1).holds());
+
+    // Section 2: both projection-free queries are bag-contained in q3.
+    assert!(unanimous_verdict(&s2q1, &s2q3));
+    assert!(unanimous_verdict(&s2q2, &s2q3));
+
+    // Sections 3–4: the running example is a non-containment with an
+    // explicit Diophantine witness.
+    assert!(!unanimous_verdict(&s3q1, &s3q2));
+}
+
+/// Every admissible ordered fixture pair decides unanimously; bag containment
+/// always implies set containment; reflexivity holds for every
+/// projection-free fixture.
+#[test]
+fn all_fixture_pairs_decide_unanimously() {
+    let queries = fixtures();
+    for containee in &queries {
+        if !containee.is_projection_free() {
+            continue;
+        }
+        assert!(unanimous_verdict(containee, containee), "⊑b must be reflexive for {containee}");
+        for containing in &queries {
+            let bag = unanimous_verdict(containee, containing);
+            if bag {
+                assert!(
+                    set_containment(containee, containing).holds(),
+                    "bag containment must imply set containment for {containee} vs {containing}"
+                );
+            }
+        }
+    }
+}
+
+/// Containees with projections are rejected up front, as the paper's
+/// procedure requires.
+#[test]
+fn projectionful_containees_are_rejected() {
+    let target = paper_examples::section2_query_q1();
+    for query in fixtures() {
+        if query.is_projection_free() {
+            continue;
+        }
+        let err = BagContainmentDecider::new(Algorithm::MostGeneralProbe)
+            .decide(&query, &target)
+            .expect_err("projection-ful containees must be rejected");
+        assert!(matches!(err, ContainmentError::ContaineeNotProjectionFree { .. }));
+    }
+}

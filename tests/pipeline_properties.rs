@@ -13,7 +13,9 @@
 //! * a verdict of containment is never refuted by random-bag sampling;
 //! * the 3-colorability reduction agrees with a direct graph search.
 
-use diophantus::workloads::random::{inflated_pair, random_projection_free_cq, specialization_pair};
+use diophantus::workloads::random::{
+    inflated_pair, random_projection_free_cq, specialization_pair,
+};
 use diophantus::workloads::threecol::three_colorable_via_containment;
 use diophantus::workloads::{refute_by_random_bags, Graph, QueryShape, RefutationConfig};
 use diophantus::{

@@ -1,0 +1,245 @@
+//! Offline vendored stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no access to crates.io, so this crate provides
+//! the API subset the `dioph-bench` targets use — `Criterion`,
+//! `BenchmarkGroup`, `Bencher::iter`, `BenchmarkId`, `black_box` and the
+//! `criterion_group!` / `criterion_main!` macros — with a deliberately simple
+//! measurement loop.
+//!
+//! Timing model: each benchmark warms up for `warm_up_time`, then runs
+//! batches until `measurement_time` elapses (or `sample_size` batches have
+//! run, whichever comes first) and reports the mean wall-clock time per
+//! iteration. When the harness binary is invoked with `--test` (as
+//! `cargo test --benches` does) every benchmark body runs exactly once so
+//! test runs stay fast.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// An opaque identity function that prevents the optimizer from deleting the
+/// benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// The identifier of a benchmark within a group: a function name plus an
+/// optional parameter rendering.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter value.
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId { name: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// An id made of a parameter value alone.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId { name: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId { name: name.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId { name }
+    }
+}
+
+/// The measurement configuration and entry point, mirroring
+/// `criterion::Criterion`.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            warm_up_time: Duration::from_millis(500),
+            measurement_time: Duration::from_secs(2),
+            test_mode: std::env::args().any(|a| a == "--test"),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of measurement batches.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 1, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the warm-up duration.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the measurement duration.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(self, id, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, group_name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: group_name.to_string() }
+    }
+}
+
+/// A named collection of benchmarks, mirroring `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs a benchmark in this group.
+    pub fn bench_function<I, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into().name);
+        run_one(self.criterion, &full, &mut f);
+        self
+    }
+
+    /// Runs a benchmark parameterised by a borrowed input.
+    pub fn bench_with_input<I, T, F>(&mut self, id: I, input: &T, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        T: ?Sized,
+        F: FnMut(&mut Bencher, &T),
+    {
+        let full = format!("{}/{}", self.name, id.into().name);
+        run_one(self.criterion, &full, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Finishes the group (a no-op; provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// The per-benchmark timing driver handed to benchmark closures.
+pub struct Bencher {
+    mode: BencherMode,
+    iterations: u64,
+    elapsed: Duration,
+}
+
+enum BencherMode {
+    /// Run the body exactly once (test mode).
+    Once,
+    /// Keep running batches until the deadline.
+    Measure { warm_up: Duration, deadline: Duration, max_batches: usize },
+}
+
+impl Bencher {
+    /// Calls `body` repeatedly according to the measurement plan and records
+    /// the total time spent.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        match self.mode {
+            BencherMode::Once => {
+                let start = Instant::now();
+                black_box(body());
+                self.elapsed += start.elapsed();
+                self.iterations += 1;
+            }
+            BencherMode::Measure { warm_up, deadline, max_batches } => {
+                let warm_start = Instant::now();
+                while warm_start.elapsed() < warm_up {
+                    black_box(body());
+                }
+                let start = Instant::now();
+                let mut batches = 0;
+                while batches < max_batches && start.elapsed() < deadline {
+                    black_box(body());
+                    batches += 1;
+                }
+                self.iterations += batches.max(1) as u64;
+                self.elapsed += start.elapsed();
+            }
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(config: &Criterion, id: &str, f: &mut F) {
+    let mode = if config.test_mode {
+        BencherMode::Once
+    } else {
+        BencherMode::Measure {
+            warm_up: config.warm_up_time,
+            deadline: config.measurement_time,
+            max_batches: config.sample_size,
+        }
+    };
+    let mut bencher = Bencher { mode, iterations: 0, elapsed: Duration::ZERO };
+    f(&mut bencher);
+    if bencher.iterations == 0 {
+        println!("{id:<60} (no iterations recorded)");
+        return;
+    }
+    let per_iter = bencher.elapsed.as_secs_f64() / bencher.iterations as f64;
+    if config.test_mode {
+        println!("{id:<60} ok (test mode)");
+    } else {
+        println!("{id:<60} {:>12.3} µs/iter", per_iter * 1e6);
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring
+/// `criterion::criterion_group!`. Both the plain form and the
+/// `name/config/targets` form are supported.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

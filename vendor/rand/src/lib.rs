@@ -1,0 +1,152 @@
+//! Offline vendored stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace ships
+//! a tiny, deterministic implementation of exactly the API subset the
+//! workloads and benches use (`rand` 0.9 naming):
+//!
+//! * [`Rng::random_range`] over integer `Range`/`RangeInclusive` bounds;
+//! * [`Rng::random_bool`] with a `f64` probability;
+//! * [`SeedableRng::seed_from_u64`] and [`rngs::StdRng`].
+//!
+//! The generator is SplitMix64: statistically fine for workload generation,
+//! fully deterministic per seed, and obviously not cryptographic.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// The raw source of randomness: a stream of `u64`s.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Types that can serve as the argument of [`Rng::random_range`].
+pub trait SampleRange<T> {
+    /// Draws a uniform sample from `self` using `rng`.
+    fn sample_single<G: RngCore + ?Sized>(self, rng: &mut G) -> T;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<G: RngCore + ?Sized>(self, rng: &mut G) -> $t {
+                assert!(self.start < self.end, "empty range passed to random_range");
+                let span = (self.end as u128).wrapping_sub(self.start as u128);
+                self.start.wrapping_add((wide(rng) % span) as $t)
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_single<G: RngCore + ?Sized>(self, rng: &mut G) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range passed to random_range");
+                let span = (end as u128).wrapping_sub(start as u128).wrapping_add(1);
+                if span == 0 {
+                    // The range covers the whole 128-bit domain.
+                    wide(rng) as $t
+                } else {
+                    start.wrapping_add((wide(rng) % span) as $t)
+                }
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+fn wide<G: RngCore + ?Sized>(rng: &mut G) -> u128 {
+    ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+}
+
+/// User-facing random-value methods, in the `rand` 0.9 naming scheme.
+pub trait Rng: RngCore {
+    /// Returns a uniform sample from `range`.
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    fn random_bool(&mut self, p: f64) -> bool {
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+}
+
+impl<G: RngCore + ?Sized> Rng for G {}
+
+/// Deterministic construction of a generator from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: SplitMix64.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.random_range(0u64..1000), b.random_range(0u64..1000));
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.random_range(-4i64..=6);
+            assert!((-4..=6).contains(&v));
+            let u = rng.random_range(3usize..5);
+            assert!((3..5).contains(&u));
+            let w = rng.random_range(1u64..=1);
+            assert_eq!(w, 1);
+        }
+    }
+
+    #[test]
+    fn full_u128_range_does_not_panic() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10 {
+            let _ = rng.random_range(0u128..=u128::MAX);
+            let v = rng.random_range(1u128..=u128::MAX);
+            assert!(v >= 1);
+        }
+    }
+
+    #[test]
+    fn random_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(9);
+        assert!(!rng.random_bool(0.0));
+        assert!(rng.random_bool(1.0));
+    }
+}
