@@ -11,10 +11,14 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use dioph_cq::{Atom, ConjunctiveQuery, Term};
+use dioph_cq::ConjunctiveQuery;
 use dioph_poly::{Monomial, Mpi, Polynomial};
-use dioph_workloads::random::{specialization_pair, QueryShape};
+use dioph_workloads::random::specialization_pair;
 use dioph_workloads::Graph;
+
+// The E4 sweep shapes moved to `dioph_workloads::suite` so the `diophantus`
+// CLI can generate them; re-exported here to keep the bench API stable.
+pub use dioph_workloads::suite::{exponential_mapping_instance, path_self_containment};
 
 /// The deterministic seed every benchmark uses.
 pub const BENCH_SEED: u64 = 0x2019_0630;
@@ -22,47 +26,6 @@ pub const BENCH_SEED: u64 = 0x2019_0630;
 /// A fresh deterministic RNG for benchmark workload generation.
 pub fn bench_rng() -> StdRng {
     StdRng::seed_from_u64(BENCH_SEED)
-}
-
-fn var(name: &str) -> Term {
-    Term::var(name)
-}
-
-/// E4 (containee scaling): a projection-free "path" containee with
-/// `length` binary atoms `R(x0,x1), …, R(x_{length-1}, x_length)`, paired with
-/// itself as the containing query (a contained instance, so the decider does
-/// the full infeasibility proof).
-pub fn path_self_containment(length: usize) -> (ConjunctiveQuery, ConjunctiveQuery) {
-    assert!(length >= 1);
-    let head: Vec<Term> = (0..=length).map(|i| var(&format!("x{i}"))).collect();
-    let body: Vec<Atom> = (0..length)
-        .map(|i| Atom::new("R", vec![var(&format!("x{i}")), var(&format!("x{}", i + 1))]))
-        .collect();
-    let q = ConjunctiveQuery::from_atom_list("q_path", head, body);
-    (q.clone(), q)
-}
-
-/// E4 (containing-query scaling): a fixed three-atom containee
-/// `q1(x) ← R(x,x), E(x,'a'), E(x,'b')` against a containing query with
-/// `k` existential edge atoms `E(x, z_i)`, which admits `2^k` containment
-/// mappings (each `z_i` maps to `'a'` or `'b'`). This isolates the
-/// exponential dependence on the containing query that Theorem 5.2 allows.
-pub fn exponential_mapping_instance(k: usize) -> (ConjunctiveQuery, ConjunctiveQuery) {
-    let containee = ConjunctiveQuery::from_atom_list(
-        "q_containee",
-        vec![var("x")],
-        vec![
-            Atom::new("R", vec![var("x"), var("x")]),
-            Atom::new("E", vec![var("x"), Term::constant("a")]),
-            Atom::new("E", vec![var("x"), Term::constant("b")]),
-        ],
-    );
-    let mut body = vec![Atom::new("R", vec![var("x"), var("x")])];
-    for i in 0..k {
-        body.push(Atom::new("E", vec![var("x"), var(&format!("z{i}"))]));
-    }
-    let containing = ConjunctiveQuery::from_atom_list("q_containing", vec![var("x")], body);
-    (containee, containing)
 }
 
 /// E3 / E7: a pseudo-random n-MPI with `terms` polynomial monomials and
@@ -88,18 +51,12 @@ pub fn bench_graph(vertices: usize, edge_probability: f64) -> Graph {
 }
 
 /// E6 / E9: contained-by-construction instances of growing size, produced by
-/// the specialisation generator over a schema with `atoms` body atoms.
+/// the specialisation generator over the shared
+/// [`dioph_workloads::suite::contained_shape`] schema with `atoms` body
+/// atoms (the same shape `diophantus gen contained` emits).
 pub fn contained_instance(atoms: usize, seed: u64) -> (ConjunctiveQuery, ConjunctiveQuery) {
-    let shape = QueryShape {
-        relations: vec![("R".to_string(), 2), ("S".to_string(), 2)],
-        atom_occurrences: atoms,
-        head_variables: 2,
-        existential_variables: 2,
-        constants: 1,
-        max_multiplicity: 2,
-    };
     let mut rng = StdRng::seed_from_u64(seed);
-    specialization_pair(&shape, &mut rng)
+    specialization_pair(&dioph_workloads::suite::contained_shape(atoms), &mut rng)
 }
 
 /// E8: the paper's Section 3 running example, whose violating bags are sparse

@@ -33,6 +33,42 @@ impl Counterexample {
         let rhs = bag_answer_multiplicity(containing, &self.bag, &self.probe);
         lhs == self.containee_multiplicity && rhs == self.containing_multiplicity && lhs > rhs
     }
+
+    /// Renders the witness as a JSON object.
+    ///
+    /// Terms and atoms are serialised in their datalog notation (so they can
+    /// be fed back through the `dioph-cq` parser), and multiplicities as
+    /// decimal *strings*, since [`Natural`] values can exceed every
+    /// fixed-width JSON number type:
+    ///
+    /// ```json
+    /// {"probe": ["'c1'", "'c2'"],
+    ///  "bag": [{"atom": "R('c1', 'c2')", "multiplicity": "2"}],
+    ///  "containee_multiplicity": "8",
+    ///  "containing_multiplicity": "4"}
+    /// ```
+    pub fn to_json(&self) -> String {
+        let probe: Vec<String> =
+            self.probe.iter().map(|t| crate::json::string(&t.to_string())).collect();
+        let bag: Vec<String> = self
+            .bag
+            .iter()
+            .map(|(atom, mult)| {
+                format!(
+                    "{{\"atom\":{},\"multiplicity\":\"{mult}\"}}",
+                    crate::json::string(&atom.to_string())
+                )
+            })
+            .collect();
+        format!(
+            "{{\"probe\":[{}],\"bag\":[{}],\"containee_multiplicity\":\"{}\",\
+             \"containing_multiplicity\":\"{}\"}}",
+            probe.join(","),
+            bag.join(","),
+            self.containee_multiplicity,
+            self.containing_multiplicity
+        )
+    }
 }
 
 impl fmt::Display for Counterexample {
@@ -76,6 +112,21 @@ impl BagContainment {
         match self {
             BagContainment::NotContained(ce) => Some(ce),
             BagContainment::Contained { .. } => None,
+        }
+    }
+
+    /// Renders the verdict as a JSON object: either
+    /// `{"verdict":"contained","probes_checked":n}` or
+    /// `{"verdict":"not_contained","counterexample":{…}}` with the
+    /// [`Counterexample::to_json`] witness embedded.
+    pub fn to_json(&self) -> String {
+        match self {
+            BagContainment::Contained { probes_checked } => {
+                format!("{{\"verdict\":\"contained\",\"probes_checked\":{probes_checked}}}")
+            }
+            BagContainment::NotContained(ce) => {
+                format!("{{\"verdict\":\"not_contained\",\"counterexample\":{}}}", ce.to_json())
+            }
         }
     }
 }
@@ -186,6 +237,32 @@ mod tests {
             containing_multiplicity: Natural::one(),
         };
         assert!(!harmless.verify(&q2, &q1));
+    }
+
+    #[test]
+    fn json_serialisation() {
+        let ce = Counterexample {
+            probe: vec![c("c1"), c("c2")],
+            bag: BagInstance::from_u64_multiplicities([
+                (Atom::new("R", vec![c("c1"), c("c2")]), 2),
+                (Atom::new("P", vec![c("c2"), c("c2")]), 1),
+            ]),
+            containee_multiplicity: Natural::from(8u64),
+            containing_multiplicity: Natural::from(4u64),
+        };
+        let json = ce.to_json();
+        assert_eq!(
+            json,
+            "{\"probe\":[\"'c1'\",\"'c2'\"],\
+             \"bag\":[{\"atom\":\"P('c2', 'c2')\",\"multiplicity\":\"1\"},\
+             {\"atom\":\"R('c1', 'c2')\",\"multiplicity\":\"2\"}],\
+             \"containee_multiplicity\":\"8\",\"containing_multiplicity\":\"4\"}"
+        );
+        let contained = BagContainment::Contained { probes_checked: 3 };
+        assert_eq!(contained.to_json(), "{\"verdict\":\"contained\",\"probes_checked\":3}");
+        let not = BagContainment::NotContained(Box::new(ce));
+        assert!(not.to_json().starts_with("{\"verdict\":\"not_contained\",\"counterexample\":{"));
+        assert!(not.to_json().ends_with("}}"));
     }
 
     #[test]

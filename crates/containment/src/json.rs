@@ -1,0 +1,50 @@
+//! Minimal JSON emission helpers.
+//!
+//! The workspace builds fully offline (no serde), so the machine-readable
+//! output of the certificates — and of the `diophantus` CLI built on top of
+//! them — is assembled from these two functions. Only *emission* is
+//! provided; nothing in the pipeline needs to parse JSON.
+
+/// Escapes a string for inclusion inside a JSON string literal (without the
+/// surrounding quotes).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a string as a quoted, escaped JSON string literal.
+pub fn string(s: &str) -> String {
+    format!("\"{}\"", escape(s))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_covers_specials_and_controls() {
+        assert_eq!(escape("plain"), "plain");
+        assert_eq!(escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(escape("line\nbreak\ttab\rret"), "line\\nbreak\\ttab\\rret");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+        assert_eq!(escape("µ ⊑b"), "µ ⊑b");
+    }
+
+    #[test]
+    fn string_quotes() {
+        assert_eq!(string("R('c1', 'c2')"), "\"R('c1', 'c2')\"");
+    }
+}

@@ -43,6 +43,7 @@
 mod certificate;
 mod compile;
 mod decider;
+pub mod json;
 mod set;
 
 pub use certificate::{BagContainment, ContainmentError, Counterexample};

@@ -23,7 +23,10 @@
 //! // Probe tuples of a projection-free query (Definition 3.1).
 //! assert_eq!(probe_tuples(&q1).len(), 4);
 //! ```
-
+//!
+//! ---
+//!
+#![doc = include_str!("../../../docs/grammar.md")]
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
@@ -42,7 +45,7 @@ pub use homomorphism::{
     containment_mappings, containment_mappings_to_grounded, homomorphisms_into, is_set_contained,
     query_homomorphisms, query_homomorphisms_with_answer,
 };
-pub use parser::{parse_query, parse_ucq, ParseQueryError};
+pub use parser::{parse_program, parse_query, parse_ucq, ParseQueryError, ProgramParseError};
 pub use probe::{canonical_active_domain, most_general_probe_tuple, probe_tuples};
 pub use query::ConjunctiveQuery;
 pub use substitution::Substitution;

@@ -1,19 +1,16 @@
 //! A small parser for conjunctive queries in the paper's datalog notation.
 //!
-//! Grammar (whitespace-insensitive):
+//! Three entry points, in increasing granularity:
 //!
-//! ```text
-//! query     ::=  head "<-" body "."?
-//! head      ::=  NAME "(" terms? ")"
-//! body      ::=  "true" | atom ("," atom)*
-//! atom      ::=  NAME mult? "(" terms? ")"
-//! mult      ::=  "^" NUMBER
-//! terms     ::=  term ("," term)*
-//! term      ::=  NAME            (a variable, e.g. x1, y)
-//!             |  "'" NAME "'"    (a language constant, e.g. 'c1')
-//!             |  NUMBER          (a numeric language constant)
-//!             |  "^" NAME        (a canonical constant, e.g. ^x1)
-//! ```
+//! * [`parse_query`] — a single query (byte-offset errors);
+//! * [`parse_ucq`] — `;`/newline-separated disjuncts of one arity;
+//! * [`parse_program`] — a whole file of `.`-terminated queries with
+//!   `%`/`#` line comments and line/column error spans, the entry point the
+//!   `diophantus` CLI uses for its diagnostics.
+//!
+//! The normative grammar (with one runnable example per production) lives in
+//! `docs/grammar.md`, which is also included verbatim in the crate-root
+//! documentation so its examples run as doctests.
 //!
 //! Example (the paper's Section 2 running query):
 //!
@@ -91,15 +88,138 @@ pub fn parse_ucq(input: &str) -> Result<UnionOfConjunctiveQueries, ParseQueryErr
     Ok(UnionOfConjunctiveQueries::new(disjuncts))
 }
 
+/// Error produced when parsing a multi-query program fails. Unlike
+/// [`ParseQueryError`], the position is resolved to a 1-based line and
+/// column, ready for CLI-style `file:line:column` diagnostics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProgramParseError {
+    message: String,
+    line: usize,
+    column: usize,
+}
+
+impl ProgramParseError {
+    fn at(input: &str, position: usize, message: String) -> Self {
+        let (line, column) = line_column(input, position);
+        ProgramParseError { message, line, column }
+    }
+
+    /// The 1-based line on which parsing failed.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+
+    /// The 1-based column (in characters) at which parsing failed.
+    pub fn column(&self) -> usize {
+        self.column
+    }
+
+    /// Human-readable description of the problem.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for ProgramParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at line {}, column {}: {}", self.line, self.column, self.message)
+    }
+}
+
+impl std::error::Error for ProgramParseError {}
+
+/// Resolves a byte offset into 1-based `(line, column)` coordinates, where
+/// the column counts characters (UTF-8 code points), not bytes.
+fn line_column(input: &str, position: usize) -> (usize, usize) {
+    let position = position.min(input.len());
+    let bytes = input.as_bytes();
+    let mut line = 1;
+    let mut line_start = 0;
+    for (i, &b) in bytes.iter().enumerate().take(position) {
+        if b == b'\n' {
+            line += 1;
+            line_start = i + 1;
+        }
+    }
+    // Count characters by counting non-continuation bytes.
+    let column = 1 + bytes[line_start..position].iter().filter(|b| (*b & 0xC0) != 0x80).count();
+    (line, column)
+}
+
+/// Replaces `%`/`#` line comments with spaces, keeping every byte offset
+/// (and the line structure) identical so error positions computed on the
+/// stripped text remain valid in the original.
+fn blank_comments(input: &str) -> String {
+    let mut out = String::with_capacity(input.len());
+    let mut in_comment = false;
+    for ch in input.chars() {
+        if ch == '\n' {
+            in_comment = false;
+            out.push('\n');
+        } else if in_comment || ch == '%' || ch == '#' {
+            in_comment = true;
+            for _ in 0..ch.len_utf8() {
+                out.push(' ');
+            }
+        } else {
+            out.push(ch);
+        }
+    }
+    out
+}
+
+/// Parses a whole *program*: any number of queries, each terminated by `.`
+/// (the final terminator is optional), with `%` and `#` line comments.
+///
+/// This is the file-level entry point behind the `diophantus` CLI: errors
+/// come with the line and column of the offending token (see
+/// [`ProgramParseError`]), so malformed workload files produce actionable
+/// diagnostics. An empty (or comment-only) input yields an empty vector.
+///
+/// ```
+/// use dioph_cq::parse_program;
+///
+/// let queries = parse_program("q(x) <- R^2(x, x). % containee\np(x) <- R(x, y), R(y, x).")
+///     .unwrap();
+/// assert_eq!(queries.len(), 2);
+///
+/// let err = parse_program("q(x) <- R(x, x).\np(x) <- R(x, ").unwrap_err();
+/// assert_eq!((err.line(), err.column()), (2, 14));
+/// ```
+pub fn parse_program(input: &str) -> Result<Vec<ConjunctiveQuery>, ProgramParseError> {
+    let cleaned = blank_comments(input);
+    let mut p = Parser::new(&cleaned);
+    let mut queries = Vec::new();
+    loop {
+        p.skip_ws();
+        if p.at_end() {
+            break;
+        }
+        let q = p.query().map_err(|e| ProgramParseError::at(input, e.position, e.message))?;
+        p.skip_ws();
+        if !p.terminated && !p.at_end() {
+            return Err(ProgramParseError::at(
+                input,
+                p.pos,
+                "expected '.' before the next query".to_string(),
+            ));
+        }
+        queries.push(q);
+    }
+    Ok(queries)
+}
+
 struct Parser<'a> {
     input: &'a str,
     bytes: &'a [u8],
     pos: usize,
+    /// Whether the most recently parsed query consumed its trailing `.`.
+    terminated: bool,
 }
 
 impl<'a> Parser<'a> {
     fn new(input: &'a str) -> Self {
-        Parser { input, bytes: input.as_bytes(), pos: 0 }
+        Parser { input, bytes: input.as_bytes(), pos: 0, terminated: false }
     }
 
     fn at_end(&self) -> bool {
@@ -185,10 +305,13 @@ impl<'a> Parser<'a> {
             }
         }
         self.skip_ws();
-        // Body: "true" or a list of atoms.
+        // Body: the keyword "true" (not merely a relation name that starts
+        // with it, like `trueness`) or a list of atoms.
         let mut atoms: Vec<(Atom, u64)> = Vec::new();
-        if self.input[self.pos..].trim_start().starts_with("true") {
-            self.skip_ws();
+        let rest = &self.bytes[self.pos..];
+        let true_keyword = rest.starts_with(b"true")
+            && !matches!(rest.get(4), Some(b) if b.is_ascii_alphanumeric() || *b == b'_');
+        if true_keyword {
             self.pos += 4;
         } else {
             loop {
@@ -202,7 +325,8 @@ impl<'a> Parser<'a> {
             }
         }
         self.skip_ws();
-        if self.peek() == Some(b'.') {
+        self.terminated = self.peek() == Some(b'.');
+        if self.terminated {
             self.pos += 1;
         }
         Ok(ConjunctiveQuery::new(name, head, atoms))
@@ -213,7 +337,12 @@ impl<'a> Parser<'a> {
         self.skip_ws();
         let mult = if self.peek() == Some(b'^') {
             self.pos += 1;
-            self.number()?
+            let position = self.pos;
+            let mult = self.number()?;
+            if mult == 0 {
+                return Err(ParseQueryError::new("multiplicity must be at least 1", position));
+            }
+            mult
         } else {
             1
         };
@@ -310,6 +439,30 @@ mod tests {
     }
 
     #[test]
+    fn relations_starting_with_true_are_ordinary_atoms() {
+        // "true" is a keyword only on a word boundary; `trueness(x)` and
+        // `true_edge(x, y)` are legal relation names per the grammar's NAME.
+        let q = parse_query("q(x) <- trueness(x, x).").unwrap();
+        assert_eq!(q.body_atoms().next().unwrap().relation(), "trueness");
+        let q = parse_query("q(x, y) <- true_edge(x, y)").unwrap();
+        assert_eq!(q.total_atom_count(), 1);
+        // A relation literally named "true" still cannot follow the keyword
+        // interpretation — `true(x)` is the keyword then trailing input.
+        assert!(parse_query("q(x) <- true(x)").is_err());
+    }
+
+    #[test]
+    fn zero_multiplicities_are_rejected() {
+        // The grammar requires a positive multiplicity; silently dropping
+        // the atom would change verdicts without a diagnostic.
+        let err = parse_query("q(x) <- R^0(x, x)").unwrap_err();
+        assert!(err.to_string().contains("multiplicity"), "{err}");
+        let err = parse_program("q(x) <- S(x), R^0(x, x).").unwrap_err();
+        assert!(err.message().contains("multiplicity"), "{err}");
+        assert!(parse_query("q(x) <- R^1(x, x)").is_ok());
+    }
+
+    #[test]
     fn prolog_style_arrow_and_no_period() {
         let q = parse_query("q(x) :- R(x, x)").unwrap();
         assert_eq!(q.arity(), 1);
@@ -342,6 +495,64 @@ mod tests {
         assert!(parse_query("").is_err());
         assert!(parse_query("q(x) <- R^(x)").is_err());
         assert!(parse_query("q(x) <- R('unterminated)").is_err());
+    }
+
+    #[test]
+    fn parses_programs() {
+        let queries = parse_program(
+            "% Section 2 containment pair\n\
+             q1(x1, x2) <- R^2(x1, x2), P^3(x2, x2).  # containee\n\
+             q2(x1, x2) <- R^3(x1, x2), P^3(x2, x2)\n",
+        )
+        .unwrap();
+        assert_eq!(queries.len(), 2);
+        assert_eq!(queries[0], paper_examples::section2_query_q1());
+        assert_eq!(queries[1], paper_examples::section2_query_q2());
+        // One line, two terminated queries (the CLI acceptance shape).
+        let queries = parse_program("q(x) <- R^2(x, x). p(x) <- R(x, y), R(y, x).").unwrap();
+        assert_eq!(queries.len(), 2);
+        // Empty and comment-only programs are fine (and empty).
+        assert_eq!(parse_program("").unwrap(), vec![]);
+        assert_eq!(parse_program("  % nothing here\n# or here\n").unwrap(), vec![]);
+    }
+
+    #[test]
+    fn program_queries_must_be_separated_by_periods() {
+        let err = parse_program("q(x) <- R(x, x)\np(x) <- S(x, x).").unwrap_err();
+        assert!(err.message().contains("expected '.'"), "{err}");
+        assert_eq!(err.line(), 2);
+        assert_eq!(err.column(), 1);
+    }
+
+    #[test]
+    fn program_errors_name_the_offending_line_and_column() {
+        // Error on line 3: missing closing parenthesis in the head.
+        let input = "% header comment\nq(x) <- R(x, x).\np(x <- R(x, x).\n";
+        let err = parse_program(input).unwrap_err();
+        assert_eq!(err.line(), 3);
+        assert_eq!(err.column(), 5, "error should point at the '<' of line 3: {err}");
+        let rendered = err.to_string();
+        assert!(rendered.contains("line 3") && rendered.contains("column 5"), "{rendered}");
+
+        // The same malformed text on line 1 reports line 1 — positions are
+        // not cumulative across earlier successful queries.
+        let err = parse_program("p(x <- R(x, x).").unwrap_err();
+        assert_eq!((err.line(), err.column()), (1, 5));
+
+        // Errors inside a comment-free region are unaffected by comment
+        // blanking on earlier lines (offsets are preserved byte-for-byte).
+        let err = parse_program("% a long comment línea\nq(x) <- R(x, ) .").unwrap_err();
+        assert_eq!(err.line(), 2);
+        assert_eq!(err.column(), 14);
+    }
+
+    #[test]
+    fn program_error_display_and_accessors() {
+        let err = parse_program("q(x) <-").unwrap_err();
+        assert!(err.line() == 1 && err.column() >= 8);
+        assert!(!err.message().is_empty());
+        let cloned = err.clone();
+        assert_eq!(cloned, err);
     }
 
     #[test]

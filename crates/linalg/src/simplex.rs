@@ -12,7 +12,8 @@
 //! is performed with exact [`Rational`] arithmetic; Bland's rule guarantees
 //! termination (no cycling).
 //!
-//! Strict inequalities are handled one level up (in [`crate::feasibility`])
+//! Strict inequalities are handled one level up (by the
+//! [`StrictHomogeneousSystem`](crate::StrictHomogeneousSystem) machinery)
 //! via the homogeneity of the systems produced by the paper's reduction:
 //! `A·x > 0, x ≥ 0` is rationally feasible iff `A·x ≥ 1, x ≥ 0` is.
 

@@ -12,6 +12,8 @@
 //!   to break containment (experiments E4, E6, E9);
 //! * [`refutation`] — the sound-but-incomplete random-bag refutation baseline
 //!   (experiment E8);
+//! * [`suite`] — named, seed-reproducible workload suites (the generator
+//!   plumbing behind `diophantus gen` and the E4 sweep shapes);
 //! * [`polynomials`] — the Ioannidis–Ramakrishnan-style encoding of
 //!   polynomials as unions of conjunctive queries over star bags
 //!   (experiments E2/E3 and the `diophantine_lab` example).
@@ -23,8 +25,10 @@ pub mod graphs;
 pub mod polynomials;
 pub mod random;
 pub mod refutation;
+pub mod suite;
 pub mod threecol;
 
 pub use graphs::Graph;
 pub use random::QueryShape;
 pub use refutation::{refute_by_random_bags, RefutationConfig};
+pub use suite::{generate_pairs, WorkloadKind, WorkloadPair};

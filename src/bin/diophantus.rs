@@ -1,0 +1,9 @@
+//! The `diophantus` workload CLI: parse datalog query pairs, decide set/bag
+//! containment and equivalence, generate random workloads and time the
+//! decision procedure. All the logic lives in [`diophantus::cli`]; run
+//! `diophantus help` for usage.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(diophantus::cli::run(&args));
+}

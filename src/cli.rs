@@ -1,0 +1,868 @@
+//! The `diophantus` command-line interface.
+//!
+//! The binary (`src/bin/diophantus.rs`) is a thin wrapper around [`run`];
+//! everything — argument parsing included — is hand-rolled here so the CLI
+//! stays as dependency-free as the rest of the workspace (the build
+//! environment has no crates.io access).
+//!
+//! Four subcommands drive the pipeline end to end:
+//!
+//! * `decide` — parse datalog query pairs from files or stdin and decide
+//!   set/bag containment, printing verdicts and counterexample bags;
+//! * `equiv` — decide bag equivalence (mutual containment) per pair;
+//! * `gen` — emit seed-reproducible random workloads (specialisation pairs,
+//!   3-colorability reductions, E4/E6/E9 shapes) in the same datalog
+//!   notation `decide` reads;
+//! * `bench` — time a workload file and print per-pair latency statistics.
+//!
+//! Every subcommand has a `--json` mode whose output embeds the
+//! [`BagContainment::to_json`] /
+//! [`Counterexample::to_json`](dioph_containment::Counterexample::to_json)
+//! certificates. The input grammar is documented in `docs/grammar.md`.
+
+use std::fmt::Write as _;
+use std::io::Read;
+use std::time::Instant;
+
+use dioph_containment::{
+    json, set_containment, Algorithm, BagContainment, BagContainmentDecider, FeasibilityEngine,
+};
+use dioph_cq::{parse_program, ConjunctiveQuery};
+use dioph_workloads::suite::{generate_pairs, WorkloadKind, WorkloadPair};
+
+/// Default budget for the `guess-check` enumeration algorithm.
+const DEFAULT_BUDGET: u64 = 1_000_000;
+/// Default seed for `gen` (the same constant the benchmark harness uses).
+const DEFAULT_SEED: u64 = 0x2019_0630;
+/// Default number of pairs `gen` emits.
+const DEFAULT_COUNT: usize = 5;
+/// Default number of timed runs per pair in `bench`.
+const DEFAULT_REPEAT: usize = 5;
+
+const HELP: &str = "\
+diophantus — bag containment for conjunctive queries (PODS 2019)
+
+USAGE:
+    diophantus <COMMAND> [OPTIONS] [FILE...]
+
+COMMANDS:
+    decide    Decide containment for consecutive (containee, containing)
+              query pairs read from FILEs (or stdin). Non-containment
+              verdicts come with an independently verified counterexample
+              bag.
+    equiv     Decide bag equivalence (containment in both directions) for
+              each pair.
+    gen       Emit a seed-reproducible random workload in the same datalog
+              notation `decide` reads.
+    bench     Time the decision procedure on a workload and print per-pair
+              latency statistics.
+    help      Show this message.
+    version   Show the version.
+
+OPTIONS (decide, equiv, bench):
+    --bag                Bag semantics (default).
+    --set                Set semantics (Chandra–Merlin); decide/equiv only.
+    --algorithm <NAME>   most-general (default) | all-probes | guess-check
+    --budget <N>         Enumeration budget for guess-check (default 1000000).
+    --engine <NAME>      simplex (default) | fourier-motzkin
+    --json               Machine-readable output.
+
+OPTIONS (gen):
+    <KIND>               spec (default) | inflated | contained | path |
+                         expmap | threecol
+    --count <N>          Number of pairs to emit (default 5).
+    --size <K>           Size parameter: atom occurrences (spec, inflated,
+                         contained), path length (path), log2 of the mapping
+                         count (expmap), vertices (threecol).
+    --seed <S>           RNG seed; output is byte-for-byte reproducible.
+    --json               Machine-readable output.
+
+OPTIONS (bench):
+    --repeat <N>         Timed runs per pair (default 5).
+
+INPUT FORMAT:
+    Queries are written in the paper's datalog notation, one '.'-terminated
+    query at a time; '%' and '#' start line comments:
+
+        q(x) <- R^2(x, x).
+        p(x) <- R(x, y), R(y, x).
+
+    Queries are decided in consecutive pairs (first ⊑ second); each input
+    file must therefore hold an even number of queries. The full
+    grammar — multiplicities R^2(…), constants 'c1' and 42, canonical
+    constants ^x, the `true` body — is documented in docs/grammar.md; the
+    pipeline itself is described in ARCHITECTURE.md.
+
+EXIT STATUS:
+    0 on success (whatever the verdicts), 1 on input/decision errors,
+    2 on usage errors.
+";
+
+/// Runs the CLI with the given arguments (excluding the program name),
+/// reading stdin if a reading subcommand receives no input files. Returns
+/// the process exit code: 0 on success, 1 on input or decision errors, 2 on
+/// usage errors.
+pub fn run(args: &[String]) -> i32 {
+    match dispatch(args, &mut std::io::stdin().lock()) {
+        Ok(output) => {
+            // A closed stdout (e.g. `diophantus gen … | head`) is a normal
+            // way for a pipeline to end, not an error worth a panic.
+            use std::io::Write;
+            let mut stdout = std::io::stdout().lock();
+            match stdout.write_all(output.as_bytes()).and_then(|()| stdout.flush()) {
+                Ok(()) => 0,
+                Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => 0,
+                Err(e) => {
+                    eprintln!("diophantus: stdout: {e}");
+                    1
+                }
+            }
+        }
+        Err(CliError::Failure(message)) => {
+            eprintln!("diophantus: {message}");
+            1
+        }
+        Err(CliError::Usage(message)) => {
+            eprintln!("diophantus: {message}\nRun `diophantus help` for usage.");
+            2
+        }
+    }
+}
+
+enum CliError {
+    /// Bad command line — exit code 2.
+    Usage(String),
+    /// Bad input or an undecidable pair — exit code 1.
+    Failure(String),
+}
+
+type CliResult = Result<String, CliError>;
+
+fn dispatch(args: &[String], stdin: &mut dyn Read) -> CliResult {
+    let Some(command) = args.first() else {
+        return Err(CliError::Usage("missing command".to_string()));
+    };
+    match command.as_str() {
+        "decide" => cmd_decide(&args[1..], stdin, false),
+        "equiv" => cmd_decide(&args[1..], stdin, true),
+        "gen" => cmd_gen(&args[1..]),
+        "bench" => cmd_bench(&args[1..], stdin),
+        "help" | "--help" | "-h" => Ok(HELP.to_string()),
+        "version" | "--version" | "-V" => Ok(format!("diophantus {}\n", env!("CARGO_PKG_VERSION"))),
+        other => Err(CliError::Usage(format!("unknown command '{other}'"))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Option parsing
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Semantics {
+    Bag,
+    Set,
+}
+
+impl Semantics {
+    fn name(self) -> &'static str {
+        match self {
+            Semantics::Bag => "bag",
+            Semantics::Set => "set",
+        }
+    }
+
+    /// The containment symbol used in human-readable verdict lines.
+    fn symbol(self) -> &'static str {
+        match self {
+            Semantics::Bag => "⊑b",
+            Semantics::Set => "⊑s",
+        }
+    }
+}
+
+struct DecideOpts {
+    semantics: Semantics,
+    algorithm: Algorithm,
+    algorithm_name: &'static str,
+    engine: FeasibilityEngine,
+    engine_name: &'static str,
+    json: bool,
+    repeat: usize,
+    repeat_set: bool,
+    files: Vec<String>,
+}
+
+fn next_value(it: &mut std::slice::Iter<'_, String>, flag: &str) -> Result<String, CliError> {
+    it.next().cloned().ok_or_else(|| CliError::Usage(format!("{flag} needs a value")))
+}
+
+fn parse_count(text: &str, flag: &str) -> Result<usize, CliError> {
+    text.parse().map_err(|_| CliError::Usage(format!("{flag} needs a number, got '{text}'")))
+}
+
+fn parse_decide_opts(args: &[String]) -> Result<DecideOpts, CliError> {
+    let mut semantics = Semantics::Bag;
+    let mut algorithm_name = "most-general".to_string();
+    let mut algorithm_set = false;
+    let mut budget = DEFAULT_BUDGET;
+    let mut budget_set = false;
+    let mut engine_name = "simplex".to_string();
+    let mut engine_set = false;
+    let mut json = false;
+    let mut repeat = DEFAULT_REPEAT;
+    let mut repeat_set = false;
+    let mut files = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--bag" => semantics = Semantics::Bag,
+            "--set" => semantics = Semantics::Set,
+            "--json" => json = true,
+            "--algorithm" => {
+                algorithm_name = next_value(&mut it, "--algorithm")?;
+                algorithm_set = true;
+            }
+            "--budget" => {
+                let text = next_value(&mut it, "--budget")?;
+                budget = text.parse().map_err(|_| {
+                    CliError::Usage(format!("--budget needs a number, got '{text}'"))
+                })?;
+                budget_set = true;
+            }
+            "--engine" => {
+                engine_name = next_value(&mut it, "--engine")?;
+                engine_set = true;
+            }
+            "--repeat" => {
+                repeat = parse_count(&next_value(&mut it, "--repeat")?, "--repeat")?;
+                repeat_set = true;
+            }
+            flag if flag.starts_with("--") => {
+                return Err(CliError::Usage(format!("unknown option '{flag}'")))
+            }
+            file => files.push(file.to_string()),
+        }
+    }
+    // Flag combinations that would be silently ignored are rejected instead:
+    // the set-semantics check never touches the bag machinery, and the
+    // budget only configures the guess-check enumeration.
+    if semantics == Semantics::Set {
+        for (set, flag) in
+            [(algorithm_set, "--algorithm"), (engine_set, "--engine"), (budget_set, "--budget")]
+        {
+            if set {
+                return Err(CliError::Usage(format!(
+                    "{flag} only applies to bag semantics; drop --set"
+                )));
+            }
+        }
+    }
+    if budget_set && algorithm_name != "guess-check" {
+        return Err(CliError::Usage(
+            "--budget only applies to --algorithm guess-check".to_string(),
+        ));
+    }
+    let (algorithm, algorithm_name) = match algorithm_name.as_str() {
+        "most-general" | "most-general-probe" | "mgp" => {
+            (Algorithm::MostGeneralProbe, "most-general")
+        }
+        "all-probes" => (Algorithm::AllProbes, "all-probes"),
+        "guess-check" => (Algorithm::GuessCheck { budget }, "guess-check"),
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown algorithm '{other}' (expected most-general, all-probes or guess-check)"
+            )))
+        }
+    };
+    let (engine, engine_name) = match engine_name.as_str() {
+        "simplex" => (FeasibilityEngine::Simplex, "simplex"),
+        "fourier-motzkin" | "fm" => (FeasibilityEngine::FourierMotzkin, "fourier-motzkin"),
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown engine '{other}' (expected simplex or fourier-motzkin)"
+            )))
+        }
+    };
+    if repeat == 0 {
+        return Err(CliError::Usage("--repeat must be at least 1".to_string()));
+    }
+    Ok(DecideOpts {
+        semantics,
+        algorithm,
+        algorithm_name,
+        engine,
+        engine_name,
+        json,
+        repeat,
+        repeat_set,
+        files,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Input loading
+// ---------------------------------------------------------------------------
+
+fn load_queries(files: &[String], stdin: &mut dyn Read) -> Result<Vec<ConjunctiveQuery>, CliError> {
+    let mut sources: Vec<(String, String)> = Vec::new();
+    if files.is_empty() {
+        let mut text = String::new();
+        stdin.read_to_string(&mut text).map_err(|e| CliError::Failure(format!("<stdin>: {e}")))?;
+        sources.push(("<stdin>".to_string(), text));
+    } else {
+        for file in files {
+            let text = std::fs::read_to_string(file)
+                .map_err(|e| CliError::Failure(format!("{file}: {e}")))?;
+            sources.push((file.clone(), text));
+        }
+    }
+    let mut queries = Vec::new();
+    for (name, text) in &sources {
+        let parsed = parse_program(text).map_err(|e| {
+            CliError::Failure(format!("{name}:{}:{}: {}", e.line(), e.column(), e.message()))
+        })?;
+        // Each source must pair up on its own: concatenating an odd-count
+        // file would silently shift every later pair by one query.
+        if !parsed.len().is_multiple_of(2) {
+            return Err(CliError::Failure(format!(
+                "{name}: holds {} queries, but every input must hold an even number \
+                 (consecutive (containee, containing) pairs); concatenate files with `cat` \
+                 if a pair spans them",
+                parsed.len()
+            )));
+        }
+        queries.extend(parsed);
+    }
+    Ok(queries)
+}
+
+fn into_pairs(
+    queries: Vec<ConjunctiveQuery>,
+) -> Result<Vec<(ConjunctiveQuery, ConjunctiveQuery)>, CliError> {
+    if queries.is_empty() {
+        return Err(CliError::Failure(
+            "no queries in the input; expected '.'-terminated datalog queries in consecutive \
+             (containee, containing) pairs — see docs/grammar.md"
+                .to_string(),
+        ));
+    }
+    // Evenness is guaranteed per source by `load_queries`.
+    let mut pairs = Vec::with_capacity(queries.len() / 2);
+    let mut it = queries.into_iter();
+    while let (Some(containee), Some(containing)) = (it.next(), it.next()) {
+        pairs.push((containee, containing));
+    }
+    Ok(pairs)
+}
+
+// ---------------------------------------------------------------------------
+// decide / equiv
+// ---------------------------------------------------------------------------
+
+/// Decides one direction under the selected semantics; returns the verdict
+/// and its rendering in the requested output mode only (no point formatting
+/// JSON for a human run, or vice versa).
+fn decide_direction(
+    opts: &DecideOpts,
+    decider: &BagContainmentDecider,
+    containee: &ConjunctiveQuery,
+    containing: &ConjunctiveQuery,
+) -> Result<(bool, String), CliError> {
+    match opts.semantics {
+        Semantics::Bag => {
+            let result = decider.decide(containee, containing).map_err(|e| {
+                CliError::Failure(format!(
+                    "cannot decide {} {} {}: {e}",
+                    containee.name(),
+                    opts.semantics.symbol(),
+                    containing.name()
+                ))
+            })?;
+            let rendered = if opts.json { result.to_json() } else { result.to_string() };
+            Ok((result.holds(), rendered))
+        }
+        Semantics::Set => {
+            let result = set_containment(containee, containing);
+            let rendered = match (result.witness(), opts.json) {
+                (Some(witness), false) => format!("contained (witness homomorphism {witness})"),
+                (Some(witness), true) => format!(
+                    "{{\"verdict\":\"contained\",\"witness\":{}}}",
+                    json::string(&witness.to_string())
+                ),
+                (None, false) => "not contained (no containment mapping exists)".to_string(),
+                (None, true) => "{\"verdict\":\"not_contained\"}".to_string(),
+            };
+            Ok((result.holds(), rendered))
+        }
+    }
+}
+
+fn cmd_decide(args: &[String], stdin: &mut dyn Read, mutual: bool) -> CliResult {
+    let opts = parse_decide_opts(args)?;
+    if opts.repeat_set {
+        return Err(CliError::Usage("--repeat only applies to bench".to_string()));
+    }
+    let pairs = into_pairs(load_queries(&opts.files, stdin)?)?;
+    let decider = BagContainmentDecider::new(opts.algorithm).with_engine(opts.engine);
+    let mut human = String::new();
+    let mut json_pairs: Vec<String> = Vec::new();
+    for (i, (containee, containing)) in pairs.iter().enumerate() {
+        let index = i + 1;
+        let forward = decide_direction(&opts, &decider, containee, containing)?;
+        if mutual {
+            let backward = decide_direction(&opts, &decider, containing, containee)?;
+            let equivalent = forward.0 && backward.0;
+            if opts.json {
+                json_pairs.push(format!(
+                    "{{\"index\":{index},\"containee\":{},\"containing\":{},\"equivalent\":{},\
+                     \"forward\":{},\"backward\":{}}}",
+                    json::string(&containee.to_string()),
+                    json::string(&containing.to_string()),
+                    equivalent,
+                    forward.1,
+                    backward.1,
+                ));
+            } else {
+                let eq_symbol = if opts.semantics == Semantics::Bag { "≡b" } else { "≡s" };
+                let verdict = if equivalent { "equivalent" } else { "NOT equivalent" };
+                writeln!(
+                    human,
+                    "[{index}] {} {eq_symbol} {}: {verdict}\n    forward  ({} {} {}): {}\n    \
+                     backward ({} {} {}): {}",
+                    containee.name(),
+                    containing.name(),
+                    containee.name(),
+                    opts.semantics.symbol(),
+                    containing.name(),
+                    forward.1,
+                    containing.name(),
+                    opts.semantics.symbol(),
+                    containee.name(),
+                    backward.1,
+                )
+                .expect("writing to a String cannot fail");
+            }
+        } else if opts.json {
+            json_pairs.push(format!(
+                "{{\"index\":{index},\"containee\":{},\"containing\":{},\"result\":{}}}",
+                json::string(&containee.to_string()),
+                json::string(&containing.to_string()),
+                forward.1,
+            ));
+        } else {
+            writeln!(
+                human,
+                "[{index}] {} {} {}: {}",
+                containee.name(),
+                opts.semantics.symbol(),
+                containing.name(),
+                forward.1
+            )
+            .expect("writing to a String cannot fail");
+        }
+    }
+    if opts.json {
+        let command = if mutual { "equiv" } else { "decide" };
+        Ok(format!(
+            "{{\"command\":\"{command}\",\"semantics\":\"{}\",\"algorithm\":\"{}\",\
+             \"engine\":\"{}\",\"pairs\":[{}]}}\n",
+            opts.semantics.name(),
+            opts.algorithm_name,
+            opts.engine_name,
+            json_pairs.join(",")
+        ))
+    } else {
+        Ok(human)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// gen
+// ---------------------------------------------------------------------------
+
+fn cmd_gen(args: &[String]) -> CliResult {
+    let mut kind_name: Option<String> = None;
+    let mut count = DEFAULT_COUNT;
+    let mut size: Option<usize> = None;
+    let mut seed = DEFAULT_SEED;
+    let mut json = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--count" => count = parse_count(&next_value(&mut it, "--count")?, "--count")?,
+            "--size" => size = Some(parse_count(&next_value(&mut it, "--size")?, "--size")?),
+            "--seed" => {
+                let text = next_value(&mut it, "--seed")?;
+                seed = text
+                    .parse()
+                    .map_err(|_| CliError::Usage(format!("--seed needs a number, got '{text}'")))?;
+            }
+            "--json" => json = true,
+            flag if flag.starts_with("--") => {
+                return Err(CliError::Usage(format!("unknown option '{flag}'")))
+            }
+            positional => {
+                if kind_name.is_some() {
+                    return Err(CliError::Usage(format!(
+                        "unexpected extra argument '{positional}'"
+                    )));
+                }
+                kind_name = Some(positional.to_string());
+            }
+        }
+    }
+    let kind_name = kind_name.unwrap_or_else(|| "spec".to_string());
+    // Resolve the kind-specific size parameter up front so the provenance
+    // header records the *effective* value, not whatever was (or wasn't)
+    // passed — re-running the recorded command must regenerate the workload
+    // even if a default changes.
+    let (kind, size) = match kind_name.as_str() {
+        "spec" | "specialization" => {
+            let atoms = size.unwrap_or(4);
+            (WorkloadKind::Specialization { atoms }, atoms)
+        }
+        "inflated" => {
+            let atoms = size.unwrap_or(4);
+            (WorkloadKind::Inflated { atoms }, atoms)
+        }
+        "contained" => {
+            let atoms = size.unwrap_or(4);
+            (WorkloadKind::Contained { atoms }, atoms)
+        }
+        "path" => {
+            let length = size.unwrap_or(3);
+            if length == 0 {
+                return Err(CliError::Usage("--size must be at least 1 for path".to_string()));
+            }
+            (WorkloadKind::Path { length }, length)
+        }
+        "expmap" => {
+            let mappings_log2 = size.unwrap_or(2);
+            (WorkloadKind::ExponentialMapping { mappings_log2 }, mappings_log2)
+        }
+        "threecol" => {
+            let vertices = size.unwrap_or(5);
+            if vertices == 0 {
+                return Err(CliError::Usage("--size must be at least 1 for threecol".to_string()));
+            }
+            (WorkloadKind::ThreeColorability { vertices }, vertices)
+        }
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown workload kind '{other}' (expected spec, inflated, contained, path, \
+                 expmap or threecol)"
+            )))
+        }
+    };
+    let pairs = generate_pairs(kind, count, seed);
+    if json {
+        let rendered: Vec<String> = pairs
+            .iter()
+            .map(|p| {
+                format!(
+                    "{{\"label\":{},\"containee\":{},\"containing\":{}}}",
+                    json::string(&p.label),
+                    json::string(&p.containee.to_string()),
+                    json::string(&p.containing.to_string())
+                )
+            })
+            .collect();
+        Ok(format!(
+            "{{\"command\":\"gen\",\"kind\":\"{kind_name}\",\"count\":{count},\"size\":{size},\
+             \"seed\":{seed},\"pairs\":[{}]}}\n",
+            rendered.join(",")
+        ))
+    } else {
+        let mut out =
+            format!("% diophantus gen {kind_name} --count {count} --size {size} --seed {seed}\n");
+        for (i, WorkloadPair { label, containee, containing }) in pairs.iter().enumerate() {
+            writeln!(out, "% pair {}: {label}\n{containee}.\n{containing}.", i + 1)
+                .expect("writing to a String cannot fail");
+        }
+        Ok(out)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// bench
+// ---------------------------------------------------------------------------
+
+/// Renders a duration in nanoseconds with a human-friendly unit.
+fn format_ns(ns: u128) -> String {
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1}µs", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.1}ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2}s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+fn cmd_bench(args: &[String], stdin: &mut dyn Read) -> CliResult {
+    let opts = parse_decide_opts(args)?;
+    if opts.semantics == Semantics::Set {
+        return Err(CliError::Usage("bench times the bag-containment decider; drop --set".into()));
+    }
+    let pairs = into_pairs(load_queries(&opts.files, stdin)?)?;
+    let decider = BagContainmentDecider::new(opts.algorithm).with_engine(opts.engine);
+    let mut human = String::new();
+    let mut json_pairs: Vec<String> = Vec::new();
+    let mut total_ns: u128 = 0;
+    for (i, (containee, containing)) in pairs.iter().enumerate() {
+        let index = i + 1;
+        let mut durations_ns: Vec<u128> = Vec::with_capacity(opts.repeat);
+        let mut verdict: Option<BagContainment> = None;
+        for _ in 0..opts.repeat {
+            let start = Instant::now();
+            let result = decider.decide(containee, containing).map_err(|e| {
+                CliError::Failure(format!(
+                    "cannot decide {} ⊑b {}: {e}",
+                    containee.name(),
+                    containing.name()
+                ))
+            })?;
+            durations_ns.push(start.elapsed().as_nanos());
+            verdict.get_or_insert(result);
+        }
+        let verdict = verdict.expect("repeat >= 1 guarantees at least one run");
+        let min = *durations_ns.iter().min().expect("at least one run");
+        let max = *durations_ns.iter().max().expect("at least one run");
+        let sum: u128 = durations_ns.iter().sum();
+        let mean = sum / durations_ns.len() as u128;
+        total_ns += sum;
+        if opts.json {
+            json_pairs.push(format!(
+                "{{\"index\":{index},\"containee\":{},\"containing\":{},\"verdict\":\"{}\",\
+                 \"runs\":{},\"min_ns\":{min},\"mean_ns\":{mean},\"max_ns\":{max}}}",
+                json::string(&containee.to_string()),
+                json::string(&containing.to_string()),
+                if verdict.holds() { "contained" } else { "not_contained" },
+                opts.repeat,
+            ));
+        } else {
+            let verdict_name = if verdict.holds() { "contained" } else { "not contained" };
+            writeln!(
+                human,
+                "[{index}] {} ⊑b {}: {verdict_name:<13} min {:>8}  mean {:>8}  max {:>8}  \
+                 ({} runs)",
+                containee.name(),
+                containing.name(),
+                format_ns(min),
+                format_ns(mean),
+                format_ns(max),
+                opts.repeat
+            )
+            .expect("writing to a String cannot fail");
+        }
+    }
+    if opts.json {
+        Ok(format!(
+            "{{\"command\":\"bench\",\"algorithm\":\"{}\",\"engine\":\"{}\",\"repeat\":{},\
+             \"total_ns\":{total_ns},\"pairs\":[{}]}}\n",
+            opts.algorithm_name,
+            opts.engine_name,
+            opts.repeat,
+            json_pairs.join(",")
+        ))
+    } else {
+        writeln!(
+            human,
+            "total: {} pair(s) × {} run(s) in {}",
+            pairs.len(),
+            opts.repeat,
+            format_ns(total_ns)
+        )
+        .expect("writing to a String cannot fail");
+        Ok(human)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_ok(args: &[&str], stdin: &str) -> String {
+        let args: Vec<String> = args.iter().map(|a| a.to_string()).collect();
+        let mut input = stdin.as_bytes();
+        match dispatch(&args, &mut input) {
+            Ok(out) => out,
+            Err(CliError::Usage(m) | CliError::Failure(m)) => panic!("unexpected error: {m}"),
+        }
+    }
+
+    fn run_err(args: &[&str], stdin: &str) -> (bool, String) {
+        let args: Vec<String> = args.iter().map(|a| a.to_string()).collect();
+        let mut input = stdin.as_bytes();
+        match dispatch(&args, &mut input) {
+            Ok(out) => panic!("expected an error, got output:\n{out}"),
+            Err(CliError::Usage(m)) => (true, m),
+            Err(CliError::Failure(m)) => (false, m),
+        }
+    }
+
+    const ACCEPTANCE: &str = "q(x) <- R^2(x, x). p(x) <- R(x, y), R(y, x).";
+
+    #[test]
+    fn decide_prints_a_verdict_for_the_acceptance_pair() {
+        let out = run_ok(&["decide", "--bag"], ACCEPTANCE);
+        assert!(out.contains("q ⊑b p"), "{out}");
+        assert!(out.contains("contained"), "{out}");
+        assert!(!out.contains("not contained"), "{out}");
+    }
+
+    #[test]
+    fn decide_reports_counterexamples_with_the_violating_bag() {
+        let out = run_ok(&["decide"], "q(x) <- R(x, x), S(x). p(x) <- R(x, x).");
+        assert!(out.contains("not contained"), "{out}");
+        assert!(out.contains("on bag {"), "{out}");
+    }
+
+    #[test]
+    fn decide_supports_all_algorithms_and_engines() {
+        for algorithm in ["most-general", "all-probes", "guess-check"] {
+            for engine in ["simplex", "fourier-motzkin"] {
+                let out =
+                    run_ok(&["decide", "--algorithm", algorithm, "--engine", engine], ACCEPTANCE);
+                assert!(out.contains("contained"), "{algorithm}/{engine}: {out}");
+            }
+        }
+        let out =
+            run_ok(&["decide", "--algorithm", "guess-check", "--budget", "100000"], ACCEPTANCE);
+        assert!(out.contains("contained"), "{out}");
+    }
+
+    #[test]
+    fn decide_set_semantics() {
+        // Dropping a conjunct is a set containment but not a bag containment.
+        let input = "q(x) <- R(x, x), S(x). p(x) <- R(x, x).";
+        let set = run_ok(&["decide", "--set"], input);
+        assert!(set.contains("⊑s") && set.contains("witness"), "{set}");
+        let bag = run_ok(&["decide", "--bag"], input);
+        assert!(bag.contains("not contained"), "{bag}");
+    }
+
+    #[test]
+    fn equiv_decides_both_directions() {
+        let out = run_ok(
+            &["equiv"],
+            "q1(x1, x2) <- R^2(x1, x2), P^3(x2, x2).\n\
+             q2(x1, x2) <- R^3(x1, x2), P^3(x2, x2).",
+        );
+        assert!(out.contains("NOT equivalent"), "{out}");
+        assert!(out.contains("forward") && out.contains("backward"), "{out}");
+        let out = run_ok(&["equiv"], "q(x) <- R(x, x). q(x) <- R(x, x).");
+        assert!(out.contains(": equivalent"), "{out}");
+    }
+
+    #[test]
+    fn gen_is_reproducible_and_round_trips_through_decide() {
+        let a = run_ok(&["gen", "spec", "--count", "3", "--seed", "42"], "");
+        let b = run_ok(&["gen", "spec", "--count", "3", "--seed", "42"], "");
+        assert_eq!(a, b, "gen must be byte-for-byte reproducible");
+        let c = run_ok(&["gen", "spec", "--count", "3", "--seed", "43"], "");
+        assert_ne!(a, c, "different seeds must give different workloads");
+        // The emitted datalog feeds straight back into decide, and
+        // specialisation pairs are contained by construction.
+        let verdicts = run_ok(&["decide"], &a);
+        assert_eq!(verdicts.lines().count(), 3, "{verdicts}");
+        assert!(verdicts.lines().all(|l| l.contains("contained")), "{verdicts}");
+        assert!(!verdicts.contains("not contained"), "{verdicts}");
+    }
+
+    #[test]
+    fn gen_header_records_the_effective_size() {
+        // The provenance header must regenerate the workload verbatim, so it
+        // records the resolved --size even when the caller relied on the
+        // default.
+        let out = run_ok(&["gen", "spec", "--count", "2", "--seed", "5"], "");
+        assert!(out.starts_with("% diophantus gen spec --count 2 --size 4 --seed 5\n"), "{out}");
+        let sized = run_ok(&["gen", "spec", "--count", "2", "--size", "4", "--seed", "5"], "");
+        assert_eq!(out, sized, "explicit default size must match the recorded command");
+        let json = run_ok(&["gen", "--json", "--count", "1", "--size", "3", "--seed", "5"], "");
+        assert!(json.contains("\"size\":3"), "{json}");
+    }
+
+    #[test]
+    fn gen_covers_every_kind() {
+        for kind in ["spec", "inflated", "contained", "path", "expmap", "threecol"] {
+            let out = run_ok(&["gen", kind, "--count", "2", "--seed", "7"], "");
+            assert_eq!(out.matches("% pair").count(), 2, "{kind}: {out}");
+            // Every emitted query parses back.
+            let queries = dioph_cq::parse_program(&out).expect(kind);
+            assert_eq!(queries.len(), 4, "{kind}");
+        }
+    }
+
+    #[test]
+    fn bench_reports_latency_stats() {
+        let out = run_ok(&["bench", "--repeat", "2"], ACCEPTANCE);
+        assert!(out.contains("min") && out.contains("mean") && out.contains("max"), "{out}");
+        assert!(out.contains("total: 1 pair(s) × 2 run(s)"), "{out}");
+    }
+
+    #[test]
+    fn json_outputs_have_the_expected_envelopes() {
+        let out = run_ok(&["decide", "--json"], ACCEPTANCE);
+        assert!(out.starts_with("{\"command\":\"decide\",\"semantics\":\"bag\""), "{out}");
+        assert!(out.contains("\"verdict\":\"contained\""), "{out}");
+        let out = run_ok(&["equiv", "--json"], "q(x) <- R(x, x). q(x) <- R(x, x).");
+        assert!(out.contains("\"equivalent\":true"), "{out}");
+        let out = run_ok(&["gen", "--json", "--count", "1", "--seed", "1"], "");
+        assert!(out.starts_with("{\"command\":\"gen\""), "{out}");
+        let out = run_ok(&["bench", "--json", "--repeat", "1"], ACCEPTANCE);
+        assert!(out.contains("\"min_ns\":"), "{out}");
+    }
+
+    #[test]
+    fn parse_errors_name_the_line_and_column() {
+        let (usage, message) = run_err(&["decide"], "q(x <- R(x, x).");
+        assert!(!usage, "parse errors are failures, not usage errors");
+        assert!(message.contains("<stdin>:1:5"), "{message}");
+    }
+
+    #[test]
+    fn unpaired_queries_are_rejected() {
+        let (_, message) = run_err(&["decide"], "q(x) <- R(x, x).");
+        assert!(message.contains("even number"), "{message}");
+        let (_, message) = run_err(&["decide"], "% only comments\n");
+        assert!(message.contains("no queries"), "{message}");
+    }
+
+    #[test]
+    fn undecidable_containees_fail_with_context() {
+        let (_, message) = run_err(&["decide"], "q(x) <- R(x, y). p(x) <- R(x, x).");
+        assert!(message.contains("projection-free"), "{message}");
+    }
+
+    #[test]
+    fn usage_errors() {
+        assert!(run_err(&["frobnicate"], "").0);
+        assert!(run_err(&["decide", "--algorithm", "magic"], "").0);
+        assert!(run_err(&["decide", "--engine", "abacus"], "").0);
+        assert!(run_err(&["gen", "nope"], "").0);
+        assert!(run_err(&["gen", "--seed"], "").0);
+        assert!(run_err(&["bench", "--set"], "").0);
+        assert!(run_err(&["bench", "--repeat", "0"], "").0);
+        assert!(run_err(&["decide", "--repeat", "3"], "").0, "--repeat is bench-only");
+        assert!(run_err(&["equiv", "--repeat", "3"], "").0, "--repeat is bench-only");
+        assert!(run_err(&["decide", "--set", "--engine", "simplex"], "").0, "set ignores engine");
+        assert!(run_err(&["decide", "--set", "--algorithm", "all-probes"], "").0);
+        assert!(run_err(&["decide", "--set", "--budget", "9"], "").0);
+        assert!(run_err(&["decide", "--budget", "9"], "").0, "budget needs guess-check");
+        assert!(run_err(&["gen", "path", "--size", "0"], "").0, "path needs size >= 1");
+        assert!(run_err(&["gen", "threecol", "--size", "0"], "").0);
+        assert!(run_err(&[], "").0);
+    }
+
+    #[test]
+    fn help_and_version() {
+        let help = run_ok(&["help"], "");
+        for needle in ["decide", "equiv", "gen", "bench", "docs/grammar.md", "ARCHITECTURE.md"] {
+            assert!(help.contains(needle), "help must mention {needle}");
+        }
+        let version = run_ok(&["--version"], "");
+        assert!(version.starts_with("diophantus "), "{version}");
+    }
+}

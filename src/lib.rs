@@ -27,6 +27,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cli;
+
 pub use dioph_arith as arith;
 pub use dioph_bagdb as bagdb;
 pub use dioph_containment as containment;
@@ -41,5 +43,7 @@ pub use dioph_containment::{
     are_bag_equivalent, bag_equivalence, is_bag_contained, set_containment, Algorithm,
     BagContainment, BagContainmentDecider, ContainmentError, Counterexample, FeasibilityEngine,
 };
-pub use dioph_cq::{parse_query, parse_ucq, ConjunctiveQuery, Term, UnionOfConjunctiveQueries};
+pub use dioph_cq::{
+    parse_program, parse_query, parse_ucq, ConjunctiveQuery, Term, UnionOfConjunctiveQueries,
+};
 pub use dioph_poly::{Monomial, Mpi, Polynomial};
