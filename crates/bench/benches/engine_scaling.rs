@@ -1,0 +1,144 @@
+//! engine_scaling — thread-count sweeps of the `dioph-engine` worker pool.
+//!
+//! Three sweeps, all over workloads the existing experiments already use:
+//!
+//! * **E4 probe-parallel sweep** — the path self-containment family under
+//!   `Algorithm::AllProbes` has `(L+1)^(L+1)` probe tuples per pair (length
+//!   3 ⇒ 256 probes), the embarrassingly parallel loop the engine fans out.
+//!   Before timing, the harness asserts that every job count produces a
+//!   **bit-identical** verdict (including JSON certificates) and prints the
+//!   measured 1-thread vs 4-thread wall-clock so the scaling claim is
+//!   checkable from the bench output alone.
+//! * **E7 tie-in** — the same probe sweep under both LP feasibility engines
+//!   (exact simplex vs Fourier–Motzkin), showing how the per-probe constant
+//!   of the ablation interacts with thread count.
+//! * **Batch stream sweep** — a stream of E4 exponential-mapping pairs
+//!   through `run_batch`, measuring pair-level parallelism end to end
+//!   (parse → compile → decide → in-order emission).
+
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use dioph_bench::{exponential_mapping_instance, path_self_containment};
+use dioph_containment::Algorithm;
+use dioph_engine::{DecisionEngine, EngineConfig, JobReader};
+use dioph_linalg::FeasibilityEngine;
+
+const JOB_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+/// The E4 multi-probe instance the probe sweeps run on: 4^4 = 256 probes.
+const PATH_LENGTH: usize = 3;
+
+fn engine_with(jobs: usize, engine: FeasibilityEngine) -> DecisionEngine {
+    DecisionEngine::new(EngineConfig { jobs, algorithm: Algorithm::AllProbes, engine })
+}
+
+fn bench_probe_parallel_e4(c: &mut Criterion) {
+    let (containee, containing) = path_self_containment(PATH_LENGTH);
+
+    // Determinism gate + headline numbers: every job count must produce the
+    // same verdict bytes, and the sweep prints its own 1-vs-4 speedup.
+    let reference = engine_with(1, FeasibilityEngine::Simplex)
+        .decide(&containee, &containing)
+        .expect("the E4 pair decides");
+    let mut wall: Vec<(usize, Duration)> = Vec::new();
+    for jobs in JOB_SWEEP {
+        let engine = engine_with(jobs, FeasibilityEngine::Simplex);
+        let start = Instant::now();
+        let verdict = engine.decide(&containee, &containing).expect("the E4 pair decides");
+        wall.push((jobs, start.elapsed()));
+        assert_eq!(verdict, reference, "jobs={jobs} must match the sequential verdict");
+        assert_eq!(verdict.to_json(), reference.to_json(), "JSON certificates must be identical");
+    }
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "engine_scaling: {cores} hardware thread(s) available \
+         (speedups over jobs=1 need cores > 1; verdict identity holds regardless)"
+    );
+    for (jobs, elapsed) in &wall {
+        println!(
+            "engine_scaling: E4 path({PATH_LENGTH}) all-probes, jobs={jobs}: {:.1}ms (one run)",
+            elapsed.as_secs_f64() * 1e3
+        );
+    }
+
+    let mut group = c.benchmark_group("engine/E4_probe_parallel");
+    for jobs in JOB_SWEEP {
+        let engine = engine_with(jobs, FeasibilityEngine::Simplex);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(jobs),
+            &(containee.clone(), containing.clone()),
+            |b, (containee, containing)| {
+                b.iter(|| engine.decide(black_box(containee), black_box(containing)).unwrap())
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_probe_parallel_lp_ablation(c: &mut Criterion) {
+    let (containee, containing) = path_self_containment(PATH_LENGTH);
+    let mut group = c.benchmark_group("engine/E7_lp_ablation");
+    for (label, lp) in
+        [("simplex", FeasibilityEngine::Simplex), ("fm", FeasibilityEngine::FourierMotzkin)]
+    {
+        for jobs in [1usize, 4] {
+            let engine = engine_with(jobs, lp);
+            group.bench_with_input(
+                BenchmarkId::new(label, jobs),
+                &(containee.clone(), containing.clone()),
+                |b, (containee, containing)| {
+                    b.iter(|| engine.decide(black_box(containee), black_box(containing)).unwrap())
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_batch_stream(c: &mut Criterion) {
+    // A stream of E4 exponential-mapping pairs (growing containing queries,
+    // 2^k containment mappings each) — the batch front-end's workload.
+    let mut text = String::new();
+    for k in 4..10 {
+        let (containee, containing) = exponential_mapping_instance(k);
+        text.push_str(&format!("{containee}.\n{containing}.\n"));
+    }
+    let mut group = c.benchmark_group("engine/batch_stream");
+    for jobs in JOB_SWEEP {
+        let engine = DecisionEngine::new(EngineConfig {
+            jobs,
+            algorithm: Algorithm::MostGeneralProbe,
+            engine: FeasibilityEngine::Simplex,
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(jobs), &text, |b, text| {
+            b.iter(|| {
+                let mut verdicts = 0usize;
+                let stats = engine.run_batch(JobReader::new(text.as_bytes()), |v| {
+                    black_box(&v);
+                    verdicts += 1;
+                    true
+                });
+                assert_eq!(stats.failures, 0);
+                verdicts
+            })
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_probe_parallel_e4, bench_probe_parallel_lp_ablation, bench_batch_stream
+}
+criterion_main!(benches);

@@ -17,10 +17,17 @@
 //! Corollary 3.1 / Theorem 5.3 then reduce the containment question to the
 //! (un)solvability of `P(u) < M(u)` over the naturals.
 
+use std::sync::OnceLock;
+
 use dioph_arith::Natural;
-use dioph_bagdb::BagInstance;
-use dioph_cq::{containment_mappings_to_grounded, Atom, ConjunctiveQuery, Term};
+use dioph_bagdb::{bag_answer_multiplicity, BagInstance};
+use dioph_cq::{
+    containment_mappings_to_grounded, most_general_probe_tuple, Atom, ConjunctiveQuery, ProbeSpace,
+    Term,
+};
 use dioph_poly::{Monomial, Mpi, Polynomial};
+
+use crate::certificate::{ContainmentError, Counterexample};
 
 /// A bag-containment instance compiled to an MPI for one probe tuple.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -132,6 +139,150 @@ impl CompiledProbe {
         assert_eq!(assignment.len(), self.atoms.len(), "assignment dimension mismatch");
         BagInstance::from_multiplicities(self.atoms.iter().cloned().zip(assignment.iter().cloned()))
     }
+}
+
+/// A whole containment pair compiled once and shared **read-only** across
+/// probes, worker threads and repeated decisions.
+///
+/// This is the compilation cache behind `dioph-engine`: validation of the
+/// containee happens exactly once (in [`CompiledPair::new`]), and every
+/// per-probe compilation — the containment-mapping enumeration plus the MPI
+/// assembly of [`CompiledProbe::compile`] — is memoised in a
+/// [`OnceLock`] slot keyed by the probe's raw index in the pair's
+/// [`ProbeSpace`]. All state is immutable after initialisation, so a
+/// `CompiledPair` is `Send + Sync` and can sit behind an `Arc` (or a scoped
+/// borrow) while any number of threads resolve disjoint — or even
+/// overlapping — probe indices concurrently; a probe raced by two threads is
+/// still compiled only once.
+///
+/// Deciding the same pair again (a `bench --repeat` loop, a batch stream
+/// replaying a pair, the two directions of an equivalence check each hitting
+/// their own pair) reuses every compiled MPI instead of re-enumerating the
+/// containment mappings.
+#[derive(Debug)]
+pub struct CompiledPair {
+    containee: ConjunctiveQuery,
+    containing: ConjunctiveQuery,
+    most_general: OnceLock<CompiledProbe>,
+    space: OnceLock<ProbeSpace>,
+    /// One memoisation slot per raw probe index; `None` marks an index whose
+    /// candidate tuple is not unifiable with the head (not a probe tuple).
+    slots: OnceLock<Vec<OnceLock<Option<CompiledProbe>>>>,
+}
+
+impl CompiledPair {
+    /// Validates the containee and wraps the pair for shared compilation.
+    ///
+    /// # Errors
+    /// The same validation errors as `BagContainmentDecider::decide`:
+    /// [`ContainmentError::EmptyBody`],
+    /// [`ContainmentError::ContaineeNotProjectionFree`] and
+    /// [`ContainmentError::UnsafeQuery`].
+    pub fn new(
+        containee: ConjunctiveQuery,
+        containing: ConjunctiveQuery,
+    ) -> Result<CompiledPair, ContainmentError> {
+        validate_containee(&containee)?;
+        Ok(CompiledPair {
+            containee,
+            containing,
+            most_general: OnceLock::new(),
+            space: OnceLock::new(),
+            slots: OnceLock::new(),
+        })
+    }
+
+    /// The containee `q1` (left side of `⊑b`).
+    pub fn containee(&self) -> &ConjunctiveQuery {
+        &self.containee
+    }
+
+    /// The containing query `q2` (right side of `⊑b`).
+    pub fn containing(&self) -> &ConjunctiveQuery {
+        &self.containing
+    }
+
+    /// The compiled most-general probe (Theorem 5.3), compiled on first use.
+    pub fn most_general(&self) -> &CompiledProbe {
+        self.most_general.get_or_init(|| {
+            let probe = most_general_probe_tuple(&self.containee);
+            CompiledProbe::compile(&self.containee, &self.containing, &probe)
+                .expect("the most-general probe tuple always unifies with the head")
+        })
+    }
+
+    /// The indexed probe space of the containee, computed on first use.
+    pub fn probe_space(&self) -> &ProbeSpace {
+        self.space.get_or_init(|| ProbeSpace::new(&self.containee))
+    }
+
+    /// Resolves (and memoises) the compilation of the probe with raw index
+    /// `index` in [`Self::probe_space`]; `None` when that index is not a
+    /// probe tuple. Safe to call from many threads at once.
+    ///
+    /// # Panics
+    /// Panics if `index` is out of range for the probe space.
+    pub fn probe(&self, index: usize) -> Option<&CompiledProbe> {
+        let space = self.probe_space();
+        let slots =
+            self.slots.get_or_init(|| (0..space.raw_len()).map(|_| OnceLock::new()).collect());
+        slots[index]
+            .get_or_init(|| {
+                space.tuple(index).map(|probe| {
+                    CompiledProbe::compile(&self.containee, &self.containing, &probe)
+                        .expect("probe tuples are unifiable with the head by construction")
+                })
+            })
+            .as_ref()
+    }
+
+    /// Builds (and soundness-checks) the counterexample bag for a probe of
+    /// this pair from a satisfying MPI assignment.
+    ///
+    /// # Panics
+    /// Panics if the extracted bag does not actually violate containment —
+    /// that would be an internal soundness bug, re-checked here with the
+    /// independent Equation-2 evaluator.
+    pub fn counterexample(
+        &self,
+        compiled: &CompiledProbe,
+        assignment: &[Natural],
+    ) -> Counterexample {
+        let bag = compiled.assignment_to_bag(assignment);
+        let probe: Vec<Term> = compiled.probe().to_vec();
+        let containee_multiplicity = bag_answer_multiplicity(&self.containee, &bag, &probe);
+        let containing_multiplicity = bag_answer_multiplicity(&self.containing, &bag, &probe);
+        assert!(
+            containee_multiplicity > containing_multiplicity,
+            "internal soundness violation: extracted bag does not violate containment \
+             (containee {containee_multiplicity} vs containing {containing_multiplicity})"
+        );
+        Counterexample { probe, bag, containee_multiplicity, containing_multiplicity }
+    }
+}
+
+/// Checks that `containee` lies in the fragment the paper's decision
+/// procedure covers: non-empty body, projection-free, safe.
+pub(crate) fn validate_containee(containee: &ConjunctiveQuery) -> Result<(), ContainmentError> {
+    if containee.distinct_atom_count() == 0 {
+        return Err(ContainmentError::EmptyBody { query: containee.name().to_string() });
+    }
+    let existential: Vec<String> = containee.existential_variables().into_iter().collect();
+    if !existential.is_empty() {
+        return Err(ContainmentError::ContaineeNotProjectionFree {
+            existential_variables: existential,
+        });
+    }
+    if !containee.is_safe() {
+        let body = containee.body_variables();
+        let missing: Vec<String> =
+            containee.head_variables().into_iter().filter(|v| !body.contains(v)).collect();
+        return Err(ContainmentError::UnsafeQuery {
+            query: containee.name().to_string(),
+            missing_variables: missing,
+        });
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -252,6 +403,77 @@ mod tests {
         for (atom, value) in compiled.atoms().iter().zip(&assignment) {
             assert_eq!(&bag.multiplicity(atom), value);
         }
+    }
+
+    #[test]
+    fn compiled_pair_memoises_and_matches_direct_compilation() {
+        let q1 = paper_examples::section3_query_q1();
+        let q2 = paper_examples::section3_query_q2();
+        let pair = CompiledPair::new(q1.clone(), q2.clone()).unwrap();
+
+        // The most-general probe is compiled once and shared by reference.
+        let first = pair.most_general() as *const CompiledProbe;
+        let second = pair.most_general() as *const CompiledProbe;
+        assert_eq!(first, second, "repeated access must hit the same compilation");
+        assert_eq!(
+            pair.most_general(),
+            &CompiledProbe::compile(&q1, &q2, &dioph_cq::most_general_probe_tuple(&q1)).unwrap()
+        );
+
+        // Every raw index resolves to exactly the probes the materialising
+        // enumeration produces, in the same order.
+        let space_len = pair.probe_space().raw_len();
+        let via_pair: Vec<&CompiledProbe> = (0..space_len).filter_map(|i| pair.probe(i)).collect();
+        let expected: Vec<CompiledProbe> = dioph_cq::probe_tuples(&q1)
+            .iter()
+            .map(|t| CompiledProbe::compile(&q1, &q2, t).unwrap())
+            .collect();
+        assert_eq!(via_pair.len(), expected.len());
+        for (got, want) in via_pair.iter().zip(&expected) {
+            assert_eq!(*got, want);
+        }
+        // Memoised: resolving an index again returns the same allocation.
+        let a = pair.probe(0).unwrap() as *const CompiledProbe;
+        let b = pair.probe(0).unwrap() as *const CompiledProbe;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn compiled_pair_is_send_sync_and_shareable_across_threads() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CompiledPair>();
+
+        let q1 = paper_examples::section3_probe_example();
+        let q2 = paper_examples::section3_probe_example();
+        let pair = CompiledPair::new(q1, q2).unwrap();
+        let n = pair.probe_space().raw_len();
+        std::thread::scope(|s| {
+            for worker in 0..4 {
+                let pair = &pair;
+                s.spawn(move || {
+                    // Overlapping strides: every thread touches every index.
+                    for i in 0..n {
+                        let _ = pair.probe((i + worker) % n);
+                    }
+                });
+            }
+        });
+        assert_eq!((0..n).filter_map(|i| pair.probe(i)).count(), 16);
+    }
+
+    #[test]
+    fn compiled_pair_rejects_out_of_fragment_containees() {
+        let ok = dioph_cq::parse_query("p(x) <- R(x, x)").unwrap();
+        let not_pf = dioph_cq::parse_query("q(x) <- R(x, y)").unwrap();
+        assert!(matches!(
+            CompiledPair::new(not_pf, ok.clone()),
+            Err(crate::ContainmentError::ContaineeNotProjectionFree { .. })
+        ));
+        let empty = ConjunctiveQuery::from_atom_list("e", vec![], vec![]);
+        assert!(matches!(
+            CompiledPair::new(empty, ok),
+            Err(crate::ContainmentError::EmptyBody { .. })
+        ));
     }
 
     #[test]

@@ -47,7 +47,7 @@ pub mod json;
 mod set;
 
 pub use certificate::{BagContainment, ContainmentError, Counterexample};
-pub use compile::CompiledProbe;
+pub use compile::{CompiledPair, CompiledProbe};
 pub use decider::{
     are_bag_equivalent, bag_equivalence, is_bag_contained, Algorithm, BagContainmentDecider,
 };

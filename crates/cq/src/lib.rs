@@ -46,7 +46,7 @@ pub use homomorphism::{
     query_homomorphisms, query_homomorphisms_with_answer,
 };
 pub use parser::{parse_program, parse_query, parse_ucq, ParseQueryError, ProgramParseError};
-pub use probe::{canonical_active_domain, most_general_probe_tuple, probe_tuples};
+pub use probe::{canonical_active_domain, most_general_probe_tuple, probe_tuples, ProbeSpace};
 pub use query::ConjunctiveQuery;
 pub use substitution::Substitution;
 pub use term::Term;

@@ -24,6 +24,90 @@ pub fn canonical_active_domain(query: &ConjunctiveQuery) -> BTreeSet<Term> {
     domain
 }
 
+/// The indexed space of candidate probe tuples of a query: every
+/// `|head|`-tuple over the canonical active domain, addressable by a dense
+/// raw index in `0..raw_len()`.
+///
+/// Candidate tuples are ordered lexicographically over the sorted domain
+/// (position 0 is the most significant digit), which is exactly the order
+/// [`probe_tuples`] has always produced — so any consumer that resolves raw
+/// indices in ascending order sees the same probe sequence as the
+/// materialising enumeration. Random access is what lets a parallel decider
+/// hand out probe *indices* to worker threads instead of cloning an
+/// exponential `Vec` of tuples: each worker decodes only the tuples it
+/// claims, in O(arity) per tuple.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ProbeSpace {
+    head: Vec<Term>,
+    domain: Vec<Term>,
+    raw_len: usize,
+}
+
+impl ProbeSpace {
+    /// Builds the probe space of `query`.
+    ///
+    /// # Panics
+    /// Panics if a head term is a constant (probe tuples are defined for
+    /// queries whose head is a tuple of variables), or if
+    /// `|domain|^{arity}` overflows `usize` (such a space could never be
+    /// enumerated anyway).
+    pub fn new(query: &ConjunctiveQuery) -> ProbeSpace {
+        for t in query.head() {
+            assert!(
+                t.is_var(),
+                "probe tuples are defined for queries with an all-variable head, found {t}"
+            );
+        }
+        let domain: Vec<Term> = canonical_active_domain(query).into_iter().collect();
+        let arity = query.arity();
+        let raw_len = if arity == 0 {
+            // A Boolean query has exactly one (empty) candidate tuple.
+            1
+        } else {
+            domain
+                .len()
+                .checked_pow(u32::try_from(arity).expect("query arity fits in u32"))
+                .expect("probe space size overflows usize")
+        };
+        ProbeSpace { head: query.head().to_vec(), domain, raw_len }
+    }
+
+    /// Number of candidate tuples (before the unifiability filter):
+    /// `|adom(I_q)|^{arity}`, or 1 for a Boolean query.
+    pub fn raw_len(&self) -> usize {
+        self.raw_len
+    }
+
+    /// The sorted canonical active domain the tuples draw from.
+    pub fn domain(&self) -> &[Term] {
+        &self.domain
+    }
+
+    /// Decodes raw index `index` into its candidate tuple, returning `None`
+    /// when the tuple is not unifiable with the head (and therefore not a
+    /// probe tuple at all).
+    ///
+    /// # Panics
+    /// Panics if `index >= raw_len()`.
+    pub fn tuple(&self, index: usize) -> Option<Vec<Term>> {
+        assert!(index < self.raw_len, "probe index {index} out of range {}", self.raw_len);
+        let arity = self.head.len();
+        let mut tuple = vec![Term::CanonConst(String::new()); arity];
+        let mut rest = index;
+        for pos in (0..arity).rev() {
+            tuple[pos] = self.domain[rest % self.domain.len()].clone();
+            rest /= self.domain.len();
+        }
+        unifiable_with_head(&self.head, &tuple).then_some(tuple)
+    }
+
+    /// Iterates over the probe tuples (the unifiable candidates) in raw-index
+    /// order.
+    pub fn iter(&self) -> impl Iterator<Item = Vec<Term>> + '_ {
+        (0..self.raw_len).filter_map(|i| self.tuple(i))
+    }
+}
+
 /// Enumerates all probe tuples of a query (Definition 3.1): every
 /// `|head|`-tuple over the canonical active domain that is unifiable with the
 /// head.
@@ -32,48 +116,17 @@ pub fn canonical_active_domain(query: &ConjunctiveQuery) -> BTreeSet<Term> {
 /// unifiability filter, so this is exponential in the arity; Theorem 5.3
 /// (`most_general_probe_tuple`) avoids the enumeration in the decision
 /// procedure, but the full set is still used for differential testing
-/// (Corollary 3.1) and for the paper's Section 3 example.
+/// (Corollary 3.1) and for the paper's Section 3 example. Callers that only
+/// need indexed access (e.g. a parallel decider) should use [`ProbeSpace`]
+/// directly and skip the materialisation.
 ///
 /// # Panics
 /// Panics if a head term is a constant (probe tuples are defined for queries
 /// whose head is a tuple of variables).
 pub fn probe_tuples(query: &ConjunctiveQuery) -> Vec<Vec<Term>> {
-    for t in query.head() {
-        assert!(
-            t.is_var(),
-            "probe tuples are defined for queries with an all-variable head, found {t}"
-        );
-    }
-    let domain: Vec<Term> = canonical_active_domain(query).into_iter().collect();
-    let arity = query.arity();
-    if arity == 0 {
-        // A Boolean query has exactly one (empty) probe tuple.
-        return vec![Vec::new()];
-    }
-    if domain.is_empty() {
-        return Vec::new();
-    }
-    let mut out = Vec::new();
-    let mut current = vec![0usize; arity];
-    loop {
-        let tuple: Vec<Term> = current.iter().map(|&i| domain[i].clone()).collect();
-        if unifiable_with_head(query.head(), &tuple) {
-            out.push(tuple);
-        }
-        // Advance the mixed-radix counter.
-        let mut pos = arity;
-        loop {
-            if pos == 0 {
-                return out;
-            }
-            pos -= 1;
-            current[pos] += 1;
-            if current[pos] < domain.len() {
-                break;
-            }
-            current[pos] = 0;
-        }
-    }
+    // An empty domain with positive arity gives raw_len = 0^arity = 0, so
+    // the iterator is empty exactly when no probe tuple exists.
+    ProbeSpace::new(query).iter().collect()
 }
 
 /// The *most-general* probe tuple `t*` (Theorem 5.3): each head variable is
@@ -180,6 +233,45 @@ mod tests {
     fn grounded_heads_are_rejected() {
         let q = paper_examples::section3_query_q1().most_general_grounding();
         let _ = probe_tuples(&q);
+    }
+
+    #[test]
+    fn probe_space_indexing_matches_the_materialised_enumeration() {
+        for q in [
+            paper_examples::section3_probe_example(),
+            paper_examples::section3_query_q1(),
+            ConjunctiveQuery::from_atom_list(
+                "diag",
+                vec![v("x"), v("x")],
+                vec![Atom::new("R", vec![v("x"), v("x")])],
+            ),
+        ] {
+            let space = ProbeSpace::new(&q);
+            let via_index: Vec<Vec<Term>> =
+                (0..space.raw_len()).filter_map(|i| space.tuple(i)).collect();
+            assert_eq!(via_index, probe_tuples(&q), "{q}");
+            assert_eq!(space.iter().collect::<Vec<_>>(), probe_tuples(&q), "{q}");
+        }
+    }
+
+    #[test]
+    fn probe_space_boolean_query_has_raw_len_one() {
+        let q = ConjunctiveQuery::from_atom_list(
+            "b",
+            vec![],
+            vec![Atom::new("R", vec![Term::constant("a")])],
+        );
+        let space = ProbeSpace::new(&q);
+        assert_eq!(space.raw_len(), 1);
+        assert_eq!(space.tuple(0), Some(Vec::new()));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn probe_space_rejects_out_of_range_indices() {
+        let q = paper_examples::section3_query_q1();
+        let space = ProbeSpace::new(&q);
+        let _ = space.tuple(space.raw_len());
     }
 
     #[test]

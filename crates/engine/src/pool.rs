@@ -1,0 +1,130 @@
+//! The probe-level worker pool: fan the probe tuples of one compiled pair
+//! across threads, merge deterministically.
+//!
+//! ## Scheduling
+//!
+//! Probe tuples are addressed by their raw index in the pair's
+//! [`ProbeSpace`](dioph_cq::ProbeSpace), so the scheduler is a single shared
+//! atomic counter: a worker claims the next index, resolves it through the
+//! pair's compilation cache (compiling the probe's MPI at most once even if
+//! another caller races it), and decides it with
+//! [`BagContainmentDecider::decide_probe`] — the same routine the sequential
+//! loop runs.
+//!
+//! ## Deterministic merging
+//!
+//! The sequential decider returns the outcome of the **first** probe (in
+//! probe order) that produces an event — a witness assignment or a
+//! guess-and-check budget error. To be bit-identical for any thread count,
+//! the pool keeps only the event with the lowest probe index and uses that
+//! index as a *cutoff*: claimed indices above a known event are skipped
+//! (their outcome could never win the merge), while lower indices are still
+//! decided and may replace the event. Contained verdicts count every probe
+//! tuple exactly once, so `probes_checked` also matches the sequential run.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use dioph_arith::Natural;
+use dioph_containment::{BagContainment, BagContainmentDecider, CompiledPair, ContainmentError};
+
+/// The outcome of one probe that can decide the whole pair.
+enum ProbeEvent {
+    /// An MPI assignment witnessing non-containment at this probe.
+    Witness(Vec<Natural>),
+    /// The per-probe decision failed (guess-and-check budget exhaustion).
+    Error(ContainmentError),
+}
+
+/// Decides `pair` with `jobs` worker threads; bit-identical to
+/// `decider.decide_pair(pair)`.
+pub(crate) fn decide_pair_parallel(
+    decider: &BagContainmentDecider,
+    pair: &CompiledPair,
+    jobs: usize,
+) -> Result<BagContainment, ContainmentError> {
+    let raw_len = pair.probe_space().raw_len();
+    let workers = jobs.min(raw_len).max(1);
+
+    let next = AtomicUsize::new(0);
+    let cutoff = AtomicUsize::new(usize::MAX);
+    let first_event: Mutex<Option<(usize, ProbeEvent)>> = Mutex::new(None);
+    let checked = AtomicUsize::new(0);
+
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let index = next.fetch_add(1, Ordering::Relaxed);
+                if index >= raw_len {
+                    break;
+                }
+                // An event at a lower index already decides the pair; skipping
+                // is only an optimisation (a stale read costs wasted work,
+                // never a wrong merge).
+                if index > cutoff.load(Ordering::Relaxed) {
+                    continue;
+                }
+                let Some(compiled) = pair.probe(index) else { continue };
+                checked.fetch_add(1, Ordering::Relaxed);
+                let event = match decider.decide_probe(compiled) {
+                    Ok(None) => continue,
+                    Ok(Some(assignment)) => ProbeEvent::Witness(assignment),
+                    Err(error) => ProbeEvent::Error(error),
+                };
+                let mut earliest = first_event.lock().expect("probe workers never panic");
+                if earliest.as_ref().is_none_or(|(winner, _)| index < *winner) {
+                    *earliest = Some((index, event));
+                    cutoff.store(index, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+
+    match first_event.into_inner().expect("probe workers never panic") {
+        Some((index, ProbeEvent::Witness(assignment))) => {
+            let compiled = pair.probe(index).expect("the winning event came from a probe");
+            Ok(BagContainment::NotContained(Box::new(pair.counterexample(compiled, &assignment))))
+        }
+        Some((_, ProbeEvent::Error(error))) => Err(error),
+        None => Ok(BagContainment::Contained { probes_checked: checked.into_inner() }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dioph_containment::Algorithm;
+    use dioph_cq::parse_query;
+
+    #[test]
+    fn parallel_all_probes_matches_sequential_probe_counts() {
+        // The diagonal-probe example has 16 probe tuples; all must be
+        // checked (and counted) when containment holds.
+        let q = parse_query("q(x1, x2) <- R(x1, x2), R('c1', x2), R^3(x1, 'c2')").unwrap();
+        let decider = BagContainmentDecider::new(Algorithm::AllProbes);
+        let pair = CompiledPair::new(q.clone(), q.clone()).unwrap();
+        let sequential = decider.decide_pair(&pair).unwrap();
+        for jobs in [1, 2, 3, 8, 64] {
+            let parallel = decide_pair_parallel(&decider, &pair, jobs).unwrap();
+            assert_eq!(parallel, sequential, "jobs={jobs}");
+        }
+        assert!(matches!(sequential, BagContainment::Contained { probes_checked: 16 }));
+    }
+
+    #[test]
+    fn parallel_merge_picks_the_first_failing_probe() {
+        // A failing pair: the counterexample must be the one the sequential
+        // loop finds (the lowest-index failing probe), for every job count.
+        let q1 = parse_query("q(x, y) <- R(x, y)").unwrap();
+        let q2 = parse_query("p(x, y) <- R(x, x)").unwrap();
+        let decider = BagContainmentDecider::new(Algorithm::AllProbes);
+        let sequential = decider.decide(&q1, &q2).unwrap();
+        let ce = sequential.counterexample().expect("pair must fail");
+        for jobs in [2, 4, 16] {
+            let pair = CompiledPair::new(q1.clone(), q2.clone()).unwrap();
+            let parallel = decide_pair_parallel(&decider, &pair, jobs).unwrap();
+            assert_eq!(parallel.counterexample(), Some(ce), "jobs={jobs}");
+            assert_eq!(parallel.to_json(), sequential.to_json(), "jobs={jobs}");
+        }
+    }
+}

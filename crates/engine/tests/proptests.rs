@@ -1,0 +1,110 @@
+//! Property tests: the parallel engine is observationally identical to the
+//! sequential decider, for every workload family, algorithm and job count.
+//!
+//! This is the determinism contract of `dioph-engine` stated as a property:
+//! fanning probe tuples (or whole pairs, in batch mode) across threads must
+//! never change a verdict, a counterexample bag, or a JSON certificate.
+
+use dioph_containment::{Algorithm, BagContainmentDecider};
+use dioph_engine::{DecisionEngine, EngineConfig, JobReader, Verdict};
+use dioph_workloads::suite::{generate_pairs, WorkloadKind};
+use proptest::prelude::*;
+
+const JOB_COUNTS: [usize; 3] = [1, 2, 4];
+
+fn kinds() -> Vec<WorkloadKind> {
+    vec![
+        WorkloadKind::Specialization { atoms: 3 },
+        WorkloadKind::Inflated { atoms: 3 },
+        WorkloadKind::Contained { atoms: 3 },
+        WorkloadKind::Path { length: 2 },
+        WorkloadKind::ExponentialMapping { mappings_log2: 2 },
+        WorkloadKind::ThreeColorability { vertices: 4 },
+    ]
+}
+
+/// Workload kinds whose probe spaces stay small enough for the
+/// probe-enumerating algorithm (AllProbes is exponential in the containee
+/// arity, so the wide-headed path/3-col families are kept out).
+fn all_probe_kinds() -> Vec<WorkloadKind> {
+    vec![
+        WorkloadKind::Specialization { atoms: 3 },
+        WorkloadKind::Inflated { atoms: 3 },
+        WorkloadKind::Contained { atoms: 3 },
+        WorkloadKind::ExponentialMapping { mappings_log2: 2 },
+    ]
+}
+
+fn assert_engine_matches_sequential(kind: WorkloadKind, seed: u64, algorithm: Algorithm) {
+    let decider = BagContainmentDecider::new(algorithm);
+    for pair in generate_pairs(kind, 2, seed) {
+        let sequential = decider.decide(&pair.containee, &pair.containing);
+        for jobs in JOB_COUNTS {
+            let engine =
+                DecisionEngine::new(EngineConfig { jobs, algorithm, engine: Default::default() });
+            let parallel = engine.decide(&pair.containee, &pair.containing);
+            match (&sequential, &parallel) {
+                (Ok(seq), Ok(par)) => {
+                    assert_eq!(par, seq, "{} jobs={jobs} {algorithm:?}", pair.label);
+                    assert_eq!(
+                        par.to_json(),
+                        seq.to_json(),
+                        "{} jobs={jobs}: JSON certificates must be byte-identical",
+                        pair.label
+                    );
+                }
+                (Err(se), Err(pe)) => {
+                    assert_eq!(pe, se, "{} jobs={jobs}: errors must agree", pair.label)
+                }
+                other => panic!("{} jobs={jobs}: outcome mismatch {other:?}", pair.label),
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Most-general-probe (the default algorithm) across every workload
+    /// family: engine and sequential decider agree bit-for-bit.
+    #[test]
+    fn engine_matches_sequential_most_general(seed in 0u64..1_000_000, kind_index in 0usize..6) {
+        let kind = kinds()[kind_index];
+        assert_engine_matches_sequential(kind, seed, Algorithm::MostGeneralProbe);
+    }
+
+    /// The probe-parallel path proper: the all-probes algorithm fans real
+    /// multi-probe work across the pool and must still match sequentially.
+    #[test]
+    fn engine_matches_sequential_all_probes(seed in 0u64..1_000_000, kind_index in 0usize..4) {
+        let kind = all_probe_kinds()[kind_index];
+        assert_engine_matches_sequential(kind, seed, Algorithm::AllProbes);
+    }
+
+    /// Batch mode: rendering a generated workload to datalog text and
+    /// streaming it through `run_batch` yields the same ordered verdicts for
+    /// every worker count.
+    #[test]
+    fn batch_verdicts_are_identical_across_worker_counts(seed in 0u64..1_000_000) {
+        let mut text = String::new();
+        for kind in [WorkloadKind::Specialization { atoms: 3 }, WorkloadKind::Inflated { atoms: 3 }] {
+            for pair in generate_pairs(kind, 3, seed) {
+                text.push_str(&format!("{}.\n{}.\n", pair.containee, pair.containing));
+            }
+        }
+        let mut runs: Vec<Vec<Verdict>> = Vec::new();
+        for jobs in JOB_COUNTS {
+            let engine = DecisionEngine::new(EngineConfig { jobs, ..Default::default() });
+            let mut verdicts = Vec::new();
+            let stats = engine.run_batch(JobReader::new(text.as_bytes()), |v| {
+                verdicts.push(v);
+                true
+            });
+            prop_assert_eq!(stats.jobs_processed, 6);
+            prop_assert_eq!(stats.failures, 0);
+            runs.push(verdicts);
+        }
+        prop_assert_eq!(&runs[0], &runs[1]);
+        prop_assert_eq!(&runs[0], &runs[2]);
+    }
+}

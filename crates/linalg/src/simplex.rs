@@ -43,6 +43,16 @@ impl SimplexOutcome {
     }
 }
 
+/// Negates every entry of a row in place: each value moves through the
+/// owned `Neg`, which flips the sign bit and reuses the limb allocations
+/// instead of rebuilding a cloned row.
+fn negate_row(row: &mut [Rational]) {
+    for v in row.iter_mut() {
+        let value = std::mem::take(v);
+        *v = -value;
+    }
+}
+
 /// Finds `x ≥ 0` with `A·x ≥ b` (row-wise), if such a point exists.
 ///
 /// `a` is a dense row-major matrix; every row must have the same length.
@@ -83,17 +93,13 @@ pub fn feasible_point(a: &[Vec<Rational>], b: &[Rational]) -> SimplexOutcome {
         if rhs_i.is_negative() {
             // Multiply the whole equation by -1 so the rhs is non-negative;
             // the surplus column then carries +1 and can serve as the basis.
-            for v in row.iter_mut() {
-                *v = -&*v;
-            }
+            negate_row(&mut row);
             rhs_i = -rhs_i;
             needs_artificial.push(false);
         } else if rhs_i.is_zero() {
             // rhs already zero: the surplus variable (value 0) can be basic
             // only if its coefficient is +1; flip the row to make it so.
-            for v in row.iter_mut() {
-                *v = -&*v;
-            }
+            negate_row(&mut row);
             needs_artificial.push(false);
         } else {
             needs_artificial.push(true);
@@ -148,7 +154,10 @@ pub fn feasible_point(a: &[Vec<Rational>], b: &[Rational]) -> SimplexOutcome {
             "simplex exceeded its iteration budget (cycling should be impossible with Bland's rule)"
         );
 
-        // Reduced costs: r_j = c_j - Σ_i c_{basis[i]} * T[i][j].
+        // Reduced costs: r_j = c_j - Σ_i c_{basis[i]} * T[i][j]. The phase-1
+        // cost vector is 0/1 (1 exactly on artificial columns), so the sum
+        // collapses to plain subtractions over the artificial-basic rows —
+        // no Rational multiplications at all.
         // Entering variable: smallest index with negative reduced cost (Bland).
         let mut entering: Option<usize> = None;
         for j in 0..total {
@@ -157,9 +166,8 @@ pub fn feasible_point(a: &[Vec<Rational>], b: &[Rational]) -> SimplexOutcome {
             }
             let mut r = cost(j);
             for (row, &basic) in rows.iter().zip(&basis) {
-                let cb = cost(basic);
-                if !cb.is_zero() && !row[j].is_zero() {
-                    r -= &(&cb * &row[j]);
+                if basic >= n + m && !row[j].is_zero() {
+                    r -= &row[j];
                 }
             }
             if r.is_negative() {
@@ -216,17 +224,29 @@ pub fn feasible_point(a: &[Vec<Rational>], b: &[Rational]) -> SimplexOutcome {
             unreachable!("phase-1 simplex objective cannot be unbounded");
         };
 
-        // Pivot on (leave, enter).
+        // Pivot on (leave, enter), updating rows strictly in place. The
+        // tableaus arising from the paper's strict homogeneous systems are
+        // sparse, so zero entries are skipped before any Rational is built
+        // and a unit pivot skips the whole normalisation pass.
         let pivot = rows[leave][enter].clone();
-        for v in rows[leave].iter_mut() {
-            *v = &*v / &pivot;
+        if !pivot.is_one() {
+            for v in rows[leave].iter_mut() {
+                if !v.is_zero() {
+                    *v = &*v / &pivot;
+                }
+            }
+            if !rhs[leave].is_zero() {
+                rhs[leave] = &rhs[leave] / &pivot;
+            }
         }
-        rhs[leave] = &rhs[leave] / &pivot;
         for i in 0..m {
             if i == leave || rows[i][enter].is_zero() {
                 continue;
             }
-            let factor = rows[i][enter].clone();
+            // After elimination the enter column of this row is exactly zero
+            // (the normalised leave row has a 1 there), so taking the factor
+            // out of the tableau writes the final value for free — no clone.
+            let factor = std::mem::take(&mut rows[i][enter]);
             let (leave_row, target_row) = if leave < i {
                 let (head, tail) = rows.split_at_mut(i);
                 (&head[leave], &mut tail[0])
@@ -234,12 +254,19 @@ pub fn feasible_point(a: &[Vec<Rational>], b: &[Rational]) -> SimplexOutcome {
                 let (head, tail) = rows.split_at_mut(leave);
                 (&tail[0], &mut head[i])
             };
-            for (target, pivot_coeff) in target_row.iter_mut().zip(leave_row.iter()) {
+            for (column, (target, pivot_coeff)) in
+                target_row.iter_mut().zip(leave_row.iter()).enumerate()
+            {
+                if column == enter || pivot_coeff.is_zero() {
+                    continue;
+                }
                 let delta = &factor * pivot_coeff;
                 *target -= &delta;
             }
-            let delta = &factor * &rhs[leave];
-            rhs[i] -= &delta;
+            if !rhs[leave].is_zero() {
+                let delta = &factor * &rhs[leave];
+                rhs[i] -= &delta;
+            }
         }
         basis[leave] = enter;
     }

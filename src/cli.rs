@@ -5,30 +5,46 @@
 //! stays as dependency-free as the rest of the workspace (the build
 //! environment has no crates.io access).
 //!
-//! Four subcommands drive the pipeline end to end:
+//! Six subcommands drive the pipeline end to end:
 //!
 //! * `decide` — parse datalog query pairs from files or stdin and decide
 //!   set/bag containment, printing verdicts and counterexample bags;
 //! * `equiv` — decide bag equivalence (mutual containment) per pair;
+//! * `batch` — the streaming front-end of `dioph-engine`: decide a
+//!   continuous stream of pairs on a worker pool (`--jobs`), emitting one
+//!   verdict line per pair (JSON lines with `--json`), optionally surviving
+//!   per-pair failures (`--keep-going`);
+//! * `verify` — re-check the counterexample bags of a `--json` output file
+//!   with the independent Equation-2 bag evaluator;
 //! * `gen` — emit seed-reproducible random workloads (specialisation pairs,
 //!   3-colorability reductions, E4/E6/E9 shapes) in the same datalog
 //!   notation `decide` reads;
 //! * `bench` — time a workload file and print per-pair latency statistics.
 //!
-//! Every subcommand has a `--json` mode whose output embeds the
+//! `decide` and `equiv` also take `--jobs N`: with more than one job they
+//! route through [`DecisionEngine`], which fans the probe tuples of each
+//! pair across threads — verdicts are bit-identical to the sequential path.
+//!
+//! Every deciding subcommand has a `--json` mode whose output embeds the
 //! [`BagContainment::to_json`] /
 //! [`Counterexample::to_json`](dioph_containment::Counterexample::to_json)
 //! certificates. The input grammar is documented in `docs/grammar.md`.
 
 use std::fmt::Write as _;
-use std::io::Read;
+use std::io::{BufReader, Read, Write};
 use std::time::Instant;
 
+use dioph_arith::Natural;
+use dioph_bagdb::{bag_answer_multiplicity, BagInstance};
 use dioph_containment::{
-    json, set_containment, Algorithm, BagContainment, BagContainmentDecider, FeasibilityEngine,
+    json, set_containment, Algorithm, BagContainment, BagContainmentDecider, CompiledPair,
+    ContainmentError, FeasibilityEngine,
 };
-use dioph_cq::{parse_program, ConjunctiveQuery};
+use dioph_cq::{parse_program, parse_query, Atom, ConjunctiveQuery, Term};
+use dioph_engine::{DecisionEngine, EngineConfig, JobReader, Verdict};
 use dioph_workloads::suite::{generate_pairs, WorkloadKind, WorkloadPair};
+
+use crate::jsonv::Json;
 
 /// Default budget for the `guess-check` enumeration algorithm.
 const DEFAULT_BUDGET: u64 = 1_000_000;
@@ -52,6 +68,13 @@ COMMANDS:
               bag.
     equiv     Decide bag equivalence (containment in both directions) for
               each pair.
+    batch     Decide a continuous stream of pairs on a worker pool, one
+              verdict line per pair, emitted in input order as soon as each
+              pair (and all before it) is done. Compilation is shared across
+              identical pairs in the stream. An empty stream is not an error.
+    verify    Re-check the counterexample bags recorded in `--json` output
+              (from decide, equiv or batch) with the independent Equation-2
+              bag evaluator. Exits 1 if any certificate fails.
     gen       Emit a seed-reproducible random workload in the same datalog
               notation `decide` reads.
     bench     Time the decision procedure on a workload and print per-pair
@@ -59,13 +82,21 @@ COMMANDS:
     help      Show this message.
     version   Show the version.
 
-OPTIONS (decide, equiv, bench):
+OPTIONS (decide, equiv, batch, bench):
     --bag                Bag semantics (default).
     --set                Set semantics (Chandra–Merlin); decide/equiv only.
     --algorithm <NAME>   most-general (default) | all-probes | guess-check
     --budget <N>         Enumeration budget for guess-check (default 1000000).
     --engine <NAME>      simplex (default) | fourier-motzkin
-    --json               Machine-readable output.
+    --jobs <N>           Worker threads (default 1). decide/equiv fan the
+                         probe tuples of each pair across threads; batch
+                         fans whole pairs. Verdicts are identical for any N.
+    --json               Machine-readable output (JSON lines for batch).
+
+OPTIONS (batch):
+    --keep-going         A pair that fails to read, parse or decide emits a
+                         structured error line and the stream continues;
+                         the exit status is still 1 if anything failed.
 
 OPTIONS (gen):
     <KIND>               spec (default) | inflated | contained | path |
@@ -103,28 +134,30 @@ EXIT STATUS:
 /// the process exit code: 0 on success, 1 on input or decision errors, 2 on
 /// usage errors.
 pub fn run(args: &[String]) -> i32 {
-    match dispatch(args, &mut std::io::stdin().lock()) {
-        Ok(output) => {
-            // A closed stdout (e.g. `diophantus gen … | head`) is a normal
-            // way for a pipeline to end, not an error worth a panic.
-            use std::io::Write;
-            let mut stdout = std::io::stdout().lock();
-            match stdout.write_all(output.as_bytes()).and_then(|()| stdout.flush()) {
-                Ok(()) => 0,
-                Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => 0,
-                Err(e) => {
-                    eprintln!("diophantus: stdout: {e}");
-                    1
-                }
-            }
-        }
+    let mut stdout = std::io::stdout().lock();
+    // `Stdin` (not the lock) because batch hands the reader to a feeder
+    // thread, which needs `Send`.
+    let code = match dispatch(args, &mut std::io::stdin(), &mut stdout) {
+        Ok(()) => 0,
+        // A closed stdout (e.g. `diophantus gen … | head`) is a normal way
+        // for a pipeline to end, not an error worth a panic.
+        Err(CliError::BrokenPipe) => 0,
         Err(CliError::Failure(message)) => {
             eprintln!("diophantus: {message}");
             1
         }
+        Err(CliError::Reported) => 1,
         Err(CliError::Usage(message)) => {
             eprintln!("diophantus: {message}\nRun `diophantus help` for usage.");
             2
+        }
+    };
+    match stdout.flush() {
+        Ok(()) => code,
+        Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => code,
+        Err(e) => {
+            eprintln!("diophantus: stdout: {e}");
+            code.max(1)
         }
     }
 }
@@ -134,23 +167,46 @@ enum CliError {
     Usage(String),
     /// Bad input or an undecidable pair — exit code 1.
     Failure(String),
+    /// Exit code 1, but the diagnostic already went to stderr (a streaming
+    /// command reporting mid-stream) — nothing more to print.
+    Reported,
+    /// The consumer closed stdout mid-stream — a clean exit, code 0.
+    BrokenPipe,
 }
 
 type CliResult = Result<String, CliError>;
 
-fn dispatch(args: &[String], stdin: &mut dyn Read) -> CliResult {
+/// Writes `text`, translating a closed pipe into the clean-exit sentinel.
+fn write_out(out: &mut dyn Write, text: &str) -> Result<(), CliError> {
+    match out.write_all(text.as_bytes()) {
+        Ok(()) => Ok(()),
+        Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => Err(CliError::BrokenPipe),
+        Err(e) => Err(CliError::Failure(format!("stdout: {e}"))),
+    }
+}
+
+fn dispatch(
+    args: &[String],
+    stdin: &mut (dyn Read + Send),
+    out: &mut dyn Write,
+) -> Result<(), CliError> {
     let Some(command) = args.first() else {
         return Err(CliError::Usage("missing command".to_string()));
     };
-    match command.as_str() {
+    let rendered = match command.as_str() {
         "decide" => cmd_decide(&args[1..], stdin, false),
         "equiv" => cmd_decide(&args[1..], stdin, true),
+        // batch and verify stream to `out` themselves: their output must
+        // appear as results arrive, not when the whole input is consumed.
+        "batch" => return cmd_batch(&args[1..], stdin, out),
+        "verify" => return cmd_verify(&args[1..], stdin, out),
         "gen" => cmd_gen(&args[1..]),
         "bench" => cmd_bench(&args[1..], stdin),
         "help" | "--help" | "-h" => Ok(HELP.to_string()),
         "version" | "--version" | "-V" => Ok(format!("diophantus {}\n", env!("CARGO_PKG_VERSION"))),
         other => Err(CliError::Usage(format!("unknown command '{other}'"))),
-    }
+    };
+    write_out(out, &rendered?)
 }
 
 // ---------------------------------------------------------------------------
@@ -189,7 +245,17 @@ struct DecideOpts {
     json: bool,
     repeat: usize,
     repeat_set: bool,
+    jobs: usize,
+    jobs_set: bool,
+    keep_going: bool,
     files: Vec<String>,
+}
+
+impl DecideOpts {
+    /// The engine configuration these options select.
+    fn engine_config(&self) -> EngineConfig {
+        EngineConfig { jobs: self.jobs, algorithm: self.algorithm, engine: self.engine }
+    }
 }
 
 fn next_value(it: &mut std::slice::Iter<'_, String>, flag: &str) -> Result<String, CliError> {
@@ -211,6 +277,9 @@ fn parse_decide_opts(args: &[String]) -> Result<DecideOpts, CliError> {
     let mut json = false;
     let mut repeat = DEFAULT_REPEAT;
     let mut repeat_set = false;
+    let mut jobs = 1usize;
+    let mut jobs_set = false;
+    let mut keep_going = false;
     let mut files = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -218,6 +287,11 @@ fn parse_decide_opts(args: &[String]) -> Result<DecideOpts, CliError> {
             "--bag" => semantics = Semantics::Bag,
             "--set" => semantics = Semantics::Set,
             "--json" => json = true,
+            "--jobs" => {
+                jobs = parse_count(&next_value(&mut it, "--jobs")?, "--jobs")?;
+                jobs_set = true;
+            }
+            "--keep-going" => keep_going = true,
             "--algorithm" => {
                 algorithm_name = next_value(&mut it, "--algorithm")?;
                 algorithm_set = true;
@@ -247,9 +321,12 @@ fn parse_decide_opts(args: &[String]) -> Result<DecideOpts, CliError> {
     // the set-semantics check never touches the bag machinery, and the
     // budget only configures the guess-check enumeration.
     if semantics == Semantics::Set {
-        for (set, flag) in
-            [(algorithm_set, "--algorithm"), (engine_set, "--engine"), (budget_set, "--budget")]
-        {
+        for (set, flag) in [
+            (algorithm_set, "--algorithm"),
+            (engine_set, "--engine"),
+            (budget_set, "--budget"),
+            (jobs_set, "--jobs"),
+        ] {
             if set {
                 return Err(CliError::Usage(format!(
                     "{flag} only applies to bag semantics; drop --set"
@@ -286,6 +363,9 @@ fn parse_decide_opts(args: &[String]) -> Result<DecideOpts, CliError> {
     if repeat == 0 {
         return Err(CliError::Usage("--repeat must be at least 1".to_string()));
     }
+    if jobs == 0 {
+        return Err(CliError::Usage("--jobs must be at least 1".to_string()));
+    }
     Ok(DecideOpts {
         semantics,
         algorithm,
@@ -295,6 +375,9 @@ fn parse_decide_opts(args: &[String]) -> Result<DecideOpts, CliError> {
         json,
         repeat,
         repeat_set,
+        jobs,
+        jobs_set,
+        keep_going,
         files,
     })
 }
@@ -359,18 +442,50 @@ fn into_pairs(
 // decide / equiv
 // ---------------------------------------------------------------------------
 
+/// The decision backend `decide`/`equiv` run on: the plain sequential
+/// decider, or the probe-parallel engine when `--jobs` asks for more than
+/// one thread. Verdicts are bit-identical either way; only wall-clock
+/// differs.
+enum DecideBackend {
+    Sequential(BagContainmentDecider),
+    Parallel(DecisionEngine),
+}
+
+impl DecideBackend {
+    fn from_opts(opts: &DecideOpts) -> DecideBackend {
+        if opts.jobs > 1 {
+            DecideBackend::Parallel(DecisionEngine::new(opts.engine_config()))
+        } else {
+            DecideBackend::Sequential(
+                BagContainmentDecider::new(opts.algorithm).with_engine(opts.engine),
+            )
+        }
+    }
+
+    fn decide(
+        &self,
+        containee: &ConjunctiveQuery,
+        containing: &ConjunctiveQuery,
+    ) -> Result<BagContainment, ContainmentError> {
+        match self {
+            DecideBackend::Sequential(decider) => decider.decide(containee, containing),
+            DecideBackend::Parallel(engine) => engine.decide(containee, containing),
+        }
+    }
+}
+
 /// Decides one direction under the selected semantics; returns the verdict
 /// and its rendering in the requested output mode only (no point formatting
 /// JSON for a human run, or vice versa).
 fn decide_direction(
     opts: &DecideOpts,
-    decider: &BagContainmentDecider,
+    backend: &DecideBackend,
     containee: &ConjunctiveQuery,
     containing: &ConjunctiveQuery,
 ) -> Result<(bool, String), CliError> {
     match opts.semantics {
         Semantics::Bag => {
-            let result = decider.decide(containee, containing).map_err(|e| {
+            let result = backend.decide(containee, containing).map_err(|e| {
                 CliError::Failure(format!(
                     "cannot decide {} {} {}: {e}",
                     containee.name(),
@@ -402,15 +517,18 @@ fn cmd_decide(args: &[String], stdin: &mut dyn Read, mutual: bool) -> CliResult 
     if opts.repeat_set {
         return Err(CliError::Usage("--repeat only applies to bench".to_string()));
     }
+    if opts.keep_going {
+        return Err(CliError::Usage("--keep-going only applies to batch".to_string()));
+    }
     let pairs = into_pairs(load_queries(&opts.files, stdin)?)?;
-    let decider = BagContainmentDecider::new(opts.algorithm).with_engine(opts.engine);
+    let backend = DecideBackend::from_opts(&opts);
     let mut human = String::new();
     let mut json_pairs: Vec<String> = Vec::new();
     for (i, (containee, containing)) in pairs.iter().enumerate() {
         let index = i + 1;
-        let forward = decide_direction(&opts, &decider, containee, containing)?;
+        let forward = decide_direction(&opts, &backend, containee, containing)?;
         if mutual {
-            let backward = decide_direction(&opts, &decider, containing, containee)?;
+            let backward = decide_direction(&opts, &backend, containing, containee)?;
             let equivalent = forward.0 && backward.0;
             if opts.json {
                 json_pairs.push(format!(
@@ -474,6 +592,379 @@ fn cmd_decide(args: &[String], stdin: &mut dyn Read, mutual: bool) -> CliResult 
     } else {
         Ok(human)
     }
+}
+
+// ---------------------------------------------------------------------------
+// batch
+// ---------------------------------------------------------------------------
+
+/// Concatenates several owned readers into one (std's `Read::chain` nests
+/// types, which does not scale to a runtime file list).
+struct MultiReader {
+    sources: std::collections::VecDeque<Box<dyn Read + Send>>,
+}
+
+impl Read for MultiReader {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        while let Some(front) = self.sources.front_mut() {
+            let n = front.read(buf)?;
+            if n > 0 {
+                return Ok(n);
+            }
+            self.sources.pop_front();
+        }
+        Ok(0)
+    }
+}
+
+/// Renders one batch verdict as a single output line.
+fn render_verdict(opts: &DecideOpts, verdict: &Verdict) -> String {
+    match (&verdict.outcome, opts.json) {
+        (Ok(outcome), true) => format!(
+            "{{\"id\":{},\"containee\":{},\"containing\":{},\"result\":{}}}\n",
+            verdict.id,
+            json::string(&outcome.containee.to_string()),
+            json::string(&outcome.containing.to_string()),
+            outcome.verdict.to_json(),
+        ),
+        (Ok(outcome), false) => format!(
+            "[{}] {} ⊑b {}: {}\n",
+            verdict.id,
+            outcome.containee.name(),
+            outcome.containing.name(),
+            outcome.verdict
+        ),
+        (Err(error), true) => format!(
+            "{{\"id\":{},\"error\":{{\"stage\":\"{}\",\"message\":{}}}}}\n",
+            verdict.id,
+            error.stage(),
+            json::string(error.message()),
+        ),
+        (Err(error), false) => {
+            format!("[{}] {} error: {}\n", verdict.id, error.stage(), error.message())
+        }
+    }
+}
+
+fn cmd_batch(
+    args: &[String],
+    stdin: &mut (dyn Read + Send),
+    out: &mut dyn Write,
+) -> Result<(), CliError> {
+    let opts = parse_decide_opts(args)?;
+    if opts.semantics == Semantics::Set {
+        return Err(CliError::Usage("batch decides bag containment; drop --set".to_string()));
+    }
+    if opts.repeat_set {
+        return Err(CliError::Usage("--repeat only applies to bench".to_string()));
+    }
+
+    // Input: stdin, or the FILEs concatenated — consumed lazily either way,
+    // so verdicts stream out while input is still arriving.
+    let source: Box<dyn Read + Send> = if opts.files.is_empty() {
+        Box::new(stdin)
+    } else {
+        let mut sources: std::collections::VecDeque<Box<dyn Read + Send>> =
+            std::collections::VecDeque::new();
+        for file in &opts.files {
+            let handle =
+                std::fs::File::open(file).map_err(|e| CliError::Failure(format!("{file}: {e}")))?;
+            sources.push_back(Box::new(handle));
+        }
+        Box::new(MultiReader { sources })
+    };
+
+    let engine = DecisionEngine::new(opts.engine_config());
+    let mut stream_error: Option<CliError> = None;
+    let stats = engine.run_batch(JobReader::new(BufReader::new(source)), |verdict| {
+        if let (Err(error), false) = (&verdict.outcome, opts.keep_going) {
+            // Without --keep-going the first failure aborts the stream; the
+            // diagnostic goes to stderr like decide's, not into the output.
+            // Printed immediately (not after run_batch returns) because the
+            // abort only completes once the input yields its next line or
+            // closes — an interactive user must see why the batch stopped
+            // while that drain is still pending.
+            let message = format!("pair {}: {}", verdict.id, error);
+            eprintln!("diophantus: {message}");
+            stream_error = Some(CliError::Reported);
+            return false;
+        }
+        match write_out(out, &render_verdict(&opts, &verdict)) {
+            Ok(()) => true,
+            Err(e) => {
+                stream_error = Some(e);
+                false
+            }
+        }
+    });
+    if let Some(error) = stream_error {
+        return Err(error);
+    }
+    if stats.failures > 0 {
+        return Err(CliError::Failure(format!(
+            "{} of {} pair(s) failed (error lines inline above)",
+            stats.failures, stats.jobs_processed
+        )));
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// verify
+// ---------------------------------------------------------------------------
+
+/// Running tallies of one `verify` invocation.
+#[derive(Default)]
+struct VerifyReport {
+    lines: String,
+    verified: usize,
+    contained: usize,
+    error_lines: usize,
+    failed: usize,
+}
+
+impl VerifyReport {
+    fn record(&mut self, label: &str, check: Result<String, String>) {
+        match check {
+            Ok(line) => {
+                self.verified += 1;
+                self.lines.push_str(&format!("[{label}] {line}\n"));
+            }
+            Err(line) => {
+                self.failed += 1;
+                self.lines.push_str(&format!("[{label}] VERIFICATION FAILED: {line}\n"));
+            }
+        }
+    }
+}
+
+/// Reconstructs a [`Term`] from its datalog rendering by parsing a
+/// synthetic single-term head.
+fn term_from_text(text: &str) -> Result<Term, String> {
+    let q = parse_query(&format!("w({text}) <- true."))
+        .map_err(|e| format!("probe term '{text}' does not parse: {e}"))?;
+    Ok(q.head()[0].clone())
+}
+
+/// Reconstructs an [`Atom`] from its datalog rendering by parsing a
+/// synthetic Boolean body.
+fn atom_from_text(text: &str) -> Result<Atom, String> {
+    let q = parse_query(&format!("w() <- {text}."))
+        .map_err(|e| format!("bag atom '{text}' does not parse: {e}"))?;
+    let atom = q.body_atoms().next().cloned();
+    atom.ok_or_else(|| format!("bag atom '{text}' is empty"))
+}
+
+/// JSON member access with a verify-flavoured diagnostic.
+fn member<'a>(value: &'a Json, key: &str) -> Result<&'a Json, String> {
+    value.get(key).ok_or_else(|| format!("certificate object is missing \"{key}\""))
+}
+
+fn member_str<'a>(value: &'a Json, key: &str) -> Result<&'a str, String> {
+    member(value, key)?.as_str().ok_or_else(|| format!("\"{key}\" must be a string"))
+}
+
+/// Re-checks one recorded direction (`containee ⊑b containing` plus its
+/// `result` object) against the independent Equation-2 evaluator. Returns
+/// the human line on success (`Ok`) or the mismatch diagnostic (`Err`);
+/// contained verdicts carry no certificate and verify vacuously.
+fn check_direction(
+    containee: &ConjunctiveQuery,
+    containing: &ConjunctiveQuery,
+    result: &Json,
+) -> Result<(bool, String), String> {
+    match member_str(result, "verdict")? {
+        "contained" => Ok((
+            false,
+            format!(
+                "{} ⊑b {}: contained (no counterexample to re-check)",
+                containee.name(),
+                containing.name()
+            ),
+        )),
+        "not_contained" => {
+            let ce = member(result, "counterexample")?;
+            let probe_json = member(ce, "probe")?.as_array().ok_or("\"probe\" must be an array")?;
+            let probe: Vec<Term> = probe_json
+                .iter()
+                .map(|t| term_from_text(t.as_str().ok_or("probe terms must be strings")?))
+                .collect::<Result<_, String>>()?;
+            let bag_json = member(ce, "bag")?.as_array().ok_or("\"bag\" must be an array")?;
+            let mut entries: Vec<(Atom, Natural)> = Vec::with_capacity(bag_json.len());
+            for entry in bag_json {
+                let atom = atom_from_text(member_str(entry, "atom")?)?;
+                let mult = Natural::from_decimal_str(member_str(entry, "multiplicity")?)
+                    .map_err(|e| format!("bad multiplicity: {e}"))?;
+                entries.push((atom, mult));
+            }
+            let bag = BagInstance::from_multiplicities(entries);
+            let recorded_lhs = Natural::from_decimal_str(member_str(ce, "containee_multiplicity")?)
+                .map_err(|e| format!("bad containee_multiplicity: {e}"))?;
+            let recorded_rhs =
+                Natural::from_decimal_str(member_str(ce, "containing_multiplicity")?)
+                    .map_err(|e| format!("bad containing_multiplicity: {e}"))?;
+
+            // The independent check: Equation 2, sharing no code with the
+            // MPI route that produced the certificate.
+            let lhs = bag_answer_multiplicity(containee, &bag, &probe);
+            let rhs = bag_answer_multiplicity(containing, &bag, &probe);
+            if lhs != recorded_lhs {
+                return Err(format!(
+                    "recorded containee multiplicity {recorded_lhs}, evaluator says {lhs}"
+                ));
+            }
+            if rhs != recorded_rhs {
+                return Err(format!(
+                    "recorded containing multiplicity {recorded_rhs}, evaluator says {rhs}"
+                ));
+            }
+            if lhs <= rhs {
+                return Err(format!(
+                    "the recorded bag does not violate containment ({lhs} ≤ {rhs})"
+                ));
+            }
+            Ok((
+                true,
+                format!(
+                    "{} ⋢b {}: counterexample verified ({lhs} > {rhs})",
+                    containee.name(),
+                    containing.name()
+                ),
+            ))
+        }
+        other => Err(format!("unknown verdict '{other}'")),
+    }
+}
+
+/// Parses the two query texts of a certificate entry and re-checks one or
+/// both recorded directions.
+fn check_entry(report: &mut VerifyReport, label: &str, entry: &Json) -> Result<(), String> {
+    let containee = parse_query(member_str(entry, "containee")?)
+        .map_err(|e| format!("recorded containee does not parse: {e}"))?;
+    let containing = parse_query(member_str(entry, "containing")?)
+        .map_err(|e| format!("recorded containing query does not parse: {e}"))?;
+    let directions: Vec<(String, &ConjunctiveQuery, &ConjunctiveQuery, &Json)> =
+        if let Some(result) = entry.get("result") {
+            vec![(label.to_string(), &containee, &containing, result)]
+        } else if let (Some(forward), Some(backward)) =
+            (entry.get("forward"), entry.get("backward"))
+        {
+            vec![
+                (format!("{label} forward"), &containee, &containing, forward),
+                (format!("{label} backward"), &containing, &containee, backward),
+            ]
+        } else {
+            return Err(
+                "entry has neither \"result\" nor \"forward\"/\"backward\" — only decide, \
+                 equiv and batch --json output is verifiable"
+                    .to_string(),
+            );
+        };
+    for (label, containee, containing, result) in directions {
+        match check_direction(containee, containing, result) {
+            Ok((was_counterexample, line)) => {
+                if was_counterexample {
+                    report.record(&label, Ok(line));
+                } else {
+                    report.contained += 1;
+                    report.lines.push_str(&format!("[{label}] {line}\n"));
+                }
+            }
+            Err(diagnostic) => report.record(&label, Err(diagnostic)),
+        }
+    }
+    Ok(())
+}
+
+fn cmd_verify(
+    args: &[String],
+    stdin: &mut (dyn Read + Send),
+    out: &mut dyn Write,
+) -> Result<(), CliError> {
+    let mut files = Vec::new();
+    for arg in args {
+        if arg.starts_with("--") {
+            return Err(CliError::Usage(format!(
+                "unknown option '{arg}' (verify takes only certificate FILEs)"
+            )));
+        }
+        files.push(arg.clone());
+    }
+    let mut sources: Vec<(String, String)> = Vec::new();
+    if files.is_empty() {
+        let mut text = String::new();
+        stdin.read_to_string(&mut text).map_err(|e| CliError::Failure(format!("<stdin>: {e}")))?;
+        sources.push(("<stdin>".to_string(), text));
+    } else {
+        for file in &files {
+            let text = std::fs::read_to_string(file)
+                .map_err(|e| CliError::Failure(format!("{file}: {e}")))?;
+            sources.push((file.clone(), text));
+        }
+    }
+
+    let mut report = VerifyReport::default();
+    let mut saw_entries = false;
+    for (name, text) in &sources {
+        for (line_index, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let location = format!("{name}:{}", line_index + 1);
+            let doc = Json::parse(line)
+                .map_err(|e| CliError::Failure(format!("{location}: not JSON: {e}")))?;
+            if let Some(pairs) = doc.get("pairs").and_then(Json::as_array) {
+                // A decide/equiv/bench envelope.
+                for (i, entry) in pairs.iter().enumerate() {
+                    saw_entries = true;
+                    let label = format!("{}", i + 1);
+                    check_entry(&mut report, &label, entry)
+                        .map_err(|e| CliError::Failure(format!("{location}: pair {label}: {e}")))?;
+                }
+            } else if doc.get("id").is_some() {
+                // A batch --json line.
+                saw_entries = true;
+                let label = match doc.get("id") {
+                    Some(Json::Number(n)) => format!("{n}"),
+                    _ => "?".to_string(),
+                };
+                if let Some(error) = doc.get("error") {
+                    report.error_lines += 1;
+                    let stage = error.get("stage").and_then(Json::as_str).unwrap_or("unknown");
+                    report.lines.push_str(&format!(
+                        "[{label}] recorded {stage} error: nothing to re-check\n"
+                    ));
+                } else {
+                    check_entry(&mut report, &label, &doc)
+                        .map_err(|e| CliError::Failure(format!("{location}: {e}")))?;
+                }
+            } else {
+                return Err(CliError::Failure(format!(
+                    "{location}: unrecognised JSON (expected a decide/equiv envelope with \
+                     \"pairs\" or batch --json lines)"
+                )));
+            }
+        }
+    }
+    if !saw_entries {
+        return Err(CliError::Failure(
+            "no certificates in the input; pass a file produced with --json".to_string(),
+        ));
+    }
+    let summary = format!(
+        "verify: {} counterexample(s) verified, {} contained verdict(s), {} recorded error \
+         line(s), {} failure(s)\n",
+        report.verified, report.contained, report.error_lines, report.failed
+    );
+    write_out(out, &report.lines)?;
+    write_out(out, &summary)?;
+    if report.failed > 0 {
+        return Err(CliError::Failure(format!(
+            "{} counterexample(s) failed verification",
+            report.failed
+        )));
+    }
+    Ok(())
 }
 
 // ---------------------------------------------------------------------------
@@ -605,6 +1096,16 @@ fn cmd_bench(args: &[String], stdin: &mut dyn Read) -> CliResult {
     if opts.semantics == Semantics::Set {
         return Err(CliError::Usage("bench times the bag-containment decider; drop --set".into()));
     }
+    if opts.jobs_set {
+        return Err(CliError::Usage(
+            "--jobs applies to decide, equiv and batch (bench times the sequential decider; \
+             use the engine_scaling bench for thread sweeps)"
+                .to_string(),
+        ));
+    }
+    if opts.keep_going {
+        return Err(CliError::Usage("--keep-going only applies to batch".to_string()));
+    }
     let pairs = into_pairs(load_queries(&opts.files, stdin)?)?;
     let decider = BagContainmentDecider::new(opts.algorithm).with_engine(opts.engine);
     let mut human = String::new();
@@ -612,17 +1113,24 @@ fn cmd_bench(args: &[String], stdin: &mut dyn Read) -> CliResult {
     let mut total_ns: u128 = 0;
     for (i, (containee, containing)) in pairs.iter().enumerate() {
         let index = i + 1;
+        let cannot_decide = |e: &dyn std::fmt::Display| {
+            CliError::Failure(format!(
+                "cannot decide {} ⊑b {}: {e}",
+                containee.name(),
+                containing.name()
+            ))
+        };
+        // Compile the pair once and share it across the repeat loop, so the
+        // timings measure the decision procedure — not recompilation of the
+        // containment-mapping enumeration on every run. (The first run still
+        // pays lazy compilation of the probes it touches.)
+        let pair = CompiledPair::new(containee.clone(), containing.clone())
+            .map_err(|e| cannot_decide(&e))?;
         let mut durations_ns: Vec<u128> = Vec::with_capacity(opts.repeat);
         let mut verdict: Option<BagContainment> = None;
         for _ in 0..opts.repeat {
             let start = Instant::now();
-            let result = decider.decide(containee, containing).map_err(|e| {
-                CliError::Failure(format!(
-                    "cannot decide {} ⊑b {}: {e}",
-                    containee.name(),
-                    containing.name()
-                ))
-            })?;
+            let result = decider.decide_pair(&pair).map_err(|e| cannot_decide(&e))?;
             durations_ns.push(start.elapsed().as_nanos());
             verdict.get_or_insert(result);
         }
@@ -683,22 +1191,34 @@ fn cmd_bench(args: &[String], stdin: &mut dyn Read) -> CliResult {
 mod tests {
     use super::*;
 
-    fn run_ok(args: &[&str], stdin: &str) -> String {
+    /// Runs `dispatch` against in-memory stdin/stdout; returns the captured
+    /// stdout alongside the outcome (batch writes output even on failure).
+    fn run_captured(args: &[&str], stdin: &str) -> (Result<(), CliError>, String) {
         let args: Vec<String> = args.iter().map(|a| a.to_string()).collect();
         let mut input = stdin.as_bytes();
-        match dispatch(&args, &mut input) {
-            Ok(out) => out,
-            Err(CliError::Usage(m) | CliError::Failure(m)) => panic!("unexpected error: {m}"),
+        let mut out: Vec<u8> = Vec::new();
+        let result = dispatch(&args, &mut input, &mut out);
+        (result, String::from_utf8(out).expect("CLI output must be UTF-8"))
+    }
+
+    fn run_ok(args: &[&str], stdin: &str) -> String {
+        match run_captured(args, stdin) {
+            (Ok(()), out) => out,
+            (Err(CliError::Usage(m) | CliError::Failure(m)), _) => {
+                panic!("unexpected error: {m}")
+            }
+            (Err(CliError::Reported), _) => panic!("unexpected mid-stream failure"),
+            (Err(CliError::BrokenPipe), _) => panic!("unexpected broken pipe"),
         }
     }
 
     fn run_err(args: &[&str], stdin: &str) -> (bool, String) {
-        let args: Vec<String> = args.iter().map(|a| a.to_string()).collect();
-        let mut input = stdin.as_bytes();
-        match dispatch(&args, &mut input) {
-            Ok(out) => panic!("expected an error, got output:\n{out}"),
-            Err(CliError::Usage(m)) => (true, m),
-            Err(CliError::Failure(m)) => (false, m),
+        match run_captured(args, stdin) {
+            (Ok(()), out) => panic!("expected an error, got output:\n{out}"),
+            (Err(CliError::Usage(m)), _) => (true, m),
+            (Err(CliError::Failure(m)), _) => (false, m),
+            (Err(CliError::Reported), _) => (false, "<reported on stderr>".to_string()),
+            (Err(CliError::BrokenPipe), _) => panic!("unexpected broken pipe"),
         }
     }
 
@@ -816,6 +1336,165 @@ mod tests {
     }
 
     #[test]
+    fn batch_streams_one_verdict_line_per_pair_in_input_order() {
+        let input = "q1(x) <- R(x, x). p1(x) <- R(x, x).\n\
+                     q2(x) <- R(x, x), S(x). p2(x) <- R(x, x).\n\
+                     q3(x) <- R^2(x, x). p3(x) <- R(x, y), R(y, x).\n";
+        for jobs in ["1", "2", "4"] {
+            let out = run_ok(&["batch", "--jobs", jobs], input);
+            let lines: Vec<&str> = out.lines().collect();
+            assert_eq!(lines.len(), 3, "jobs={jobs}: {out}");
+            assert!(lines[0].starts_with("[1] q1 ⊑b p1: contained"), "{out}");
+            assert!(lines[1].starts_with("[2] q2 ⊑b p2: not contained"), "{out}");
+            assert!(lines[2].starts_with("[3] q3 ⊑b p3: contained"), "{out}");
+        }
+    }
+
+    #[test]
+    fn batch_json_lines_carry_the_same_certificates_as_decide() {
+        let input = "q(x) <- R(x, x), S(x). p(x) <- R(x, x).";
+        let batch = run_ok(&["batch", "--json", "--jobs", "2"], input);
+        let decide = run_ok(&["decide", "--json"], input);
+        // One JSON object per line, embedding the same result object the
+        // decide envelope carries.
+        assert_eq!(batch.lines().count(), 1, "{batch}");
+        assert!(batch.starts_with("{\"id\":1,"), "{batch}");
+        let result = batch
+            .split_once("\"result\":")
+            .map(|(_, tail)| tail.trim_end().trim_end_matches('}'))
+            .unwrap();
+        assert!(decide.contains(result), "decide output {decide} must embed {result}");
+    }
+
+    #[test]
+    fn batch_empty_stream_is_not_an_error() {
+        assert_eq!(run_ok(&["batch"], ""), "");
+        assert_eq!(run_ok(&["batch"], "% nothing but comments\n"), "");
+    }
+
+    #[test]
+    fn batch_without_keep_going_stops_at_the_first_failure() {
+        let input = "q1(x) <- R(x, x). p1(x) <- R(x, x).\n\
+                     broken(x <- R(x, x). p2(x) <- R(x, x).\n\
+                     q3(x) <- R(x, x). p3(x) <- R(x, x).\n";
+        let (result, out) = run_captured(&["batch"], input);
+        // The diagnostic goes straight to stderr mid-stream (the abort may
+        // have to wait for the input's next line), so dispatch reports a
+        // bare already-reported failure.
+        assert!(matches!(result, Err(CliError::Reported)), "expected a failure, got {out}");
+        assert!(out.contains("[1] q1 ⊑b p1"), "verdicts before the failure stream out: {out}");
+        assert!(!out.contains("[3]"), "the stream must stop at the failure: {out}");
+    }
+
+    #[test]
+    fn batch_keep_going_emits_error_lines_and_continues() {
+        let input = "q1(x) <- R(x, x). p1(x) <- R(x, x).\n\
+                     broken(x <- R(x, x). p2(x) <- R(x, x).\n\
+                     q3(x) <- R(x, y). p3(x) <- R(x, x).\n\
+                     q4(x) <- R(x, x). p4(x) <- R(x, x).\n";
+        let (result, out) = run_captured(&["batch", "--keep-going", "--jobs", "3"], input);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4, "{out}");
+        assert!(lines[1].starts_with("[2] parse error:"), "{out}");
+        assert!(lines[2].starts_with("[3] decide error:"), "{out}");
+        assert!(lines[2].contains("projection-free"), "{out}");
+        assert!(lines[3].starts_with("[4] q4 ⊑b p4: contained"), "{out}");
+        // The run still exits non-zero so scripts notice the failures.
+        let Err(CliError::Failure(message)) = result else {
+            panic!("keep-going with failures must still fail overall");
+        };
+        assert!(message.contains("2 of 4"), "{message}");
+
+        let json = run_captured(&["batch", "--keep-going", "--json"], input).1;
+        assert!(json.lines().count() == 4, "{json}");
+        assert!(json.contains("\"error\":{\"stage\":\"parse\""), "{json}");
+        assert!(json.contains("\"error\":{\"stage\":\"decide\""), "{json}");
+    }
+
+    #[test]
+    fn decide_and_equiv_with_jobs_match_the_sequential_output_bytes() {
+        // equiv needs both sides projection-free (each acts as containee), so
+        // it gets a handcrafted workload; decide takes a generated one.
+        let equiv_workload = "q1(x1, x2) <- R^2(x1, x2), P^3(x2, x2).\n\
+                              q2(x1, x2) <- R^3(x1, x2), P^3(x2, x2).\n\
+                              q3(x) <- R(x, x), S(x). q4(x) <- R(x, x).\n";
+        let decide_workload = run_ok(&["gen", "inflated", "--count", "4", "--seed", "11"], "");
+        for (command, workload) in
+            [("decide", &decide_workload), ("equiv", &equiv_workload.to_string())]
+        {
+            for extra in [&[][..], &["--json"][..], &["--algorithm", "all-probes"][..]] {
+                let mut base = vec![command];
+                base.extend_from_slice(extra);
+                let sequential = run_ok(&base, workload);
+                let mut parallel_args = base.clone();
+                parallel_args.extend_from_slice(&["--jobs", "4"]);
+                let parallel = run_ok(&parallel_args, workload);
+                assert_eq!(
+                    parallel, sequential,
+                    "{command} {extra:?} must be byte-identical under --jobs 4"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn verify_confirms_decide_equiv_and_batch_certificates() {
+        let failing = "q(x) <- R(x, x), S(x). p(x) <- R(x, x).";
+        let decide_json = run_ok(&["decide", "--json"], failing);
+        let out = run_ok(&["verify"], &decide_json);
+        assert!(out.contains("[1] q ⋢b p: counterexample verified (2 > 1)"), "{out}");
+        assert!(out.contains("verify: 1 counterexample(s) verified"), "{out}");
+
+        let equiv_json = run_ok(&["equiv", "--json"], "q(x) <- R^2(x, x). p(x) <- R(x, x).");
+        let out = run_ok(&["verify"], &equiv_json);
+        assert!(out.contains("[1 forward]"), "{out}");
+        assert!(out.contains("[1 backward]"), "{out}");
+
+        let batch_json = run_captured(
+            &["batch", "--json", "--keep-going"],
+            "q(x) <- R(x, x), S(x). p(x) <- R(x, x).\nbroken( <- R(x, x). p(x) <- R(x, x).\n",
+        )
+        .1;
+        let out = run_ok(&["verify"], &batch_json);
+        assert!(out.contains("[1] q ⋢b p: counterexample verified"), "{out}");
+        assert!(out.contains("[2] recorded parse error: nothing to re-check"), "{out}");
+    }
+
+    #[test]
+    fn verify_rejects_tampered_certificates() {
+        let failing = "q(x) <- R(x, x), S(x). p(x) <- R(x, x).";
+        let honest = run_ok(&["decide", "--json"], failing);
+
+        // Tamper with the recorded multiplicity: the evaluator must object.
+        let tampered =
+            honest.replace("\"containee_multiplicity\":\"2\"", "\"containee_multiplicity\":\"9\"");
+        assert_ne!(honest, tampered, "the fixture must actually change");
+        let (result, out) = run_captured(&["verify"], &tampered);
+        assert!(matches!(result, Err(CliError::Failure(_))));
+        assert!(out.contains("VERIFICATION FAILED"), "{out}");
+        assert!(out.contains("evaluator says 2"), "{out}");
+
+        // Tamper with the bag so it no longer violates containment.
+        let harmless = honest.replace("\"multiplicity\":\"2\"", "\"multiplicity\":\"1\"");
+        let (result, out) = run_captured(&["verify"], &harmless);
+        assert!(matches!(result, Err(CliError::Failure(_))), "{out}");
+        assert!(out.contains("VERIFICATION FAILED"), "{out}");
+    }
+
+    #[test]
+    fn verify_rejects_unusable_inputs() {
+        let (usage, _) = run_err(&["verify", "--json"], "");
+        assert!(usage, "verify takes no flags");
+        let (usage, message) = run_err(&["verify"], "{\"pairs\":[]}");
+        assert!(!usage);
+        assert!(message.contains("no certificates"), "{message}");
+        let (_, message) = run_err(&["verify"], "not json at all");
+        assert!(message.contains("not JSON"), "{message}");
+        let (_, message) = run_err(&["verify"], "{\"something\":\"else\"}");
+        assert!(message.contains("unrecognised"), "{message}");
+    }
+
+    #[test]
     fn parse_errors_name_the_line_and_column() {
         let (usage, message) = run_err(&["decide"], "q(x <- R(x, x).");
         assert!(!usage, "parse errors are failures, not usage errors");
@@ -853,6 +1532,13 @@ mod tests {
         assert!(run_err(&["decide", "--budget", "9"], "").0, "budget needs guess-check");
         assert!(run_err(&["gen", "path", "--size", "0"], "").0, "path needs size >= 1");
         assert!(run_err(&["gen", "threecol", "--size", "0"], "").0);
+        assert!(run_err(&["decide", "--jobs", "0"], "").0, "--jobs must be positive");
+        assert!(run_err(&["decide", "--set", "--jobs", "2"], "").0, "set path has no engine");
+        assert!(run_err(&["decide", "--keep-going"], "").0, "--keep-going is batch-only");
+        assert!(run_err(&["bench", "--jobs", "2"], "").0, "bench is sequential");
+        assert!(run_err(&["bench", "--keep-going"], "").0);
+        assert!(run_err(&["batch", "--set"], "").0, "batch is bag-only");
+        assert!(run_err(&["batch", "--repeat", "2"], "").0, "--repeat is bench-only");
         assert!(run_err(&[], "").0);
     }
 

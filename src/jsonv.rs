@@ -1,0 +1,258 @@
+//! A minimal JSON reader for the `verify` subcommand.
+//!
+//! The workspace is dependency-free (no serde), and `verify` only needs to
+//! read back the JSON the CLI itself emits: objects, arrays, strings,
+//! numbers, booleans and null, with the escape sequences `json::string`
+//! produces. Errors are values (not panics) so a malformed certificate file
+//! turns into a diagnostic, not a crash.
+
+use std::collections::BTreeMap;
+
+/// A parsed JSON value.
+#[derive(Clone, PartialEq, Debug)]
+pub(crate) enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (lossily, as `f64` — the CLI keeps big integers in
+    /// strings precisely so this never matters).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object.
+    Object(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Parses one complete JSON value; trailing garbage is an error.
+    pub(crate) fn parse(text: &str) -> Result<Json, String> {
+        let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing garbage at byte {}", p.pos));
+        }
+        Ok(value)
+    }
+
+    /// Member lookup on an object.
+    pub(crate) fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub(crate) fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub(crate) fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b) if b.is_ascii_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn literal(&mut self, text: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            Err(format!("expected '{text}' at byte {}", self.pos))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        // The opening quote has been consumed.
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let escape = self.bytes.get(self.pos).copied();
+                    match escape {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| format!("bad \\u escape '{hex}'"))?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| format!("\\u{hex} is not a scalar value"))?,
+                            );
+                            self.pos += 4;
+                        }
+                        other => {
+                            return Err(format!(
+                                "unsupported escape \\{}",
+                                other.map_or("<eof>".to_string(), |b| (b as char).to_string())
+                            ))
+                        }
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| "invalid UTF-8 in string")?;
+                    let ch = rest.chars().next().expect("non-empty tail");
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.bytes.get(self.pos) {
+            Some(b'{') => {
+                self.pos += 1;
+                let mut map = BTreeMap::new();
+                if !self.eat(b'}') {
+                    loop {
+                        self.skip_ws();
+                        let Json::String(key) = self.value()? else {
+                            return Err(format!("object key at byte {} is not a string", self.pos));
+                        };
+                        self.expect(b':')?;
+                        map.insert(key, self.value()?);
+                        if !self.eat(b',') {
+                            break;
+                        }
+                    }
+                    self.expect(b'}')?;
+                }
+                Ok(Json::Object(map))
+            }
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                if !self.eat(b']') {
+                    loop {
+                        items.push(self.value()?);
+                        if !self.eat(b',') {
+                            break;
+                        }
+                    }
+                    self.expect(b']')?;
+                }
+                Ok(Json::Array(items))
+            }
+            Some(b'"') => {
+                self.pos += 1;
+                Ok(Json::String(self.string()?))
+            }
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(_) => {
+                let start = self.pos;
+                while matches!(
+                    self.bytes.get(self.pos),
+                    Some(b) if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E')
+                ) {
+                    self.pos += 1;
+                }
+                let text = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .expect("digits and sign characters are ASCII");
+                text.parse()
+                    .map(Json::Number)
+                    .map_err(|_| format!("bad number '{text}' at byte {start}"))
+            }
+            None => Err("unexpected end of JSON input".to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_cli_shapes() {
+        let doc = Json::parse(
+            "{\"id\":3,\"probe\":[\"'c1'\"],\"ok\":true,\"none\":null,\
+             \"nested\":{\"multiplicity\":\"18446744073709551617\"}}",
+        )
+        .unwrap();
+        assert_eq!(doc.get("id"), Some(&Json::Number(3.0)));
+        assert_eq!(doc.get("probe").and_then(Json::as_array).unwrap().len(), 1);
+        assert_eq!(
+            doc.get("nested").and_then(|n| n.get("multiplicity")).and_then(Json::as_str),
+            Some("18446744073709551617"),
+        );
+        assert_eq!(doc.get("missing"), None);
+    }
+
+    #[test]
+    fn escapes_round_trip() {
+        let doc = Json::parse("\"a\\\"b\\\\c\\n\\u0041\"").unwrap();
+        assert_eq!(doc.as_str(), Some("a\"b\\c\nA"));
+    }
+
+    #[test]
+    fn errors_are_values() {
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("{\"a\":1} extra").is_err());
+        assert!(Json::parse("\"unterminated").is_err());
+        assert!(Json::parse("{1:2}").is_err());
+    }
+}

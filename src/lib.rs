@@ -12,6 +12,9 @@
 //! * [`bagdb`] — set/bag instances and Equation-2 evaluation;
 //! * [`containment`] — the set- and bag-containment deciders with
 //!   counterexample extraction (the paper's contribution);
+//! * [`engine`] — the parallel batch decision engine with its shared
+//!   compilation cache (the machinery behind `diophantus batch` and
+//!   `--jobs`);
 //! * [`workloads`] — graphs, reductions and random query generators.
 //!
 //! The most common entry points are re-exported at the crate root.
@@ -28,11 +31,13 @@
 #![warn(missing_docs)]
 
 pub mod cli;
+mod jsonv;
 
 pub use dioph_arith as arith;
 pub use dioph_bagdb as bagdb;
 pub use dioph_containment as containment;
 pub use dioph_cq as cq;
+pub use dioph_engine as engine;
 pub use dioph_linalg as linalg;
 pub use dioph_poly as poly;
 pub use dioph_workloads as workloads;
@@ -46,4 +51,5 @@ pub use dioph_containment::{
 pub use dioph_cq::{
     parse_program, parse_query, parse_ucq, ConjunctiveQuery, Term, UnionOfConjunctiveQueries,
 };
+pub use dioph_engine::{DecisionEngine, EngineConfig};
 pub use dioph_poly::{Monomial, Mpi, Polynomial};

@@ -388,6 +388,110 @@ fn gen_output_round_trips_through_decide() {
 }
 
 // ---------------------------------------------------------------------------
+// batch and verify
+// ---------------------------------------------------------------------------
+
+#[test]
+fn gen_pipes_into_batch_with_json_lines_identical_across_job_counts() {
+    // The CI smoke path: `diophantus gen … | diophantus batch --jobs 2 --json`.
+    let workload = stdout_of(&["gen", "spec", "--count", "4", "--seed", "3"], "");
+    let parallel = stdout_of(&["batch", "--jobs", "2", "--json"], &workload);
+    assert_eq!(parallel.lines().count(), 4, "{parallel}");
+    for (i, line) in parallel.lines().enumerate() {
+        let doc = Json::parse(line);
+        assert_eq!(doc.get("id"), &Json::Number((i + 1) as f64), "{line}");
+        assert_eq!(
+            doc.get("result").get("verdict").as_str(),
+            "contained",
+            "specialisation pairs are contained by construction: {line}"
+        );
+    }
+    let sequential = stdout_of(&["batch", "--jobs", "1", "--json"], &workload);
+    assert_eq!(parallel, sequential, "batch output must be byte-identical across job counts");
+}
+
+#[test]
+fn batch_keep_going_reports_failures_without_stopping_the_stream() {
+    let input = "q1(x) <- R(x, x). p1(x) <- R(x, x).\n\
+                 broken(x <- oops. p2(x) <- R(x, x).\n\
+                 q3(x) <- R(x, x). p3(x) <- R(x, x).\n";
+    let out = run(&["batch", "--keep-going"], input);
+    assert_eq!(out.status.code(), Some(1), "failures must surface in the exit code");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("[1] q1 ⊑b p1: contained"), "{stdout}");
+    assert!(stdout.contains("[2] parse error:"), "{stdout}");
+    assert!(stdout.contains("[3] q3 ⊑b p3: contained"), "{stdout}");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("1 of 3"), "stderr summarises");
+
+    // Without --keep-going the same input stops at the broken pair.
+    let out = run(&["batch"], input);
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(!stdout.contains("[3]"), "the stream must stop: {stdout}");
+}
+
+#[test]
+fn batch_reports_invalid_utf8_input_as_a_read_failure_not_clean_eof() {
+    // A valid pair, a stray invalid-UTF-8 line, then another pair: the
+    // stream must fail loudly (exit 1, a `read` diagnostic) instead of
+    // printing one verdict and exiting 0 as if the input ended there.
+    let dir = std::env::temp_dir().join("dioph-cli-test-bad-utf8");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("bad.dl");
+    let mut bytes = b"q1(x) <- R(x, x). p1(x) <- R(x, x).\n".to_vec();
+    bytes.extend_from_slice(&[0xFF, 0xFE, b'\n']);
+    bytes.extend_from_slice(b"q2(x) <- R(x, x), S(x). p2(x) <- R(x, x).\n");
+    std::fs::write(&path, bytes).unwrap();
+
+    let out = run(&["batch", path.to_str().unwrap()], "");
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("read error"), "{out:?}");
+
+    let out = run(&["batch", "--keep-going", path.to_str().unwrap()], "");
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("[1] q1 ⊑b p1: contained"), "{stdout}");
+    assert!(stdout.contains("read error"), "{stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn verify_recheck_of_a_json_counterexample_file_round_trips() {
+    let dir = std::env::temp_dir().join("dioph-cli-test-verify");
+    std::fs::create_dir_all(&dir).unwrap();
+    let certificate = dir.join("certificate.json");
+
+    let failing = "q(x) <- R(x, x), S(x). p(x) <- R(x, x).";
+    let json = stdout_of(&["decide", "--json"], failing);
+    std::fs::write(&certificate, &json).unwrap();
+    let out = stdout_of(&["verify", certificate.to_str().unwrap()], "");
+    assert!(out.contains("counterexample verified"), "{out}");
+    assert!(out.contains("0 failure(s)"), "{out}");
+
+    // A tampered certificate must be caught by the independent evaluator.
+    let tampered =
+        json.replace("\"containing_multiplicity\":\"1\"", "\"containing_multiplicity\":\"7\"");
+    assert_ne!(json, tampered);
+    std::fs::write(&certificate, &tampered).unwrap();
+    let out = run(&["verify", certificate.to_str().unwrap()], "");
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("VERIFICATION FAILED"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn verify_rechecks_batch_json_lines_from_a_pipe() {
+    let batch = stdout_of(
+        &["batch", "--json", "--jobs", "2"],
+        "q(x) <- R(x, x), S(x). p(x) <- R(x, x).\nq2(x) <- R(x, x). p2(x) <- R(x, x).\n",
+    );
+    let out = stdout_of(&["verify"], &batch);
+    assert!(out.contains("[1] q ⋢b p: counterexample verified"), "{out}");
+    assert!(out.contains("[2] q2 ⊑b p2: contained"), "{out}");
+    assert!(out.contains("1 counterexample(s) verified"), "{out}");
+}
+
+// ---------------------------------------------------------------------------
 // bench and equiv
 // ---------------------------------------------------------------------------
 
