@@ -1,4 +1,13 @@
 //! Arbitrary-precision signed integers built on top of [`Natural`].
+//!
+//! [`Integer`] is a **hybrid** representation: every value in the `i64` range
+//! is stored inline, and only values outside it promote to the sign-magnitude
+//! form over [`Natural`] limbs. The representation is canonical — the big
+//! form is used *only* for values that do not fit `i64` — so derived equality
+//! and hashing are value equality. Arithmetic on two inline values runs as
+//! checked machine arithmetic (widened to `i128`, which always suffices for
+//! one addition or multiplication) and promotes to the limb representation
+//! only on demand.
 
 use core::cmp::Ordering;
 use core::fmt;
@@ -42,6 +51,18 @@ impl Sign {
     }
 }
 
+/// The internal representation. Invariant (canonical form): `Big` is used
+/// only for values outside the `i64` range; its magnitude is then
+/// `> i64::MAX` (positive) or `> i64::MIN.unsigned_abs()` (negative), and
+/// its sign is never [`Sign::Zero`].
+#[derive(Clone, PartialEq, Eq, Hash)]
+enum IRepr {
+    /// A value in `i64::MIN..=i64::MAX`, stored inline.
+    Small(i64),
+    /// A value outside the `i64` range, as sign and magnitude.
+    Big { sign: Sign, magnitude: Natural },
+}
+
 /// An arbitrary-precision signed integer.
 ///
 /// # Examples
@@ -55,10 +76,7 @@ impl Sign {
 /// assert_eq!((&a + &b).to_i64(), Some(-4));
 /// ```
 #[derive(Clone, PartialEq, Eq, Hash)]
-pub struct Integer {
-    sign: Sign,
-    magnitude: Natural,
-}
+pub struct Integer(IRepr);
 
 impl Default for Integer {
     fn default() -> Self {
@@ -66,102 +84,172 @@ impl Default for Integer {
     }
 }
 
+/// A borrowed-or-inline view of an integer's magnitude: borrowing the stored
+/// [`Natural`] on the big path, materialising an (allocation-free) inline
+/// natural on the small path.
+enum MagView<'a> {
+    Inline(Natural),
+    Ref(&'a Natural),
+}
+
+impl MagView<'_> {
+    fn get(&self) -> &Natural {
+        match self {
+            MagView::Inline(n) => n,
+            MagView::Ref(n) => n,
+        }
+    }
+}
+
 impl Integer {
     /// The integer zero.
-    pub fn zero() -> Self {
-        Integer { sign: Sign::Zero, magnitude: Natural::zero() }
+    pub const fn zero() -> Self {
+        Integer(IRepr::Small(0))
     }
 
     /// The integer one.
-    pub fn one() -> Self {
-        Integer { sign: Sign::Positive, magnitude: Natural::one() }
+    pub const fn one() -> Self {
+        Integer(IRepr::Small(1))
     }
 
     /// The integer minus one.
-    pub fn minus_one() -> Self {
-        Integer { sign: Sign::Negative, magnitude: Natural::one() }
+    pub const fn minus_one() -> Self {
+        Integer(IRepr::Small(-1))
     }
 
-    /// Builds an integer from a sign and magnitude (normalising zero).
+    /// Builds an integer from a sign and magnitude (normalising zero and
+    /// demoting to the inline form when the value fits `i64`).
     pub fn from_sign_magnitude(sign: Sign, magnitude: Natural) -> Self {
         if magnitude.is_zero() {
-            Integer::zero()
-        } else {
-            assert!(sign != Sign::Zero, "non-zero magnitude with Sign::Zero");
-            Integer { sign, magnitude }
+            return Integer::zero();
+        }
+        assert!(sign != Sign::Zero, "non-zero magnitude with Sign::Zero");
+        if let Some(m) = magnitude.to_u64() {
+            match sign {
+                Sign::Positive if m <= i64::MAX as u64 => return Integer(IRepr::Small(m as i64)),
+                // m == 2^63 maps exactly onto i64::MIN.
+                Sign::Negative if m <= i64::MIN.unsigned_abs() => {
+                    return Integer(IRepr::Small((m as i128).wrapping_neg() as i64));
+                }
+                _ => {}
+            }
+        }
+        Integer(IRepr::Big { sign, magnitude })
+    }
+
+    /// Builds the canonical form of a 128-bit value.
+    fn from_i128_value(v: i128) -> Self {
+        if let Ok(small) = i64::try_from(v) {
+            return Integer(IRepr::Small(small));
+        }
+        let sign = if v < 0 { Sign::Negative } else { Sign::Positive };
+        Integer(IRepr::Big { sign, magnitude: Natural::from(v.unsigned_abs()) })
+    }
+
+    /// The inline value, if this integer is on the small path.
+    fn small(&self) -> Option<i64> {
+        match self.0 {
+            IRepr::Small(v) => Some(v),
+            IRepr::Big { .. } => None,
+        }
+    }
+
+    /// Sign and magnitude view without cloning big magnitudes.
+    fn parts(&self) -> (Sign, MagView<'_>) {
+        match &self.0 {
+            IRepr::Small(v) => {
+                let sign = match v.cmp(&0) {
+                    Ordering::Less => Sign::Negative,
+                    Ordering::Equal => Sign::Zero,
+                    Ordering::Greater => Sign::Positive,
+                };
+                (sign, MagView::Inline(Natural::from(v.unsigned_abs())))
+            }
+            IRepr::Big { sign, magnitude } => (*sign, MagView::Ref(magnitude)),
         }
     }
 
     /// The sign of this integer.
     pub fn sign(&self) -> Sign {
-        self.sign
+        match &self.0 {
+            IRepr::Small(v) => match v.cmp(&0) {
+                Ordering::Less => Sign::Negative,
+                Ordering::Equal => Sign::Zero,
+                Ordering::Greater => Sign::Positive,
+            },
+            IRepr::Big { sign, .. } => *sign,
+        }
     }
 
-    /// The absolute value as a [`Natural`].
-    pub fn magnitude(&self) -> &Natural {
-        &self.magnitude
+    /// The absolute value as a [`Natural`]. Allocation-free on the small
+    /// path; clones the limbs on the big path.
+    pub fn magnitude(&self) -> Natural {
+        match &self.0 {
+            IRepr::Small(v) => Natural::from(v.unsigned_abs()),
+            IRepr::Big { magnitude, .. } => magnitude.clone(),
+        }
     }
 
     /// Consumes the integer, returning its absolute value.
     pub fn into_magnitude(self) -> Natural {
-        self.magnitude
+        match self.0 {
+            IRepr::Small(v) => Natural::from(v.unsigned_abs()),
+            IRepr::Big { magnitude, .. } => magnitude,
+        }
     }
 
     /// `true` iff the value is zero.
     pub fn is_zero(&self) -> bool {
-        self.sign == Sign::Zero
+        matches!(self.0, IRepr::Small(0))
     }
 
     /// `true` iff the value is one.
     pub fn is_one(&self) -> bool {
-        self.sign == Sign::Positive && self.magnitude.is_one()
+        matches!(self.0, IRepr::Small(1))
     }
 
     /// `true` iff the value is strictly positive.
     pub fn is_positive(&self) -> bool {
-        self.sign == Sign::Positive
+        self.sign() == Sign::Positive
     }
 
     /// `true` iff the value is strictly negative.
     pub fn is_negative(&self) -> bool {
-        self.sign == Sign::Negative
+        self.sign() == Sign::Negative
     }
 
     /// Absolute value.
     pub fn abs(&self) -> Integer {
-        Integer::from_sign_magnitude(
-            if self.is_zero() { Sign::Zero } else { Sign::Positive },
-            self.magnitude.clone(),
-        )
-    }
-
-    /// Converts to `i64` if the value fits.
-    pub fn to_i64(&self) -> Option<i64> {
-        let mag = self.magnitude.to_u128()?;
-        match self.sign {
-            Sign::Zero => Some(0),
-            Sign::Positive => i64::try_from(mag).ok(),
-            Sign::Negative => {
-                if mag <= i64::MAX as u128 + 1 {
-                    Some((mag as i128).wrapping_neg() as i64)
-                } else {
-                    None
-                }
+        match &self.0 {
+            IRepr::Small(v) => Integer::from_i128_value((*v as i128).abs()),
+            IRepr::Big { magnitude, .. } => {
+                Integer(IRepr::Big { sign: Sign::Positive, magnitude: magnitude.clone() })
             }
         }
     }
 
+    /// Converts to `i64` if the value fits (always on the small path, by the
+    /// canonical-representation invariant).
+    pub fn to_i64(&self) -> Option<i64> {
+        self.small()
+    }
+
     /// Converts to `i128` if the value fits.
     pub fn to_i128(&self) -> Option<i128> {
-        let mag = self.magnitude.to_u128()?;
-        match self.sign {
-            Sign::Zero => Some(0),
-            Sign::Positive => i128::try_from(mag).ok(),
-            Sign::Negative => {
-                if mag <= i128::MAX as u128 + 1 {
-                    Some((mag as i128).wrapping_neg())
-                } else {
-                    None
+        match &self.0 {
+            IRepr::Small(v) => Some(*v as i128),
+            IRepr::Big { sign, magnitude } => {
+                let mag = magnitude.to_u128()?;
+                match sign {
+                    Sign::Zero => Some(0),
+                    Sign::Positive => i128::try_from(mag).ok(),
+                    Sign::Negative => {
+                        if mag <= i128::MAX as u128 + 1 {
+                            Some((mag as i128).wrapping_neg())
+                        } else {
+                            None
+                        }
+                    }
                 }
             }
         }
@@ -169,25 +257,39 @@ impl Integer {
 
     /// Lossy conversion to `f64` for reporting purposes only.
     pub fn to_f64_lossy(&self) -> f64 {
-        let m = self.magnitude.to_f64_lossy();
-        match self.sign {
-            Sign::Negative => -m,
-            _ => m,
+        match &self.0 {
+            IRepr::Small(v) => *v as f64,
+            IRepr::Big { sign, magnitude } => {
+                let m = magnitude.to_f64_lossy();
+                match sign {
+                    Sign::Negative => -m,
+                    _ => m,
+                }
+            }
         }
     }
 
     /// Converts a non-negative integer into a [`Natural`]; `None` for negatives.
     pub fn to_natural(&self) -> Option<Natural> {
-        match self.sign {
-            Sign::Negative => None,
-            _ => Some(self.magnitude.clone()),
+        if self.is_negative() {
+            None
+        } else {
+            Some(self.magnitude())
         }
     }
 
     /// Exponentiation by squaring.
     pub fn pow(&self, exp: u64) -> Integer {
-        let mag = self.magnitude.pow(exp);
-        let sign = match self.sign {
+        if let Some(v) = self.small() {
+            if let Ok(e) = u32::try_from(exp) {
+                if let Some(r) = (v as i128).checked_pow(e) {
+                    return Integer::from_i128_value(r);
+                }
+            }
+        }
+        let (sign, mag) = self.parts();
+        let mag = mag.get().pow(exp);
+        let sign = match sign {
             Sign::Zero => {
                 if exp == 0 {
                     Sign::Positive
@@ -212,7 +314,9 @@ impl Integer {
 
     /// Greatest common divisor of absolute values (always non-negative).
     pub fn gcd(&self, other: &Integer) -> Natural {
-        self.magnitude.gcd(&other.magnitude)
+        let (_, ma) = self.parts();
+        let (_, mb) = other.parts();
+        ma.get().gcd(mb.get())
     }
 
     /// Truncated division: returns `(quotient, remainder)` with the remainder
@@ -220,54 +324,84 @@ impl Integer {
     /// primitive integers).
     pub fn div_rem(&self, other: &Integer) -> (Integer, Integer) {
         assert!(!other.is_zero(), "division by zero");
-        let (q_mag, r_mag) = self.magnitude.div_rem(&other.magnitude);
-        let q_sign = if q_mag.is_zero() { Sign::Zero } else { self.sign * other.sign };
-        let r_sign = if r_mag.is_zero() { Sign::Zero } else { self.sign };
+        if let (Some(a), Some(b)) = (self.small(), other.small()) {
+            // i128 arithmetic sidesteps the single i64 overflow (MIN / -1).
+            return (
+                Integer::from_i128_value(a as i128 / b as i128),
+                Integer::from_i128_value(a as i128 % b as i128),
+            );
+        }
+        let (sa, ma) = self.parts();
+        let (sb, mb) = other.parts();
+        let (q_mag, r_mag) = ma.get().div_rem(mb.get());
+        let q_sign = if q_mag.is_zero() { Sign::Zero } else { sa * sb };
+        let r_sign = if r_mag.is_zero() { Sign::Zero } else { sa };
         (Integer::from_sign_magnitude(q_sign, q_mag), Integer::from_sign_magnitude(r_sign, r_mag))
     }
 }
 
 impl From<Natural> for Integer {
     fn from(n: Natural) -> Self {
-        let sign = if n.is_zero() { Sign::Zero } else { Sign::Positive };
-        Integer { sign, magnitude: n }
+        Integer::from_sign_magnitude(if n.is_zero() { Sign::Zero } else { Sign::Positive }, n)
     }
 }
 
 impl From<&Natural> for Integer {
     fn from(n: &Natural) -> Self {
+        if let Some(v) = n.to_u64() {
+            return Integer::from(v);
+        }
         Integer::from(n.clone())
     }
 }
 
-macro_rules! impl_from_signed {
+macro_rules! impl_from_small_signed {
     ($($t:ty),*) => {
         $(impl From<$t> for Integer {
             fn from(v: $t) -> Self {
-                let sign = match v.cmp(&0) {
-                    Ordering::Less => Sign::Negative,
-                    Ordering::Equal => Sign::Zero,
-                    Ordering::Greater => Sign::Positive,
-                };
-                Integer { sign, magnitude: Natural::from(v.unsigned_abs() as u128) }
+                Integer(IRepr::Small(v as i64))
             }
         })*
     };
 }
 
-impl_from_signed!(i8, i16, i32, i64, i128, isize);
+impl_from_small_signed!(i8, i16, i32, i64, isize);
 
-macro_rules! impl_from_unsigned {
+impl From<i128> for Integer {
+    fn from(v: i128) -> Self {
+        Integer::from_i128_value(v)
+    }
+}
+
+macro_rules! impl_from_small_unsigned {
     ($($t:ty),*) => {
         $(impl From<$t> for Integer {
             fn from(v: $t) -> Self {
-                Integer::from(Natural::from(v as u128))
+                Integer(IRepr::Small(v as i64))
             }
         })*
     };
 }
 
-impl_from_unsigned!(u8, u16, u32, u64, u128, usize);
+impl_from_small_unsigned!(u8, u16, u32);
+
+macro_rules! impl_from_wide_unsigned {
+    ($($t:ty),*) => {
+        $(impl From<$t> for Integer {
+            fn from(v: $t) -> Self {
+                match i64::try_from(v) {
+                    Ok(small) => Integer(IRepr::Small(small)),
+                    Err(_) => Integer(IRepr::Big {
+                        sign: Sign::Positive,
+                        magnitude: Natural::from(v as u128),
+                    }),
+                }
+            }
+        })*
+    };
+}
+
+impl_from_wide_unsigned!(u64, u128, usize);
 
 /// Error produced when parsing an [`Integer`] from a string fails.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -303,12 +437,19 @@ impl FromStr for Integer {
 
 impl Ord for Integer {
     fn cmp(&self, other: &Self) -> Ordering {
-        match self.sign.cmp(&other.sign) {
-            Ordering::Equal => match self.sign {
-                Sign::Zero => Ordering::Equal,
-                Sign::Positive => self.magnitude.cmp(&other.magnitude),
-                Sign::Negative => other.magnitude.cmp(&self.magnitude),
-            },
+        if let (Some(a), Some(b)) = (self.small(), other.small()) {
+            return a.cmp(&b);
+        }
+        match self.sign().cmp(&other.sign()) {
+            Ordering::Equal => {
+                let (sign, ma) = self.parts();
+                let (_, mb) = other.parts();
+                match sign {
+                    Sign::Zero => Ordering::Equal,
+                    Sign::Positive => ma.get().cmp(mb.get()),
+                    Sign::Negative => mb.get().cmp(ma.get()),
+                }
+            }
             ord => ord,
         }
     }
@@ -322,9 +463,12 @@ impl PartialOrd for Integer {
 
 impl fmt::Display for Integer {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self.sign {
-            Sign::Negative => write!(f, "-{}", self.magnitude),
-            _ => write!(f, "{}", self.magnitude),
+        match &self.0 {
+            IRepr::Small(v) => write!(f, "{v}"),
+            IRepr::Big { sign, magnitude } => match sign {
+                Sign::Negative => write!(f, "-{magnitude}"),
+                _ => write!(f, "{magnitude}"),
+            },
         }
     }
 }
@@ -338,34 +482,48 @@ impl fmt::Debug for Integer {
 impl Neg for &Integer {
     type Output = Integer;
     fn neg(self) -> Integer {
-        Integer { sign: self.sign.negate(), magnitude: self.magnitude.clone() }
+        match &self.0 {
+            IRepr::Small(v) => Integer::from_i128_value(-(*v as i128)),
+            // Re-normalise: negating a big value can land exactly on
+            // i64::MIN (magnitude 2^63).
+            IRepr::Big { sign, magnitude } => {
+                Integer::from_sign_magnitude(sign.negate(), magnitude.clone())
+            }
+        }
     }
 }
 
 impl Neg for Integer {
     type Output = Integer;
     fn neg(self) -> Integer {
-        Integer { sign: self.sign.negate(), magnitude: self.magnitude }
+        match self.0 {
+            IRepr::Small(v) => Integer::from_i128_value(-(v as i128)),
+            IRepr::Big { sign, magnitude } => {
+                Integer::from_sign_magnitude(sign.negate(), magnitude)
+            }
+        }
     }
 }
 
 impl Add for &Integer {
     type Output = Integer;
     fn add(self, rhs: &Integer) -> Integer {
-        match (self.sign, rhs.sign) {
+        if let (Some(a), Some(b)) = (self.small(), rhs.small()) {
+            // i64 + i64 always fits i128; promotion happens on demand.
+            return Integer::from_i128_value(a as i128 + b as i128);
+        }
+        let (sa, ma) = self.parts();
+        let (sb, mb) = rhs.parts();
+        match (sa, sb) {
             (Sign::Zero, _) => rhs.clone(),
             (_, Sign::Zero) => self.clone(),
-            (a, b) if a == b => Integer::from_sign_magnitude(a, &self.magnitude + &rhs.magnitude),
+            (a, b) if a == b => Integer::from_sign_magnitude(a, ma.get() + mb.get()),
             _ => {
                 // Opposite signs: subtract the smaller magnitude from the larger.
-                match self.magnitude.cmp(&rhs.magnitude) {
+                match ma.get().cmp(mb.get()) {
                     Ordering::Equal => Integer::zero(),
-                    Ordering::Greater => {
-                        Integer::from_sign_magnitude(self.sign, &self.magnitude - &rhs.magnitude)
-                    }
-                    Ordering::Less => {
-                        Integer::from_sign_magnitude(rhs.sign, &rhs.magnitude - &self.magnitude)
-                    }
+                    Ordering::Greater => Integer::from_sign_magnitude(sa, ma.get() - mb.get()),
+                    Ordering::Less => Integer::from_sign_magnitude(sb, mb.get() - ma.get()),
                 }
             }
         }
@@ -394,6 +552,9 @@ impl AddAssign for Integer {
 impl Sub for &Integer {
     type Output = Integer;
     fn sub(self, rhs: &Integer) -> Integer {
+        if let (Some(a), Some(b)) = (self.small(), rhs.small()) {
+            return Integer::from_i128_value(a as i128 - b as i128);
+        }
         self + &(-rhs)
     }
 }
@@ -414,7 +575,13 @@ impl SubAssign<&Integer> for Integer {
 impl Mul for &Integer {
     type Output = Integer;
     fn mul(self, rhs: &Integer) -> Integer {
-        Integer::from_sign_magnitude(self.sign * rhs.sign, &self.magnitude * &rhs.magnitude)
+        if let (Some(a), Some(b)) = (self.small(), rhs.small()) {
+            // i64 × i64 always fits i128; promotion happens on demand.
+            return Integer::from_i128_value(a as i128 * b as i128);
+        }
+        let (sa, ma) = self.parts();
+        let (sb, mb) = rhs.parts();
+        Integer::from_sign_magnitude(sa * sb, ma.get() * mb.get())
     }
 }
 
@@ -462,6 +629,29 @@ mod tests {
     }
 
     #[test]
+    fn representation_is_canonical_across_the_boundary() {
+        // i64 range stays inline even when built through the big door.
+        for v in [0i64, 1, -1, i64::MAX, i64::MIN] {
+            let via_parts = Integer::from_sign_magnitude(
+                Integer::from(v).sign(),
+                Natural::from(v.unsigned_abs()),
+            );
+            assert_eq!(via_parts, Integer::from(v));
+            assert_eq!(via_parts.to_i64(), Some(v));
+        }
+        // One past the boundary in both directions promotes.
+        assert_eq!(int(i64::MAX as i128 + 1).to_i64(), None);
+        assert_eq!(int(i64::MIN as i128 - 1).to_i64(), None);
+        // Arithmetic that shrinks a value back demotes it.
+        let back = &int(i64::MAX as i128 + 1) - &int(1);
+        assert_eq!(back.to_i64(), Some(i64::MAX));
+        // Negating across the i64::MIN boundary normalises both ways.
+        assert_eq!(-&int(i64::MIN as i128), int(-(i64::MIN as i128)));
+        assert_eq!(-&int(-(i64::MIN as i128)), int(i64::MIN as i128));
+        assert_eq!((-&int(-(i64::MIN as i128))).to_i64(), Some(i64::MIN));
+    }
+
+    #[test]
     fn addition_all_sign_combinations() {
         let cases = [
             (3, 4),
@@ -473,6 +663,8 @@ mod tests {
             (7, 0),
             (0, 0),
             (i64::MAX as i128, i64::MAX as i128),
+            (i64::MIN as i128, i64::MIN as i128),
+            (i64::MIN as i128, -1),
         ];
         for (a, b) in cases {
             assert_eq!(&int(a) + &int(b), int(a + b), "{a} + {b}");
@@ -482,7 +674,16 @@ mod tests {
 
     #[test]
     fn multiplication_sign_rules() {
-        let cases = [(3, 4), (-3, 4), (3, -4), (-3, -4), (0, -9), (-9, 0)];
+        let cases = [
+            (3, 4),
+            (-3, 4),
+            (3, -4),
+            (-3, -4),
+            (0, -9),
+            (-9, 0),
+            (i64::MIN as i128, -1),
+            (i64::MAX as i128, i64::MAX as i128),
+        ];
         for (a, b) in cases {
             assert_eq!(&int(a) * &int(b), int(a * b), "{a} * {b}");
         }
@@ -490,7 +691,8 @@ mod tests {
 
     #[test]
     fn truncated_division_matches_rust_semantics() {
-        let cases = [(7, 2), (-7, 2), (7, -2), (-7, -2), (6, 3), (-6, 3), (0, 5)];
+        let cases =
+            [(7, 2), (-7, 2), (7, -2), (-7, -2), (6, 3), (-6, 3), (0, 5), (i64::MIN as i128, -1)];
         for (a, b) in cases {
             let (q, r) = int(a).div_rem(&int(b));
             assert_eq!(q, int(a / b), "{a} / {b}");
@@ -505,6 +707,9 @@ mod tests {
         assert_eq!(int(0).pow(0), int(1));
         assert_eq!(int(0).pow(3), int(0));
         assert_eq!(int(5).pow(0), int(1));
+        // Powers that leave the machine range promote exactly.
+        assert_eq!(int(-10).pow(40), "1".parse::<Integer>().unwrap() * int(10).pow(40));
+        assert_eq!(int(2).pow(100).to_string(), (1u128 << 100).to_string());
     }
 
     #[test]
@@ -514,6 +719,10 @@ mod tests {
         assert!(int(0) < int(3));
         assert!(int(3) < int(10));
         assert!(int(-1) < int(1));
+        // Mixed representations either side of the boundary.
+        assert!(int(i64::MAX as i128) < int(i64::MAX as i128 + 1));
+        assert!(int(i64::MIN as i128 - 1) < int(i64::MIN as i128));
+        assert!(int(i64::MIN as i128 - 1) < int(i64::MAX as i128 + 1));
     }
 
     #[test]
@@ -532,9 +741,11 @@ mod tests {
         assert_eq!(int(-42).to_i64(), Some(-42));
         assert_eq!(int(i64::MIN as i128).to_i64(), Some(i64::MIN));
         assert_eq!(int(i64::MAX as i128 + 1).to_i64(), None);
+        assert_eq!(int(i64::MAX as i128 + 1).to_i128(), Some(i64::MAX as i128 + 1));
         assert_eq!(int(-5).to_natural(), None);
         assert_eq!(int(5).to_natural(), Some(Natural::from(5u64)));
         assert_eq!(int(-3).abs(), int(3));
+        assert_eq!(int(i64::MIN as i128).abs(), int(-(i64::MIN as i128)));
         assert_eq!(int(7).gcd(&int(-21)), Natural::from(7u64));
     }
 }

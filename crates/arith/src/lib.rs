@@ -19,6 +19,19 @@
 //! [`Rational`] — with exact, panic-on-misuse semantics and no external
 //! dependencies.
 //!
+//! ## Hybrid representation
+//!
+//! While the *semantics* are arbitrary precision, the *representation* is
+//! hybrid: [`Natural`] stores values up to `u64::MAX` inline, [`Integer`]
+//! stores the whole `i64` range inline, and both promote to the little-endian
+//! limb form only when a result genuinely leaves the machine range. The forms
+//! are canonical (a value is always stored in the smallest representation
+//! that fits), so equality, ordering and hashing never observe the split.
+//! [`Rational`] adds a machine-word fast path on top: cross-multiplications
+//! run in checked `i128`/`u128` arithmetic with a binary-GCD reduction, and
+//! fall back to the exact big path only on overflow. The [`stats`] module
+//! counts how often each route is taken.
+//!
 //! ```
 //! use dioph_arith::{Natural, Integer, Rational};
 //!
@@ -40,6 +53,7 @@
 mod integer;
 mod natural;
 mod rational;
+pub mod stats;
 
 pub use integer::{Integer, ParseIntegerError, Sign};
 pub use natural::{Natural, ParseNaturalError};

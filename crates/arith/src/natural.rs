@@ -1,22 +1,39 @@
 //! Arbitrary-precision natural numbers (unsigned integers).
 //!
-//! [`Natural`] stores magnitude as little-endian 64-bit limbs with no trailing
-//! zero limbs (canonical form). All arithmetic is exact; subtraction of a
-//! larger number from a smaller one is reported through [`Natural::checked_sub`]
-//! returning `None` (the `Sub` operator panics, mirroring the standard library
+//! [`Natural`] is a **hybrid** representation: values that fit a machine word
+//! are stored inline (no heap allocation), and only values above `u64::MAX`
+//! promote to little-endian 64-bit limbs. The representation is canonical —
+//! the limb form is used *only* for values of at least two limbs — so the
+//! derived equality and hashing are value equality, and every constructor
+//! re-normalises. All arithmetic is exact; subtraction of a larger number
+//! from a smaller one is reported through [`Natural::checked_sub`] returning
+//! `None` (the `Sub` operator panics, mirroring the standard library
 //! behaviour for unsigned overflow).
 //!
-//! The implementation favours clarity and correctness over raw speed:
-//! schoolbook multiplication and Knuth's Algorithm D for division (run over
-//! 32-bit half-limbs so all intermediate quotient estimates fit in `u64`).
-//! The sizes arising in the bag-containment pipeline (multiplicities,
-//! monomial evaluations, LP pivots) stay well within the range where this is
-//! efficient.
+//! The small path covers the quantities the bag-containment pipeline
+//! manipulates most of the time (Equation-2 multiplicities, MPI coefficients,
+//! simplex pivots); the big path favours clarity and correctness over raw
+//! speed: schoolbook multiplication and Knuth's Algorithm D for division
+//! (run over 32-bit half-limbs so all intermediate quotient estimates fit in
+//! `u64`).
 
 use core::cmp::Ordering;
 use core::fmt;
 use core::ops::{Add, AddAssign, Div, Mul, MulAssign, Rem, Shl, Shr, Sub, SubAssign};
 use core::str::FromStr;
+
+/// The internal representation. Invariant (canonical form): `Big` is used
+/// only for values that do **not** fit in a `u64`, i.e. with at least two
+/// little-endian limbs and no trailing zero limb. This makes the derived
+/// `PartialEq`/`Hash` agree with value equality.
+#[derive(Clone, PartialEq, Eq, Hash)]
+enum Repr {
+    /// A value `<= u64::MAX`, stored inline.
+    Small(u64),
+    /// A value `> u64::MAX`: little-endian limbs, `len() >= 2`, no trailing
+    /// zero limb.
+    Big(Vec<u64>),
+}
 
 /// An arbitrary-precision natural number (non-negative integer).
 ///
@@ -30,51 +47,72 @@ use core::str::FromStr;
 /// assert!(a > b);
 /// assert_eq!(&(&a * &b) / &b, a);
 /// ```
-#[derive(Clone, PartialEq, Eq, Hash, Default)]
-pub struct Natural {
-    /// Little-endian limbs; invariant: no trailing zero limb (so `0` is `vec![]`).
-    limbs: Vec<u64>,
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Natural(Repr);
+
+impl Default for Natural {
+    fn default() -> Self {
+        Natural::zero()
+    }
 }
 
 impl Natural {
     /// The natural number zero.
     pub const fn zero() -> Self {
-        Natural { limbs: Vec::new() }
+        Natural(Repr::Small(0))
     }
 
     /// The natural number one.
-    pub fn one() -> Self {
-        Natural { limbs: vec![1] }
+    pub const fn one() -> Self {
+        Natural(Repr::Small(1))
     }
 
-    /// Builds a natural from little-endian limbs, normalising trailing zeros.
+    /// Builds a natural from little-endian limbs, normalising trailing zeros
+    /// (and demoting to the inline form when the value fits a word).
     pub fn from_limbs(mut limbs: Vec<u64>) -> Self {
         while limbs.last() == Some(&0) {
             limbs.pop();
         }
-        Natural { limbs }
+        match limbs.len() {
+            0 => Natural(Repr::Small(0)),
+            1 => Natural(Repr::Small(limbs[0])),
+            _ => Natural(Repr::Big(limbs)),
+        }
     }
 
-    /// Returns the little-endian limb slice (no trailing zeros).
+    /// Returns the little-endian limb slice (no trailing zeros; empty for 0).
     pub fn limbs(&self) -> &[u64] {
-        &self.limbs
+        match &self.0 {
+            Repr::Small(0) => &[],
+            Repr::Small(v) => core::slice::from_ref(v),
+            Repr::Big(limbs) => limbs,
+        }
+    }
+
+    /// The inline value, if this natural is on the small path.
+    fn small(&self) -> Option<u64> {
+        match self.0 {
+            Repr::Small(v) => Some(v),
+            Repr::Big(_) => None,
+        }
     }
 
     /// `true` iff this number is zero.
     pub fn is_zero(&self) -> bool {
-        self.limbs.is_empty()
+        matches!(self.0, Repr::Small(0))
     }
 
     /// `true` iff this number is one.
     pub fn is_one(&self) -> bool {
-        self.limbs.len() == 1 && self.limbs[0] == 1
+        matches!(self.0, Repr::Small(1))
     }
 
     /// Number of significant bits (zero has zero bits).
     pub fn bit_len(&self) -> usize {
-        match self.limbs.last() {
+        let limbs = self.limbs();
+        match limbs.last() {
             None => 0,
-            Some(&top) => (self.limbs.len() - 1) * 64 + (64 - top.leading_zeros() as usize),
+            Some(&top) => (limbs.len() - 1) * 64 + (64 - top.leading_zeros() as usize),
         }
     }
 
@@ -82,29 +120,26 @@ impl Natural {
     pub fn bit(&self, i: usize) -> bool {
         let limb = i / 64;
         let off = i % 64;
-        self.limbs.get(limb).is_some_and(|&l| (l >> off) & 1 == 1)
+        self.limbs().get(limb).is_some_and(|&l| (l >> off) & 1 == 1)
     }
 
     /// `true` iff the value is even.
     pub fn is_even(&self) -> bool {
-        self.limbs.first().is_none_or(|&l| l & 1 == 0)
+        self.limbs().first().is_none_or(|&l| l & 1 == 0)
     }
 
-    /// Converts to `u64` if the value fits.
+    /// Converts to `u64` if the value fits (always on the small path, by the
+    /// canonical-representation invariant).
     pub fn to_u64(&self) -> Option<u64> {
-        match self.limbs.len() {
-            0 => Some(0),
-            1 => Some(self.limbs[0]),
-            _ => None,
-        }
+        self.small()
     }
 
     /// Converts to `u128` if the value fits.
     pub fn to_u128(&self) -> Option<u128> {
-        match self.limbs.len() {
-            0 => Some(0),
-            1 => Some(self.limbs[0] as u128),
-            2 => Some((self.limbs[1] as u128) << 64 | self.limbs[0] as u128),
+        match self.limbs() {
+            [] => Some(0),
+            [lo] => Some(*lo as u128),
+            [lo, hi] => Some((*hi as u128) << 64 | *lo as u128),
             _ => None,
         }
     }
@@ -118,10 +153,19 @@ impl Natural {
     /// `f64::INFINITY` for huge values). Useful only for reporting.
     pub fn to_f64_lossy(&self) -> f64 {
         let mut acc = 0.0f64;
-        for &limb in self.limbs.iter().rev() {
+        for &limb in self.limbs().iter().rev() {
             acc = acc * 1.8446744073709552e19 + limb as f64;
         }
         acc
+    }
+
+    /// Builds the canonical form of a 128-bit value.
+    fn from_u128_value(v: u128) -> Natural {
+        if v <= u64::MAX as u128 {
+            Natural(Repr::Small(v as u64))
+        } else {
+            Natural(Repr::Big(vec![v as u64, (v >> 64) as u64]))
+        }
     }
 
     /// Addition producing a new value.
@@ -144,14 +188,18 @@ impl Natural {
 
     /// Subtraction `a - b`; returns `None` if `b > a`.
     pub fn checked_sub(&self, other: &Natural) -> Option<Natural> {
+        if let (Some(a), Some(b)) = (self.small(), other.small()) {
+            return a.checked_sub(b).map(|d| Natural(Repr::Small(d)));
+        }
         if self < other {
             return None;
         }
-        let mut out = Vec::with_capacity(self.limbs.len());
+        let a = self.limbs();
+        let b = other.limbs();
+        let mut out = Vec::with_capacity(a.len());
         let mut borrow = 0u64;
-        for i in 0..self.limbs.len() {
-            let x = self.limbs[i];
-            let y = other.limbs.get(i).copied().unwrap_or(0);
+        for (i, &x) in a.iter().enumerate() {
+            let y = b.get(i).copied().unwrap_or(0);
             let (d1, b1) = x.overflowing_sub(y);
             let (d2, b2) = d1.overflowing_sub(borrow);
             out.push(d2);
@@ -190,44 +238,64 @@ impl Natural {
 
     /// Multiplies by a single `u64` in place.
     pub fn mul_assign_u64(&mut self, m: u64) {
-        if m == 0 {
-            self.limbs.clear();
-            return;
-        }
-        let mut carry = 0u128;
-        for limb in &mut self.limbs {
-            let cur = (*limb as u128) * (m as u128) + carry;
-            *limb = cur as u64;
-            carry = cur >> 64;
-        }
-        if carry != 0 {
-            self.limbs.push(carry as u64);
+        match &mut self.0 {
+            Repr::Small(v) => {
+                let wide = (*v as u128) * (m as u128);
+                *self = Natural::from_u128_value(wide);
+            }
+            Repr::Big(limbs) => {
+                if m == 0 {
+                    *self = Natural::zero();
+                    return;
+                }
+                let mut carry = 0u128;
+                for limb in limbs.iter_mut() {
+                    let cur = (*limb as u128) * (m as u128) + carry;
+                    *limb = cur as u64;
+                    carry = cur >> 64;
+                }
+                if carry != 0 {
+                    limbs.push(carry as u64);
+                }
+            }
         }
     }
 
     /// Adds a single `u64` in place.
     pub fn add_assign_u64(&mut self, a: u64) {
-        let mut carry = a;
-        let mut i = 0;
-        while carry != 0 {
-            if i == self.limbs.len() {
-                self.limbs.push(carry);
-                return;
+        match &mut self.0 {
+            Repr::Small(v) => {
+                let wide = (*v as u128) + (a as u128);
+                *self = Natural::from_u128_value(wide);
             }
-            let (s, c) = self.limbs[i].overflowing_add(carry);
-            self.limbs[i] = s;
-            carry = c as u64;
-            i += 1;
+            Repr::Big(limbs) => {
+                let mut carry = a;
+                let mut i = 0;
+                while carry != 0 {
+                    if i == limbs.len() {
+                        limbs.push(carry);
+                        return;
+                    }
+                    let (s, c) = limbs[i].overflowing_add(carry);
+                    limbs[i] = s;
+                    carry = c as u64;
+                    i += 1;
+                }
+            }
         }
     }
 
     /// Divides by a single non-zero `u64`, returning `(quotient, remainder)`.
     pub fn div_rem_u64(&self, d: u64) -> (Natural, u64) {
         assert!(d != 0, "division by zero");
-        let mut out = vec![0u64; self.limbs.len()];
+        if let Some(v) = self.small() {
+            return (Natural(Repr::Small(v / d)), v % d);
+        }
+        let limbs = self.limbs();
+        let mut out = vec![0u64; limbs.len()];
         let mut rem = 0u128;
-        for i in (0..self.limbs.len()).rev() {
-            let cur = (rem << 64) | self.limbs[i] as u128;
+        for i in (0..limbs.len()).rev() {
+            let cur = (rem << 64) | limbs[i] as u128;
             out[i] = (cur / d as u128) as u64;
             rem = cur % d as u128;
         }
@@ -241,17 +309,20 @@ impl Natural {
     /// Panics if `divisor` is zero.
     pub fn div_rem(&self, divisor: &Natural) -> (Natural, Natural) {
         assert!(!divisor.is_zero(), "division by zero");
+        if let (Some(a), Some(b)) = (self.small(), divisor.small()) {
+            return (Natural(Repr::Small(a / b)), Natural(Repr::Small(a % b)));
+        }
         if self < divisor {
             return (Natural::zero(), self.clone());
         }
-        if divisor.limbs.len() == 1 {
-            let (q, r) = self.div_rem_u64(divisor.limbs[0]);
+        if let Some(d) = divisor.small() {
+            let (q, r) = self.div_rem_u64(d);
             return (q, Natural::from(r));
         }
         // Knuth Algorithm D over 32-bit half-limbs so quotient estimation
         // fits comfortably in u64 arithmetic.
-        let u = to_half_limbs(&self.limbs);
-        let v = to_half_limbs(&divisor.limbs);
+        let u = to_half_limbs(self.limbs());
+        let v = to_half_limbs(divisor.limbs());
         let (q32, r32) = knuth_div(&u, &v);
         (Natural::from_limbs(from_half_limbs(&q32)), Natural::from_limbs(from_half_limbs(&r32)))
     }
@@ -274,6 +345,9 @@ impl Natural {
 
     /// Greatest common divisor (binary GCD; `gcd(0, x) = x`).
     pub fn gcd(&self, other: &Natural) -> Natural {
+        if let (Some(a), Some(b)) = (self.small(), other.small()) {
+            return Natural(Repr::Small(gcd_u64(a, b)));
+        }
         let mut a = self.clone();
         let mut b = other.clone();
         if a.is_zero() {
@@ -288,6 +362,11 @@ impl Natural {
         a = &a >> shift_a;
         b = &b >> shift_b;
         loop {
+            // Once both operands have shed their high limbs, finish on the
+            // machine-word path instead of looping limb subtractions.
+            if let (Some(sa), Some(sb)) = (a.small(), b.small()) {
+                return &Natural(Repr::Small(gcd_u64(sa, sb))) << shift;
+            }
             debug_assert!(!a.is_even() && !b.is_even());
             if a > b {
                 core::mem::swap(&mut a, &mut b);
@@ -311,7 +390,7 @@ impl Natural {
 
     /// Number of trailing zero bits (zero input returns 0).
     pub fn trailing_zeros(&self) -> usize {
-        for (i, &limb) in self.limbs.iter().enumerate() {
+        for (i, &limb) in self.limbs().iter().enumerate() {
             if limb != 0 {
                 return i * 64 + limb.trailing_zeros() as usize;
             }
@@ -344,8 +423,8 @@ impl Natural {
 
     /// Renders the value as a decimal string.
     pub fn to_decimal_string(&self) -> String {
-        if self.is_zero() {
-            return "0".to_string();
+        if let Some(v) = self.small() {
+            return v.to_string();
         }
         // Peel 19 decimal digits at a time (10^19 fits in u64).
         const CHUNK: u64 = 10_000_000_000_000_000_000;
@@ -365,6 +444,28 @@ impl Natural {
             }
         }
         out
+    }
+}
+
+/// Binary GCD on machine words (`gcd(0, x) = x`).
+fn gcd_u64(mut a: u64, mut b: u64) -> u64 {
+    if a == 0 {
+        return b;
+    }
+    if b == 0 {
+        return a;
+    }
+    let shift = (a | b).trailing_zeros();
+    a >>= a.trailing_zeros();
+    loop {
+        b >>= b.trailing_zeros();
+        if a > b {
+            core::mem::swap(&mut a, &mut b);
+        }
+        b -= a;
+        if b == 0 {
+            return a << shift;
+        }
     }
 }
 
@@ -522,7 +623,7 @@ macro_rules! impl_from_unsigned {
     ($($t:ty),*) => {
         $(impl From<$t> for Natural {
             fn from(v: $t) -> Self {
-                Natural::from_limbs(vec![v as u64])
+                Natural(Repr::Small(v as u64))
             }
         })*
     };
@@ -532,13 +633,13 @@ impl_from_unsigned!(u8, u16, u32, u64);
 
 impl From<usize> for Natural {
     fn from(v: usize) -> Self {
-        Natural::from_limbs(vec![v as u64])
+        Natural(Repr::Small(v as u64))
     }
 }
 
 impl From<u128> for Natural {
     fn from(v: u128) -> Self {
-        Natural::from_limbs(vec![v as u64, (v >> 64) as u64])
+        Natural::from_u128_value(v)
     }
 }
 
@@ -555,17 +656,23 @@ impl FromStr for Natural {
 
 impl Ord for Natural {
     fn cmp(&self, other: &Self) -> Ordering {
-        match self.limbs.len().cmp(&other.limbs.len()) {
-            Ordering::Equal => {
-                for (a, b) in self.limbs.iter().rev().zip(other.limbs.iter().rev()) {
-                    match a.cmp(b) {
-                        Ordering::Equal => continue,
-                        ord => return ord,
+        match (&self.0, &other.0) {
+            (Repr::Small(a), Repr::Small(b)) => a.cmp(b),
+            // Canonical form: Big is always at least two limbs, i.e. > u64.
+            (Repr::Small(_), Repr::Big(_)) => Ordering::Less,
+            (Repr::Big(_), Repr::Small(_)) => Ordering::Greater,
+            (Repr::Big(a), Repr::Big(b)) => match a.len().cmp(&b.len()) {
+                Ordering::Equal => {
+                    for (x, y) in a.iter().rev().zip(b.iter().rev()) {
+                        match x.cmp(y) {
+                            Ordering::Equal => continue,
+                            ord => return ord,
+                        }
                     }
+                    Ordering::Equal
                 }
-                Ordering::Equal
-            }
-            ord => ord,
+                ord => ord,
+            },
         }
     }
 }
@@ -595,7 +702,11 @@ impl fmt::Debug for Natural {
 impl Add for &Natural {
     type Output = Natural;
     fn add(self, rhs: &Natural) -> Natural {
-        Natural::from_limbs(Natural::add_impl(&self.limbs, &rhs.limbs))
+        if let (Some(a), Some(b)) = (self.small(), rhs.small()) {
+            // u64 + u64 always fits u128; promotion happens on demand.
+            return Natural::from_u128_value(a as u128 + b as u128);
+        }
+        Natural::from_limbs(Natural::add_impl(self.limbs(), rhs.limbs()))
     }
 }
 
@@ -641,7 +752,11 @@ impl SubAssign<&Natural> for Natural {
 impl Mul for &Natural {
     type Output = Natural;
     fn mul(self, rhs: &Natural) -> Natural {
-        Natural::from_limbs(Natural::mul_impl(&self.limbs, &rhs.limbs))
+        if let (Some(a), Some(b)) = (self.small(), rhs.small()) {
+            // u64 × u64 always fits u128; promotion happens on demand.
+            return Natural::from_u128_value(a as u128 * b as u128);
+        }
+        Natural::from_limbs(Natural::mul_impl(self.limbs(), rhs.limbs()))
     }
 }
 
@@ -692,14 +807,30 @@ impl Shl<usize> for &Natural {
         if self.is_zero() || shift == 0 {
             return self.clone();
         }
+        if let Some(v) = self.small() {
+            if shift < 64 && (v >> (64 - shift)) == 0 {
+                return Natural(Repr::Small(v << shift));
+            }
+        }
+        self.shl_general(shift)
+    }
+}
+
+impl Natural {
+    /// Limb-level left shift (the general path of `<<`).
+    fn shl_general(&self, shift: usize) -> Natural {
+        if shift == 0 {
+            return self.clone();
+        }
         let limb_shift = shift / 64;
         let bit_shift = shift % 64;
+        let src = self.limbs();
         let mut out = vec![0u64; limb_shift];
         if bit_shift == 0 {
-            out.extend_from_slice(&self.limbs);
+            out.extend_from_slice(src);
         } else {
             let mut carry = 0u64;
-            for &l in &self.limbs {
+            for &l in src {
                 out.push((l << bit_shift) | carry);
                 carry = l >> (64 - bit_shift);
             }
@@ -714,12 +845,16 @@ impl Shl<usize> for &Natural {
 impl Shr<usize> for &Natural {
     type Output = Natural;
     fn shr(self, shift: usize) -> Natural {
+        if let Some(v) = self.small() {
+            return Natural(Repr::Small(if shift >= 64 { 0 } else { v >> shift }));
+        }
+        let limbs = self.limbs();
         let limb_shift = shift / 64;
-        if limb_shift >= self.limbs.len() {
+        if limb_shift >= limbs.len() {
             return Natural::zero();
         }
         let bit_shift = shift % 64;
-        let src = &self.limbs[limb_shift..];
+        let src = &limbs[limb_shift..];
         let mut out = vec![0u64; src.len()];
         if bit_shift == 0 {
             out.copy_from_slice(src);
@@ -748,6 +883,25 @@ mod tests {
         assert_eq!(Natural::from(0u64), Natural::zero());
         assert_eq!(Natural::from_limbs(vec![0, 0, 0]), Natural::zero());
         assert_eq!(Natural::from_limbs(vec![1, 0, 0]), Natural::one());
+    }
+
+    #[test]
+    fn representation_is_canonical_across_the_boundary() {
+        // One-limb values constructed through the limb door must compare and
+        // hash equal to the inline form.
+        for v in [0u64, 1, 42, u64::MAX] {
+            assert_eq!(Natural::from_limbs(vec![v]), Natural::from(v));
+            assert_eq!(Natural::from_limbs(vec![v, 0, 0]), Natural::from(v));
+        }
+        // Values just over the boundary must be on the limb path (two limbs).
+        let big = nat(u64::MAX as u128 + 1);
+        assert_eq!(big.limbs().len(), 2);
+        assert_eq!(big.to_u64(), None);
+        // Arithmetic that shrinks a value back under the boundary demotes it.
+        let shrunk = &big - &nat(1);
+        assert_eq!(shrunk.limbs().len(), 1);
+        assert_eq!(shrunk.to_u64(), Some(u64::MAX));
+        assert_eq!(shrunk, nat(u64::MAX as u128));
     }
 
     #[test]
@@ -864,12 +1018,29 @@ mod tests {
     }
 
     #[test]
+    fn gcd_mixed_small_big_operands() {
+        // Exercise the mixed path: one operand beyond u64, one inside.
+        let big = nat((1u128 << 90) * 3);
+        let small = nat(1 << 20);
+        assert_eq!(big.gcd(&small), nat(1 << 20));
+        assert_eq!(small.gcd(&big), nat(1 << 20));
+        let odd_big = &nat(1 << 100) + &nat(1); // odd, > u64
+        assert_eq!(odd_big.gcd(&nat(1)), nat(1));
+    }
+
+    #[test]
     fn shifts() {
         assert_eq!(&nat(1) << 100, nat(1 << 100));
         assert_eq!(&nat(1 << 100) >> 100, nat(1));
         assert_eq!(&nat(0b1011) << 3, nat(0b1011000));
         assert_eq!(&nat(0b1011000) >> 3, nat(0b1011));
         assert_eq!(&nat(5) >> 200, Natural::zero());
+        // Shifts that cross the word boundary in both directions.
+        assert_eq!(&nat(u64::MAX as u128) << 1, nat((u64::MAX as u128) << 1));
+        assert_eq!(&nat(1) << 63, nat(1 << 63));
+        assert_eq!(&nat(1) << 64, nat(1 << 64));
+        assert_eq!(&nat(1 << 64) >> 1, nat(1 << 63));
+        assert_eq!(&nat(3) << 126, nat(3 << 126));
     }
 
     #[test]

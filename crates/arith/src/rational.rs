@@ -1,4 +1,14 @@
 //! Exact rational numbers with arbitrary-precision numerator and denominator.
+//!
+//! [`Rational`] keeps its big-integer shape (`Integer` numerator, `Natural`
+//! denominator, always in lowest terms), but every field operation first
+//! tries a **machine-word fast path**: when both operands have an `i64`
+//! numerator and a `u64` denominator, the cross-multiplication is done in
+//! checked `i128`/`u128` arithmetic and the result reduced with a binary GCD
+//! on machine words — no heap allocation anywhere. Only when an intermediate
+//! product or sum cannot be represented does the operation fall back to the
+//! exact big path. The fallback frequency is observable through
+//! [`crate::stats`].
 
 use core::cmp::Ordering;
 use core::fmt;
@@ -7,6 +17,7 @@ use core::str::FromStr;
 
 use crate::integer::{Integer, ParseIntegerError, Sign};
 use crate::natural::Natural;
+use crate::stats;
 
 /// An exact rational number, kept in lowest terms with a strictly positive
 /// denominator.
@@ -35,14 +46,36 @@ impl Default for Rational {
     }
 }
 
+/// Binary GCD on `u128` (`gcd(0, x) = x`).
+fn gcd_u128(mut a: u128, mut b: u128) -> u128 {
+    if a == 0 {
+        return b;
+    }
+    if b == 0 {
+        return a;
+    }
+    let shift = (a | b).trailing_zeros();
+    a >>= a.trailing_zeros();
+    loop {
+        b >>= b.trailing_zeros();
+        if a > b {
+            core::mem::swap(&mut a, &mut b);
+        }
+        b -= a;
+        if b == 0 {
+            return a << shift;
+        }
+    }
+}
+
 impl Rational {
     /// The rational zero.
-    pub fn zero() -> Self {
+    pub const fn zero() -> Self {
         Rational { numer: Integer::zero(), denom: Natural::one() }
     }
 
     /// The rational one.
-    pub fn one() -> Self {
+    pub const fn one() -> Self {
         Rational { numer: Integer::one(), denom: Natural::one() }
     }
 
@@ -63,14 +96,33 @@ impl Rational {
     /// Panics if `d` is zero.
     pub fn from_i64s(n: i64, d: i64) -> Self {
         assert!(d != 0, "rational with zero denominator");
-        let sign_flip = d < 0;
-        let numer = if sign_flip { -Integer::from(n) } else { Integer::from(n) };
-        Rational::new(numer, Natural::from(d.unsigned_abs()))
+        let n = if d < 0 { -(n as i128) } else { n as i128 };
+        Rational::from_machine(n, d.unsigned_abs() as u128)
     }
 
     /// Constructs an integer-valued rational.
     pub fn from_integer(n: Integer) -> Self {
         Rational { numer: n, denom: Natural::one() }
+    }
+
+    /// Builds the reduced rational `n / d` from wide machine words
+    /// (`d` must be non-zero). This is the landing pad of every fast path:
+    /// one binary GCD on machine words, no heap allocation unless the
+    /// reduced parts themselves exceed a word.
+    fn from_machine(n: i128, d: u128) -> Self {
+        debug_assert!(d != 0);
+        let na = n.unsigned_abs();
+        let g = gcd_u128(na, d);
+        let (na, d) = (na / g, d / g);
+        let magnitude = Integer::from(na);
+        let numer = if n < 0 { -magnitude } else { magnitude };
+        Rational { numer, denom: Natural::from(d) }
+    }
+
+    /// Machine-word view: `Some((numerator, denominator))` when both parts
+    /// fit, i.e. when the value is on the small path.
+    fn small_parts(&self) -> Option<(i64, u64)> {
+        Some((self.numer.to_i64()?, self.denom.to_u64()?))
     }
 
     /// Numerator (sign-carrying, in lowest terms).
@@ -125,7 +177,7 @@ impl Rational {
     pub fn recip(&self) -> Rational {
         assert!(!self.is_zero(), "reciprocal of zero");
         let numer = Integer::from_sign_magnitude(self.numer.sign(), self.denom.clone());
-        Rational { numer, denom: self.numer.magnitude().clone() }
+        Rational { numer, denom: self.numer.magnitude() }
     }
 
     /// Floor: greatest integer not larger than the value.
@@ -158,10 +210,14 @@ impl Rational {
             self.denom = Natural::one();
             return;
         }
-        let g = self.numer.magnitude().gcd(&self.denom);
+        if let Some((n, d)) = self.small_parts() {
+            *self = Rational::from_machine(n as i128, d as u128);
+            return;
+        }
+        let mag = self.numer.magnitude();
+        let g = mag.gcd(&self.denom);
         if !g.is_one() {
-            let new_mag = self.numer.magnitude() / &g;
-            self.numer = Integer::from_sign_magnitude(self.numer.sign(), new_mag);
+            self.numer = Integer::from_sign_magnitude(self.numer.sign(), &mag / &g);
             self.denom = &self.denom / &g;
         }
     }
@@ -175,6 +231,18 @@ impl From<Integer> for Rational {
 
 impl From<Natural> for Rational {
     fn from(n: Natural) -> Self {
+        Rational::from_integer(Integer::from(n))
+    }
+}
+
+impl From<&Integer> for Rational {
+    fn from(n: &Integer) -> Self {
+        Rational::from_integer(n.clone())
+    }
+}
+
+impl From<&Natural> for Rational {
+    fn from(n: &Natural) -> Self {
         Rational::from_integer(Integer::from(n))
     }
 }
@@ -247,6 +315,10 @@ impl FromStr for Rational {
 impl Ord for Rational {
     fn cmp(&self, other: &Self) -> Ordering {
         // a/b ? c/d  <=>  a*d ? c*b   (b, d > 0)
+        if let (Some((an, ad)), Some((bn, bd))) = (self.small_parts(), other.small_parts()) {
+            // |i64 × u64| < 2^127: the cross products always fit i128.
+            return ((an as i128) * (bd as i128)).cmp(&((bn as i128) * (ad as i128)));
+        }
         let lhs = &self.numer * &Integer::from(other.denom.clone());
         let rhs = &other.numer * &Integer::from(self.denom.clone());
         lhs.cmp(&rhs)
@@ -292,6 +364,17 @@ impl Neg for Rational {
 impl Add for &Rational {
     type Output = Rational;
     fn add(self, rhs: &Rational) -> Rational {
+        if let (Some((an, ad)), Some((bn, bd))) = (self.small_parts(), rhs.small_parts()) {
+            // Each cross product fits i128; only the final sum can overflow,
+            // in which case we fall through to the big path.
+            let n1 = (an as i128) * (bd as i128);
+            let n2 = (bn as i128) * (ad as i128);
+            if let Some(n) = n1.checked_add(n2) {
+                stats::record_small_hit();
+                return Rational::from_machine(n, (ad as u128) * (bd as u128));
+            }
+        }
+        stats::record_big_fallback();
         let numer = &(&self.numer * &Integer::from(rhs.denom.clone()))
             + &(&rhs.numer * &Integer::from(self.denom.clone()));
         let denom = &self.denom * &rhs.denom;
@@ -321,7 +404,19 @@ impl AddAssign for Rational {
 impl Sub for &Rational {
     type Output = Rational;
     fn sub(self, rhs: &Rational) -> Rational {
-        self + &(-rhs)
+        if let (Some((an, ad)), Some((bn, bd))) = (self.small_parts(), rhs.small_parts()) {
+            let n1 = (an as i128) * (bd as i128);
+            let n2 = (bn as i128) * (ad as i128);
+            if let Some(n) = n1.checked_sub(n2) {
+                stats::record_small_hit();
+                return Rational::from_machine(n, (ad as u128) * (bd as u128));
+            }
+        }
+        stats::record_big_fallback();
+        let numer = &(&self.numer * &Integer::from(rhs.denom.clone()))
+            - &(&rhs.numer * &Integer::from(self.denom.clone()));
+        let denom = &self.denom * &rhs.denom;
+        Rational::new(numer, denom)
     }
 }
 
@@ -341,6 +436,16 @@ impl SubAssign<&Rational> for Rational {
 impl Mul for &Rational {
     type Output = Rational;
     fn mul(self, rhs: &Rational) -> Rational {
+        if let (Some((an, ad)), Some((bn, bd))) = (self.small_parts(), rhs.small_parts()) {
+            // i64 × i64 and u64 × u64 always fit the wide words: the fast
+            // path cannot overflow here.
+            stats::record_small_hit();
+            return Rational::from_machine(
+                (an as i128) * (bn as i128),
+                (ad as u128) * (bd as u128),
+            );
+        }
+        stats::record_big_fallback();
         Rational::new(&self.numer * &rhs.numer, &self.denom * &rhs.denom)
     }
 }
@@ -362,6 +467,13 @@ impl Div for &Rational {
     type Output = Rational;
     fn div(self, rhs: &Rational) -> Rational {
         assert!(!rhs.is_zero(), "division by zero rational");
+        if let (Some((an, ad)), Some((bn, bd))) = (self.small_parts(), rhs.small_parts()) {
+            stats::record_small_hit();
+            let n = (an as i128) * (bd as i128);
+            let n = if bn < 0 { -n } else { n };
+            return Rational::from_machine(n, (ad as u128) * (bn.unsigned_abs() as u128));
+        }
+        stats::record_big_fallback();
         self * &rhs.recip()
     }
 }
@@ -381,6 +493,17 @@ mod tests {
         Rational::from_i64s(n, d)
     }
 
+    /// A rational whose parts are forced beyond the machine-word range but
+    /// whose value equals `n / d`: both components are scaled by the same
+    /// huge factor and must cancel during reduction.
+    fn big_route(n: i64, d: i64) -> Rational {
+        let scale = Natural::from(2u64).pow(80);
+        let sign_flip = d < 0;
+        let numer = &Integer::from(n) * &Integer::from(scale.clone());
+        let numer = if sign_flip { -numer } else { numer };
+        Rational::new(numer, &Natural::from(d.unsigned_abs()) * &scale)
+    }
+
     #[test]
     fn construction_reduces_to_lowest_terms() {
         let r = rat(6, 8);
@@ -390,6 +513,15 @@ mod tests {
         assert_eq!(rat(6, -8), rat(-3, 4));
         assert_eq!(rat(0, 17), Rational::zero());
         assert_eq!(rat(0, 17).denom(), &Natural::one());
+    }
+
+    #[test]
+    fn big_construction_reduces_to_the_same_canonical_form() {
+        // Scaled construction must land on the identical (bit-identical,
+        // since Eq is value equality on canonical forms) rational.
+        for (n, d) in [(6, 8), (-6, 8), (0, 17), (1, 1), (i64::MAX, 2), (i64::MIN, 3)] {
+            assert_eq!(big_route(n, d), rat(n, d), "{n}/{d}");
+        }
     }
 
     #[test]
@@ -411,12 +543,58 @@ mod tests {
     }
 
     #[test]
+    fn fast_and_big_paths_agree() {
+        // The same operations routed through the big path (operands with
+        // huge unreduced components cancel to the same values) must yield
+        // identical results.
+        let cases = [(1i64, 2i64, 1i64, 3i64), (-7, 3, 5, 11), (6, 8, -6, 8), (0, 5, 3, 7)];
+        for (an, ad, bn, bd) in cases {
+            let (fa, fb) = (rat(an, ad), rat(bn, bd));
+            let (ba, bb) = (big_route(an, ad), big_route(bn, bd));
+            assert_eq!(&fa + &fb, &ba + &bb, "{an}/{ad} + {bn}/{bd}");
+            assert_eq!(&fa - &fb, &ba - &bb, "{an}/{ad} - {bn}/{bd}");
+            assert_eq!(&fa * &fb, &ba * &bb, "{an}/{ad} * {bn}/{bd}");
+            if bn != 0 {
+                assert_eq!(&fa / &fb, &ba / &bb, "{an}/{ad} / {bn}/{bd}");
+            }
+            assert_eq!(fa.cmp(&fb), ba.cmp(&bb), "{an}/{ad} <=> {bn}/{bd}");
+        }
+    }
+
+    #[test]
+    fn fast_path_overflow_falls_back_exactly() {
+        let a = Rational::from(i64::MAX);
+        let sum = &a + &a;
+        assert_eq!(sum, Rational::from(2i128 * i64::MAX as i128));
+        // A genuinely overflowing cross sum: both operands are
+        // (2^63−1)/(2^64−1) (coprime, so machine-word eligible); each cross
+        // product is (2^63−1)(2^64−1) ≈ 2^127 and their sum exceeds
+        // i128::MAX, forcing the checked_add fallback to the big path.
+        let b = Rational::new(Integer::from(i64::MAX), Natural::from(u64::MAX));
+        assert_eq!(b.numer(), &Integer::from(i64::MAX), "operand must be machine-word");
+        let sum = &b + &b;
+        let expect =
+            Rational::new(&Integer::from(2) * &Integer::from(i64::MAX), Natural::from(u64::MAX));
+        assert_eq!(sum, expect);
+        // And the mixed-denominator shape from before, for good measure.
+        let sum = &a + &b;
+        let expect = Rational::new(
+            &(&Integer::from(i64::MAX) * &Integer::from(u64::MAX)) + &Integer::from(i64::MAX),
+            Natural::from(u64::MAX),
+        );
+        assert_eq!(sum, expect);
+    }
+
+    #[test]
     fn ordering() {
         assert!(rat(1, 3) < rat(1, 2));
         assert!(rat(-1, 2) < rat(-1, 3));
         assert!(rat(-1, 2) < rat(1, 100));
         assert_eq!(rat(2, 4), rat(1, 2));
         assert!(rat(7, 1) > rat(20, 3));
+        // Mixed representation comparison.
+        assert!(big_route(1, 3) < rat(1, 2));
+        assert!(Rational::from(u128::MAX) > rat(i64::MAX, 1));
     }
 
     #[test]

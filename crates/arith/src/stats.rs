@@ -1,0 +1,105 @@
+//! Process-wide counters for the hybrid representation's fast path.
+//!
+//! The rational hot path (simplex pivots, Fourier–Motzkin combinations) is
+//! instrumented with two relaxed atomic counters — compiled unconditionally,
+//! **not** gated behind `debug_assertions` — so release binaries can report
+//! how often the machine-word fast path fired versus falling back to the
+//! limb representation. `diophantus bench --json` surfaces the numbers;
+//! future performance work can watch the promotion frequency move.
+//!
+//! The counters are cumulative for the process. Callers that want a
+//! per-phase reading should [`reset`] first (or subtract a prior
+//! [`snapshot`]); concurrent arithmetic keeps counting while you read, so
+//! treat snapshots as statistics, not exact event counts.
+
+use core::sync::atomic::{AtomicU64, Ordering};
+
+static SMALL_HITS: AtomicU64 = AtomicU64::new(0);
+static BIG_FALLBACKS: AtomicU64 = AtomicU64::new(0);
+
+/// Records one rational operation served entirely by the machine-word path.
+#[inline]
+pub(crate) fn record_small_hit() {
+    SMALL_HITS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Records one rational operation that fell back to the limb path.
+#[inline]
+pub(crate) fn record_big_fallback() {
+    BIG_FALLBACKS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// A point-in-time reading of the fast-path counters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct Snapshot {
+    /// Rational operations served by the machine-word fast path.
+    pub small_hits: u64,
+    /// Rational operations that fell back to the limb representation.
+    pub big_fallbacks: u64,
+}
+
+impl Snapshot {
+    /// Total instrumented operations.
+    pub fn total(&self) -> u64 {
+        self.small_hits + self.big_fallbacks
+    }
+
+    /// Fraction of operations served by the fast path (`None` when no
+    /// operations were recorded).
+    pub fn hit_rate(&self) -> Option<f64> {
+        let total = self.total();
+        if total == 0 {
+            None
+        } else {
+            Some(self.small_hits as f64 / total as f64)
+        }
+    }
+
+    /// Counter deltas since an `earlier` snapshot (saturating, so a
+    /// concurrent [`reset`] cannot underflow).
+    pub fn since(&self, earlier: &Snapshot) -> Snapshot {
+        Snapshot {
+            small_hits: self.small_hits.saturating_sub(earlier.small_hits),
+            big_fallbacks: self.big_fallbacks.saturating_sub(earlier.big_fallbacks),
+        }
+    }
+}
+
+/// Reads the current counter values.
+pub fn snapshot() -> Snapshot {
+    Snapshot {
+        small_hits: SMALL_HITS.load(Ordering::Relaxed),
+        big_fallbacks: BIG_FALLBACKS.load(Ordering::Relaxed),
+    }
+}
+
+/// Resets both counters to zero.
+pub fn reset() {
+    SMALL_HITS.store(0, Ordering::Relaxed);
+    BIG_FALLBACKS.store(0, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Rational;
+
+    #[test]
+    fn counters_observe_fast_and_slow_paths() {
+        // Tests run concurrently in one process, so assert on deltas of the
+        // operations this test performs, not absolute values.
+        let before = snapshot();
+        let a = Rational::from_i64s(1, 3);
+        let _ = &a + &a; // machine-word path
+        let mid = snapshot().since(&before);
+        assert!(mid.small_hits >= 1);
+
+        let huge = Rational::from(u128::MAX);
+        let _ = &huge * &huge; // numerator beyond i64: limb path
+        let after = snapshot().since(&before);
+        assert!(after.big_fallbacks >= 1);
+        assert!(after.total() >= 2);
+        assert!(after.hit_rate().is_some());
+        assert_eq!(Snapshot::default().hit_rate(), None);
+    }
+}

@@ -20,6 +20,57 @@ fn natural_strategy() -> impl Strategy<Value = Natural> {
     ]
 }
 
+/// Strategy for `u128` values hugging the `u64` boundary from both sides —
+/// exactly where the hybrid representation switches between its inline and
+/// limb forms.
+fn boundary_u128() -> impl Strategy<Value = u128> {
+    let b = u64::MAX as u128;
+    prop_oneof![
+        (0u128..=8).prop_map(move |d| b - d),
+        (1u128..=8).prop_map(move |d| b + d),
+        Just(b),
+        Just(b + 1),
+        0u128..=16,
+    ]
+}
+
+/// Strategy for `i128` values hugging both `i64` boundaries.
+fn boundary_i128() -> impl Strategy<Value = i128> {
+    let lo = i64::MIN as i128;
+    let hi = i64::MAX as i128;
+    prop_oneof![
+        (0i128..=8).prop_map(move |d| hi - d),
+        (1i128..=8).prop_map(move |d| hi + d),
+        (0i128..=8).prop_map(move |d| lo + d),
+        (1i128..=8).prop_map(move |d| lo - d),
+        -16i128..=16,
+    ]
+}
+
+/// Asserts that a natural equals its `u128` ground truth **and** is stored
+/// canonically: the inline form exactly when the value fits a word.
+fn assert_canonical_natural(value: &Natural, expect: u128) {
+    assert_eq!(value, &Natural::from(expect));
+    if expect <= u64::MAX as u128 {
+        assert_eq!(value.to_u64(), Some(expect as u64), "must demote to the inline form");
+        assert!(value.limbs().len() <= 1);
+    } else {
+        assert_eq!(value.to_u64(), None, "must promote to the limb form");
+        assert!(value.limbs().len() >= 2);
+    }
+}
+
+/// Asserts that an integer equals its `i128` ground truth **and** is stored
+/// canonically: the inline form exactly when the value fits `i64`.
+fn assert_canonical_integer(value: &Integer, expect: i128) {
+    assert_eq!(value, &Integer::from(expect));
+    if i64::try_from(expect).is_ok() {
+        assert_eq!(value.to_i64(), Some(expect as i64), "must demote to the inline form");
+    } else {
+        assert_eq!(value.to_i64(), None, "must promote to the big form");
+    }
+}
+
 fn integer_strategy() -> impl Strategy<Value = Integer> {
     (natural_strategy(), any::<bool>()).prop_map(|(n, neg)| {
         let i = Integer::from(n);
@@ -211,5 +262,124 @@ proptest! {
     #[test]
     fn rational_parse_roundtrip(a in rational_strategy()) {
         prop_assert_eq!(a.to_string().parse::<Rational>().unwrap(), a);
+    }
+
+    // ---------------- Hybrid representation: differential suites ----------------
+    //
+    // The hybrid tower must be *bit-identical* to a big-only build. Since the
+    // representation is canonical, value equality (`Eq` compares canonical
+    // forms) plus explicit canonicity checks give exactly that: the suites
+    // below drive random operations across the i64/u64 promotion boundary and
+    // compare against wide-machine ground truth, and route the *same* values
+    // through the limb path (via scaling homomorphisms and unreduced big
+    // constructions) to confirm both paths land on the same canonical object.
+
+    #[test]
+    fn natural_boundary_ops_are_canonical(a in boundary_u128(), b in boundary_u128()) {
+        let (na, nb) = (Natural::from(a), Natural::from(b));
+        assert_canonical_natural(&(&na + &nb), a + b);
+        if a >= b {
+            assert_canonical_natural(&(&na - &nb), a - b);
+        } else {
+            prop_assert_eq!(na.checked_sub(&nb), None);
+        }
+        if let Some(p) = a.checked_mul(b) {
+            assert_canonical_natural(&(&na * &nb), p);
+        }
+        if let (Some(qe), Some(re)) = (a.checked_div(b), a.checked_rem(b)) {
+            let (q, r) = na.div_rem(&nb);
+            assert_canonical_natural(&q, qe);
+            assert_canonical_natural(&r, re);
+        }
+        prop_assert_eq!(na.cmp(&nb), a.cmp(&b));
+    }
+
+    #[test]
+    fn natural_small_and_limb_paths_agree_via_scaling(a in any::<u64>(), b in any::<u64>(), s in 64usize..130) {
+        // Scaling is a homomorphism for +, gcd and *: computing on shifted
+        // operands forces the limb algorithms, and the result must be the
+        // shifted small-path result, bit-identically.
+        let (na, nb) = (Natural::from(a), Natural::from(b));
+        let (ba, bb) = (&na << s, &nb << s);
+        prop_assert_eq!(&ba + &bb, &(&na + &nb) << s);
+        prop_assert_eq!(ba.gcd(&bb), &na.gcd(&nb) << s);
+        prop_assert_eq!(&ba * &nb, &(&na * &nb) << s);
+        if b != 0 {
+            let (q_big, r_big) = ba.div_rem(&bb);
+            let (q, r) = na.div_rem(&nb);
+            prop_assert_eq!(q_big, q);
+            prop_assert_eq!(r_big, &r << s);
+        }
+        prop_assert_eq!(ba.cmp(&bb), na.cmp(&nb));
+    }
+
+    #[test]
+    fn integer_boundary_ops_are_canonical(a in boundary_i128(), b in boundary_i128()) {
+        let (ia, ib) = (Integer::from(a), Integer::from(b));
+        assert_canonical_integer(&(&ia + &ib), a + b);
+        assert_canonical_integer(&(&ia - &ib), a - b);
+        if let Some(p) = a.checked_mul(b) {
+            assert_canonical_integer(&(&ia * &ib), p);
+        }
+        if b != 0 {
+            let (q, r) = ia.div_rem(&ib);
+            assert_canonical_integer(&q, a / b);
+            assert_canonical_integer(&r, a % b);
+        }
+        assert_canonical_integer(&(-&ia), -a);
+        assert_canonical_integer(&ia.abs(), a.abs());
+        prop_assert_eq!(ia.cmp(&ib), a.cmp(&b));
+    }
+
+    #[test]
+    fn rational_fast_and_big_paths_are_bit_identical(
+        an in any::<i64>(), ad in 1..10_000i64,
+        bn in any::<i64>(), bd in 1..10_000i64,
+    ) {
+        // The same values built with machine-word components (fast path
+        // eligible) and with hugely scaled, unreduced components (big path
+        // only) must produce equal — hence canonically identical — results
+        // for every field operation.
+        let scale = Natural::from(2u64).pow(90);
+        let big = |n: i64, d: i64| {
+            Rational::new(
+                &Integer::from(n) * &Integer::from(scale.clone()),
+                &Natural::from(d.unsigned_abs()) * &scale,
+            )
+        };
+        let (fa, fb) = (Rational::from_i64s(an, ad), Rational::from_i64s(bn, bd));
+        let (ba, bb) = (big(an, ad), big(bn, bd));
+        prop_assert_eq!(&fa, &ba);
+        prop_assert_eq!(&fa + &fb, &ba + &bb);
+        prop_assert_eq!(&fa - &fb, &ba - &bb);
+        prop_assert_eq!(&fa * &fb, &ba * &bb);
+        if bn != 0 {
+            prop_assert_eq!(&fa / &fb, &ba / &bb);
+        }
+        prop_assert_eq!(fa.cmp(&fb), ba.cmp(&bb));
+        // Results are reduced regardless of route.
+        let sum = &fa + &fb;
+        prop_assert!(sum.is_zero() || sum.numer().gcd(&Integer::from(sum.denom().clone())).is_one());
+    }
+
+    #[test]
+    fn rational_boundary_numerators_survive_overflowing_cross_sums(
+        an in boundary_i128(), bn in boundary_i128(), d in 1..=u64::MAX,
+    ) {
+        // Numerators just outside i64 force the big path; just inside allow
+        // the fast path whose cross sums may overflow i128 and fall back.
+        // Either way the result must match exact integer arithmetic.
+        let (a, b) = (Rational::new(Integer::from(an), Natural::from(d)),
+                      Rational::new(Integer::from(bn), Natural::from(d)));
+        let sum = &a + &b;
+        prop_assert_eq!(sum, Rational::new(Integer::from(an + bn), Natural::from(d)));
+        let product = &a * &b;
+        prop_assert_eq!(
+            product,
+            Rational::new(
+                &Integer::from(an) * &Integer::from(bn),
+                &Natural::from(d) * &Natural::from(d),
+            )
+        );
     }
 }

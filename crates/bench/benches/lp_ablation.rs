@@ -58,7 +58,17 @@ fn bench_row_sweep(c: &mut Criterion) {
     for rows in [4usize, 8, 16, 32] {
         let mut rng = bench_rng();
         let systems: Vec<_> = (0..6).map(|_| random_system(5, rows, &mut rng)).collect();
-        for engine in [FeasibilityEngine::Simplex, FeasibilityEngine::FourierMotzkin] {
+        // Fourier–Motzkin's pair combinations explode with the row count
+        // (every elimination squares the constraint set in the worst case);
+        // past 8 rows a single decision takes minutes and tens of gigabytes,
+        // so the FM side of the ablation stops where the blow-up starts —
+        // which is itself the measurement the ablation exists to show.
+        let engines: &[FeasibilityEngine] = if rows <= 8 {
+            &[FeasibilityEngine::Simplex, FeasibilityEngine::FourierMotzkin]
+        } else {
+            &[FeasibilityEngine::Simplex]
+        };
+        for &engine in engines {
             group.bench_with_input(
                 BenchmarkId::new(format!("{engine:?}"), rows),
                 &systems,
@@ -83,7 +93,15 @@ fn bench_mpi_derived_systems(c: &mut Criterion) {
         let mut rng = bench_rng();
         let systems: Vec<_> =
             (0..6).map(|_| random_mpi(unknowns, 12, 5, &mut rng).to_strict_system()).collect();
-        for engine in [FeasibilityEngine::Simplex, FeasibilityEngine::FourierMotzkin] {
+        // FM only where it terminates in bench time: the 12-row systems
+        // already push its doubly-exponential pair combinations past minutes
+        // at 5 unknowns (see the row_sweep note).
+        let engines: &[FeasibilityEngine] = if unknowns <= 3 {
+            &[FeasibilityEngine::Simplex, FeasibilityEngine::FourierMotzkin]
+        } else {
+            &[FeasibilityEngine::Simplex]
+        };
+        for &engine in engines {
             group.bench_with_input(
                 BenchmarkId::new(format!("{engine:?}"), unknowns),
                 &systems,
@@ -100,6 +118,55 @@ fn bench_mpi_derived_systems(c: &mut Criterion) {
     group.finish();
 }
 
+/// The grown E7 sweep (ROADMAP "Scale instances"): simplex-only, at
+/// dimensions and row counts where the LP route's wall-clock is measured in
+/// hundreds of milliseconds to seconds per batch — large enough that the
+/// arithmetic substrate (small-int fast paths, sparse rows) dominates the
+/// measurement instead of harness noise. Fourier–Motzkin is excluded here:
+/// its doubly-exponential blow-up makes these sizes intractable for it.
+/// The sweep tops out at 12×36: beyond that (16×48 and up) pivot values
+/// outgrow machine words for good and the measurement degenerates into
+/// pure limb arithmetic that no representation choice can win back.
+fn bench_simplex_scale(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E7/simplex_scale");
+    for dimension in [8usize, 12] {
+        let rows = 3 * dimension;
+        let mut rng = bench_rng();
+        let systems: Vec<_> = (0..4).map(|_| random_system(dimension, rows, &mut rng)).collect();
+        group.bench_with_input(
+            BenchmarkId::new("Simplex", format!("{dimension}x{rows}")),
+            &systems,
+            |b, systems| {
+                b.iter(|| {
+                    for sys in systems {
+                        black_box(sys.is_feasible(FeasibilityEngine::Simplex));
+                    }
+                })
+            },
+        );
+    }
+    // MPI-derived growth: exactly the strict systems Theorem 4.1 produces,
+    // at sizes where compiled probe batches spend their time today.
+    for unknowns in [10usize, 14] {
+        let terms = 4 * unknowns;
+        let mut rng = bench_rng();
+        let systems: Vec<_> =
+            (0..4).map(|_| random_mpi(unknowns, terms, 6, &mut rng).to_strict_system()).collect();
+        group.bench_with_input(
+            BenchmarkId::new("Simplex/mpi", unknowns),
+            &systems,
+            |b, systems| {
+                b.iter(|| {
+                    for sys in systems {
+                        black_box(sys.is_feasible(FeasibilityEngine::Simplex));
+                    }
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
 fn config() -> Criterion {
     Criterion::default()
         .sample_size(10)
@@ -110,6 +177,7 @@ fn config() -> Criterion {
 criterion_group! {
     name = benches;
     config = config();
-    targets = bench_dimension_sweep, bench_row_sweep, bench_mpi_derived_systems
+    targets = bench_dimension_sweep, bench_row_sweep, bench_mpi_derived_systems,
+        bench_simplex_scale
 }
 criterion_main!(benches);

@@ -211,15 +211,14 @@ fn guess_check_probe(
         return Err(ContainmentError::BudgetExceeded { budget });
     }
     Ok(found.map(|direction| {
-        let direction: Vec<Natural> = direction.into_iter().map(Natural::from).collect();
+        // ξ_j = ζ*^{d_j}: raise the base straight from the enumerated
+        // machine-word exponents (no round trip through Natural and back).
+        let naturals: Vec<Natural> = direction.iter().copied().map(Natural::from).collect();
         let base = compiled
             .mpi()
-            .smallest_base_for(&direction)
+            .smallest_base_for(&naturals)
             .expect("a direction satisfying every inequality yields a base");
-        direction
-            .iter()
-            .map(|d| base.pow(d.to_u64().expect("bounded enumeration keeps exponents small")))
-            .collect()
+        direction.into_iter().map(|d| base.pow(d)).collect()
     }))
 }
 

@@ -45,36 +45,43 @@ pub fn homomorphisms_into(
         index.entry((fact.relation(), fact.arity())).or_default().push(fact);
     }
 
-    // Order atoms by ascending number of candidate facts (most constrained first).
-    let mut ordered: Vec<&Atom> = atoms.iter().collect();
-    ordered.sort_by_key(|a| index.get(&(a.relation(), a.arity())).map_or(0, Vec::len));
+    // Memoise each atom's candidate list up front: the backtracking search
+    // revisits every depth once per partial assignment, and re-hashing the
+    // (relation, arity) key at each node dominated the hot loop. One lookup
+    // per atom here, zero lookups inside the search.
+    let mut ordered: Vec<(&Atom, &[&Atom])> = atoms
+        .iter()
+        .map(|a| {
+            let candidates =
+                index.get(&(a.relation(), a.arity())).map(Vec::as_slice).unwrap_or(&[]);
+            (a, candidates)
+        })
+        .collect();
+    // Order atoms by ascending number of candidate facts (most constrained
+    // first); the sort is stable, so equal counts keep the body order.
+    ordered.sort_by_key(|(_, candidates)| candidates.len());
 
     let mut results = Vec::new();
     let mut current = seed.clone();
-    search(&ordered, 0, &index, &mut current, &mut results);
+    search(&ordered, 0, &mut current, &mut results);
     results
 }
 
 fn search(
-    atoms: &[&Atom],
+    atoms: &[(&Atom, &[&Atom])],
     depth: usize,
-    index: &HashMap<(&str, usize), Vec<&Atom>>,
     current: &mut Substitution,
     results: &mut Vec<Substitution>,
 ) {
-    if depth == atoms.len() {
+    let Some(&(atom, candidates)) = atoms.get(depth) else {
         results.push(current.clone());
-        return;
-    }
-    let atom = atoms[depth];
-    let Some(candidates) = index.get(&(atom.relation(), atom.arity())) else {
         return;
     };
     for fact in candidates {
         let mut attempt = current.clone();
         if attempt.unify_tuples(atom.terms(), fact.terms()) {
             std::mem::swap(current, &mut attempt);
-            search(atoms, depth + 1, index, current, results);
+            search(atoms, depth + 1, current, results);
             std::mem::swap(current, &mut attempt);
         }
     }

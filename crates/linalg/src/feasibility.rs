@@ -15,11 +15,15 @@
 //! [`StrictHomogeneousSystem`] captures exactly that shape and offers two
 //! independent engines ([`FeasibilityEngine::Simplex`] and
 //! [`FeasibilityEngine::FourierMotzkin`]) for deciding it and extracting
-//! natural witnesses.
+//! natural witnesses. Both engines receive the system as sparse [`Row`]s
+//! built straight from the non-zero integer coefficients — the exponent
+//! difference vectors of real MPIs are mostly zeros, and the shared
+//! pivot/eliminate kernels skip what is never stored.
 
 use dioph_arith::{Integer, Natural, Rational};
 
-use crate::fourier_motzkin::{self, FmOutcome};
+use crate::fourier_motzkin::{self, FmOutcome, UpperForm};
+use crate::row::Row;
 use crate::simplex::{self, SimplexOutcome};
 use crate::system::{dot_int_nat, Constraint, LinearSystem, Relation};
 
@@ -89,9 +93,26 @@ impl StrictHomogeneousSystem {
         self.rows.iter().all(|row| dot_int_nat(row, point).is_positive())
     }
 
+    /// One sparse [`Row`] per strict inequality: exactly the non-zero
+    /// integer coefficients, as rationals.
+    pub fn to_sparse_rows(&self) -> Vec<Row> {
+        self.rows
+            .iter()
+            .map(|row| {
+                let entries: Vec<(usize, Rational)> = row
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, c)| !c.is_zero())
+                    .map(|(i, c)| (i, Rational::from(c)))
+                    .collect();
+                Row::sparse(self.dimension, entries)
+            })
+            .collect()
+    }
+
     /// Renders the system as a [`LinearSystem`] with strict rows and explicit
-    /// non-negativity constraints (used by the Fourier–Motzkin engine and by
-    /// tests).
+    /// non-negativity constraints (used by tests and displays; the engines
+    /// themselves run on [`Self::to_sparse_rows`]).
     pub fn to_linear_system(&self) -> LinearSystem {
         let mut sys = LinearSystem::new(self.dimension);
         for row in &self.rows {
@@ -118,20 +139,38 @@ impl StrictHomogeneousSystem {
         match engine {
             FeasibilityEngine::Simplex => {
                 // Homogeneity: A·ε > 0, ε ≥ 0 feasible  ⟺  A·ε ≥ 1, ε ≥ 0 feasible.
-                let a: Vec<Vec<Rational>> = self
-                    .rows
-                    .iter()
-                    .map(|row| row.iter().cloned().map(Rational::from).collect())
-                    .collect();
                 let b = vec![Rational::one(); self.rows.len()];
-                match simplex::feasible_point(&a, &b) {
+                match simplex::feasible_point_rows(self.dimension, self.to_sparse_rows(), b) {
                     SimplexOutcome::Feasible(x) => Some(x),
                     SimplexOutcome::Infeasible => None,
                 }
             }
             FeasibilityEngine::FourierMotzkin => {
-                match fourier_motzkin::solve(&self.to_linear_system()) {
-                    FmOutcome::Feasible(x) => Some(x),
+                // Each strict row A_i·ε > 0 normalises to -A_i·ε < 0, and
+                // each non-negativity ε_j ≥ 0 to -ε_j ≤ 0 — all sparse.
+                let mut forms: Vec<UpperForm> =
+                    Vec::with_capacity(self.rows.len() + self.dimension);
+                for row in self.to_sparse_rows() {
+                    let mut negated = row;
+                    negated.negate();
+                    forms.push(UpperForm {
+                        row: negated,
+                        strict: true,
+                        constant: Rational::zero(),
+                    });
+                }
+                for j in 0..self.dimension {
+                    let row = Row::sparse(self.dimension, vec![(j, -Rational::one())]);
+                    forms.push(UpperForm { row, strict: false, constant: Rational::zero() });
+                }
+                match fourier_motzkin::solve_forms(self.dimension, forms) {
+                    FmOutcome::Feasible(x) => {
+                        debug_assert!(
+                            self.to_linear_system().is_satisfied_by(&x),
+                            "FM witness must satisfy the strict system"
+                        );
+                        Some(x)
+                    }
                     FmOutcome::Infeasible => None,
                 }
             }
@@ -168,13 +207,7 @@ pub fn scale_to_naturals(point: &[Rational]) -> Vec<Natural> {
         assert!(!value.is_negative(), "cannot scale a negative rational to a natural");
         lcm = lcm.lcm(value.denom());
     }
-    point
-        .iter()
-        .map(|value| {
-            let scaled = value.numer().magnitude() * &(&lcm / value.denom());
-            scaled
-        })
-        .collect()
+    point.iter().map(|value| &value.numer().magnitude() * &(&lcm / value.denom())).collect()
 }
 
 #[cfg(test)]
@@ -265,6 +298,20 @@ mod tests {
                 assert!(sys.is_satisfied_by_naturals(&nat));
             }
         }
+    }
+
+    #[test]
+    fn sparse_rows_mirror_the_integer_rows() {
+        let mut sys = StrictHomogeneousSystem::new(5);
+        sys.push_row_i64(&[0, 3, 0, -2, 0]);
+        sys.push_row_i64(&[1, 0, 0, 0, 0]);
+        let rows = sys.to_sparse_rows();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].nnz(), 2);
+        assert_eq!(rows[0].get(1), Some(&Rational::from(3)));
+        assert_eq!(rows[0].get(3), Some(&Rational::from(-2)));
+        assert_eq!(rows[0].get(0), None);
+        assert_eq!(rows[1].nnz(), 1);
     }
 
     #[test]

@@ -7,41 +7,50 @@
 //! variables, which is acceptable for the moderate dimensions arising from
 //! bag-containment instances and invaluable as a cross-check for the exact
 //! simplex engine (see `simplex.rs` and experiment E7).
+//!
+//! Constraint rows are held behind the shared [`Row`] abstraction: the
+//! normalised upper forms of a strict homogeneous system are sparse (one
+//! entry per unknown mentioned), the pair-combination step is
+//! [`Row::linear_combination`] — the same merge kernel the simplex pivot
+//! uses — and rows only densify when elimination genuinely fills them in.
 
 use dioph_arith::Rational;
 
+use crate::row::Row;
 use crate::system::{Constraint, LinearSystem, Relation};
 
-/// A constraint normalised to `coeffs · x  ≤/<  constant`.
+/// A constraint normalised to `row · x  ≤/<  constant`.
 #[derive(Clone, Debug)]
-struct UpperForm {
-    coeffs: Vec<Rational>,
-    strict: bool,
-    constant: Rational,
+pub(crate) struct UpperForm {
+    pub(crate) row: Row,
+    pub(crate) strict: bool,
+    pub(crate) constant: Rational,
+}
+
+impl UpperForm {
+    /// The normalised negation `-row · x ≤/< -constant` of this form's
+    /// underlying `≥/>` reading (helper for building inputs).
+    fn negated(row: &Row, strict: bool, constant: &Rational) -> UpperForm {
+        let mut negated = row.clone();
+        negated.negate();
+        UpperForm { row: negated, strict, constant: -constant }
+    }
 }
 
 /// Normalises an arbitrary constraint into one or two `≤ / <` forms.
 fn normalise(c: &Constraint) -> Vec<UpperForm> {
-    let neg = |v: &[Rational]| v.iter().map(|x| -x).collect::<Vec<_>>();
+    let row = c.to_row();
     match c.relation {
-        Relation::Le => vec![UpperForm {
-            coeffs: c.coeffs.clone(),
-            strict: false,
-            constant: c.constant.clone(),
-        }],
-        Relation::Lt => {
-            vec![UpperForm { coeffs: c.coeffs.clone(), strict: true, constant: c.constant.clone() }]
+        Relation::Le => {
+            vec![UpperForm { row, strict: false, constant: c.constant.clone() }]
         }
-        Relation::Ge => {
-            vec![UpperForm { coeffs: neg(&c.coeffs), strict: false, constant: -&c.constant }]
+        Relation::Lt => vec![UpperForm { row, strict: true, constant: c.constant.clone() }],
+        Relation::Ge => vec![UpperForm::negated(&row, false, &c.constant)],
+        Relation::Gt => vec![UpperForm::negated(&row, true, &c.constant)],
+        Relation::Eq => {
+            let flipped = UpperForm::negated(&row, false, &c.constant);
+            vec![UpperForm { row, strict: false, constant: c.constant.clone() }, flipped]
         }
-        Relation::Gt => {
-            vec![UpperForm { coeffs: neg(&c.coeffs), strict: true, constant: -&c.constant }]
-        }
-        Relation::Eq => vec![
-            UpperForm { coeffs: c.coeffs.clone(), strict: false, constant: c.constant.clone() },
-            UpperForm { coeffs: neg(&c.coeffs), strict: false, constant: -&c.constant },
-        ],
     }
 }
 
@@ -49,8 +58,8 @@ fn normalise(c: &Constraint) -> Vec<UpperForm> {
 struct EliminationStep {
     /// Index of the eliminated variable.
     var: usize,
-    /// Lower bounds: `x_var >/≥ (constant - coeffs·x_rest) / pos_coeff` stored
-    /// in raw upper form (`coeffs` still includes the eliminated column).
+    /// Lower bounds: `x_var >/≥ (constant - row·x_rest) / neg_coeff` stored
+    /// in raw upper form (`row` still includes the eliminated column).
     lowers: Vec<UpperForm>,
     /// Upper bounds in raw upper form.
     uppers: Vec<UpperForm>,
@@ -87,7 +96,18 @@ impl FmOutcome {
 /// debug builds).
 pub fn solve(system: &LinearSystem) -> FmOutcome {
     let dim = system.dimension();
-    let mut current: Vec<UpperForm> = system.constraints().iter().flat_map(normalise).collect();
+    let forms: Vec<UpperForm> = system.constraints().iter().flat_map(normalise).collect();
+    let outcome = solve_forms(dim, forms);
+    if let FmOutcome::Feasible(point) = &outcome {
+        debug_assert!(system.is_satisfied_by(point), "FM witness must satisfy the input system");
+    }
+    outcome
+}
+
+/// The elimination engine over pre-normalised upper forms (the feasibility
+/// front-end builds these directly as sparse rows, bypassing the dense
+/// [`LinearSystem`] detour).
+pub(crate) fn solve_forms(dim: usize, mut current: Vec<UpperForm>) -> FmOutcome {
     let mut steps: Vec<EliminationStep> = Vec::with_capacity(dim);
 
     // Eliminate variables from the highest index down to 0.
@@ -96,12 +116,10 @@ pub fn solve(system: &LinearSystem) -> FmOutcome {
         let mut uppers = Vec::new();
         let mut rest = Vec::new();
         for c in current {
-            if c.coeffs[var].is_zero() {
-                rest.push(c);
-            } else if c.coeffs[var].is_positive() {
-                uppers.push(c);
-            } else {
-                lowers.push(c);
+            match c.row.get(var) {
+                None => rest.push(c),
+                Some(coeff) if coeff.is_positive() => uppers.push(c),
+                Some(_) => lowers.push(c),
             }
         }
         // Combine every (lower, upper) pair.
@@ -109,18 +127,14 @@ pub fn solve(system: &LinearSystem) -> FmOutcome {
             for up in &uppers {
                 // lo: a·x + l*x_var ≤ cl with l < 0   =>   x_var ≥ (cl - a·x)/l ... careful with signs;
                 // standard combination: multiply `up` by |l| and `lo` by u and add so x_var cancels.
-                let l = &lo.coeffs[var]; // negative
-                let u = &up.coeffs[var]; // positive
-                                         // combined = u * lo + (-l) * up   (both multipliers positive)
+                let l = lo.row.get(var).expect("lower bound has the variable"); // negative
+                let u = up.row.get(var).expect("upper bound has the variable"); // positive
+                                                                                // combined = u * lo + (-l) * up   (both multipliers positive)
                 let minus_l = -l;
-                let mut coeffs = Vec::with_capacity(dim);
-                for i in 0..dim {
-                    let v = &(&lo.coeffs[i] * u) + &(&up.coeffs[i] * &minus_l);
-                    coeffs.push(v);
-                }
-                debug_assert!(coeffs[var].is_zero());
+                let row = Row::linear_combination(u, &lo.row, &minus_l, &up.row);
+                debug_assert!(row.get(var).is_none(), "eliminated column must cancel exactly");
                 let constant = &(&lo.constant * u) + &(&up.constant * &minus_l);
-                rest.push(UpperForm { coeffs, strict: lo.strict || up.strict, constant });
+                rest.push(UpperForm { row, strict: lo.strict || up.strict, constant });
             }
         }
         steps.push(EliminationStep { var, lowers, uppers });
@@ -129,7 +143,7 @@ pub fn solve(system: &LinearSystem) -> FmOutcome {
 
     // All variables eliminated: the remaining constraints are ground.
     for c in &current {
-        debug_assert!(c.coeffs.iter().all(|x| x.is_zero()));
+        debug_assert!(c.row.is_zero_row());
         let zero = Rational::zero();
         let ok = if c.strict { zero < c.constant } else { zero <= c.constant };
         if !ok {
@@ -146,13 +160,8 @@ pub fn solve(system: &LinearSystem) -> FmOutcome {
         // constraints given the already chosen values of lower-indexed vars.
         let mut best_lower: Option<(Rational, bool)> = None; // (bound, strict)
         for lo in &step.lowers {
-            let coeff = &lo.coeffs[var]; // negative
-            let mut rest_val = Rational::zero();
-            for (i, p) in point.iter().enumerate().take(dim) {
-                if i != var && !lo.coeffs[i].is_zero() {
-                    rest_val += &(&lo.coeffs[i] * p);
-                }
-            }
+            let coeff = lo.row.get(var).expect("lower bound has the variable"); // negative
+            let rest_val = lo.row.dot_skip(&point, var);
             // coeff * x_var ≤ constant - rest  with coeff < 0
             //   =>  x_var ≥ (constant - rest) / coeff
             let bound = &(&lo.constant - &rest_val) / coeff;
@@ -164,13 +173,8 @@ pub fn solve(system: &LinearSystem) -> FmOutcome {
         }
         let mut best_upper: Option<(Rational, bool)> = None;
         for up in &step.uppers {
-            let coeff = &up.coeffs[var]; // positive
-            let mut rest_val = Rational::zero();
-            for (i, p) in point.iter().enumerate().take(dim) {
-                if i != var && !up.coeffs[i].is_zero() {
-                    rest_val += &(&up.coeffs[i] * p);
-                }
-            }
+            let coeff = up.row.get(var).expect("upper bound has the variable"); // positive
+            let rest_val = up.row.dot_skip(&point, var);
             let bound = &(&up.constant - &rest_val) / coeff;
             let candidate = (bound, up.strict);
             best_upper = Some(match best_upper {
@@ -181,7 +185,6 @@ pub fn solve(system: &LinearSystem) -> FmOutcome {
         point[var] = pick_value(best_lower, best_upper);
     }
 
-    debug_assert!(system.is_satisfied_by(&point), "FM witness must satisfy the input system");
     FmOutcome::Feasible(point)
 }
 

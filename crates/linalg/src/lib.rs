@@ -9,6 +9,10 @@
 //!
 //! * [`LinearSystem`] / [`Constraint`] — general rational linear constraints
 //!   (strict and non-strict inequalities and equalities);
+//! * [`Row`] / [`SparseRow`] — the shared coefficient-row abstraction both
+//!   engines pivot and eliminate over; the mostly-zero rows of the paper's
+//!   strict homogeneous systems are stored sparsely, so zero-skipping comes
+//!   from the representation instead of per-loop checks;
 //! * [`fourier_motzkin`] — Fourier–Motzkin elimination with witness
 //!   extraction (the "obviously correct" engine);
 //! * [`simplex`] — an exact rational phase-1 simplex (the scalable engine);
@@ -33,10 +37,12 @@
 
 mod feasibility;
 pub mod fourier_motzkin;
+pub mod row;
 pub mod simplex;
 mod system;
 
 pub use feasibility::{scale_to_naturals, FeasibilityEngine, StrictHomogeneousSystem};
 pub use fourier_motzkin::FmOutcome;
+pub use row::{Row, SparseRow};
 pub use simplex::SimplexOutcome;
 pub use system::{dot, dot_int, dot_int_int, dot_int_nat, Constraint, LinearSystem, Relation};

@@ -1,0 +1,559 @@
+//! Shared row storage for the LP engines: dense and sparse coefficient rows
+//! behind one abstraction.
+//!
+//! The strict homogeneous systems of Theorem 4.1 are mostly zeros: a row
+//! `e − e_i` touches only the unknowns appearing in two monomials, and the
+//! phase-1 simplex tableau built from it adds one surplus and at most one
+//! artificial coefficient to each row — a handful of non-zeros in a tableau
+//! whose width grows with the row count. [`SparseRow`] stores exactly the
+//! non-zero entries (sorted by column); [`Row`] lets the pivot/eliminate/
+//! combine routines run unchanged over dense and sparse rows, with
+//! zero-skipping coming from the representation instead of per-loop checks.
+//!
+//! A sparse row that fills in past half its width during elimination is
+//! densified on the spot, so the worst case degrades to the dense algorithm
+//! instead of to a slower sparse one.
+
+use core::fmt;
+
+use dioph_arith::Rational;
+
+/// A sparse coefficient row: strictly increasing column indices, no stored
+/// zeros.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct SparseRow {
+    dim: usize,
+    entries: Vec<(usize, Rational)>,
+}
+
+impl SparseRow {
+    /// Builds a sparse row over `dim` columns from (column, value) entries.
+    ///
+    /// # Panics
+    /// Panics if the entries are not strictly increasing by column, mention a
+    /// column `>= dim`, or contain an explicit zero.
+    pub fn new(dim: usize, entries: Vec<(usize, Rational)>) -> Self {
+        let mut prev: Option<usize> = None;
+        for (col, value) in &entries {
+            assert!(*col < dim, "sparse entry column {col} out of bounds for dimension {dim}");
+            assert!(prev.is_none_or(|p| p < *col), "sparse entries must be strictly increasing");
+            assert!(!value.is_zero(), "sparse rows must not store zeros");
+            prev = Some(*col);
+        }
+        SparseRow { dim, entries }
+    }
+
+    /// Number of columns.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of stored (non-zero) entries.
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The stored entries, sorted by column.
+    pub fn entries(&self) -> &[(usize, Rational)] {
+        &self.entries
+    }
+
+    fn get(&self, col: usize) -> Option<&Rational> {
+        self.entries.binary_search_by_key(&col, |(c, _)| *c).ok().map(|idx| &self.entries[idx].1)
+    }
+
+    fn take(&mut self, col: usize) -> Rational {
+        match self.entries.binary_search_by_key(&col, |(c, _)| *c) {
+            Ok(idx) => self.entries.remove(idx).1,
+            Err(_) => Rational::zero(),
+        }
+    }
+
+    fn to_dense(&self) -> Vec<Rational> {
+        let mut out = vec![Rational::zero(); self.dim];
+        for (col, value) in &self.entries {
+            out[*col] = value.clone();
+        }
+        out
+    }
+}
+
+/// A coefficient row in either representation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Row {
+    /// Every coefficient stored, zeros included.
+    Dense(Vec<Rational>),
+    /// Only the non-zero coefficients stored.
+    Sparse(SparseRow),
+}
+
+/// A sparse row is only worth its bookkeeping while it stays under half
+/// full; past that the row is densified.
+const DENSIFY_NUMERATOR: usize = 1;
+const DENSIFY_DENOMINATOR: usize = 2;
+
+impl Row {
+    /// Builds a dense row.
+    pub fn dense(coeffs: Vec<Rational>) -> Self {
+        Row::Dense(coeffs)
+    }
+
+    /// Builds a sparse row (see [`SparseRow::new`] for the invariants).
+    pub fn sparse(dim: usize, entries: Vec<(usize, Rational)>) -> Self {
+        Row::Sparse(SparseRow::new(dim, entries))
+    }
+
+    /// Picks a representation for the given entries: sparse while the row is
+    /// at most half non-zero, dense otherwise.
+    pub fn auto(dim: usize, entries: Vec<(usize, Rational)>) -> Self {
+        if entries.len() * DENSIFY_DENOMINATOR <= dim * DENSIFY_NUMERATOR {
+            Row::sparse(dim, entries)
+        } else {
+            let mut out = vec![Rational::zero(); dim];
+            for (col, value) in entries {
+                out[col] = value;
+            }
+            Row::Dense(out)
+        }
+    }
+
+    /// Builds a row from a dense slice, choosing the representation by the
+    /// slice's density.
+    pub fn from_dense_auto(coeffs: &[Rational]) -> Self {
+        let entries: Vec<(usize, Rational)> = coeffs
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| !v.is_zero())
+            .map(|(i, v)| (i, v.clone()))
+            .collect();
+        Row::auto(coeffs.len(), entries)
+    }
+
+    /// Number of columns.
+    pub fn dim(&self) -> usize {
+        match self {
+            Row::Dense(v) => v.len(),
+            Row::Sparse(s) => s.dim,
+        }
+    }
+
+    /// Number of non-zero coefficients.
+    pub fn nnz(&self) -> usize {
+        match self {
+            Row::Dense(v) => v.iter().filter(|x| !x.is_zero()).count(),
+            Row::Sparse(s) => s.nnz(),
+        }
+    }
+
+    /// The coefficient at `col`; `None` means zero.
+    pub fn get(&self, col: usize) -> Option<&Rational> {
+        match self {
+            Row::Dense(v) => {
+                let value = &v[col];
+                if value.is_zero() {
+                    None
+                } else {
+                    Some(value)
+                }
+            }
+            Row::Sparse(s) => s.get(col),
+        }
+    }
+
+    /// Removes and returns the coefficient at `col` (zero if absent).
+    pub fn take(&mut self, col: usize) -> Rational {
+        match self {
+            Row::Dense(v) => core::mem::take(&mut v[col]),
+            Row::Sparse(s) => s.take(col),
+        }
+    }
+
+    /// Iterates the non-zero coefficients in increasing column order.
+    pub fn iter_nonzero(&self) -> impl Iterator<Item = (usize, &Rational)> + '_ {
+        // Both arms produce strictly increasing columns, which the sparse
+        // merge in `eliminate` relies on.
+        match self {
+            Row::Dense(v) => RowIter::Dense(v.iter().enumerate()),
+            Row::Sparse(s) => RowIter::Sparse(s.entries.iter()),
+        }
+    }
+
+    /// `true` iff every coefficient is zero.
+    pub fn is_zero_row(&self) -> bool {
+        self.iter_nonzero().next().is_none()
+    }
+
+    /// Divides every non-zero coefficient by `divisor` in place (the
+    /// normalisation half of a pivot).
+    ///
+    /// # Panics
+    /// Panics if `divisor` is zero.
+    pub fn scale_div(&mut self, divisor: &Rational) {
+        match self {
+            Row::Dense(v) => {
+                for value in v.iter_mut() {
+                    if !value.is_zero() {
+                        *value = &*value / divisor;
+                    }
+                }
+            }
+            Row::Sparse(s) => {
+                for (_, value) in s.entries.iter_mut() {
+                    *value = &*value / divisor;
+                }
+            }
+        }
+    }
+
+    /// The shared elimination routine: `self -= factor * src`, skipping the
+    /// column `skip` (the pivot column, whose new value the caller already
+    /// knows to be zero). A sparse row that fills in past the densify
+    /// threshold is converted to dense here.
+    pub fn eliminate(&mut self, factor: &Rational, src: &Row, skip: usize) {
+        match self {
+            Row::Dense(v) => {
+                for (col, coeff) in src.iter_nonzero() {
+                    if col == skip {
+                        continue;
+                    }
+                    let delta = factor * coeff;
+                    v[col] -= &delta;
+                }
+            }
+            Row::Sparse(s) => {
+                s.entries = merge_eliminate(&s.entries, factor, src, skip);
+                if s.entries.len() * DENSIFY_DENOMINATOR > s.dim * DENSIFY_NUMERATOR {
+                    *self = Row::Dense(s.to_dense());
+                }
+            }
+        }
+    }
+
+    /// The shared combination routine: `a_coeff * a + b_coeff * b` as a new
+    /// row (the Fourier–Motzkin pair step). Exact zeros produced by
+    /// cancellation are dropped.
+    ///
+    /// # Panics
+    /// Panics if the rows have different dimensions.
+    pub fn linear_combination(a_coeff: &Rational, a: &Row, b_coeff: &Rational, b: &Row) -> Row {
+        assert_eq!(a.dim(), b.dim(), "row dimension mismatch in linear combination");
+        let mut entries: Vec<(usize, Rational)> = Vec::with_capacity(a.nnz() + b.nnz());
+        let mut ia = a.iter_nonzero().peekable();
+        let mut ib = b.iter_nonzero().peekable();
+        loop {
+            let value = match (ia.peek(), ib.peek()) {
+                (None, None) => break,
+                (Some(&(ca, va)), Some(&(cb, vb))) if ca == cb => {
+                    let v = &(a_coeff * va) + &(b_coeff * vb);
+                    ia.next();
+                    ib.next();
+                    (ca, v)
+                }
+                (Some(&(ca, va)), Some(&(cb, _))) if ca < cb => {
+                    ia.next();
+                    (ca, a_coeff * va)
+                }
+                (Some(_), Some(&(cb, vb))) => {
+                    ib.next();
+                    (cb, b_coeff * vb)
+                }
+                (Some(&(ca, va)), None) => {
+                    ia.next();
+                    (ca, a_coeff * va)
+                }
+                (None, Some(&(cb, vb))) => {
+                    ib.next();
+                    (cb, b_coeff * vb)
+                }
+            };
+            if !value.1.is_zero() {
+                entries.push(value);
+            }
+        }
+        Row::auto(a.dim(), entries)
+    }
+
+    /// Dot product with a dense point, skipping the column `skip` (pass
+    /// `usize::MAX` — or any column `>= dim` — to skip nothing). This is the
+    /// back-substitution kernel of Fourier–Motzkin.
+    pub fn dot_skip(&self, point: &[Rational], skip: usize) -> Rational {
+        debug_assert_eq!(point.len(), self.dim(), "dot product dimension mismatch");
+        let mut acc = Rational::zero();
+        for (col, coeff) in self.iter_nonzero() {
+            if col == skip || point[col].is_zero() {
+                continue;
+            }
+            acc += &(coeff * &point[col]);
+        }
+        acc
+    }
+
+    /// Negates every coefficient in place, reusing allocations.
+    pub fn negate(&mut self) {
+        match self {
+            Row::Dense(v) => {
+                for value in v.iter_mut() {
+                    let taken = core::mem::take(value);
+                    *value = -taken;
+                }
+            }
+            Row::Sparse(s) => {
+                for (_, value) in s.entries.iter_mut() {
+                    let taken = core::mem::take(value);
+                    *value = -taken;
+                }
+            }
+        }
+    }
+
+    /// A dense copy of the coefficients (used by displays and tests).
+    pub fn to_dense_vec(&self) -> Vec<Rational> {
+        match self {
+            Row::Dense(v) => v.clone(),
+            Row::Sparse(s) => s.to_dense(),
+        }
+    }
+}
+
+/// Iterator over the non-zero entries of either representation.
+enum RowIter<'a> {
+    Dense(core::iter::Enumerate<core::slice::Iter<'a, Rational>>),
+    Sparse(core::slice::Iter<'a, (usize, Rational)>),
+}
+
+impl<'a> Iterator for RowIter<'a> {
+    type Item = (usize, &'a Rational);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        match self {
+            RowIter::Dense(it) => it.by_ref().find(|(_, v)| !v.is_zero()),
+            RowIter::Sparse(it) => it.next().map(|(i, v)| (*i, v)),
+        }
+    }
+}
+
+/// Merges `target - factor * src` over sorted entry streams, skipping the
+/// `skip` column of `src` and dropping exact zeros.
+fn merge_eliminate(
+    target: &[(usize, Rational)],
+    factor: &Rational,
+    src: &Row,
+    skip: usize,
+) -> Vec<(usize, Rational)> {
+    let mut out: Vec<(usize, Rational)> = Vec::with_capacity(target.len() + src.nnz());
+    let mut it = target.iter().peekable();
+    let mut is = src.iter_nonzero().filter(|&(col, _)| col != skip).peekable();
+    loop {
+        match (it.peek(), is.peek()) {
+            (None, None) => break,
+            (Some(&&(ct, ref vt)), Some(&(cs, vs))) if ct == cs => {
+                let delta = factor * vs;
+                let value = vt - &delta;
+                if !value.is_zero() {
+                    out.push((ct, value));
+                }
+                it.next();
+                is.next();
+            }
+            (Some(&&(ct, ref vt)), Some(&(cs, _))) if ct < cs => {
+                out.push((ct, vt.clone()));
+                it.next();
+            }
+            (Some(_), Some(&(cs, vs))) => {
+                let delta = factor * vs;
+                out.push((cs, -delta));
+                is.next();
+            }
+            (Some(&&(ct, ref vt)), None) => {
+                out.push((ct, vt.clone()));
+                it.next();
+            }
+            (None, Some(&(cs, vs))) => {
+                let delta = factor * vs;
+                out.push((cs, -delta));
+                is.next();
+            }
+        }
+    }
+    out
+}
+
+impl fmt::Display for Row {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (col, value) in self.iter_nonzero() {
+            if first {
+                write!(f, "{value}*x{col}")?;
+                first = false;
+            } else if value.is_negative() {
+                write!(f, " - {}*x{col}", -value)?;
+            } else {
+                write!(f, " + {value}*x{col}")?;
+            }
+        }
+        if first {
+            write!(f, "0")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i64) -> Rational {
+        Rational::from(n)
+    }
+
+    fn dense(vals: &[i64]) -> Row {
+        Row::Dense(vals.iter().map(|&v| Rational::from(v)).collect())
+    }
+
+    fn sparse(dim: usize, entries: &[(usize, i64)]) -> Row {
+        Row::sparse(dim, entries.iter().map(|&(c, v)| (c, Rational::from(v))).collect())
+    }
+
+    #[test]
+    fn representations_agree_on_accessors() {
+        let d = dense(&[0, 3, 0, -2, 0, 0, 0, 0]);
+        let s = sparse(8, &[(1, 3), (3, -2)]);
+        assert_eq!(d.dim(), s.dim());
+        assert_eq!(d.nnz(), 2);
+        assert_eq!(s.nnz(), 2);
+        for col in 0..8 {
+            assert_eq!(d.get(col), s.get(col), "column {col}");
+        }
+        let dv: Vec<_> = d.iter_nonzero().map(|(c, v)| (c, v.clone())).collect();
+        let sv: Vec<_> = s.iter_nonzero().map(|(c, v)| (c, v.clone())).collect();
+        assert_eq!(dv, sv);
+        assert_eq!(d.to_dense_vec(), s.to_dense_vec());
+    }
+
+    #[test]
+    fn auto_picks_by_density() {
+        assert!(matches!(Row::auto(8, vec![(1, r(1))]), Row::Sparse(_)));
+        let dense_entries: Vec<(usize, Rational)> = (0..6).map(|i| (i, r(1))).collect();
+        assert!(matches!(Row::auto(8, dense_entries), Row::Dense(_)));
+        assert!(matches!(Row::from_dense_auto(&[r(0), r(1), r(0), r(0)]), Row::Sparse(_)));
+    }
+
+    #[test]
+    fn take_zeroes_the_column() {
+        for mut row in [dense(&[0, 5, 0, 7]), sparse(4, &[(1, 5), (3, 7)])] {
+            assert_eq!(row.take(1), r(5));
+            assert_eq!(row.get(1), None);
+            assert_eq!(row.take(0), r(0));
+            assert_eq!(row.get(3), Some(&r(7)));
+        }
+    }
+
+    #[test]
+    fn scale_div_normalises() {
+        for mut row in [dense(&[0, 4, 0, -6]), sparse(4, &[(1, 4), (3, -6)])] {
+            row.scale_div(&r(2));
+            assert_eq!(row.get(1), Some(&r(2)));
+            assert_eq!(row.get(3), Some(&r(-3)));
+        }
+    }
+
+    #[test]
+    fn eliminate_matches_dense_reference() {
+        // target -= 2 * src with skip = 0.
+        let target_vals = [3i64, 0, 5, -1, 0, 2, 0, 0];
+        let src_vals = [7i64, 1, 0, -1, 4, 2, 0, 0];
+        let factor = r(2);
+        let mut expect: Vec<Rational> = target_vals.iter().map(|&v| r(v)).collect();
+        for (i, &s) in src_vals.iter().enumerate() {
+            if i != 0 {
+                expect[i] -= &(&factor * &r(s));
+            }
+        }
+        for mut target in [
+            dense(&target_vals),
+            Row::from_dense_auto(&target_vals.iter().map(|&v| r(v)).collect::<Vec<_>>()),
+            Row::sparse(
+                8,
+                target_vals
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &v)| v != 0)
+                    .map(|(i, &v)| (i, r(v)))
+                    .collect(),
+            ),
+        ] {
+            for src in [
+                dense(&src_vals),
+                Row::sparse(
+                    8,
+                    src_vals
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, &v)| v != 0)
+                        .map(|(i, &v)| (i, r(v)))
+                        .collect(),
+                ),
+            ] {
+                let mut t = target.clone();
+                t.eliminate(&factor, &src, 0);
+                assert_eq!(t.to_dense_vec(), expect);
+            }
+            // Also exercise in-place repeated elimination.
+            target.eliminate(&r(0), &dense(&src_vals), 0);
+        }
+    }
+
+    #[test]
+    fn eliminate_densifies_on_fill_in() {
+        let mut target = sparse(8, &[(0, 1)]);
+        let src = dense(&[0, 1, 1, 1, 1, 1, 1, 1]);
+        target.eliminate(&r(1), &src, usize::MAX);
+        assert!(matches!(target, Row::Dense(_)), "fill-in past half must densify");
+        assert_eq!(target.to_dense_vec(), dense(&[1, -1, -1, -1, -1, -1, -1, -1]).to_dense_vec());
+    }
+
+    #[test]
+    fn linear_combination_cancels_exactly() {
+        // 3 * (1, -2) + 2 * (-1, 3): column 0 cancels 3*1 + 2*(-1) = 1 ... no.
+        // Use u*lo + (-l)*up with lo = (-2, 1), up = (3, 5) on column 0:
+        // 3*(-2) + 2*3 = 0 — the eliminated column must vanish from storage.
+        let lo = sparse(2, &[(0, -2), (1, 1)]);
+        let up = sparse(2, &[(0, 3), (1, 5)]);
+        let combined = Row::linear_combination(&r(3), &lo, &r(2), &up);
+        assert_eq!(combined.get(0), None);
+        assert!(combined.iter_nonzero().all(|(c, _)| c != 0));
+        assert_eq!(combined.get(1), Some(&r(13)));
+        // Dense/sparse mixes agree.
+        let combined_mixed = Row::linear_combination(&r(3), &dense(&[-2, 1]), &r(2), &up);
+        assert_eq!(combined.to_dense_vec(), combined_mixed.to_dense_vec());
+    }
+
+    #[test]
+    fn dot_skip_and_negate() {
+        let point = vec![r(1), r(2), r(3)];
+        for mut row in [dense(&[2, 0, -1]), sparse(3, &[(0, 2), (2, -1)])] {
+            assert_eq!(row.dot_skip(&point, usize::MAX), r(-1));
+            assert_eq!(row.dot_skip(&point, 2), r(2));
+            row.negate();
+            assert_eq!(row.dot_skip(&point, usize::MAX), r(1));
+        }
+    }
+
+    #[test]
+    fn display_reads_like_a_constraint_lhs() {
+        assert_eq!(sparse(4, &[(0, 2), (2, -3)]).to_string(), "2*x0 - 3*x2");
+        assert_eq!(sparse(4, &[]).to_string(), "0");
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_sparse_entries_are_rejected() {
+        let _ = Row::sparse(4, vec![(2, r(1)), (1, r(1))]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not store zeros")]
+    fn explicit_zero_entries_are_rejected() {
+        let _ = Row::sparse(4, vec![(1, r(0))]);
+    }
+}

@@ -12,12 +12,21 @@
 //! is performed with exact [`Rational`] arithmetic; Bland's rule guarantees
 //! termination (no cycling).
 //!
+//! The tableau rows live behind the [`Row`] abstraction: the strict
+//! homogeneous systems of the paper's reduction produce rows that are mostly
+//! zeros (plus one surplus and at most one artificial coefficient), so the
+//! feasibility front-end hands in [`Row::Sparse`] rows and the pivot loop
+//! skips zeros by construction. Dense callers (and dense fill-in) take the
+//! [`Row::Dense`] route through the same [`Row::eliminate`] kernel.
+//!
 //! Strict inequalities are handled one level up (by the
 //! [`StrictHomogeneousSystem`](crate::StrictHomogeneousSystem) machinery)
 //! via the homogeneity of the systems produced by the paper's reduction:
 //! `A·x > 0, x ≥ 0` is rationally feasible iff `A·x ≥ 1, x ≥ 0` is.
 
 use dioph_arith::Rational;
+
+use crate::row::Row;
 
 /// Result of a phase-1 simplex run.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -43,29 +52,33 @@ impl SimplexOutcome {
     }
 }
 
-/// Negates every entry of a row in place: each value moves through the
-/// owned `Neg`, which flips the sign bit and reuses the limb allocations
-/// instead of rebuilding a cloned row.
-fn negate_row(row: &mut [Rational]) {
-    for v in row.iter_mut() {
-        let value = std::mem::take(v);
-        *v = -value;
-    }
-}
-
 /// Finds `x ≥ 0` with `A·x ≥ b` (row-wise), if such a point exists.
 ///
 /// `a` is a dense row-major matrix; every row must have the same length.
+/// This is the dense convenience front door; [`feasible_point_rows`] is the
+/// engine and accepts sparse rows directly.
 ///
 /// # Panics
 /// Panics if the number of rows of `a` differs from the length of `b`, or if
 /// the rows of `a` have inconsistent lengths.
 pub fn feasible_point(a: &[Vec<Rational>], b: &[Rational]) -> SimplexOutcome {
-    assert_eq!(a.len(), b.len(), "row count mismatch between A and b");
-    let m = a.len();
     let n = a.first().map_or(0, |r| r.len());
     for row in a {
         assert_eq!(row.len(), n, "ragged matrix passed to simplex");
+    }
+    feasible_point_rows(n, a.iter().map(|row| Row::from_dense_auto(row)).collect(), b.to_vec())
+}
+
+/// Finds `x ≥ 0` with `A·x ≥ b` for rows in either representation.
+///
+/// # Panics
+/// Panics if a row's dimension differs from `n`, or if the number of rows
+/// differs from the length of `b`.
+pub fn feasible_point_rows(n: usize, a: Vec<Row>, b: Vec<Rational>) -> SimplexOutcome {
+    assert_eq!(a.len(), b.len(), "row count mismatch between A and b");
+    let m = a.len();
+    for row in &a {
+        assert_eq!(row.dim(), n, "row dimension mismatch in simplex input");
     }
     if m == 0 {
         return SimplexOutcome::Feasible(vec![Rational::zero(); n]);
@@ -78,33 +91,39 @@ pub fn feasible_point(a: &[Vec<Rational>], b: &[Rational]) -> SimplexOutcome {
     // rows receive an artificial variable.
     //
     // Column layout: [ x (n) | s (m) | artificials (k) ].
-    let mut rows: Vec<Vec<Rational>> = Vec::with_capacity(m);
-    let mut rhs: Vec<Rational> = Vec::with_capacity(m);
     let mut needs_artificial: Vec<bool> = Vec::with_capacity(m);
+    let mut rhs: Vec<Rational> = Vec::with_capacity(m);
+    let mut entry_rows: Vec<Vec<(usize, Rational)>> = Vec::with_capacity(m);
 
     for (i, (a_row, b_i)) in a.iter().zip(b).enumerate() {
-        let mut row: Vec<Rational> = Vec::with_capacity(n + m);
-        // a_i·x - s_i = b_i
-        row.extend(a_row.iter().cloned());
-        for j in 0..m {
-            row.push(if j == i { -&Rational::one() } else { Rational::zero() });
-        }
-        let mut rhs_i = b_i.clone();
+        // a_i·x - s_i = b_i, stored as sorted sparse entries over the final
+        // column layout (the x-part indices are already increasing, and the
+        // surplus column n+i comes after all of them).
+        let mut entries: Vec<(usize, Rational)> =
+            a_row.iter_nonzero().map(|(col, v)| (col, v.clone())).collect();
+        entries.push((n + i, -Rational::one()));
+        let mut rhs_i = b_i;
         if rhs_i.is_negative() {
             // Multiply the whole equation by -1 so the rhs is non-negative;
             // the surplus column then carries +1 and can serve as the basis.
-            negate_row(&mut row);
+            for (_, value) in entries.iter_mut() {
+                let taken = core::mem::take(value);
+                *value = -taken;
+            }
             rhs_i = -rhs_i;
             needs_artificial.push(false);
         } else if rhs_i.is_zero() {
             // rhs already zero: the surplus variable (value 0) can be basic
             // only if its coefficient is +1; flip the row to make it so.
-            negate_row(&mut row);
+            for (_, value) in entries.iter_mut() {
+                let taken = core::mem::take(value);
+                *value = -taken;
+            }
             needs_artificial.push(false);
         } else {
             needs_artificial.push(true);
         }
-        rows.push(row);
+        entry_rows.push(entries);
         rhs.push(rhs_i);
     }
 
@@ -112,37 +131,23 @@ pub fn feasible_point(a: &[Vec<Rational>], b: &[Rational]) -> SimplexOutcome {
     let k = artificial_rows.len();
     let total = n + m + k;
 
-    // Extend rows with artificial columns and record the initial basis.
+    // Extend rows with their artificial column and record the initial basis.
+    let mut rows: Vec<Row> = Vec::with_capacity(m);
     let mut basis: Vec<usize> = Vec::with_capacity(m);
     {
         let mut art_idx = 0;
-        for i in 0..m {
-            for &ar in &artificial_rows {
-                rows[i].push(if ar == i { Rational::one() } else { Rational::zero() });
-            }
+        for (i, mut entries) in entry_rows.into_iter().enumerate() {
             if needs_artificial[i] {
+                entries.push((n + m + art_idx, Rational::one()));
                 basis.push(n + m + art_idx);
                 art_idx += 1;
             } else {
                 // The surplus/slack column of this row has coefficient +1.
                 basis.push(n + i);
             }
+            rows.push(Row::auto(total, entries));
         }
     }
-
-    // Cost: 1 for artificial variables, 0 otherwise (phase-1 objective).
-    let cost = |j: usize| -> Rational {
-        if j >= n + m {
-            Rational::one()
-        } else {
-            Rational::zero()
-        }
-    };
-
-    // Bring the tableau into basic form: basic columns must be unit columns.
-    // By construction they already are (surplus ±1 flipped to +1, artificials +1),
-    // except that surplus columns for flipped rows are +1 only in their own row
-    // (they are zero elsewhere), so nothing to do.
 
     let max_iterations = 50_usize.saturating_mul((total + 1) * (m + 1)).max(10_000);
     let mut iterations = 0usize;
@@ -156,25 +161,25 @@ pub fn feasible_point(a: &[Vec<Rational>], b: &[Rational]) -> SimplexOutcome {
 
         // Reduced costs: r_j = c_j - Σ_i c_{basis[i]} * T[i][j]. The phase-1
         // cost vector is 0/1 (1 exactly on artificial columns), so the sum
-        // collapses to plain subtractions over the artificial-basic rows —
-        // no Rational multiplications at all.
-        // Entering variable: smallest index with negative reduced cost (Bland).
-        let mut entering: Option<usize> = None;
+        // collapses to plain subtractions over the non-zeros of the
+        // artificial-basic rows — one pass over stored entries, no lookups.
+        let mut in_basis = vec![false; total];
+        for &basic in &basis {
+            in_basis[basic] = true;
+        }
+        let mut reduced: Vec<Rational> = Vec::with_capacity(total);
         for j in 0..total {
-            if basis.contains(&j) {
-                continue;
-            }
-            let mut r = cost(j);
-            for (row, &basic) in rows.iter().zip(&basis) {
-                if basic >= n + m && !row[j].is_zero() {
-                    r -= &row[j];
+            reduced.push(if j >= n + m { Rational::one() } else { Rational::zero() });
+        }
+        for (row, &basic) in rows.iter().zip(&basis) {
+            if basic >= n + m {
+                for (j, value) in row.iter_nonzero() {
+                    reduced[j] -= value;
                 }
             }
-            if r.is_negative() {
-                entering = Some(j);
-                break;
-            }
         }
+        // Entering variable: smallest index with negative reduced cost (Bland).
+        let entering = (0..total).find(|&j| !in_basis[j] && reduced[j].is_negative());
 
         let Some(enter) = entering else {
             // Optimal: compute the objective value (sum of artificial basics).
@@ -201,8 +206,9 @@ pub fn feasible_point(a: &[Vec<Rational>], b: &[Rational]) -> SimplexOutcome {
         let mut leaving: Option<usize> = None;
         let mut best_ratio: Option<Rational> = None;
         for i in 0..m {
-            if rows[i][enter].is_positive() {
-                let ratio = &rhs[i] / &rows[i][enter];
+            let Some(coeff) = rows[i].get(enter) else { continue };
+            if coeff.is_positive() {
+                let ratio = &rhs[i] / coeff;
                 let better = match &best_ratio {
                     None => true,
                     Some(best) => {
@@ -224,29 +230,28 @@ pub fn feasible_point(a: &[Vec<Rational>], b: &[Rational]) -> SimplexOutcome {
             unreachable!("phase-1 simplex objective cannot be unbounded");
         };
 
-        // Pivot on (leave, enter), updating rows strictly in place. The
-        // tableaus arising from the paper's strict homogeneous systems are
-        // sparse, so zero entries are skipped before any Rational is built
-        // and a unit pivot skips the whole normalisation pass.
-        let pivot = rows[leave][enter].clone();
+        // Pivot on (leave, enter) through the shared Row kernel: normalise
+        // the leave row (skipped entirely for a unit pivot), then eliminate
+        // the enter column from every other row. Zero-skipping comes from
+        // the row representation.
+        let pivot = rows[leave].get(enter).expect("ratio test picked a non-zero pivot").clone();
         if !pivot.is_one() {
-            for v in rows[leave].iter_mut() {
-                if !v.is_zero() {
-                    *v = &*v / &pivot;
-                }
-            }
+            rows[leave].scale_div(&pivot);
             if !rhs[leave].is_zero() {
                 rhs[leave] = &rhs[leave] / &pivot;
             }
         }
         for i in 0..m {
-            if i == leave || rows[i][enter].is_zero() {
+            if i == leave {
                 continue;
             }
             // After elimination the enter column of this row is exactly zero
             // (the normalised leave row has a 1 there), so taking the factor
             // out of the tableau writes the final value for free — no clone.
-            let factor = std::mem::take(&mut rows[i][enter]);
+            let factor = rows[i].take(enter);
+            if factor.is_zero() {
+                continue;
+            }
             let (leave_row, target_row) = if leave < i {
                 let (head, tail) = rows.split_at_mut(i);
                 (&head[leave], &mut tail[0])
@@ -254,15 +259,7 @@ pub fn feasible_point(a: &[Vec<Rational>], b: &[Rational]) -> SimplexOutcome {
                 let (head, tail) = rows.split_at_mut(leave);
                 (&tail[0], &mut head[i])
             };
-            for (column, (target, pivot_coeff)) in
-                target_row.iter_mut().zip(leave_row.iter()).enumerate()
-            {
-                if column == enter || pivot_coeff.is_zero() {
-                    continue;
-                }
-                let delta = &factor * pivot_coeff;
-                *target -= &delta;
-            }
+            target_row.eliminate(&factor, leave_row, enter);
             if !rhs[leave].is_zero() {
                 let delta = &factor * &rhs[leave];
                 rhs[i] -= &delta;
@@ -399,5 +396,32 @@ mod tests {
         let sol = vec_r(&[1, 2, 3, 4]);
         let b: Vec<Rational> = a.iter().map(|row| crate::system::dot(row, &sol)).collect();
         assert_feasible(&a, &b);
+    }
+
+    #[test]
+    fn sparse_and_dense_rows_give_identical_outcomes() {
+        // The same system fed as Dense and as Sparse rows must produce the
+        // same witness (bit-identical pivoting order under Bland's rule).
+        let a = mat(&[&[1, 0, 0, -1, 0], &[0, 2, 0, 0, -1], &[-1, 0, 3, 0, 0]]);
+        let b = vec_r(&[1, 2, 3]);
+        let dense_rows: Vec<Row> = a.iter().map(|row| Row::dense(row.clone())).collect();
+        let sparse_rows: Vec<Row> = a
+            .iter()
+            .map(|row| {
+                Row::sparse(
+                    row.len(),
+                    row.iter()
+                        .enumerate()
+                        .filter(|(_, v)| !v.is_zero())
+                        .map(|(i, v)| (i, v.clone()))
+                        .collect(),
+                )
+            })
+            .collect();
+        let from_dense = feasible_point_rows(5, dense_rows, b.clone());
+        let from_sparse = feasible_point_rows(5, sparse_rows, b.clone());
+        assert_eq!(from_dense, from_sparse);
+        assert_eq!(from_dense, feasible_point(&a, &b));
+        assert!(from_dense.is_feasible());
     }
 }

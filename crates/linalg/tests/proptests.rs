@@ -4,11 +4,14 @@
 //! * Fourier–Motzkin and the exact simplex agree on feasibility of strict
 //!   homogeneous systems (the shape produced by the paper's Theorem 4.1);
 //! * every witness returned actually satisfies the system it was asked about;
-//! * natural witnesses scale correctly from rational ones.
+//! * natural witnesses scale correctly from rational ones;
+//! * dense and sparse [`Row`] inputs drive the simplex to identical outcomes
+//!   (the pivot order under Bland's rule is representation-independent).
 
-use dioph_arith::Integer;
+use dioph_arith::{Integer, Rational};
 use dioph_linalg::{
-    Constraint, FeasibilityEngine, FmOutcome, LinearSystem, Relation, StrictHomogeneousSystem,
+    simplex, Constraint, FeasibilityEngine, FmOutcome, LinearSystem, Relation, Row,
+    StrictHomogeneousSystem,
 };
 use proptest::prelude::*;
 
@@ -98,6 +101,71 @@ proptest! {
         let feasible_after = bigger.is_feasible(FeasibilityEngine::Simplex);
         if feasible_after {
             prop_assert!(feasible_before, "adding a constraint made an infeasible system feasible");
+        }
+    }
+
+    /// The simplex must behave identically — same outcome, same witness —
+    /// whether a system's rows arrive dense or sparse: Bland's rule is a
+    /// function of coefficient *values*, never of their storage.
+    #[test]
+    fn simplex_outcome_is_representation_independent(sys in shs_strategy()) {
+        let dim = sys.dimension();
+        let dense_rows: Vec<Row> = sys
+            .rows()
+            .iter()
+            .map(|row| Row::dense(row.iter().map(Rational::from).collect()))
+            .collect();
+        let b = vec![Rational::one(); sys.len()];
+        let from_dense = simplex::feasible_point_rows(dim, dense_rows, b.clone());
+        let from_sparse = simplex::feasible_point_rows(dim, sys.to_sparse_rows(), b);
+        prop_assert_eq!(&from_dense, &from_sparse, "representations diverged on {:?}", sys);
+        // And both agree with the public front door.
+        prop_assert_eq!(
+            from_dense,
+            simplex::feasible_point(
+                &sys.rows()
+                    .iter()
+                    .map(|row| row.iter().map(Rational::from).collect::<Vec<_>>())
+                    .collect::<Vec<_>>(),
+                &vec![Rational::one(); sys.len()],
+            )
+        );
+    }
+
+    /// Row combination (the FM kernel) matches its dense reference for any
+    /// mix of representations.
+    #[test]
+    fn row_linear_combination_matches_dense_reference(
+        a in proptest::collection::vec(-5i64..=5, 1..8),
+        b_mask in proptest::collection::vec(-5i64..=5, 1..8),
+        ca in -4i64..=4, cb in -4i64..=4,
+    ) {
+        let dim = a.len().min(b_mask.len());
+        let a = &a[..dim];
+        let b = &b_mask[..dim];
+        let expect: Vec<Rational> = (0..dim)
+            .map(|i| {
+                &(&Rational::from(ca) * &Rational::from(a[i]))
+                    + &(&Rational::from(cb) * &Rational::from(b[i]))
+            })
+            .collect();
+        let dense = |vals: &[i64]| Row::dense(vals.iter().map(|&v| Rational::from(v)).collect());
+        let sparse = |vals: &[i64]| {
+            Row::sparse(
+                vals.len(),
+                vals.iter()
+                    .enumerate()
+                    .filter(|(_, &v)| v != 0)
+                    .map(|(i, &v)| (i, Rational::from(v)))
+                    .collect(),
+            )
+        };
+        for ra in [dense(a), sparse(a)] {
+            for rb in [dense(b), sparse(b)] {
+                let combined =
+                    Row::linear_combination(&Rational::from(ca), &ra, &Rational::from(cb), &rb);
+                prop_assert_eq!(combined.to_dense_vec(), expect.clone());
+            }
         }
     }
 

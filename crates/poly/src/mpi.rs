@@ -66,11 +66,17 @@ impl Mpi {
     /// Theorem 4.1, one row per polynomial term.
     pub fn to_strict_system(&self) -> StrictHomogeneousSystem {
         let n = self.dimension();
-        let e = self.monomial.exponents_as_integers();
+        let e = self.monomial.exponents();
         let mut sys = StrictHomogeneousSystem::new(n);
         for (_, mono) in self.polynomial.terms() {
-            let ei = mono.exponents_as_integers();
-            let row: Vec<Integer> = e.iter().zip(&ei).map(|(a, b)| a - b).collect();
+            // Exponent differences computed directly on the machine words
+            // (widened so u64::MAX − 0 stays exact); the hybrid Integer
+            // stores each of them inline.
+            let row: Vec<Integer> = e
+                .iter()
+                .zip(mono.exponents())
+                .map(|(&a, &b)| Integer::from(a as i128 - b as i128))
+                .collect();
             sys.push_row(row);
         }
         sys
@@ -123,22 +129,20 @@ impl Mpi {
     /// (in which case no base can work).
     pub fn smallest_base_for(&self, d: &[Natural]) -> Option<Natural> {
         assert_eq!(d.len(), self.dimension(), "direction dimension mismatch");
+        // Hoist the exponent conversions out of the search loop: every ζ
+        // candidate reuses the same machine-word exponents.
+        let exponents: Vec<u64> =
+            d.iter().map(|dj| dj.to_u64().expect("direction exponent should fit in u64")).collect();
         // Upper bound: ζ = Σ aᵢ + 1 always works when the degree gap is ≥ 1
         // (see module docs); searching from 2 gives the smallest witness.
         let bound = &self.polynomial.coefficient_sum() + &Natural::from(2u64);
         let mut zeta = Natural::from(2u64);
         while zeta <= bound {
-            let point: Vec<Natural> = d
-                .iter()
-                .map(|dj| {
-                    let exp = dj.to_u64().expect("direction exponent should fit in u64");
-                    zeta.pow(exp)
-                })
-                .collect();
+            let point: Vec<Natural> = exponents.iter().map(|&exp| zeta.pow(exp)).collect();
             if self.is_solution(&point) {
                 return Some(zeta);
             }
-            zeta = &zeta + &Natural::one();
+            zeta.add_assign_u64(1);
         }
         None
     }

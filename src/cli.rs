@@ -1111,6 +1111,9 @@ fn cmd_bench(args: &[String], stdin: &mut dyn Read) -> CliResult {
     let mut human = String::new();
     let mut json_pairs: Vec<String> = Vec::new();
     let mut total_ns: u128 = 0;
+    // Counter deltas over the timed region report how often the hybrid
+    // numeric tower stayed on its allocation-free machine-word path.
+    let arith_before = dioph_arith::stats::snapshot();
     for (i, (containee, containing)) in pairs.iter().enumerate() {
         let index = i + 1;
         let cannot_decide = |e: &dyn std::fmt::Display| {
@@ -1165,13 +1168,21 @@ fn cmd_bench(args: &[String], stdin: &mut dyn Read) -> CliResult {
             .expect("writing to a String cannot fail");
         }
     }
+    let arith = dioph_arith::stats::snapshot().since(&arith_before);
     if opts.json {
+        let hit_rate = match arith.hit_rate() {
+            Some(rate) => format!("{rate:.6}"),
+            None => "null".to_string(),
+        };
         Ok(format!(
             "{{\"command\":\"bench\",\"algorithm\":\"{}\",\"engine\":\"{}\",\"repeat\":{},\
-             \"total_ns\":{total_ns},\"pairs\":[{}]}}\n",
+             \"total_ns\":{total_ns},\"arith_small_path\":{{\"small_hits\":{},\
+             \"big_fallbacks\":{},\"hit_rate\":{hit_rate}}},\"pairs\":[{}]}}\n",
             opts.algorithm_name,
             opts.engine_name,
             opts.repeat,
+            arith.small_hits,
+            arith.big_fallbacks,
             json_pairs.join(",")
         ))
     } else {
@@ -1183,6 +1194,17 @@ fn cmd_bench(args: &[String], stdin: &mut dyn Read) -> CliResult {
             format_ns(total_ns)
         )
         .expect("writing to a String cannot fail");
+        if let Some(rate) = arith.hit_rate() {
+            writeln!(
+                human,
+                "arith small path: {:.1}% of {} rational op(s) stayed machine-word \
+                 ({} fell back to limbs)",
+                rate * 100.0,
+                arith.total(),
+                arith.big_fallbacks
+            )
+            .expect("writing to a String cannot fail");
+        }
         Ok(human)
     }
 }
@@ -1320,6 +1342,26 @@ mod tests {
         let out = run_ok(&["bench", "--repeat", "2"], ACCEPTANCE);
         assert!(out.contains("min") && out.contains("mean") && out.contains("max"), "{out}");
         assert!(out.contains("total: 1 pair(s) × 2 run(s)"), "{out}");
+    }
+
+    #[test]
+    fn bench_json_reports_small_path_hit_rates() {
+        // A pair whose MPI route genuinely reaches the LP (the ACCEPTANCE
+        // pair short-circuits on a zero row before any rational arithmetic).
+        let input = "q(x) <- R^2(x, x). p(x) <- R^3(x, x).";
+        let out = run_ok(&["bench", "--json", "--repeat", "2"], input);
+        assert!(out.contains("\"arith_small_path\":{\"small_hits\":"), "{out}");
+        assert!(out.contains("\"big_fallbacks\":"), "{out}");
+        assert!(out.contains("\"hit_rate\":"), "{out}");
+        // The acceptance pair routes through the simplex, whose pivots live
+        // on the machine-word path at this size: some hits must be recorded.
+        let hits: u64 = out
+            .split("\"small_hits\":")
+            .nth(1)
+            .and_then(|rest| rest.split([',', '}']).next())
+            .and_then(|n| n.parse().ok())
+            .expect("small_hits must be a JSON number");
+        assert!(hits > 0, "{out}");
     }
 
     #[test]
