@@ -14,7 +14,7 @@ use core::fmt;
 use core::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Rem, Sub, SubAssign};
 use core::str::FromStr;
 
-use crate::natural::{Natural, ParseNaturalError};
+use crate::natural::{gcd_u64, Natural, ParseNaturalError};
 
 /// Sign of an [`Integer`].
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Hash, PartialOrd, Ord)]
@@ -313,10 +313,58 @@ impl Integer {
     }
 
     /// Greatest common divisor of absolute values (always non-negative).
+    ///
+    /// Two inline values take a binary GCD on machine words (no allocation);
+    /// the limb path is only entered when an operand is genuinely big. The
+    /// split is observable through [`crate::stats`].
     pub fn gcd(&self, other: &Integer) -> Natural {
+        if let (Some(a), Some(b)) = (self.small(), other.small()) {
+            crate::stats::record_int_small_hit();
+            return Natural::from(gcd_u64(a.unsigned_abs(), b.unsigned_abs()));
+        }
+        crate::stats::record_int_big_fallback();
         let (_, ma) = self.parts();
         let (_, mb) = other.parts();
         ma.get().gcd(mb.get())
+    }
+
+    /// Exact division: `self / divisor` when the division leaves no
+    /// remainder, `None` when `divisor` is zero or does not divide exactly.
+    ///
+    /// This is the single-step division of the fraction-free (Bareiss)
+    /// elimination kernel: the kernel's algebra guarantees divisibility, and
+    /// the checked form turns a violated guarantee into a recoverable `None`
+    /// instead of silent corruption. Two inline values divide as `i128`
+    /// machine arithmetic; the split is observable through [`crate::stats`].
+    pub fn checked_exact_div(&self, divisor: &Integer) -> Option<Integer> {
+        if divisor.is_zero() {
+            return None;
+        }
+        if let (Some(a), Some(b)) = (self.small(), divisor.small()) {
+            crate::stats::record_int_small_hit();
+            let (a, b) = (a as i128, b as i128);
+            if a % b != 0 {
+                return None;
+            }
+            return Some(Integer::from_i128_value(a / b));
+        }
+        crate::stats::record_int_big_fallback();
+        let (q, r) = self.div_rem(divisor);
+        if r.is_zero() {
+            Some(q)
+        } else {
+            None
+        }
+    }
+
+    /// Exact division that must succeed.
+    ///
+    /// # Panics
+    /// Panics if `divisor` is zero or does not divide `self` exactly — a
+    /// broken invariant of the calling elimination kernel, not a data error.
+    pub fn exact_div(&self, divisor: &Integer) -> Integer {
+        self.checked_exact_div(divisor)
+            .unwrap_or_else(|| panic!("exact_div: {divisor} does not divide {self}"))
     }
 
     /// Truncated division: returns `(quotient, remainder)` with the remainder
@@ -747,5 +795,43 @@ mod tests {
         assert_eq!(int(-3).abs(), int(3));
         assert_eq!(int(i64::MIN as i128).abs(), int(-(i64::MIN as i128)));
         assert_eq!(int(7).gcd(&int(-21)), Natural::from(7u64));
+    }
+
+    #[test]
+    fn gcd_across_representations() {
+        assert_eq!(int(0).gcd(&int(0)), Natural::zero());
+        assert_eq!(int(0).gcd(&int(-6)), Natural::from(6u64));
+        assert_eq!(int(i64::MIN as i128).gcd(&int(2)), Natural::from(2u64));
+        // One big, one small: the limb path must agree with the machine path.
+        let big = int(3) * int(10).pow(30);
+        assert_eq!(big.gcd(&int(6)), Natural::from(6u64));
+        assert_eq!(big.gcd(&int(7)), Natural::from(1u64));
+        assert_eq!(big.gcd(&(-&big)), big.magnitude());
+    }
+
+    #[test]
+    fn exact_division() {
+        assert_eq!(int(42).checked_exact_div(&int(7)), Some(int(6)));
+        assert_eq!(int(-42).checked_exact_div(&int(7)), Some(int(-6)));
+        assert_eq!(int(42).checked_exact_div(&int(-7)), Some(int(-6)));
+        assert_eq!(int(43).checked_exact_div(&int(7)), None);
+        assert_eq!(int(42).checked_exact_div(&int(0)), None);
+        assert_eq!(int(0).checked_exact_div(&int(5)), Some(int(0)));
+        // The one small-path overflow: i64::MIN / -1 must promote, not wrap.
+        assert_eq!(
+            int(i64::MIN as i128).checked_exact_div(&int(-1)),
+            Some(int(-(i64::MIN as i128)))
+        );
+        // Big values divide exactly across the representation boundary.
+        let big = int(i64::MAX as i128) * int(1_000_003);
+        assert_eq!(big.checked_exact_div(&int(1_000_003)), Some(int(i64::MAX as i128)));
+        assert_eq!((&big + &int(1)).checked_exact_div(&int(1_000_003)), None);
+        assert_eq!(big.exact_div(&int(i64::MAX as i128)), int(1_000_003));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not divide")]
+    fn exact_div_panics_on_inexact() {
+        let _ = int(10).exact_div(&int(3));
     }
 }

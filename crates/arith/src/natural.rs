@@ -447,8 +447,9 @@ impl Natural {
     }
 }
 
-/// Binary GCD on machine words (`gcd(0, x) = x`).
-fn gcd_u64(mut a: u64, mut b: u64) -> u64 {
+/// Binary GCD on machine words (`gcd(0, x) = x`); shared with
+/// [`crate::Integer::gcd`]'s small path.
+pub(crate) fn gcd_u64(mut a: u64, mut b: u64) -> u64 {
     if a == 0 {
         return b;
     }

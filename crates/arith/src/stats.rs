@@ -16,6 +16,8 @@ use core::sync::atomic::{AtomicU64, Ordering};
 
 static SMALL_HITS: AtomicU64 = AtomicU64::new(0);
 static BIG_FALLBACKS: AtomicU64 = AtomicU64::new(0);
+static INT_SMALL_HITS: AtomicU64 = AtomicU64::new(0);
+static INT_BIG_FALLBACKS: AtomicU64 = AtomicU64::new(0);
 
 /// Records one rational operation served entirely by the machine-word path.
 #[inline]
@@ -29,6 +31,19 @@ pub(crate) fn record_big_fallback() {
     BIG_FALLBACKS.fetch_add(1, Ordering::Relaxed);
 }
 
+/// Records one integer kernel operation (exact division, gcd) served by the
+/// machine-word path.
+#[inline]
+pub(crate) fn record_int_small_hit() {
+    INT_SMALL_HITS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Records one integer kernel operation that fell back to the limb path.
+#[inline]
+pub(crate) fn record_int_big_fallback() {
+    INT_BIG_FALLBACKS.fetch_add(1, Ordering::Relaxed);
+}
+
 /// A point-in-time reading of the fast-path counters.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub struct Snapshot {
@@ -36,16 +51,23 @@ pub struct Snapshot {
     pub small_hits: u64,
     /// Rational operations that fell back to the limb representation.
     pub big_fallbacks: u64,
+    /// Integer kernel operations (exact division, gcd — the fraction-free
+    /// elimination hot path) served by the machine-word fast path.
+    pub int_small_hits: u64,
+    /// Integer kernel operations that fell back to the limb representation.
+    pub int_big_fallbacks: u64,
 }
 
 impl Snapshot {
-    /// Total instrumented operations.
+    /// Total instrumented rational operations (saturating: the counters are
+    /// process-cumulative and their sum must not wrap in a long-lived
+    /// server, where a wrapped total would turn the hit rate into garbage).
     pub fn total(&self) -> u64 {
-        self.small_hits + self.big_fallbacks
+        self.small_hits.saturating_add(self.big_fallbacks)
     }
 
-    /// Fraction of operations served by the fast path (`None` when no
-    /// operations were recorded).
+    /// Fraction of rational operations served by the fast path (`None` when
+    /// no operations were recorded).
     pub fn hit_rate(&self) -> Option<f64> {
         let total = self.total();
         if total == 0 {
@@ -55,12 +77,31 @@ impl Snapshot {
         }
     }
 
+    /// Total instrumented integer kernel operations (saturating, like
+    /// [`Self::total`]).
+    pub fn int_total(&self) -> u64 {
+        self.int_small_hits.saturating_add(self.int_big_fallbacks)
+    }
+
+    /// Fraction of integer kernel operations served by the machine-word path
+    /// (`None` when no operations were recorded).
+    pub fn int_hit_rate(&self) -> Option<f64> {
+        let total = self.int_total();
+        if total == 0 {
+            None
+        } else {
+            Some(self.int_small_hits as f64 / total as f64)
+        }
+    }
+
     /// Counter deltas since an `earlier` snapshot (saturating, so a
     /// concurrent [`reset`] cannot underflow).
     pub fn since(&self, earlier: &Snapshot) -> Snapshot {
         Snapshot {
             small_hits: self.small_hits.saturating_sub(earlier.small_hits),
             big_fallbacks: self.big_fallbacks.saturating_sub(earlier.big_fallbacks),
+            int_small_hits: self.int_small_hits.saturating_sub(earlier.int_small_hits),
+            int_big_fallbacks: self.int_big_fallbacks.saturating_sub(earlier.int_big_fallbacks),
         }
     }
 }
@@ -70,13 +111,17 @@ pub fn snapshot() -> Snapshot {
     Snapshot {
         small_hits: SMALL_HITS.load(Ordering::Relaxed),
         big_fallbacks: BIG_FALLBACKS.load(Ordering::Relaxed),
+        int_small_hits: INT_SMALL_HITS.load(Ordering::Relaxed),
+        int_big_fallbacks: INT_BIG_FALLBACKS.load(Ordering::Relaxed),
     }
 }
 
-/// Resets both counters to zero.
+/// Resets every counter to zero.
 pub fn reset() {
     SMALL_HITS.store(0, Ordering::Relaxed);
     BIG_FALLBACKS.store(0, Ordering::Relaxed);
+    INT_SMALL_HITS.store(0, Ordering::Relaxed);
+    INT_BIG_FALLBACKS.store(0, Ordering::Relaxed);
 }
 
 #[cfg(test)]
@@ -101,5 +146,41 @@ mod tests {
         assert!(after.total() >= 2);
         assert!(after.hit_rate().is_some());
         assert_eq!(Snapshot::default().hit_rate(), None);
+    }
+
+    #[test]
+    fn int_counters_observe_exact_div_paths() {
+        use crate::Integer;
+        let before = snapshot();
+        let _ = Integer::from(21).checked_exact_div(&Integer::from(7)); // machine path
+        let mid = snapshot().since(&before);
+        assert!(mid.int_small_hits >= 1);
+
+        let huge = Integer::from(u128::MAX);
+        let _ = (&huge * &huge).checked_exact_div(&huge); // limb path
+        let after = snapshot().since(&before);
+        assert!(after.int_big_fallbacks >= 1);
+        assert!(after.int_total() >= 2);
+        assert!(after.int_hit_rate().is_some());
+        assert_eq!(Snapshot::default().int_hit_rate(), None);
+    }
+
+    #[test]
+    fn totals_saturate_instead_of_wrapping() {
+        // Counter-overflow edge case: a snapshot whose parts sum past
+        // u64::MAX must clamp, not wrap to a tiny total (which would report
+        // a nonsense hit rate).
+        let s = Snapshot {
+            small_hits: u64::MAX - 1,
+            big_fallbacks: 2,
+            int_small_hits: u64::MAX,
+            int_big_fallbacks: u64::MAX,
+        };
+        assert_eq!(s.total(), u64::MAX);
+        assert_eq!(s.int_total(), u64::MAX);
+        let rate = s.hit_rate().expect("non-zero total");
+        assert!((0.0..=1.0).contains(&rate), "{rate}");
+        let rate = s.int_hit_rate().expect("non-zero total");
+        assert!((0.0..=1.0).contains(&rate), "{rate}");
     }
 }

@@ -22,7 +22,7 @@ fn bench_unknown_scaling(c: &mut Criterion) {
         let instances: Vec<_> = (0..8).map(|_| random_mpi(unknowns, 16, 6, &mut rng)).collect();
         let solvable = instances
             .iter()
-            .filter(|m| m.has_diophantine_solution(FeasibilityEngine::Simplex))
+            .filter(|m| m.has_diophantine_solution(FeasibilityEngine::Simplex).unwrap())
             .count();
         println!("E3: n = {unknowns:>2}, m = 16 → {solvable}/8 instances solvable");
         group.bench_with_input(
@@ -31,7 +31,9 @@ fn bench_unknown_scaling(c: &mut Criterion) {
             |b, instances| {
                 b.iter(|| {
                     for mpi in instances {
-                        black_box(mpi.has_diophantine_solution(FeasibilityEngine::Simplex));
+                        black_box(
+                            mpi.has_diophantine_solution(FeasibilityEngine::Simplex).unwrap(),
+                        );
                     }
                 })
             },
@@ -48,7 +50,7 @@ fn bench_term_scaling(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(terms), &instances, |b, instances| {
             b.iter(|| {
                 for mpi in instances {
-                    black_box(mpi.has_diophantine_solution(FeasibilityEngine::Simplex));
+                    black_box(mpi.has_diophantine_solution(FeasibilityEngine::Simplex).unwrap());
                 }
             })
         });
@@ -68,7 +70,7 @@ fn bench_witness_extraction(c: &mut Criterion) {
             |b, instances| {
                 b.iter(|| {
                     for mpi in instances {
-                        black_box(mpi.diophantine_solution(FeasibilityEngine::Simplex));
+                        black_box(mpi.diophantine_solution(FeasibilityEngine::Simplex).unwrap());
                     }
                 })
             },

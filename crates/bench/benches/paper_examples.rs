@@ -71,7 +71,7 @@ fn bench_section3_compilation_and_mpi(c: &mut Criterion) {
     });
     for engine in [FeasibilityEngine::Simplex, FeasibilityEngine::FourierMotzkin] {
         c.bench_function(&format!("E2/solve_running_example_mpi/{engine:?}"), |b| {
-            b.iter(|| compiled.mpi().diophantine_solution(black_box(engine)))
+            b.iter(|| compiled.mpi().diophantine_solution(black_box(engine)).unwrap())
         });
     }
     c.bench_function("E2/full_decision_with_witness", |b| {

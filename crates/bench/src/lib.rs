@@ -100,8 +100,10 @@ mod tests {
             let mpi = random_mpi(4, 6, 5, &mut rng);
             assert_eq!(mpi.dimension(), 4);
             // Both engines agree.
-            let a = mpi.has_diophantine_solution(dioph_linalg::FeasibilityEngine::Simplex);
-            let b = mpi.has_diophantine_solution(dioph_linalg::FeasibilityEngine::FourierMotzkin);
+            let a = mpi.has_diophantine_solution(dioph_linalg::FeasibilityEngine::Simplex).unwrap();
+            let b = mpi
+                .has_diophantine_solution(dioph_linalg::FeasibilityEngine::FourierMotzkin)
+                .unwrap();
             assert_eq!(a, b);
         }
     }

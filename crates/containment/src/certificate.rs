@@ -170,6 +170,25 @@ pub enum ContainmentError {
         /// The configured bound on enumerated vectors.
         budget: u64,
     },
+    /// The LP feasibility engine exhausted its defensive iteration budget.
+    /// Reported as a value so a pathological pair fails alone instead of
+    /// panicking the engine-pool worker holding it (the batch front-end
+    /// surfaces it as a per-pair `decide` error and `--keep-going` streams
+    /// continue).
+    IterationBudget {
+        /// The budget that was exhausted.
+        iterations: usize,
+    },
+}
+
+impl From<dioph_linalg::LinalgError> for ContainmentError {
+    fn from(error: dioph_linalg::LinalgError) -> Self {
+        match error {
+            dioph_linalg::LinalgError::IterationBudget { iterations } => {
+                ContainmentError::IterationBudget { iterations }
+            }
+        }
+    }
 }
 
 impl fmt::Display for ContainmentError {
@@ -190,6 +209,9 @@ impl fmt::Display for ContainmentError {
             }
             ContainmentError::BudgetExceeded { budget } => {
                 write!(f, "guess-and-check enumeration exceeded its budget of {budget} vectors")
+            }
+            ContainmentError::IterationBudget { iterations } => {
+                write!(f, "the LP engine exceeded its iteration budget of {iterations}")
             }
         }
     }
@@ -297,5 +319,9 @@ mod tests {
         assert!(e.to_string().contains("unsafe"));
         assert!(ContainmentError::EmptyBody { query: "q".into() }.to_string().contains("empty"));
         assert!(ContainmentError::BudgetExceeded { budget: 10 }.to_string().contains("10"));
+        let e: ContainmentError =
+            dioph_linalg::LinalgError::IterationBudget { iterations: 7 }.into();
+        assert_eq!(e, ContainmentError::IterationBudget { iterations: 7 });
+        assert!(e.to_string().contains("iteration budget of 7"), "{e}");
     }
 }

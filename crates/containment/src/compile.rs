@@ -366,7 +366,7 @@ mod tests {
         assert_eq!(compiled.mapping_count(), 0);
         assert!(compiled.mpi().polynomial().is_zero());
         // The MPI is then trivially solvable (containment fails).
-        assert!(compiled.mpi().has_diophantine_solution(FeasibilityEngine::Simplex));
+        assert!(compiled.mpi().has_diophantine_solution(FeasibilityEngine::Simplex).unwrap());
     }
 
     #[test]

@@ -132,7 +132,7 @@ impl BagContainmentDecider {
     ) -> Result<Option<Vec<Natural>>, ContainmentError> {
         match self.algorithm {
             Algorithm::MostGeneralProbe | Algorithm::AllProbes => {
-                Ok(compiled.mpi().diophantine_solution(self.engine))
+                Ok(compiled.mpi().diophantine_solution(self.engine)?)
             }
             Algorithm::GuessCheck { budget } => guess_check_probe(compiled, budget),
         }
@@ -301,8 +301,12 @@ mod tests {
     use dioph_cq::paper_examples;
     use dioph_cq::{parse_query, Term};
 
-    const ENGINES: [FeasibilityEngine; 2] =
-        [FeasibilityEngine::Simplex, FeasibilityEngine::FourierMotzkin];
+    const ENGINES: [FeasibilityEngine; 4] = [
+        FeasibilityEngine::Simplex,
+        FeasibilityEngine::Bareiss,
+        FeasibilityEngine::Auto,
+        FeasibilityEngine::FourierMotzkin,
+    ];
 
     fn all_deciders() -> Vec<BagContainmentDecider> {
         let mut out = Vec::new();

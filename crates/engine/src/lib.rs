@@ -217,6 +217,39 @@ mod tests {
     }
 
     #[test]
+    fn fraction_free_lp_route_is_verdict_identical_through_the_pool() {
+        // The Bareiss and Auto engines must be indistinguishable from the
+        // rational simplex through the probe-parallel pool: same verdicts,
+        // same certificates, for every thread count.
+        use dioph_cq::paper_examples;
+        let cases = [
+            (paper_examples::section3_query_q1(), paper_examples::section3_query_q2()),
+            (q("q(x) <- R(x, x), S(x)"), q("p(x) <- R(x, x)")),
+            (q("q(x) <- R^2(x, x)"), q("p(x) <- R(x, y), R(y, x)")),
+        ];
+        for (containee, containing) in cases {
+            let reference = DecisionEngine::new(EngineConfig {
+                jobs: 1,
+                algorithm: Algorithm::AllProbes,
+                engine: FeasibilityEngine::Simplex,
+            })
+            .decide(&containee, &containing)
+            .unwrap();
+            for jobs in [1usize, 2, 4] {
+                for lp in [FeasibilityEngine::Bareiss, FeasibilityEngine::Auto] {
+                    let engine = DecisionEngine::new(EngineConfig {
+                        jobs,
+                        algorithm: Algorithm::AllProbes,
+                        engine: lp,
+                    });
+                    let routed = engine.decide(&containee, &containing).unwrap();
+                    assert_eq!(routed.to_json(), reference.to_json(), "jobs={jobs} {lp:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
     fn equivalence_matches_the_sequential_helper() {
         use dioph_cq::paper_examples;
         let q1 = paper_examples::section2_query_q1();

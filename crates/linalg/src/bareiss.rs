@@ -1,0 +1,461 @@
+//! Fraction-free (Bareiss/Edmonds-style) phase-1 simplex over integer rows.
+//!
+//! The exact rational simplex of [`crate::simplex`] reduces every tableau
+//! entry to lowest terms after every arithmetic operation — one gcd **per
+//! entry per pivot**. Past ~16 unknowns × 48 rows the pivot values outgrow
+//! machine words for good and those per-entry reductions dominate the run
+//! (the `lp_ablation` sweep was capped exactly there). This module keeps the
+//! whole tableau in integers instead:
+//!
+//! * each row `i` stores integer coefficients plus one positive denominator
+//!   `d_i`, representing the rational row `r_i / d_i`;
+//! * a pivot on `(leave, enter)` with stored pivot `L` updates every other
+//!   row by the two-term cross-multiplication `r_i ← L·r_i − r_i[enter]·r_l`
+//!   (the Bareiss step), with a **single** exact division per row — the row
+//!   is reduced by the gcd of its entries, rhs and denominator, via
+//!   [`Integer::checked_exact_div`];
+//! * the strict Bareiss variant divides by the previous pivot instead, but
+//!   it needs a denominator shared by *all* rows, which forces every row —
+//!   including the untouched ones — to be rescaled on every pivot. On the
+//!   sparse tableaus of Theorem 4.1 that throws away the zero-skipping the
+//!   row representation exists for, so this kernel uses the gcd-normalised
+//!   per-row form: rows whose pivot-column entry is zero are skipped
+//!   entirely, exactly like the rational route, and the per-row gcd bounds
+//!   coefficient growth at least as tightly as the previous-pivot division.
+//!
+//! Every decision the simplex takes — Bland's entering column (sign of a
+//! reduced cost), the ratio test (comparison of `rhs_i/coeff_i` across
+//! rows), tie-breaking, termination — is invariant under scaling a row by a
+//! positive constant, so this kernel takes **bit-identical pivot sequences**
+//! to [`crate::simplex::feasible_point_rows`] on the same input and returns
+//! the same [`SimplexOutcome`], witness included (witness components are
+//! read off as canonical [`Rational`]s). The differential proptests and the
+//! `tests/golden/` fixtures pin that identity.
+//!
+//! The entry point also performs a ratio-test-free infeasibility prune: a
+//! row whose coefficients are all `≤ 0` against a positive right-hand side
+//! can never be satisfied by `x ≥ 0`, so such systems are rejected before
+//! any tableau is built (the rational route reaches the same verdict the
+//! long way around).
+
+use dioph_arith::{Integer, Natural, Rational};
+
+use crate::error::{iteration_budget, LinalgError};
+use crate::row::{merge_sparse, sparse_is_worth_it, GenRow, IntRow};
+use crate::simplex::SimplexOutcome;
+
+/// Finds `x ≥ 0` with `A·x ≥ b` for integer rows, by fraction-free phase-1
+/// simplex. Returns the exact same outcome (witness included) as the
+/// rational [`crate::simplex::feasible_point_rows`] on the rationalised
+/// input.
+///
+/// # Errors
+/// [`LinalgError::IterationBudget`] if the run exceeds its iteration budget.
+///
+/// # Panics
+/// Panics if a row's dimension differs from `n`, or if the number of rows
+/// differs from the length of `b`.
+pub fn feasible_point_int(
+    n: usize,
+    a: Vec<IntRow>,
+    b: Vec<Integer>,
+) -> Result<SimplexOutcome, LinalgError> {
+    let budget = iteration_budget(n + 2 * a.len(), a.len());
+    feasible_point_int_with_budget(n, a, b, budget)
+}
+
+/// [`feasible_point_int`] with an explicit iteration budget.
+///
+/// # Errors
+/// [`LinalgError::IterationBudget`] after `max_iterations` pivots.
+///
+/// # Panics
+/// As [`feasible_point_int`].
+pub fn feasible_point_int_with_budget(
+    n: usize,
+    a: Vec<IntRow>,
+    b: Vec<Integer>,
+    max_iterations: usize,
+) -> Result<SimplexOutcome, LinalgError> {
+    assert_eq!(a.len(), b.len(), "row count mismatch between A and b");
+    let m = a.len();
+    for row in &a {
+        assert_eq!(row.dim(), n, "row dimension mismatch in simplex input");
+    }
+    if m == 0 {
+        return Ok(SimplexOutcome::Feasible(vec![Rational::zero(); n]));
+    }
+    // Ratio-test-free pruning: a row with no positive coefficient cannot
+    // reach a positive right-hand side on x ≥ 0.
+    if a.iter().zip(&b).any(|(row, b_i)| {
+        b_i.is_positive() && row.iter_nonzero().all(|(_, value)| !value.is_positive())
+    }) {
+        return Ok(SimplexOutcome::Infeasible);
+    }
+
+    // Standard form, exactly as in the rational route: a_i·x - s_i = b_i,
+    // rows normalised to a non-negative rhs, artificial variables wherever
+    // the surplus cannot start basic.
+    //
+    // Column layout: [ x (n) | s (m) | artificials (k) ].
+    let mut needs_artificial: Vec<bool> = Vec::with_capacity(m);
+    let mut rhs: Vec<Integer> = Vec::with_capacity(m);
+    let mut entry_rows: Vec<Vec<(usize, Integer)>> = Vec::with_capacity(m);
+
+    for (i, (a_row, b_i)) in a.iter().zip(b).enumerate() {
+        let mut entries: Vec<(usize, Integer)> =
+            a_row.iter_nonzero().map(|(col, v)| (col, v.clone())).collect();
+        entries.push((n + i, Integer::minus_one()));
+        let mut rhs_i = b_i;
+        if rhs_i.is_negative() || rhs_i.is_zero() {
+            // Flip the equation so the rhs is non-negative and the surplus
+            // column carries +1 (it then serves as the initial basis).
+            for (_, value) in entries.iter_mut() {
+                let taken = core::mem::take(value);
+                *value = -taken;
+            }
+            rhs_i = -rhs_i;
+            needs_artificial.push(false);
+        } else {
+            needs_artificial.push(true);
+        }
+        entry_rows.push(entries);
+        rhs.push(rhs_i);
+    }
+
+    let k = needs_artificial.iter().filter(|&&needs| needs).count();
+    let total = n + m + k;
+
+    let mut rows: Vec<IntRow> = Vec::with_capacity(m);
+    let mut basis: Vec<usize> = Vec::with_capacity(m);
+    // Per-row positive denominators: row i represents rows[i] / dens[i].
+    let mut dens: Vec<Natural> = vec![Natural::one(); m];
+    {
+        let mut art_idx = 0;
+        for (i, mut entries) in entry_rows.into_iter().enumerate() {
+            if needs_artificial[i] {
+                entries.push((n + m + art_idx, Integer::one()));
+                basis.push(n + m + art_idx);
+                art_idx += 1;
+            } else {
+                basis.push(n + i);
+            }
+            rows.push(IntRow::auto(total, entries));
+        }
+    }
+
+    let mut iterations = 0usize;
+
+    loop {
+        iterations += 1;
+        if iterations > max_iterations {
+            return Err(LinalgError::IterationBudget { iterations: max_iterations });
+        }
+
+        // Reduced costs, as exact rationals (signs drive Bland's rule, and
+        // summing across rows needs the true per-row scales). This is the
+        // only per-entry rational arithmetic left: the eliminate pass below
+        // — where the rational route spends its time — is pure integers.
+        let mut in_basis = vec![false; total];
+        for &basic in &basis {
+            in_basis[basic] = true;
+        }
+        let mut reduced: Vec<Rational> = Vec::with_capacity(total);
+        for j in 0..total {
+            reduced.push(if j >= n + m { Rational::one() } else { Rational::zero() });
+        }
+        for ((row, den), &basic) in rows.iter().zip(&dens).zip(&basis) {
+            if basic >= n + m {
+                for (j, value) in row.iter_nonzero() {
+                    reduced[j] -= &Rational::new(value.clone(), den.clone());
+                }
+            }
+        }
+        // Entering variable: smallest index with negative reduced cost (Bland).
+        let entering = (0..total).find(|&j| !in_basis[j] && reduced[j].is_negative());
+
+        let Some(enter) = entering else {
+            // Optimal: the objective is the sum of the artificial basics.
+            let mut obj = Rational::zero();
+            for i in 0..m {
+                if basis[i] >= n + m {
+                    obj += &Rational::new(rhs[i].clone(), dens[i].clone());
+                }
+            }
+            if !obj.is_zero() {
+                return Ok(SimplexOutcome::Infeasible);
+            }
+            let mut x = vec![Rational::zero(); n];
+            for i in 0..m {
+                if basis[i] < n {
+                    // Canonical rational: identical to the value the
+                    // rational route carries in its tableau.
+                    x[basis[i]] = Rational::new(rhs[i].clone(), dens[i].clone());
+                }
+            }
+            return Ok(SimplexOutcome::Feasible(x));
+        };
+
+        // Ratio test. Within a row the denominator cancels
+        // (`(rhs_i/d_i) / (coeff_i/d_i) = rhs_i/coeff_i`), so the cross-row
+        // comparison `rhs_i/coeff_i < rhs_l/coeff_l` is the integer
+        // comparison `rhs_i·coeff_l < rhs_l·coeff_i` (both coeffs positive).
+        // Bland tie-breaking by smallest basic variable index, as in the
+        // rational route.
+        let mut leaving: Option<usize> = None;
+        let mut best: Option<(Integer, Integer)> = None; // (rhs, coeff) of the leader
+        for i in 0..m {
+            let Some(coeff) = rows[i].get(enter) else { continue };
+            if !coeff.is_positive() {
+                continue;
+            }
+            let better = match (&best, leaving) {
+                (None, _) => true,
+                (Some((best_rhs, best_coeff)), Some(leader)) => {
+                    let lhs = &rhs[i] * best_coeff;
+                    let rhs_side = best_rhs * coeff;
+                    lhs < rhs_side || (lhs == rhs_side && basis[i] < basis[leader])
+                }
+                _ => unreachable!("best and leaving are set together"),
+            };
+            if better {
+                best = Some((rhs[i].clone(), coeff.clone()));
+                leaving = Some(i);
+            }
+        }
+
+        let Some(leave) = leaving else {
+            // The phase-1 objective is bounded below by zero, so an unbounded
+            // direction cannot occur.
+            unreachable!("phase-1 simplex objective cannot be unbounded");
+        };
+
+        // Pivot. The stored pivot L is positive; the leave row itself stays
+        // untouched — its denominator simply becomes L (rational value
+        // r_l / L, i.e. the normalised pivot row with a 1 in the enter
+        // column). Every other row with a non-zero enter coefficient F takes
+        // the fraction-free cross-multiplication
+        //     r_i ← L·r_i − F·r_l ,   d_i ← d_i·L ,
+        // followed by one exact gcd reduction of the whole row. Rows with
+        // F = 0 are not touched at all — the zero-skipping a shared
+        // denominator would lose.
+        let pivot = rows[leave].get(enter).cloned().expect("ratio test picked a non-zero pivot");
+        for i in 0..m {
+            if i == leave {
+                continue;
+            }
+            let factor = rows[i].take(enter);
+            if factor.is_zero() {
+                continue;
+            }
+            let (leave_row, target_row) = if leave < i {
+                let (head, tail) = rows.split_at_mut(i);
+                (&head[leave], &mut tail[0])
+            } else {
+                let (head, tail) = rows.split_at_mut(leave);
+                (&tail[0], &mut head[i])
+            };
+            eliminate_fraction_free(target_row, &pivot, &factor, leave_row, enter);
+            rhs[i] = &(&pivot * &rhs[i]) - &(&factor * &rhs[leave]);
+            dens[i] = &dens[i] * &pivot.magnitude();
+            normalise_row(target_row, &mut rhs[i], &mut dens[i]);
+            target_row.resparsify();
+        }
+        dens[leave] = pivot.magnitude();
+        normalise_row(&mut rows[leave], &mut rhs[leave], &mut dens[leave]);
+        basis[leave] = enter;
+    }
+}
+
+/// The fraction-free elimination step: `target ← pivot·target − factor·src`,
+/// skipping the column `skip` (whose coefficient the caller already removed
+/// with `take`). A sparse row that fills in past the density threshold is
+/// densified here, mirroring [`GenRow::eliminate`].
+fn eliminate_fraction_free(
+    target: &mut IntRow,
+    pivot: &Integer,
+    factor: &Integer,
+    src: &IntRow,
+    skip: usize,
+) {
+    match target {
+        GenRow::Dense(v) => {
+            // The cross-multiplication rescales every stored entry, so a
+            // dense target is two passes: scale, then subtract over the
+            // source's non-zeros.
+            for value in v.iter_mut() {
+                if !value.is_zero() {
+                    let taken = core::mem::take(value);
+                    *value = &taken * pivot;
+                }
+            }
+            for (col, coeff) in src.iter_nonzero() {
+                if col == skip {
+                    continue;
+                }
+                let delta = factor * coeff;
+                v[col] -= &delta;
+            }
+        }
+        GenRow::Sparse(s) => {
+            s.entries = merge_sparse(
+                &s.entries,
+                src,
+                skip,
+                |vt| vt * pivot,
+                |vs| -(factor * vs),
+                |vt, vs| &(vt * pivot) - &(factor * vs),
+            );
+            if !sparse_is_worth_it(s.entries.len(), s.dim) {
+                *target = GenRow::Dense(s.to_dense());
+            }
+        }
+    }
+}
+
+/// Divides a row, its rhs and its denominator by their common gcd — the
+/// single exact division of the fraction-free step. The gcd always includes
+/// the (positive) denominator, so the reduced denominator stays positive and
+/// the row's rational value is untouched.
+fn normalise_row(row: &mut IntRow, rhs: &mut Integer, den: &mut Natural) {
+    let mut g: Natural = rhs.gcd(&Integer::from(den.clone()));
+    for (_, value) in row.iter_nonzero() {
+        if g.is_one() {
+            return;
+        }
+        g = value.gcd(&Integer::from(g));
+    }
+    if g.is_one() {
+        return;
+    }
+    debug_assert!(!g.is_zero(), "a positive denominator keeps the row gcd positive");
+    let divisor = Integer::from(g.clone());
+    match row {
+        GenRow::Dense(v) => {
+            for value in v.iter_mut() {
+                if !value.is_zero() {
+                    let taken = core::mem::take(value);
+                    *value = taken.exact_div(&divisor);
+                }
+            }
+        }
+        GenRow::Sparse(s) => {
+            for (_, value) in s.entries.iter_mut() {
+                let taken = core::mem::take(value);
+                *value = taken.exact_div(&divisor);
+            }
+        }
+    }
+    *rhs = rhs.exact_div(&divisor);
+    *den = &*den / &g;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row::Row;
+    use crate::simplex::feasible_point_rows;
+
+    fn int_rows(rows: &[&[i64]]) -> Vec<IntRow> {
+        rows.iter()
+            .map(|row| {
+                IntRow::from_dense_auto(&row.iter().map(|&v| Integer::from(v)).collect::<Vec<_>>())
+            })
+            .collect()
+    }
+
+    fn rational_rows(rows: &[&[i64]]) -> Vec<Row> {
+        rows.iter()
+            .map(|row| {
+                Row::from_dense_auto(&row.iter().map(|&v| Rational::from(v)).collect::<Vec<_>>())
+            })
+            .collect()
+    }
+
+    /// Both routes on the same system must agree exactly, witness included.
+    fn assert_routes_identical(rows: &[&[i64]], b: &[i64]) -> SimplexOutcome {
+        let n = rows.first().map_or(0, |r| r.len());
+        let b_int: Vec<Integer> = b.iter().map(|&v| Integer::from(v)).collect();
+        let b_rat: Vec<Rational> = b.iter().map(|&v| Rational::from(v)).collect();
+        let fraction_free = feasible_point_int(n, int_rows(rows), b_int).unwrap();
+        let rational = feasible_point_rows(n, rational_rows(rows), b_rat).unwrap();
+        assert_eq!(fraction_free, rational, "routes diverged on {rows:?} >= {b:?}");
+        fraction_free
+    }
+
+    #[test]
+    fn matches_rational_route_on_the_simplex_test_suite() {
+        // The systems of the rational simplex's own unit tests.
+        assert_routes_identical(&[&[1, 2], &[3, -1]], &[0, -5]);
+        assert_routes_identical(&[&[1, 1]], &[3]);
+        assert_routes_identical(&[&[-1, -1]], &[1]);
+        assert_routes_identical(&[&[1, -1], &[-1, 3]], &[2, 1]);
+        assert_routes_identical(&[&[1], &[-1]], &[5, -2]);
+        assert_routes_identical(&[&[-5, 1, 3], &[-3, -1, 3], &[-1, 1, -1]], &[1, 1, 1]);
+        assert_routes_identical(&[&[0, 0, 0]], &[1]);
+        assert_routes_identical(&[&[1, -1], &[0, 1]], &[0, 2]);
+        assert_routes_identical(
+            &[&[1, 1, 1, 1], &[2, -1, 0, 1], &[-1, 2, -1, 1], &[0, 0, 3, -2], &[1, 0, 0, 0]],
+            &[10, 4, 7, 1, 1],
+        );
+    }
+
+    #[test]
+    fn empty_system_is_feasible() {
+        let outcome = feasible_point_int(3, vec![], vec![]).unwrap();
+        assert_eq!(outcome, SimplexOutcome::Feasible(vec![Rational::zero(); 3]));
+    }
+
+    #[test]
+    fn prunes_nonpositive_rows_without_pivoting() {
+        // All coefficients ≤ 0 against b > 0: rejected before any tableau
+        // exists, so even a zero iteration budget cannot be exhausted.
+        let outcome =
+            feasible_point_int_with_budget(2, int_rows(&[&[-1, -2]]), vec![Integer::one()], 0)
+                .unwrap();
+        assert_eq!(outcome, SimplexOutcome::Infeasible);
+        let outcome =
+            feasible_point_int_with_budget(2, int_rows(&[&[0, 0]]), vec![Integer::one()], 0)
+                .unwrap();
+        assert_eq!(outcome, SimplexOutcome::Infeasible);
+        // A mixed-sign row is not prunable and must actually pivot.
+        let err =
+            feasible_point_int_with_budget(2, int_rows(&[&[1, -1]]), vec![Integer::from(3)], 0)
+                .expect_err("zero budget cannot run a real pivot");
+        assert_eq!(err, LinalgError::IterationBudget { iterations: 0 });
+    }
+
+    #[test]
+    fn witnesses_are_canonical_rationals() {
+        // (1/2)x0 >= 3/2 scaled to integers: x0 >= 3.
+        let outcome = assert_routes_identical(&[&[1]], &[3]);
+        let witness = outcome.witness().unwrap();
+        assert_eq!(witness[0], Rational::from(3));
+    }
+
+    #[test]
+    fn coefficients_past_the_machine_word_survive() {
+        // Entries around 2^40: a single cross-multiplication already
+        // overflows i64 (the inline Integer variant), so the kernel must
+        // promote — and the gcd normalisation must bring values back down
+        // so the verdict and witness still match the rational route.
+        let big = 1i64 << 40;
+        let rows: Vec<Vec<i64>> =
+            vec![vec![big, -big + 1, 3], vec![-big + 3, big, -2], vec![1, -2, big]];
+        let refs: Vec<&[i64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let outcome = assert_routes_identical(&refs, &[1, 1, 1]);
+        assert!(outcome.is_feasible());
+    }
+
+    #[test]
+    fn budget_blowout_is_a_structured_error() {
+        let err = feasible_point_int_with_budget(
+            2,
+            int_rows(&[&[1, -1], &[-1, 3]]),
+            vec![Integer::from(2), Integer::one()],
+            1,
+        )
+        .expect_err("one iteration cannot finish this system");
+        assert_eq!(err, LinalgError::IterationBudget { iterations: 1 });
+    }
+}

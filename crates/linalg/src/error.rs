@@ -1,0 +1,57 @@
+//! Structured errors for the LP engines.
+//!
+//! The phase-1 simplex engines are guaranteed to terminate (Bland's rule
+//! excludes cycling), but they still run under a generous iteration budget as
+//! a defence against an undetected bug turning into an infinite loop inside a
+//! worker thread. Exhausting the budget used to `assert!` — which panicked
+//! the engine-pool worker that happened to hold the pair and poisoned the
+//! whole batch. It is now a value: [`LinalgError::IterationBudget`]
+//! propagates through `Mpi::diophantine_solution` into
+//! `ContainmentError`, where the batch front-end reports it as a per-pair
+//! `decide` failure and `--keep-going` streams keep going.
+
+use core::fmt;
+
+/// A structured failure of an LP engine run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LinalgError {
+    /// The simplex exceeded its iteration budget. With Bland's rule this
+    /// should be impossible; reporting it as a value (instead of panicking a
+    /// worker thread) keeps pathological systems from poisoning the engine
+    /// pool.
+    IterationBudget {
+        /// The budget that was exhausted.
+        iterations: usize,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::IterationBudget { iterations } => write!(
+                f,
+                "simplex exceeded its iteration budget of {iterations} \
+                 (cycling should be impossible with Bland's rule)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+/// The default iteration budget for a tableau with `total` columns and `m`
+/// rows — generous enough that no terminating run ever hits it.
+///
+/// The `DIOPH_LP_BUDGET` environment variable (read once per process)
+/// overrides the computed budget; it exists so regression tests can drive a
+/// budget blowout through the full decide pipeline without constructing a
+/// pathological system.
+pub(crate) fn iteration_budget(total: usize, m: usize) -> usize {
+    static OVERRIDE: std::sync::OnceLock<Option<usize>> = std::sync::OnceLock::new();
+    let env =
+        OVERRIDE.get_or_init(|| std::env::var("DIOPH_LP_BUDGET").ok().and_then(|v| v.parse().ok()));
+    if let Some(budget) = env {
+        return (*budget).max(1);
+    }
+    50_usize.saturating_mul((total + 1) * (m + 1)).max(10_000)
+}

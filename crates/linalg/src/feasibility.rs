@@ -12,20 +12,21 @@
 //! with rational coefficients: any rational solution can be scaled by the
 //! least common multiple of its denominators into a natural one.
 //!
-//! [`StrictHomogeneousSystem`] captures exactly that shape and offers two
-//! independent engines ([`FeasibilityEngine::Simplex`] and
-//! [`FeasibilityEngine::FourierMotzkin`]) for deciding it and extracting
-//! natural witnesses. Both engines receive the system as sparse [`Row`]s
-//! built straight from the non-zero integer coefficients — the exponent
-//! difference vectors of real MPIs are mostly zeros, and the shared
-//! pivot/eliminate kernels skip what is never stored.
+//! [`StrictHomogeneousSystem`] captures exactly that shape and offers the
+//! engines of [`FeasibilityEngine`] for deciding it and extracting natural
+//! witnesses. The rows are stored as sparse **integer** [`IntRow`]s built
+//! straight from the non-zero exponent differences — the fraction-free
+//! Bareiss kernel consumes them as-is, and the rational engines receive
+//! them converted once, up front.
 
 use dioph_arith::{Integer, Natural, Rational};
 
+use crate::bareiss;
+use crate::error::LinalgError;
 use crate::fourier_motzkin::{self, FmOutcome, UpperForm};
-use crate::row::Row;
+use crate::row::{IntRow, Row};
 use crate::simplex::{self, SimplexOutcome};
-use crate::system::{dot_int_nat, Constraint, LinearSystem, Relation};
+use crate::system::{Constraint, LinearSystem, Relation};
 
 /// Which engine to use when deciding feasibility.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -33,18 +34,36 @@ pub enum FeasibilityEngine {
     /// Exact rational phase-1 simplex (default; polynomial in practice).
     #[default]
     Simplex,
+    /// The fraction-free integer simplex of [`crate::bareiss`]: identical
+    /// pivot sequence, verdict and witness as [`Self::Simplex`], but every
+    /// intermediate value stays an integer with one exact division per row
+    /// per pivot — the route for systems whose pivot values outgrow machine
+    /// words.
+    Bareiss,
+    /// Picks [`Self::Bareiss`] past the measured machine-word cliff
+    /// (≈ 16 unknowns × 48 rows, or any coefficient already beyond `i64`)
+    /// and [`Self::Simplex`] below it. Verdicts and witnesses are identical
+    /// either way, so the choice is pure performance.
+    Auto,
     /// Fourier–Motzkin elimination (simple, doubly exponential worst case).
     FourierMotzkin,
 }
 
+/// The `Auto` route switches to the fraction-free kernel when the tableau
+/// has at least this many cells (dimension × rows): the measured cliff where
+/// rational pivot values stop fitting machine words for good (lp_ablation,
+/// 16 unknowns × 48 rows).
+const AUTO_FRACTION_FREE_CELLS: usize = 16 * 48;
+
 /// A system `{ rows[i] · ε > 0 }` over non-negative unknowns `ε`.
 ///
 /// Rows have integer coefficients (the exponent differences `e − e_i` of the
-/// paper are integer vectors).
+/// paper are integer vectors) and are stored as [`IntRow`]s — sparse while
+/// at most half non-zero, dense past that.
 #[derive(Clone, Debug, PartialEq, Eq, Default)]
 pub struct StrictHomogeneousSystem {
     dimension: usize,
-    rows: Vec<Vec<Integer>>,
+    rows: Vec<IntRow>,
 }
 
 impl StrictHomogeneousSystem {
@@ -59,7 +78,7 @@ impl StrictHomogeneousSystem {
     }
 
     /// The coefficient rows.
-    pub fn rows(&self) -> &[Vec<Integer>] {
+    pub fn rows(&self) -> &[IntRow] {
         &self.rows
     }
 
@@ -73,13 +92,25 @@ impl StrictHomogeneousSystem {
         self.rows.is_empty()
     }
 
-    /// Adds the strict inequality `row · ε > 0`.
+    /// Adds the strict inequality `row · ε > 0` from dense coefficients.
     ///
     /// # Panics
     /// Panics if the row length differs from the system dimension.
     pub fn push_row(&mut self, row: Vec<Integer>) {
         assert_eq!(row.len(), self.dimension, "row dimension mismatch");
-        self.rows.push(row);
+        self.rows.push(IntRow::from_dense_auto(&row));
+    }
+
+    /// Adds the strict inequality `row · ε > 0` directly from its non-zero
+    /// entries (strictly increasing columns, no explicit zeros) — the
+    /// handover path for MPI-derived systems, whose exponent-difference rows
+    /// are mostly zeros.
+    ///
+    /// # Panics
+    /// Panics if the entries violate the sparse-row invariants (see
+    /// [`crate::GenSparseRow::new`]) or mention a column `>= dimension`.
+    pub fn push_sparse_row(&mut self, entries: Vec<(usize, Integer)>) {
+        self.rows.push(IntRow::auto(self.dimension, entries));
     }
 
     /// Adds a row given as `i64` coefficients (convenience).
@@ -90,33 +121,43 @@ impl StrictHomogeneousSystem {
     /// Checks whether a natural-number assignment satisfies every row.
     pub fn is_satisfied_by_naturals(&self, point: &[Natural]) -> bool {
         assert_eq!(point.len(), self.dimension, "point dimension mismatch");
-        self.rows.iter().all(|row| dot_int_nat(row, point).is_positive())
+        self.rows.iter().all(|row| {
+            let mut acc = Integer::zero();
+            for (col, coeff) in row.iter_nonzero() {
+                if point[col].is_zero() {
+                    continue;
+                }
+                acc += &(coeff * &Integer::from(&point[col]));
+            }
+            acc.is_positive()
+        })
     }
 
-    /// One sparse [`Row`] per strict inequality: exactly the non-zero
-    /// integer coefficients, as rationals.
+    /// One sparse rational [`Row`] per strict inequality: exactly the
+    /// non-zero integer coefficients, as rationals.
     pub fn to_sparse_rows(&self) -> Vec<Row> {
         self.rows
             .iter()
             .map(|row| {
-                let entries: Vec<(usize, Rational)> = row
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, c)| !c.is_zero())
-                    .map(|(i, c)| (i, Rational::from(c)))
-                    .collect();
+                let entries: Vec<(usize, Rational)> =
+                    row.iter_nonzero().map(|(i, c)| (i, Rational::from(c))).collect();
                 Row::sparse(self.dimension, entries)
             })
             .collect()
     }
 
+    /// The stored integer rows, cloned — the fraction-free kernel's input.
+    pub fn to_int_rows(&self) -> Vec<IntRow> {
+        self.rows.clone()
+    }
+
     /// Renders the system as a [`LinearSystem`] with strict rows and explicit
     /// non-negativity constraints (used by tests and displays; the engines
-    /// themselves run on [`Self::to_sparse_rows`]).
+    /// themselves run on the stored rows).
     pub fn to_linear_system(&self) -> LinearSystem {
         let mut sys = LinearSystem::new(self.dimension);
         for row in &self.rows {
-            sys.push(Constraint::from_integers(row, Relation::Gt, Integer::zero()));
+            sys.push(Constraint::from_integers(&row.to_dense_vec(), Relation::Gt, Integer::zero()));
         }
         sys.push_nonnegativity();
         sys
@@ -128,23 +169,41 @@ impl StrictHomogeneousSystem {
     /// An empty system (no rows) over at least one unknown is trivially
     /// feasible (witness: all zeros); over zero unknowns it is also feasible
     /// with the empty witness.
-    pub fn rational_solution(&self, engine: FeasibilityEngine) -> Option<Vec<Rational>> {
+    ///
+    /// # Errors
+    /// [`LinalgError::IterationBudget`] if a simplex engine exhausts its
+    /// (defensive, generous) iteration budget.
+    pub fn rational_solution(
+        &self,
+        engine: FeasibilityEngine,
+    ) -> Result<Option<Vec<Rational>>, LinalgError> {
         if self.rows.is_empty() {
-            return Some(vec![Rational::zero(); self.dimension]);
+            return Ok(Some(vec![Rational::zero(); self.dimension]));
         }
         // A row of all zeros can never be strictly positive.
-        if self.rows.iter().any(|row| row.iter().all(|c| c.is_zero())) {
-            return None;
+        if self.rows.iter().any(|row| row.is_zero_row()) {
+            return Ok(None);
         }
+        let engine = self.resolve_auto(engine);
         match engine {
             FeasibilityEngine::Simplex => {
                 // Homogeneity: A·ε > 0, ε ≥ 0 feasible  ⟺  A·ε ≥ 1, ε ≥ 0 feasible.
                 let b = vec![Rational::one(); self.rows.len()];
-                match simplex::feasible_point_rows(self.dimension, self.to_sparse_rows(), b) {
-                    SimplexOutcome::Feasible(x) => Some(x),
-                    SimplexOutcome::Infeasible => None,
+                match simplex::feasible_point_rows(self.dimension, self.to_sparse_rows(), b)? {
+                    SimplexOutcome::Feasible(x) => Ok(Some(x)),
+                    SimplexOutcome::Infeasible => Ok(None),
                 }
             }
+            FeasibilityEngine::Bareiss => {
+                // Same homogeneity scaling; the stored integer rows are
+                // handed over untranslated.
+                let b = vec![Integer::one(); self.rows.len()];
+                match bareiss::feasible_point_int(self.dimension, self.to_int_rows(), b)? {
+                    SimplexOutcome::Feasible(x) => Ok(Some(x)),
+                    SimplexOutcome::Infeasible => Ok(None),
+                }
+            }
+            FeasibilityEngine::Auto => unreachable!("resolve_auto picked a concrete engine"),
             FeasibilityEngine::FourierMotzkin => {
                 // Each strict row A_i·ε > 0 normalises to -A_i·ε < 0, and
                 // each non-negativity ε_j ≥ 0 to -ε_j ≤ 0 — all sparse.
@@ -169,11 +228,29 @@ impl StrictHomogeneousSystem {
                             self.to_linear_system().is_satisfied_by(&x),
                             "FM witness must satisfy the strict system"
                         );
-                        Some(x)
+                        Ok(Some(x))
                     }
-                    FmOutcome::Infeasible => None,
+                    FmOutcome::Infeasible => Ok(None),
                 }
             }
+        }
+    }
+
+    /// Resolves [`FeasibilityEngine::Auto`] to a concrete simplex route:
+    /// fraction-free past the machine-word cliff (large tableau, or any
+    /// coefficient already beyond `i64`), rational below it. Both produce
+    /// identical results; this is a pure performance choice.
+    fn resolve_auto(&self, engine: FeasibilityEngine) -> FeasibilityEngine {
+        if engine != FeasibilityEngine::Auto {
+            return engine;
+        }
+        let cells = self.dimension.saturating_mul(self.rows.len());
+        let has_big_coefficient =
+            self.rows.iter().any(|row| row.iter_nonzero().any(|(_, c)| c.to_i64().is_none()));
+        if cells >= AUTO_FRACTION_FREE_CELLS || has_big_coefficient {
+            FeasibilityEngine::Bareiss
+        } else {
+            FeasibilityEngine::Simplex
         }
     }
 
@@ -184,15 +261,23 @@ impl StrictHomogeneousSystem {
     /// common multiple of its denominators; since the system is homogeneous
     /// and all rational components are non-negative, the scaled vector is a
     /// valid natural solution.
-    pub fn natural_solution(&self, engine: FeasibilityEngine) -> Option<Vec<Natural>> {
-        let rational = self.rational_solution(engine)?;
-        Some(scale_to_naturals(&rational))
+    ///
+    /// # Errors
+    /// As [`Self::rational_solution`].
+    pub fn natural_solution(
+        &self,
+        engine: FeasibilityEngine,
+    ) -> Result<Option<Vec<Natural>>, LinalgError> {
+        Ok(self.rational_solution(engine)?.map(|rational| scale_to_naturals(&rational)))
     }
 
     /// `true` iff the system admits a solution (equivalently: the associated
     /// MPI admits a Diophantine solution, by Theorem 4.1).
-    pub fn is_feasible(&self, engine: FeasibilityEngine) -> bool {
-        self.rational_solution(engine).is_some()
+    ///
+    /// # Errors
+    /// As [`Self::rational_solution`].
+    pub fn is_feasible(&self, engine: FeasibilityEngine) -> Result<bool, LinalgError> {
+        Ok(self.rational_solution(engine)?.is_some())
     }
 }
 
@@ -214,15 +299,19 @@ pub fn scale_to_naturals(point: &[Rational]) -> Vec<Natural> {
 mod tests {
     use super::*;
 
-    const ENGINES: [FeasibilityEngine; 2] =
-        [FeasibilityEngine::Simplex, FeasibilityEngine::FourierMotzkin];
+    const ENGINES: [FeasibilityEngine; 4] = [
+        FeasibilityEngine::Simplex,
+        FeasibilityEngine::Bareiss,
+        FeasibilityEngine::Auto,
+        FeasibilityEngine::FourierMotzkin,
+    ];
 
     #[test]
     fn empty_system_is_feasible() {
         for engine in ENGINES {
             let sys = StrictHomogeneousSystem::new(3);
-            assert!(sys.is_feasible(engine));
-            assert_eq!(sys.natural_solution(engine).unwrap().len(), 3);
+            assert!(sys.is_feasible(engine).unwrap());
+            assert_eq!(sys.natural_solution(engine).unwrap().unwrap().len(), 3);
         }
     }
 
@@ -235,7 +324,7 @@ mod tests {
             sys.push_row_i64(&[-5, 1, 3]);
             sys.push_row_i64(&[-3, -1, 3]);
             sys.push_row_i64(&[-1, 1, -1]);
-            let nat = sys.natural_solution(engine).expect("feasible");
+            let nat = sys.natural_solution(engine).unwrap().expect("feasible");
             assert!(sys.is_satisfied_by_naturals(&nat), "{engine:?}: witness {nat:?}");
             // The paper's own solution works too.
             let paper = vec![Natural::zero(), Natural::from(2u64), Natural::from(1u64)];
@@ -249,7 +338,7 @@ mod tests {
             let mut sys = StrictHomogeneousSystem::new(2);
             sys.push_row_i64(&[0, 0]);
             sys.push_row_i64(&[1, 1]);
-            assert!(!sys.is_feasible(engine));
+            assert!(!sys.is_feasible(engine).unwrap());
         }
     }
 
@@ -258,7 +347,7 @@ mod tests {
         for engine in ENGINES {
             let mut sys = StrictHomogeneousSystem::new(2);
             sys.push_row_i64(&[-1, -2]);
-            assert!(!sys.is_feasible(engine));
+            assert!(!sys.is_feasible(engine).unwrap());
         }
     }
 
@@ -269,7 +358,7 @@ mod tests {
             let mut sys = StrictHomogeneousSystem::new(2);
             sys.push_row_i64(&[1, -1]);
             sys.push_row_i64(&[-1, 1]);
-            assert!(!sys.is_feasible(engine));
+            assert!(!sys.is_feasible(engine).unwrap());
         }
     }
 
@@ -278,7 +367,7 @@ mod tests {
         for engine in ENGINES {
             let mut sys = StrictHomogeneousSystem::new(1);
             sys.push_row_i64(&[3]);
-            let nat = sys.natural_solution(engine).unwrap();
+            let nat = sys.natural_solution(engine).unwrap().unwrap();
             assert!(sys.is_satisfied_by_naturals(&nat));
         }
     }
@@ -291,20 +380,63 @@ mod tests {
             sys.push_row_i64(&[k, 1, -1]);
             sys.push_row_i64(&[1, -2, 1]);
             sys.push_row_i64(&[-1, 1, 1]);
-            let a = sys.is_feasible(FeasibilityEngine::Simplex);
-            let b = sys.is_feasible(FeasibilityEngine::FourierMotzkin);
-            assert_eq!(a, b, "engines disagree at k={k}");
-            if let Some(nat) = sys.natural_solution(FeasibilityEngine::Simplex) {
+            let reference = sys.is_feasible(FeasibilityEngine::Simplex).unwrap();
+            for engine in ENGINES {
+                assert_eq!(
+                    sys.is_feasible(engine).unwrap(),
+                    reference,
+                    "{engine:?} disagrees at k={k}"
+                );
+            }
+            if let Some(nat) = sys.natural_solution(FeasibilityEngine::Simplex).unwrap() {
                 assert!(sys.is_satisfied_by_naturals(&nat));
             }
         }
     }
 
     #[test]
+    fn bareiss_and_simplex_witnesses_are_identical() {
+        // Not just the verdict: the rational witness itself must match,
+        // component for component (that is what keeps the JSON certificates
+        // byte-identical across --lp-route settings).
+        let mut sys = StrictHomogeneousSystem::new(3);
+        sys.push_row_i64(&[-5, 1, 3]);
+        sys.push_row_i64(&[-3, -1, 3]);
+        sys.push_row_i64(&[-1, 1, -1]);
+        let simplex = sys.rational_solution(FeasibilityEngine::Simplex).unwrap();
+        let bareiss = sys.rational_solution(FeasibilityEngine::Bareiss).unwrap();
+        let auto = sys.rational_solution(FeasibilityEngine::Auto).unwrap();
+        assert_eq!(simplex, bareiss);
+        assert_eq!(simplex, auto);
+    }
+
+    #[test]
+    fn auto_resolves_by_size_and_coefficient_width() {
+        let mut small = StrictHomogeneousSystem::new(2);
+        small.push_row_i64(&[1, -1]);
+        assert_eq!(small.resolve_auto(FeasibilityEngine::Auto), FeasibilityEngine::Simplex);
+        // A coefficient past i64 flips the choice regardless of size.
+        let mut wide = StrictHomogeneousSystem::new(2);
+        wide.push_row(vec![Integer::from(i64::MAX) * Integer::from(4), Integer::from(-1)]);
+        assert_eq!(wide.resolve_auto(FeasibilityEngine::Auto), FeasibilityEngine::Bareiss);
+        // So does sheer size (the measured cliff).
+        let mut big = StrictHomogeneousSystem::new(16);
+        for i in 0..48 {
+            let mut row = vec![0i64; 16];
+            row[i % 16] = 1;
+            row[(i + 1) % 16] = -1;
+            big.push_row_i64(&row);
+        }
+        assert_eq!(big.resolve_auto(FeasibilityEngine::Auto), FeasibilityEngine::Bareiss);
+        // Concrete engines resolve to themselves.
+        assert_eq!(big.resolve_auto(FeasibilityEngine::Simplex), FeasibilityEngine::Simplex);
+    }
+
+    #[test]
     fn sparse_rows_mirror_the_integer_rows() {
         let mut sys = StrictHomogeneousSystem::new(5);
         sys.push_row_i64(&[0, 3, 0, -2, 0]);
-        sys.push_row_i64(&[1, 0, 0, 0, 0]);
+        sys.push_sparse_row(vec![(0, Integer::one())]);
         let rows = sys.to_sparse_rows();
         assert_eq!(rows.len(), 2);
         assert_eq!(rows[0].nnz(), 2);
@@ -312,6 +444,10 @@ mod tests {
         assert_eq!(rows[0].get(3), Some(&Rational::from(-2)));
         assert_eq!(rows[0].get(0), None);
         assert_eq!(rows[1].nnz(), 1);
+        // The stored integer rows carry the same values.
+        let int_rows = sys.to_int_rows();
+        assert_eq!(int_rows[0].get(1), Some(&Integer::from(3)));
+        assert_eq!(int_rows[1].get(0), Some(&Integer::one()));
     }
 
     #[test]

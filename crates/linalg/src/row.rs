@@ -1,38 +1,86 @@
 //! Shared row storage for the LP engines: dense and sparse coefficient rows
-//! behind one abstraction.
+//! behind one abstraction, generic over the coefficient type.
 //!
 //! The strict homogeneous systems of Theorem 4.1 are mostly zeros: a row
 //! `e − e_i` touches only the unknowns appearing in two monomials, and the
 //! phase-1 simplex tableau built from it adds one surplus and at most one
 //! artificial coefficient to each row — a handful of non-zeros in a tableau
-//! whose width grows with the row count. [`SparseRow`] stores exactly the
-//! non-zero entries (sorted by column); [`Row`] lets the pivot/eliminate/
+//! whose width grows with the row count. [`GenSparseRow`] stores exactly the
+//! non-zero entries (sorted by column); [`GenRow`] lets the pivot/eliminate/
 //! combine routines run unchanged over dense and sparse rows, with
 //! zero-skipping coming from the representation instead of per-loop checks.
 //!
+//! Two instantiations are used:
+//!
+//! * [`Row`] (`GenRow<Rational>`) — the exact rational rows of the
+//!   [`simplex`](crate::simplex) and Fourier–Motzkin engines;
+//! * [`IntRow`] (`GenRow<Integer>`) — the integer rows of the fraction-free
+//!   [`bareiss`](crate::bareiss) kernel, where every intermediate value stays
+//!   an integer and division happens once per row, exactly.
+//!
 //! A sparse row that fills in past half its width during elimination is
 //! densified on the spot, so the worst case degrades to the dense algorithm
-//! instead of to a slower sparse one.
+//! instead of to a slower sparse one. The converse transition is
+//! [`GenRow::resparsify`]: elimination can also *cancel* fill-in, and the
+//! engines call it at pivot boundaries so a row whose density receded below
+//! the threshold goes back to paying for its non-zeros only (without it the
+//! densify ratchet was one-way and later passes scanned dense zeros).
 
 use core::fmt;
+use core::ops::Neg;
 
-use dioph_arith::Rational;
+use dioph_arith::{Integer, Rational};
+
+/// The coefficient interface the row machinery needs: a cloneable value with
+/// an additive zero, a sign, and negation. Implemented by [`Rational`] and
+/// [`Integer`].
+pub trait Coeff:
+    Clone + PartialEq + Eq + Default + fmt::Display + fmt::Debug + Neg<Output = Self>
+{
+    /// `true` iff the value is the additive zero ([`Default`] must produce
+    /// that zero).
+    fn is_zero(&self) -> bool;
+    /// `true` iff the value is strictly negative.
+    fn is_negative(&self) -> bool;
+}
+
+impl Coeff for Rational {
+    fn is_zero(&self) -> bool {
+        Rational::is_zero(self)
+    }
+    fn is_negative(&self) -> bool {
+        Rational::is_negative(self)
+    }
+}
+
+impl Coeff for Integer {
+    fn is_zero(&self) -> bool {
+        Integer::is_zero(self)
+    }
+    fn is_negative(&self) -> bool {
+        Integer::is_negative(self)
+    }
+}
 
 /// A sparse coefficient row: strictly increasing column indices, no stored
 /// zeros.
 #[derive(Clone, Debug, PartialEq, Eq, Default)]
-pub struct SparseRow {
-    dim: usize,
-    entries: Vec<(usize, Rational)>,
+pub struct GenSparseRow<T> {
+    pub(crate) dim: usize,
+    pub(crate) entries: Vec<(usize, T)>,
 }
 
-impl SparseRow {
+/// The rational instantiation of [`GenSparseRow`] (the simplex and
+/// Fourier–Motzkin rows).
+pub type SparseRow = GenSparseRow<Rational>;
+
+impl<T: Coeff> GenSparseRow<T> {
     /// Builds a sparse row over `dim` columns from (column, value) entries.
     ///
     /// # Panics
     /// Panics if the entries are not strictly increasing by column, mention a
     /// column `>= dim`, or contain an explicit zero.
-    pub fn new(dim: usize, entries: Vec<(usize, Rational)>) -> Self {
+    pub fn new(dim: usize, entries: Vec<(usize, T)>) -> Self {
         let mut prev: Option<usize> = None;
         for (col, value) in &entries {
             assert!(*col < dim, "sparse entry column {col} out of bounds for dimension {dim}");
@@ -40,7 +88,7 @@ impl SparseRow {
             assert!(!value.is_zero(), "sparse rows must not store zeros");
             prev = Some(*col);
         }
-        SparseRow { dim, entries }
+        GenSparseRow { dim, entries }
     }
 
     /// Number of columns.
@@ -54,23 +102,23 @@ impl SparseRow {
     }
 
     /// The stored entries, sorted by column.
-    pub fn entries(&self) -> &[(usize, Rational)] {
+    pub fn entries(&self) -> &[(usize, T)] {
         &self.entries
     }
 
-    fn get(&self, col: usize) -> Option<&Rational> {
+    fn get(&self, col: usize) -> Option<&T> {
         self.entries.binary_search_by_key(&col, |(c, _)| *c).ok().map(|idx| &self.entries[idx].1)
     }
 
-    fn take(&mut self, col: usize) -> Rational {
+    fn take(&mut self, col: usize) -> T {
         match self.entries.binary_search_by_key(&col, |(c, _)| *c) {
             Ok(idx) => self.entries.remove(idx).1,
-            Err(_) => Rational::zero(),
+            Err(_) => T::default(),
         }
     }
 
-    fn to_dense(&self) -> Vec<Rational> {
-        let mut out = vec![Rational::zero(); self.dim];
+    pub(crate) fn to_dense(&self) -> Vec<T> {
+        let mut out = vec![T::default(); self.dim];
         for (col, value) in &self.entries {
             out[*col] = value.clone();
         }
@@ -80,75 +128,95 @@ impl SparseRow {
 
 /// A coefficient row in either representation.
 #[derive(Clone, Debug, PartialEq, Eq)]
-pub enum Row {
+pub enum GenRow<T> {
     /// Every coefficient stored, zeros included.
-    Dense(Vec<Rational>),
+    Dense(Vec<T>),
     /// Only the non-zero coefficients stored.
-    Sparse(SparseRow),
+    Sparse(GenSparseRow<T>),
 }
 
+/// The exact rational row of the simplex and Fourier–Motzkin engines.
+pub type Row = GenRow<Rational>;
+
+/// The integer row of the fraction-free Bareiss kernel.
+pub type IntRow = GenRow<Integer>;
+
 /// A sparse row is only worth its bookkeeping while it stays under half
-/// full; past that the row is densified.
+/// full; past that the row is densified (and re-sparsified once it recedes,
+/// see [`GenRow::resparsify`]).
 const DENSIFY_NUMERATOR: usize = 1;
 const DENSIFY_DENOMINATOR: usize = 2;
 
-impl Row {
+/// `true` iff a row with `nnz` non-zeros over `dim` columns belongs in the
+/// sparse representation.
+pub(crate) fn sparse_is_worth_it(nnz: usize, dim: usize) -> bool {
+    nnz * DENSIFY_DENOMINATOR <= dim * DENSIFY_NUMERATOR
+}
+
+impl<T: Coeff> GenRow<T> {
     /// Builds a dense row.
-    pub fn dense(coeffs: Vec<Rational>) -> Self {
-        Row::Dense(coeffs)
+    pub fn dense(coeffs: Vec<T>) -> Self {
+        GenRow::Dense(coeffs)
     }
 
-    /// Builds a sparse row (see [`SparseRow::new`] for the invariants).
-    pub fn sparse(dim: usize, entries: Vec<(usize, Rational)>) -> Self {
-        Row::Sparse(SparseRow::new(dim, entries))
+    /// Builds a sparse row (see [`GenSparseRow::new`] for the invariants).
+    pub fn sparse(dim: usize, entries: Vec<(usize, T)>) -> Self {
+        GenRow::Sparse(GenSparseRow::new(dim, entries))
     }
 
     /// Picks a representation for the given entries: sparse while the row is
     /// at most half non-zero, dense otherwise.
-    pub fn auto(dim: usize, entries: Vec<(usize, Rational)>) -> Self {
-        if entries.len() * DENSIFY_DENOMINATOR <= dim * DENSIFY_NUMERATOR {
-            Row::sparse(dim, entries)
+    ///
+    /// # Panics
+    /// Panics if the entries violate the sparse-row invariants (see
+    /// [`GenSparseRow::new`]) — enforced on *both* sides of the density
+    /// threshold, so a duplicate column can never silently overwrite a
+    /// coefficient on the dense path.
+    pub fn auto(dim: usize, entries: Vec<(usize, T)>) -> Self {
+        let sparse = GenSparseRow::new(dim, entries);
+        if sparse_is_worth_it(sparse.nnz(), dim) {
+            GenRow::Sparse(sparse)
         } else {
-            let mut out = vec![Rational::zero(); dim];
-            for (col, value) in entries {
+            let mut out = vec![T::default(); dim];
+            for (col, value) in sparse.entries {
                 out[col] = value;
             }
-            Row::Dense(out)
+            GenRow::Dense(out)
         }
     }
 
     /// Builds a row from a dense slice, choosing the representation by the
     /// slice's density.
-    pub fn from_dense_auto(coeffs: &[Rational]) -> Self {
-        let entries: Vec<(usize, Rational)> = coeffs
+    pub fn from_dense_auto(coeffs: &[T]) -> Self {
+        let entries: Vec<(usize, T)> = coeffs
             .iter()
             .enumerate()
             .filter(|(_, v)| !v.is_zero())
             .map(|(i, v)| (i, v.clone()))
             .collect();
-        Row::auto(coeffs.len(), entries)
+        GenRow::auto(coeffs.len(), entries)
     }
 
     /// Number of columns.
     pub fn dim(&self) -> usize {
         match self {
-            Row::Dense(v) => v.len(),
-            Row::Sparse(s) => s.dim,
+            GenRow::Dense(v) => v.len(),
+            GenRow::Sparse(s) => s.dim,
         }
     }
 
     /// Number of non-zero coefficients.
     pub fn nnz(&self) -> usize {
         match self {
-            Row::Dense(v) => v.iter().filter(|x| !x.is_zero()).count(),
-            Row::Sparse(s) => s.nnz(),
+            GenRow::Dense(v) => v.iter().filter(|x| !x.is_zero()).count(),
+            GenRow::Sparse(s) => s.nnz(),
         }
     }
 
     /// The coefficient at `col`; `None` means zero.
-    pub fn get(&self, col: usize) -> Option<&Rational> {
+    pub fn get(&self, col: usize) -> Option<&T> {
         match self {
-            Row::Dense(v) => {
+            GenRow::Dense(v) => {
                 let value = &v[col];
                 if value.is_zero() {
                     None
@@ -156,25 +224,25 @@ impl Row {
                     Some(value)
                 }
             }
-            Row::Sparse(s) => s.get(col),
+            GenRow::Sparse(s) => s.get(col),
         }
     }
 
     /// Removes and returns the coefficient at `col` (zero if absent).
-    pub fn take(&mut self, col: usize) -> Rational {
+    pub fn take(&mut self, col: usize) -> T {
         match self {
-            Row::Dense(v) => core::mem::take(&mut v[col]),
-            Row::Sparse(s) => s.take(col),
+            GenRow::Dense(v) => core::mem::take(&mut v[col]),
+            GenRow::Sparse(s) => s.take(col),
         }
     }
 
     /// Iterates the non-zero coefficients in increasing column order.
-    pub fn iter_nonzero(&self) -> impl Iterator<Item = (usize, &Rational)> + '_ {
+    pub fn iter_nonzero(&self) -> impl Iterator<Item = (usize, &T)> + '_ {
         // Both arms produce strictly increasing columns, which the sparse
-        // merge in `eliminate` relies on.
+        // merges in the elimination kernels rely on.
         match self {
-            Row::Dense(v) => RowIter::Dense(v.iter().enumerate()),
-            Row::Sparse(s) => RowIter::Sparse(s.entries.iter()),
+            GenRow::Dense(v) => RowIter::Dense(v.iter().enumerate()),
+            GenRow::Sparse(s) => RowIter::Sparse(s.entries.iter()),
         }
     }
 
@@ -183,6 +251,68 @@ impl Row {
         self.iter_nonzero().next().is_none()
     }
 
+    /// Negates every coefficient in place, reusing allocations.
+    pub fn negate(&mut self) {
+        match self {
+            GenRow::Dense(v) => {
+                for value in v.iter_mut() {
+                    let taken = core::mem::take(value);
+                    *value = -taken;
+                }
+            }
+            GenRow::Sparse(s) => {
+                for (_, value) in s.entries.iter_mut() {
+                    let taken = core::mem::take(value);
+                    *value = -taken;
+                }
+            }
+        }
+    }
+
+    /// Moves a dense row back to the sparse representation when its density
+    /// has receded to the sparse side of the threshold. Elimination both
+    /// creates and *cancels* fill-in; without this the densification in
+    /// `eliminate` is a one-way ratchet and later passes scan dense zeros
+    /// forever. The engines call it at pivot boundaries (once per updated
+    /// row per pivot), so the scan amortises against the elimination that
+    /// just walked the same row.
+    pub fn resparsify(&mut self) {
+        if let GenRow::Dense(v) = self {
+            let dim = v.len();
+            let nnz = v.iter().filter(|x| !x.is_zero()).count();
+            if sparse_is_worth_it(nnz, dim) {
+                let entries: Vec<(usize, T)> = v
+                    .iter_mut()
+                    .enumerate()
+                    .filter(|(_, x)| !x.is_zero())
+                    .map(|(i, x)| (i, core::mem::take(x)))
+                    .collect();
+                *self = GenRow::Sparse(GenSparseRow { dim, entries });
+            }
+        }
+    }
+
+    /// `true` iff the representation matches the density threshold: sparse
+    /// rows hold at most half their width in non-zeros, dense rows more.
+    /// This is the invariant `auto` establishes and
+    /// `eliminate`/[`Self::resparsify`] maintain (asserted by the proptests).
+    pub fn representation_is_canonical(&self) -> bool {
+        match self {
+            GenRow::Dense(_) => !sparse_is_worth_it(self.nnz(), self.dim()),
+            GenRow::Sparse(s) => sparse_is_worth_it(s.nnz(), s.dim),
+        }
+    }
+
+    /// A dense copy of the coefficients (used by displays and tests).
+    pub fn to_dense_vec(&self) -> Vec<T> {
+        match self {
+            GenRow::Dense(v) => v.clone(),
+            GenRow::Sparse(s) => s.to_dense(),
+        }
+    }
+}
+
+impl Row {
     /// Divides every non-zero coefficient by `divisor` in place (the
     /// normalisation half of a pivot).
     ///
@@ -190,14 +320,14 @@ impl Row {
     /// Panics if `divisor` is zero.
     pub fn scale_div(&mut self, divisor: &Rational) {
         match self {
-            Row::Dense(v) => {
+            GenRow::Dense(v) => {
                 for value in v.iter_mut() {
                     if !value.is_zero() {
                         *value = &*value / divisor;
                     }
                 }
             }
-            Row::Sparse(s) => {
+            GenRow::Sparse(s) => {
                 for (_, value) in s.entries.iter_mut() {
                     *value = &*value / divisor;
                 }
@@ -211,7 +341,7 @@ impl Row {
     /// threshold is converted to dense here.
     pub fn eliminate(&mut self, factor: &Rational, src: &Row, skip: usize) {
         match self {
-            Row::Dense(v) => {
+            GenRow::Dense(v) => {
                 for (col, coeff) in src.iter_nonzero() {
                     if col == skip {
                         continue;
@@ -220,10 +350,10 @@ impl Row {
                     v[col] -= &delta;
                 }
             }
-            Row::Sparse(s) => {
+            GenRow::Sparse(s) => {
                 s.entries = merge_eliminate(&s.entries, factor, src, skip);
-                if s.entries.len() * DENSIFY_DENOMINATOR > s.dim * DENSIFY_NUMERATOR {
-                    *self = Row::Dense(s.to_dense());
+                if !sparse_is_worth_it(s.entries.len(), s.dim) {
+                    *self = GenRow::Dense(s.to_dense());
                 }
             }
         }
@@ -287,42 +417,16 @@ impl Row {
         }
         acc
     }
-
-    /// Negates every coefficient in place, reusing allocations.
-    pub fn negate(&mut self) {
-        match self {
-            Row::Dense(v) => {
-                for value in v.iter_mut() {
-                    let taken = core::mem::take(value);
-                    *value = -taken;
-                }
-            }
-            Row::Sparse(s) => {
-                for (_, value) in s.entries.iter_mut() {
-                    let taken = core::mem::take(value);
-                    *value = -taken;
-                }
-            }
-        }
-    }
-
-    /// A dense copy of the coefficients (used by displays and tests).
-    pub fn to_dense_vec(&self) -> Vec<Rational> {
-        match self {
-            Row::Dense(v) => v.clone(),
-            Row::Sparse(s) => s.to_dense(),
-        }
-    }
 }
 
 /// Iterator over the non-zero entries of either representation.
-enum RowIter<'a> {
-    Dense(core::iter::Enumerate<core::slice::Iter<'a, Rational>>),
-    Sparse(core::slice::Iter<'a, (usize, Rational)>),
+enum RowIter<'a, T> {
+    Dense(core::iter::Enumerate<core::slice::Iter<'a, T>>),
+    Sparse(core::slice::Iter<'a, (usize, T)>),
 }
 
-impl<'a> Iterator for RowIter<'a> {
-    type Item = (usize, &'a Rational);
+impl<'a, T: Coeff> Iterator for RowIter<'a, T> {
+    type Item = (usize, &'a T);
 
     fn next(&mut self) -> Option<Self::Item> {
         match self {
@@ -340,45 +444,70 @@ fn merge_eliminate(
     src: &Row,
     skip: usize,
 ) -> Vec<(usize, Rational)> {
-    let mut out: Vec<(usize, Rational)> = Vec::with_capacity(target.len() + src.nnz());
+    merge_sparse(
+        target,
+        src,
+        skip,
+        Rational::clone,
+        |vs| -(factor * vs),
+        |vt, vs| vt - &(factor * vs),
+    )
+}
+
+/// The sorted two-stream merge both elimination kernels share: walks the
+/// `target` entries and the non-`skip` entries of `src` in column order,
+/// producing `map_target(v)` for target-only columns, `map_src(v)` for
+/// src-only columns and `combine(vt, vs)` where both are present. Exact
+/// zeros are dropped, preserving the sparse no-stored-zeros invariant.
+pub(crate) fn merge_sparse<T: Coeff>(
+    target: &[(usize, T)],
+    src: &GenRow<T>,
+    skip: usize,
+    mut map_target: impl FnMut(&T) -> T,
+    mut map_src: impl FnMut(&T) -> T,
+    mut combine: impl FnMut(&T, &T) -> T,
+) -> Vec<(usize, T)> {
+    let mut out: Vec<(usize, T)> = Vec::with_capacity(target.len() + src.nnz());
     let mut it = target.iter().peekable();
     let mut is = src.iter_nonzero().filter(|&(col, _)| col != skip).peekable();
     loop {
-        match (it.peek(), is.peek()) {
+        let (col, value) = match (it.peek(), is.peek()) {
             (None, None) => break,
             (Some(&&(ct, ref vt)), Some(&(cs, vs))) if ct == cs => {
-                let delta = factor * vs;
-                let value = vt - &delta;
-                if !value.is_zero() {
-                    out.push((ct, value));
-                }
+                let value = combine(vt, vs);
                 it.next();
                 is.next();
+                (ct, value)
             }
             (Some(&&(ct, ref vt)), Some(&(cs, _))) if ct < cs => {
-                out.push((ct, vt.clone()));
+                let value = map_target(vt);
                 it.next();
+                (ct, value)
             }
             (Some(_), Some(&(cs, vs))) => {
-                let delta = factor * vs;
-                out.push((cs, -delta));
+                let value = map_src(vs);
                 is.next();
+                (cs, value)
             }
             (Some(&&(ct, ref vt)), None) => {
-                out.push((ct, vt.clone()));
+                let value = map_target(vt);
                 it.next();
+                (ct, value)
             }
             (None, Some(&(cs, vs))) => {
-                let delta = factor * vs;
-                out.push((cs, -delta));
+                let value = map_src(vs);
                 is.next();
+                (cs, value)
             }
+        };
+        if !value.is_zero() {
+            out.push((col, value));
         }
     }
     out
 }
 
-impl fmt::Display for Row {
+impl<T: Coeff> fmt::Display for GenRow<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let mut first = true;
         for (col, value) in self.iter_nonzero() {
@@ -386,7 +515,7 @@ impl fmt::Display for Row {
                 write!(f, "{value}*x{col}")?;
                 first = false;
             } else if value.is_negative() {
-                write!(f, " - {}*x{col}", -value)?;
+                write!(f, " - {}*x{col}", value.clone().neg())?;
             } else {
                 write!(f, " + {value}*x{col}")?;
             }
@@ -428,6 +557,23 @@ mod tests {
         let sv: Vec<_> = s.iter_nonzero().map(|(c, v)| (c, v.clone())).collect();
         assert_eq!(dv, sv);
         assert_eq!(d.to_dense_vec(), s.to_dense_vec());
+    }
+
+    #[test]
+    fn integer_rows_share_the_machinery() {
+        let i = |v: i64| Integer::from(v);
+        let d = IntRow::dense(vec![i(0), i(4), i(0), i(-6)]);
+        let s = IntRow::sparse(4, vec![(1, i(4)), (3, i(-6))]);
+        assert_eq!(d.nnz(), 2);
+        for col in 0..4 {
+            assert_eq!(d.get(col), s.get(col), "column {col}");
+        }
+        assert_eq!(d.to_dense_vec(), s.to_dense_vec());
+        assert_eq!(s.to_string(), "4*x1 - 6*x3");
+        let mut negated = s.clone();
+        negated.negate();
+        assert_eq!(negated.get(1), Some(&i(-4)));
+        assert!(matches!(IntRow::auto(8, vec![(0, i(1))]), GenRow::Sparse(_)));
     }
 
     #[test]
@@ -513,6 +659,31 @@ mod tests {
     }
 
     #[test]
+    fn resparsify_undoes_receded_fill_in() {
+        // Densify by fill-in, then cancel most of the row again: the ratchet
+        // must release at the pivot boundary.
+        let mut row = sparse(8, &[(0, 1)]);
+        let fill = dense(&[0, 1, 1, 1, 1, 1, 1, 1]);
+        row.eliminate(&r(1), &fill, usize::MAX);
+        assert!(matches!(row, Row::Dense(_)));
+        row.resparsify();
+        assert!(matches!(row, Row::Dense(_)), "still 8/8 non-zero: stays dense");
+        // Cancel six of the eight entries (add back +1 on columns 1..=6).
+        let cancel = dense(&[0, 1, 1, 1, 1, 1, 1, 0]);
+        row.eliminate(&r(-1), &cancel, usize::MAX);
+        assert_eq!(row.nnz(), 2);
+        assert!(matches!(row, Row::Dense(_)), "eliminate alone must not convert dense rows");
+        assert!(!row.representation_is_canonical());
+        row.resparsify();
+        assert!(matches!(row, Row::Sparse(_)), "receded fill-in must re-sparsify");
+        assert!(row.representation_is_canonical());
+        assert_eq!(row.to_dense_vec(), dense(&[1, 0, 0, 0, 0, 0, 0, -1]).to_dense_vec());
+        // Idempotent on sparse rows.
+        row.resparsify();
+        assert!(matches!(row, Row::Sparse(_)));
+    }
+
+    #[test]
     fn linear_combination_cancels_exactly() {
         // 3 * (1, -2) + 2 * (-1, 3): column 0 cancels 3*1 + 2*(-1) = 1 ... no.
         // Use u*lo + (-l)*up with lo = (-2, 1), up = (3, 5) on column 0:
@@ -549,6 +720,15 @@ mod tests {
     #[should_panic(expected = "strictly increasing")]
     fn unsorted_sparse_entries_are_rejected() {
         let _ = Row::sparse(4, vec![(2, r(1)), (1, r(1))]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn auto_rejects_duplicate_columns_on_the_dense_side_too() {
+        // Three entries over four columns land on the dense path; the
+        // duplicate column must still panic instead of silently
+        // overwriting a coefficient.
+        let _ = Row::auto(4, vec![(1, r(1)), (1, r(2)), (2, r(3))]);
     }
 
     #[test]

@@ -26,6 +26,7 @@
 
 use dioph_arith::Rational;
 
+use crate::error::{iteration_budget, LinalgError};
 use crate::row::Row;
 
 /// Result of a phase-1 simplex run.
@@ -58,10 +59,13 @@ impl SimplexOutcome {
 /// This is the dense convenience front door; [`feasible_point_rows`] is the
 /// engine and accepts sparse rows directly.
 ///
+/// # Errors
+/// [`LinalgError::IterationBudget`] if the run exceeds its iteration budget.
+///
 /// # Panics
 /// Panics if the number of rows of `a` differs from the length of `b`, or if
 /// the rows of `a` have inconsistent lengths.
-pub fn feasible_point(a: &[Vec<Rational>], b: &[Rational]) -> SimplexOutcome {
+pub fn feasible_point(a: &[Vec<Rational>], b: &[Rational]) -> Result<SimplexOutcome, LinalgError> {
     let n = a.first().map_or(0, |r| r.len());
     for row in a {
         assert_eq!(row.len(), n, "ragged matrix passed to simplex");
@@ -71,17 +75,46 @@ pub fn feasible_point(a: &[Vec<Rational>], b: &[Rational]) -> SimplexOutcome {
 
 /// Finds `x ≥ 0` with `A·x ≥ b` for rows in either representation.
 ///
+/// # Errors
+/// [`LinalgError::IterationBudget`] if the run exceeds its iteration budget
+/// (a defensive bound — Bland's rule excludes cycling, so a terminating
+/// implementation never reaches it; reporting it as a value keeps a worker
+/// thread from panicking and poisoning the engine pool).
+///
 /// # Panics
 /// Panics if a row's dimension differs from `n`, or if the number of rows
 /// differs from the length of `b`.
-pub fn feasible_point_rows(n: usize, a: Vec<Row>, b: Vec<Rational>) -> SimplexOutcome {
+pub fn feasible_point_rows(
+    n: usize,
+    a: Vec<Row>,
+    b: Vec<Rational>,
+) -> Result<SimplexOutcome, LinalgError> {
+    let budget = iteration_budget(n + 2 * a.len(), a.len());
+    feasible_point_rows_with_budget(n, a, b, budget)
+}
+
+/// [`feasible_point_rows`] with an explicit iteration budget (regression
+/// tests drive budget blowouts through here; production callers use the
+/// default budget).
+///
+/// # Errors
+/// [`LinalgError::IterationBudget`] after `max_iterations` pivots.
+///
+/// # Panics
+/// As [`feasible_point_rows`].
+pub fn feasible_point_rows_with_budget(
+    n: usize,
+    a: Vec<Row>,
+    b: Vec<Rational>,
+    max_iterations: usize,
+) -> Result<SimplexOutcome, LinalgError> {
     assert_eq!(a.len(), b.len(), "row count mismatch between A and b");
     let m = a.len();
     for row in &a {
         assert_eq!(row.dim(), n, "row dimension mismatch in simplex input");
     }
     if m == 0 {
-        return SimplexOutcome::Feasible(vec![Rational::zero(); n]);
+        return Ok(SimplexOutcome::Feasible(vec![Rational::zero(); n]));
     }
 
     // Standard form: for every row  a_i·x - s_i = b_i  with s_i ≥ 0.
@@ -149,15 +182,13 @@ pub fn feasible_point_rows(n: usize, a: Vec<Row>, b: Vec<Rational>) -> SimplexOu
         }
     }
 
-    let max_iterations = 50_usize.saturating_mul((total + 1) * (m + 1)).max(10_000);
     let mut iterations = 0usize;
 
     loop {
         iterations += 1;
-        assert!(
-            iterations <= max_iterations,
-            "simplex exceeded its iteration budget (cycling should be impossible with Bland's rule)"
-        );
+        if iterations > max_iterations {
+            return Err(LinalgError::IterationBudget { iterations: max_iterations });
+        }
 
         // Reduced costs: r_j = c_j - Σ_i c_{basis[i]} * T[i][j]. The phase-1
         // cost vector is 0/1 (1 exactly on artificial columns), so the sum
@@ -190,7 +221,7 @@ pub fn feasible_point_rows(n: usize, a: Vec<Row>, b: Vec<Rational>) -> SimplexOu
                 }
             }
             if !obj.is_zero() {
-                return SimplexOutcome::Infeasible;
+                return Ok(SimplexOutcome::Infeasible);
             }
             // Feasible: read off the x-part of the basic solution.
             let mut x = vec![Rational::zero(); n];
@@ -199,7 +230,7 @@ pub fn feasible_point_rows(n: usize, a: Vec<Row>, b: Vec<Rational>) -> SimplexOu
                     x[basis[i]] = rhs[i].clone();
                 }
             }
-            return SimplexOutcome::Feasible(x);
+            return Ok(SimplexOutcome::Feasible(x));
         };
 
         // Ratio test (Bland tie-breaking by smallest basic variable index).
@@ -260,6 +291,10 @@ pub fn feasible_point_rows(n: usize, a: Vec<Row>, b: Vec<Rational>) -> SimplexOu
                 (&tail[0], &mut head[i])
             };
             target_row.eliminate(&factor, leave_row, enter);
+            // Pivot boundary: elimination can cancel earlier fill-in, and a
+            // densified row whose density receded must not stay dense (the
+            // one-way ratchet made later passes scan dead zeros).
+            target_row.resparsify();
             if !rhs[leave].is_zero() {
                 let delta = &factor * &rhs[leave];
                 rhs[i] -= &delta;
@@ -286,7 +321,7 @@ mod tests {
     }
 
     fn assert_feasible(a: &[Vec<Rational>], b: &[Rational]) -> Vec<Rational> {
-        match feasible_point(a, b) {
+        match feasible_point(a, b).expect("within budget") {
             SimplexOutcome::Feasible(x) => {
                 for (row, bi) in a.iter().zip(b) {
                     let lhs = crate::system::dot(row, &x);
@@ -323,7 +358,7 @@ mod tests {
         // -x0 - x1 >= 1 with x >= 0 is impossible.
         let a = mat(&[&[-1, -1]]);
         let b = vec_r(&[1]);
-        assert_eq!(feasible_point(&a, &b), SimplexOutcome::Infeasible);
+        assert_eq!(feasible_point(&a, &b).unwrap(), SimplexOutcome::Infeasible);
     }
 
     #[test]
@@ -340,7 +375,7 @@ mod tests {
         //  x0 >= 5  and  -x0 >= -2  (i.e. x0 <= 2)
         let a = mat(&[&[1], &[-1]]);
         let b = vec_r(&[5, -2]);
-        assert_eq!(feasible_point(&a, &b), SimplexOutcome::Infeasible);
+        assert_eq!(feasible_point(&a, &b).unwrap(), SimplexOutcome::Infeasible);
     }
 
     #[test]
@@ -362,7 +397,7 @@ mod tests {
         // 0·x >= 1 is impossible.
         let a = mat(&[&[0, 0, 0]]);
         let b = vec_r(&[1]);
-        assert_eq!(feasible_point(&a, &b), SimplexOutcome::Infeasible);
+        assert_eq!(feasible_point(&a, &b).unwrap(), SimplexOutcome::Infeasible);
     }
 
     #[test]
@@ -375,7 +410,7 @@ mod tests {
 
     #[test]
     fn empty_system() {
-        let x = feasible_point(&[], &[]);
+        let x = feasible_point(&[], &[]).unwrap();
         assert_eq!(x, SimplexOutcome::Feasible(vec![]));
     }
 
@@ -399,6 +434,23 @@ mod tests {
     }
 
     #[test]
+    fn exhausted_iteration_budget_is_an_error_not_a_panic() {
+        // Regression: simplex.rs used to `assert!` on the budget, panicking
+        // the engine-pool worker that held the pair. A system that genuinely
+        // needs pivots must now surface a structured error under a budget
+        // too small to finish.
+        let a = mat(&[&[1, -1], &[-1, 3]]);
+        let b = vec_r(&[2, 1]);
+        let rows: Vec<Row> = a.iter().map(|row| Row::from_dense_auto(row)).collect();
+        let err = feasible_point_rows_with_budget(2, rows, b.clone(), 1)
+            .expect_err("one iteration cannot finish this system");
+        assert_eq!(err, LinalgError::IterationBudget { iterations: 1 });
+        assert!(err.to_string().contains("iteration budget of 1"), "{err}");
+        // The same system solves fine under the default budget.
+        assert!(feasible_point(&a, &b).unwrap().is_feasible());
+    }
+
+    #[test]
     fn sparse_and_dense_rows_give_identical_outcomes() {
         // The same system fed as Dense and as Sparse rows must produce the
         // same witness (bit-identical pivoting order under Bland's rule).
@@ -418,10 +470,10 @@ mod tests {
                 )
             })
             .collect();
-        let from_dense = feasible_point_rows(5, dense_rows, b.clone());
-        let from_sparse = feasible_point_rows(5, sparse_rows, b.clone());
+        let from_dense = feasible_point_rows(5, dense_rows, b.clone()).unwrap();
+        let from_sparse = feasible_point_rows(5, sparse_rows, b.clone()).unwrap();
         assert_eq!(from_dense, from_sparse);
-        assert_eq!(from_dense, feasible_point(&a, &b));
+        assert_eq!(from_dense, feasible_point(&a, &b).unwrap());
         assert!(from_dense.is_feasible());
     }
 }

@@ -10,8 +10,8 @@
 
 use dioph_arith::{Integer, Rational};
 use dioph_linalg::{
-    simplex, Constraint, FeasibilityEngine, FmOutcome, LinearSystem, Relation, Row,
-    StrictHomogeneousSystem,
+    bareiss, simplex, Constraint, FeasibilityEngine, FmOutcome, IntRow, LinearSystem, Relation,
+    Row, StrictHomogeneousSystem,
 };
 use proptest::prelude::*;
 
@@ -60,16 +60,21 @@ proptest! {
     /// The two engines must agree on every strict homogeneous system.
     #[test]
     fn engines_agree_on_strict_homogeneous_systems(sys in shs_strategy()) {
-        let simplex = sys.is_feasible(FeasibilityEngine::Simplex);
-        let fm = sys.is_feasible(FeasibilityEngine::FourierMotzkin);
+        let simplex = sys.is_feasible(FeasibilityEngine::Simplex).unwrap();
+        let fm = sys.is_feasible(FeasibilityEngine::FourierMotzkin).unwrap();
         prop_assert_eq!(simplex, fm, "engines disagree on {:?}", sys);
     }
 
     /// Natural witnesses must satisfy the system (both engines).
     #[test]
     fn natural_witnesses_are_valid(sys in shs_strategy()) {
-        for engine in [FeasibilityEngine::Simplex, FeasibilityEngine::FourierMotzkin] {
-            if let Some(w) = sys.natural_solution(engine) {
+        for engine in [
+            FeasibilityEngine::Simplex,
+            FeasibilityEngine::Bareiss,
+            FeasibilityEngine::Auto,
+            FeasibilityEngine::FourierMotzkin,
+        ] {
+            if let Some(w) = sys.natural_solution(engine).unwrap() {
                 prop_assert_eq!(w.len(), sys.dimension());
                 prop_assert!(sys.is_satisfied_by_naturals(&w), "{:?} gave invalid witness {:?} for {:?}", engine, w, sys);
             }
@@ -82,23 +87,25 @@ proptest! {
     fn row_scaling_preserves_feasibility(sys in shs_strategy(), scale in 1i64..8) {
         let mut scaled = StrictHomogeneousSystem::new(sys.dimension());
         for row in sys.rows() {
-            scaled.push_row(row.iter().map(|c| c * &Integer::from(scale)).collect());
+            scaled.push_row(
+                row.to_dense_vec().iter().map(|c| c * &Integer::from(scale)).collect(),
+            );
         }
         prop_assert_eq!(
-            sys.is_feasible(FeasibilityEngine::Simplex),
-            scaled.is_feasible(FeasibilityEngine::Simplex)
+            sys.is_feasible(FeasibilityEngine::Simplex).unwrap(),
+            scaled.is_feasible(FeasibilityEngine::Simplex).unwrap()
         );
     }
 
     /// Adding a row can only shrink the feasible set.
     #[test]
     fn adding_rows_is_monotone(sys in shs_strategy(), extra in proptest::collection::vec(-5i64..=5, 1..5)) {
-        let feasible_before = sys.is_feasible(FeasibilityEngine::Simplex);
+        let feasible_before = sys.is_feasible(FeasibilityEngine::Simplex).unwrap();
         let mut bigger = sys.clone();
         let mut row = extra;
         row.resize(sys.dimension(), 0);
         bigger.push_row(row.into_iter().map(Integer::from).collect());
-        let feasible_after = bigger.is_feasible(FeasibilityEngine::Simplex);
+        let feasible_after = bigger.is_feasible(FeasibilityEngine::Simplex).unwrap();
         if feasible_after {
             prop_assert!(feasible_before, "adding a constraint made an infeasible system feasible");
         }
@@ -113,22 +120,23 @@ proptest! {
         let dense_rows: Vec<Row> = sys
             .rows()
             .iter()
-            .map(|row| Row::dense(row.iter().map(Rational::from).collect()))
+            .map(|row| Row::dense(row.to_dense_vec().iter().map(Rational::from).collect()))
             .collect();
         let b = vec![Rational::one(); sys.len()];
-        let from_dense = simplex::feasible_point_rows(dim, dense_rows, b.clone());
-        let from_sparse = simplex::feasible_point_rows(dim, sys.to_sparse_rows(), b);
+        let from_dense = simplex::feasible_point_rows(dim, dense_rows, b.clone()).unwrap();
+        let from_sparse = simplex::feasible_point_rows(dim, sys.to_sparse_rows(), b).unwrap();
         prop_assert_eq!(&from_dense, &from_sparse, "representations diverged on {:?}", sys);
         // And both agree with the public front door.
         prop_assert_eq!(
-            from_dense,
-            simplex::feasible_point(
+            &from_dense,
+            &simplex::feasible_point(
                 &sys.rows()
                     .iter()
-                    .map(|row| row.iter().map(Rational::from).collect::<Vec<_>>())
+                    .map(|row| row.to_dense_vec().iter().map(Rational::from).collect::<Vec<_>>())
                     .collect::<Vec<_>>(),
                 &vec![Rational::one(); sys.len()],
             )
+            .unwrap()
         );
     }
 
@@ -166,6 +174,85 @@ proptest! {
                     Row::linear_combination(&Rational::from(ca), &ra, &Rational::from(cb), &rb);
                 prop_assert_eq!(combined.to_dense_vec(), expect.clone());
             }
+        }
+    }
+
+    /// The fraction-free (Bareiss) route must reproduce the rational
+    /// simplex **exactly**: same verdict, same witness, on every system.
+    /// This is the invariant that keeps `--lp-route bareiss` certificates
+    /// byte-identical.
+    #[test]
+    fn bareiss_route_is_bit_identical_to_rational_simplex(sys in shs_strategy()) {
+        let simplex_route = sys.rational_solution(FeasibilityEngine::Simplex).unwrap();
+        let bareiss_route = sys.rational_solution(FeasibilityEngine::Bareiss).unwrap();
+        prop_assert_eq!(&simplex_route, &bareiss_route, "routes diverged on {:?}", sys);
+        let auto_route = sys.rational_solution(FeasibilityEngine::Auto).unwrap();
+        prop_assert_eq!(&simplex_route, &auto_route, "auto diverged on {:?}", sys);
+    }
+
+    /// The identity holds where cross-multiplied pivot values no longer fit
+    /// the inline `i64` variant: coefficients near 2^40 force products past
+    /// 2^80, so the hybrid Integer must promote (and the gcd normalisation
+    /// must not lose exactness on the way back down). Run on the raw
+    /// kernels to also pin the witness at non-homogeneous right-hand sides.
+    #[test]
+    fn bareiss_exact_division_survives_the_word_boundary(
+        base in proptest::collection::vec(proptest::collection::vec(-5i64..=5, 3), 1..5),
+        b in proptest::collection::vec(-3i64..=3, 1..5),
+        shift in 30u32..45,
+    ) {
+        let rows = base.len().min(b.len());
+        let scale = 1i64 << shift;
+        let int_rows: Vec<IntRow> = base[..rows]
+            .iter()
+            .map(|row| {
+                IntRow::from_dense_auto(
+                    &row.iter().map(|&v| Integer::from(v) * Integer::from(scale)).collect::<Vec<_>>(),
+                )
+            })
+            .collect();
+        let rat_rows: Vec<Row> = base[..rows]
+            .iter()
+            .map(|row| {
+                Row::from_dense_auto(
+                    &row.iter().map(|&v| Rational::from(v as i128 * scale as i128)).collect::<Vec<_>>(),
+                )
+            })
+            .collect();
+        let b_int: Vec<Integer> = b[..rows].iter().map(|&v| Integer::from(v)).collect();
+        let b_rat: Vec<Rational> = b[..rows].iter().map(|&v| Rational::from(v)).collect();
+        let fraction_free = bareiss::feasible_point_int(3, int_rows, b_int).unwrap();
+        let rational = simplex::feasible_point_rows(3, rat_rows, b_rat).unwrap();
+        prop_assert_eq!(fraction_free, rational);
+    }
+
+    /// The dense/sparse representation stays canonical through elimination:
+    /// `eliminate` densifies past the threshold, and `resparsify` (the pivot
+    /// boundary call) brings receded rows back — the ratchet releases.
+    #[test]
+    fn row_representation_stays_canonical_under_elimination(
+        target in proptest::collection::vec(-3i64..=3, 4..12),
+        srcs in proptest::collection::vec((proptest::collection::vec(-3i64..=3, 4..12), -2i64..=2), 1..6),
+    ) {
+        let dim = target.len();
+        let mut row = Row::from_dense_auto(
+            &target.iter().map(|&v| Rational::from(v)).collect::<Vec<_>>(),
+        );
+        prop_assert!(row.representation_is_canonical());
+        for (src, factor) in srcs {
+            let mut padded = src;
+            padded.resize(dim, 0);
+            let src_row = Row::from_dense_auto(
+                &padded.iter().map(|&v| Rational::from(v)).collect::<Vec<_>>(),
+            );
+            row.eliminate(&Rational::from(factor), &src_row, usize::MAX);
+            row.resparsify();
+            prop_assert!(
+                row.representation_is_canonical(),
+                "non-canonical representation: nnz={} dim={}",
+                row.nnz(),
+                row.dim()
+            );
         }
     }
 

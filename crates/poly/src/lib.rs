@@ -27,7 +27,7 @@
 //!     (Natural::one(), Monomial::new(vec![3, 0, 4])),
 //! ]);
 //! let mpi = Mpi::new(p, Monomial::new(vec![2, 1, 3]));
-//! let witness = mpi.diophantine_solution(FeasibilityEngine::Simplex).unwrap();
+//! let witness = mpi.diophantine_solution(FeasibilityEngine::Simplex).unwrap().unwrap();
 //! assert!(mpi.is_solution(&witness));
 //! ```
 

@@ -16,7 +16,7 @@
 use core::fmt;
 
 use dioph_arith::{Integer, Natural};
-use dioph_linalg::{FeasibilityEngine, StrictHomogeneousSystem};
+use dioph_linalg::{FeasibilityEngine, LinalgError, StrictHomogeneousSystem};
 
 use crate::monomial::Monomial;
 use crate::polynomial::Polynomial;
@@ -71,23 +71,31 @@ impl Mpi {
         for (_, mono) in self.polynomial.terms() {
             // Exponent differences computed directly on the machine words
             // (widened so u64::MAX − 0 stays exact); the hybrid Integer
-            // stores each of them inline.
-            let row: Vec<Integer> = e
+            // stores each of them inline, and only the non-zero differences
+            // are handed over — real MPI rows touch the unknowns of two
+            // monomials, so the system stores them sparsely end to end.
+            let entries: Vec<(usize, Integer)> = e
                 .iter()
                 .zip(mono.exponents())
-                .map(|(&a, &b)| Integer::from(a as i128 - b as i128))
+                .enumerate()
+                .filter(|(_, (&a, &b))| a != b)
+                .map(|(j, (&a, &b))| (j, Integer::from(a as i128 - b as i128)))
                 .collect();
-            sys.push_row(row);
+            sys.push_sparse_row(entries);
         }
         sys
     }
 
     /// Decides whether the MPI admits a Diophantine solution (Theorem 4.1 +
     /// Theorem 4.2), without constructing one.
-    pub fn has_diophantine_solution(&self, engine: FeasibilityEngine) -> bool {
+    ///
+    /// # Errors
+    /// [`LinalgError::IterationBudget`] if the LP engine exhausts its
+    /// defensive iteration budget.
+    pub fn has_diophantine_solution(&self, engine: FeasibilityEngine) -> Result<bool, LinalgError> {
         if self.polynomial.is_zero() {
             // 0 < M(ξ) holds at the all-ones point.
-            return true;
+            return Ok(true);
         }
         self.to_strict_system().is_feasible(engine)
     }
@@ -104,12 +112,21 @@ impl Mpi {
     ///
     /// The returned vector is verified against the MPI before being returned
     /// (a defensive check that the whole pipeline is consistent).
-    pub fn diophantine_solution(&self, engine: FeasibilityEngine) -> Option<Vec<Natural>> {
+    ///
+    /// # Errors
+    /// [`LinalgError::IterationBudget`] if the LP engine exhausts its
+    /// defensive iteration budget.
+    pub fn diophantine_solution(
+        &self,
+        engine: FeasibilityEngine,
+    ) -> Result<Option<Vec<Natural>>, LinalgError> {
         let n = self.dimension();
         if self.polynomial.is_zero() {
-            return Some(vec![Natural::one(); n]);
+            return Ok(Some(vec![Natural::one(); n]));
         }
-        let d = self.to_strict_system().natural_solution(engine)?;
+        let Some(d) = self.to_strict_system().natural_solution(engine)? else {
+            return Ok(None);
+        };
         let zeta = self.smallest_base_for(&d).expect("a base must exist for a valid direction d");
         let point: Vec<Natural> = d
             .iter()
@@ -119,7 +136,7 @@ impl Mpi {
             })
             .collect();
         debug_assert!(self.is_solution(&point), "constructed witness must satisfy the MPI");
-        Some(point)
+        Ok(Some(point))
     }
 
     /// Given a direction `d` (a natural solution of the strict system), finds
@@ -338,8 +355,11 @@ mod tests {
         let sys = paper_mpi().to_strict_system();
         assert_eq!(sys.dimension(), 3);
         assert_eq!(sys.len(), 3);
-        let rows: Vec<Vec<i64>> =
-            sys.rows().iter().map(|r| r.iter().map(|c| c.to_i64().unwrap()).collect()).collect();
+        let rows: Vec<Vec<i64>> = sys
+            .rows()
+            .iter()
+            .map(|r| r.to_dense_vec().iter().map(|c| c.to_i64().unwrap()).collect())
+            .collect();
         assert!(rows.contains(&vec![-5, 1, 3]));
         assert!(rows.contains(&vec![-3, -1, 3]));
         assert!(rows.contains(&vec![-1, 1, -1]));
@@ -352,8 +372,8 @@ mod tests {
     fn paper_mpi_is_decided_solvable_and_witnessed() {
         let mpi = paper_mpi();
         for engine in ENGINES {
-            assert!(mpi.has_diophantine_solution(engine));
-            let w = mpi.diophantine_solution(engine).unwrap();
+            assert!(mpi.has_diophantine_solution(engine).unwrap());
+            let w = mpi.diophantine_solution(engine).unwrap().unwrap();
             assert!(mpi.is_solution(&w), "witness {w:?} must solve the MPI");
         }
     }
@@ -367,8 +387,8 @@ mod tests {
         );
         let mpi = Mpi::new(p, Monomial::new(vec![4]));
         for engine in ENGINES {
-            assert!(!mpi.has_diophantine_solution(engine));
-            assert!(mpi.diophantine_solution(engine).is_none());
+            assert!(!mpi.has_diophantine_solution(engine).unwrap());
+            assert!(mpi.diophantine_solution(engine).unwrap().is_none());
         }
     }
 
@@ -383,7 +403,7 @@ mod tests {
         assert!(mpi.is_solution(&[nat(3)]));
         assert!(!mpi.is_solution(&[nat(2)]));
         for engine in ENGINES {
-            let w = mpi.diophantine_solution(engine).unwrap();
+            let w = mpi.diophantine_solution(engine).unwrap().unwrap();
             assert!(mpi.is_solution(&w));
             // The smallest base the search can find is exactly 3.
             assert_eq!(w, vec![nat(3)]);
@@ -394,8 +414,8 @@ mod tests {
     fn zero_polynomial_mpi_is_trivially_solvable() {
         let mpi = Mpi::new(Polynomial::zero(2), Monomial::new(vec![1, 2]));
         for engine in ENGINES {
-            assert!(mpi.has_diophantine_solution(engine));
-            let w = mpi.diophantine_solution(engine).unwrap();
+            assert!(mpi.has_diophantine_solution(engine).unwrap());
+            let w = mpi.diophantine_solution(engine).unwrap().unwrap();
             assert!(mpi.is_solution(&w));
             assert_eq!(w, vec![nat(1), nat(1)]);
         }
@@ -407,8 +427,8 @@ mod tests {
         let p = Polynomial::from_terms(2, [(nat(1), Monomial::new(vec![1, 1]))]);
         let mpi = Mpi::new(p, Monomial::new(vec![2, 2]));
         for engine in ENGINES {
-            assert!(mpi.has_diophantine_solution(engine));
-            assert!(mpi.is_solution(&mpi.diophantine_solution(engine).unwrap()));
+            assert!(mpi.has_diophantine_solution(engine).unwrap());
+            assert!(mpi.is_solution(&mpi.diophantine_solution(engine).unwrap().unwrap()));
         }
     }
 

@@ -44,7 +44,7 @@ fn main() {
     let system = compiled.mpi().to_strict_system();
     println!("\nlinear system {{(e - e_h)·ε > 0}}:");
     for row in system.rows() {
-        let rendered: Vec<String> = row.iter().map(|c| c.to_string()).collect();
+        let rendered: Vec<String> = row.to_dense_vec().iter().map(|c| c.to_string()).collect();
         println!("  ({}) · ε > 0", rendered.join(", "));
     }
 
@@ -52,6 +52,7 @@ fn main() {
     let solution = compiled
         .mpi()
         .diophantine_solution(FeasibilityEngine::Simplex)
+        .expect("the LP stays within its iteration budget")
         .expect("the paper shows this MPI is solvable");
     println!("\nDiophantine solution of the MPI (a violating multiplicity assignment):");
     for (name, value) in names.iter().zip(&solution) {

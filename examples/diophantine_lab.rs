@@ -33,16 +33,19 @@ fn main() {
     let system = mpi.to_strict_system();
     println!("\nTheorem 4.1 system (one row per polynomial monomial):");
     for row in system.rows() {
-        let rendered: Vec<String> = row.iter().map(|c| c.to_string()).collect();
+        let rendered: Vec<String> = row.to_dense_vec().iter().map(|c| c.to_string()).collect();
         println!("  ({}) · ε > 0", rendered.join(", "));
     }
 
     for engine in [FeasibilityEngine::Simplex, FeasibilityEngine::FourierMotzkin] {
-        let direction = system.natural_solution(engine);
+        let direction = system.natural_solution(engine).expect("within budget");
         println!("\n{engine:?} direction ε: {direction:?}");
     }
 
-    let witness = mpi.diophantine_solution(FeasibilityEngine::Simplex).expect("solvable");
+    let witness = mpi
+        .diophantine_solution(FeasibilityEngine::Simplex)
+        .expect("within budget")
+        .expect("solvable");
     println!("\nextracted Diophantine solution ξ: {witness:?}");
     println!("  P(ξ) = {}", mpi.polynomial().evaluate(&witness));
     println!("  M(ξ) = {}", mpi.monomial().evaluate(&witness));
@@ -72,7 +75,7 @@ fn main() {
     println!("\nunsolvable MPI: {unsolvable}");
     println!(
         "  has Diophantine solution? {}",
-        unsolvable.has_diophantine_solution(FeasibilityEngine::Simplex)
+        unsolvable.has_diophantine_solution(FeasibilityEngine::Simplex).expect("within budget")
     );
 
     let one_dim = OneDimMpi::new(vec![(nat(2), nat(4)), (nat(1), nat(0))], nat(5));
@@ -117,8 +120,8 @@ fn main() {
     let mut system = StrictHomogeneousSystem::new(2);
     system.push_row_i64(&[2, -1]);
     system.push_row_i64(&[-1, 2]);
-    let a = system.is_feasible(FeasibilityEngine::Simplex);
-    let b = system.is_feasible(FeasibilityEngine::FourierMotzkin);
+    let a = system.is_feasible(FeasibilityEngine::Simplex).expect("within budget");
+    let b = system.is_feasible(FeasibilityEngine::FourierMotzkin).expect("within budget");
     println!("\nengines agree on a 2-unknown system: {a} == {b}");
     assert_eq!(a, b);
 }

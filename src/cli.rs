@@ -88,6 +88,12 @@ OPTIONS (decide, equiv, batch, bench):
     --algorithm <NAME>   most-general (default) | all-probes | guess-check
     --budget <N>         Enumeration budget for guess-check (default 1000000).
     --engine <NAME>      simplex (default) | fourier-motzkin
+    --lp-route <NAME>    Pivot arithmetic of the simplex engine:
+                         simplex (default, exact rationals) | bareiss
+                         (fraction-free integers — the route for systems
+                         whose pivot values outgrow machine words) | auto
+                         (picks per system). Verdicts, witnesses and JSON
+                         certificates are byte-identical for every route.
     --jobs <N>           Worker threads (default 1). decide/equiv fan the
                          probe tuples of each pair across threads; batch
                          fans whole pairs. Verdicts are identical for any N.
@@ -274,6 +280,8 @@ fn parse_decide_opts(args: &[String]) -> Result<DecideOpts, CliError> {
     let mut budget_set = false;
     let mut engine_name = "simplex".to_string();
     let mut engine_set = false;
+    let mut route_name = "simplex".to_string();
+    let mut route_set = false;
     let mut json = false;
     let mut repeat = DEFAULT_REPEAT;
     let mut repeat_set = false;
@@ -307,6 +315,10 @@ fn parse_decide_opts(args: &[String]) -> Result<DecideOpts, CliError> {
                 engine_name = next_value(&mut it, "--engine")?;
                 engine_set = true;
             }
+            "--lp-route" => {
+                route_name = next_value(&mut it, "--lp-route")?;
+                route_set = true;
+            }
             "--repeat" => {
                 repeat = parse_count(&next_value(&mut it, "--repeat")?, "--repeat")?;
                 repeat_set = true;
@@ -324,6 +336,7 @@ fn parse_decide_opts(args: &[String]) -> Result<DecideOpts, CliError> {
         for (set, flag) in [
             (algorithm_set, "--algorithm"),
             (engine_set, "--engine"),
+            (route_set, "--lp-route"),
             (budget_set, "--budget"),
             (jobs_set, "--jobs"),
         ] {
@@ -351,7 +364,7 @@ fn parse_decide_opts(args: &[String]) -> Result<DecideOpts, CliError> {
             )))
         }
     };
-    let (engine, engine_name) = match engine_name.as_str() {
+    let (mut engine, engine_name) = match engine_name.as_str() {
         "simplex" => (FeasibilityEngine::Simplex, "simplex"),
         "fourier-motzkin" | "fm" => (FeasibilityEngine::FourierMotzkin, "fourier-motzkin"),
         other => {
@@ -360,6 +373,26 @@ fn parse_decide_opts(args: &[String]) -> Result<DecideOpts, CliError> {
             )))
         }
     };
+    // The LP route refines the simplex engine (rational vs fraction-free
+    // pivoting); it has no meaning for Fourier–Motzkin. Verdicts and JSON
+    // output are byte-identical across routes, so the envelope keeps
+    // reporting the engine family ("simplex"), not the route.
+    if route_set && engine == FeasibilityEngine::FourierMotzkin {
+        return Err(CliError::Usage(
+            "--lp-route selects the simplex pivot arithmetic; drop --engine fourier-motzkin"
+                .to_string(),
+        ));
+    }
+    match route_name.as_str() {
+        "simplex" | "rational" => {}
+        "bareiss" | "fraction-free" => engine = FeasibilityEngine::Bareiss,
+        "auto" => engine = FeasibilityEngine::Auto,
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown LP route '{other}' (expected simplex, bareiss or auto)"
+            )))
+        }
+    }
     if repeat == 0 {
         return Err(CliError::Usage("--repeat must be at least 1".to_string()));
     }
@@ -719,6 +752,10 @@ struct VerifyReport {
     lines: String,
     verified: usize,
     contained: usize,
+    /// `bench --json` pair entries: latency numbers plus a bare verdict,
+    /// no certificate — acknowledged so a bench document round-trips
+    /// through verify instead of erroring out.
+    timing_entries: usize,
     error_lines: usize,
     failed: usize,
 }
@@ -838,7 +875,12 @@ fn check_direction(
 
 /// Parses the two query texts of a certificate entry and re-checks one or
 /// both recorded directions.
-fn check_entry(report: &mut VerifyReport, label: &str, entry: &Json) -> Result<(), String> {
+fn check_entry(
+    report: &mut VerifyReport,
+    label: &str,
+    entry: &Json,
+    timing_only: bool,
+) -> Result<(), String> {
     let containee = parse_query(member_str(entry, "containee")?)
         .map_err(|e| format!("recorded containee does not parse: {e}"))?;
     let containing = parse_query(member_str(entry, "containing")?)
@@ -853,10 +895,24 @@ fn check_entry(report: &mut VerifyReport, label: &str, entry: &Json) -> Result<(
                 (format!("{label} forward"), &containee, &containing, forward),
                 (format!("{label} backward"), &containing, &containee, backward),
             ]
+        } else if let (true, Some(verdict)) =
+            (timing_only, entry.get("verdict").and_then(Json::as_str))
+        {
+            // A bench --json pair: timing plus a bare verdict, no
+            // certificate to re-check. Only reachable inside a
+            // `"command":"bench"` envelope — a decide/equiv/batch entry
+            // whose certificate went missing must still FAIL verification,
+            // not be waved through as a timing entry.
+            report.timing_entries += 1;
+            report.lines.push_str(&format!(
+                "[{label}] bench timing entry (verdict \"{verdict}\", no certificate to \
+                 re-check)\n"
+            ));
+            return Ok(());
         } else {
             return Err(
                 "entry has neither \"result\" nor \"forward\"/\"backward\" — only decide, \
-                 equiv and batch --json output is verifiable"
+                 equiv, batch and bench --json output is verifiable"
                     .to_string(),
             );
         };
@@ -914,11 +970,14 @@ fn cmd_verify(
             let doc = Json::parse(line)
                 .map_err(|e| CliError::Failure(format!("{location}: not JSON: {e}")))?;
             if let Some(pairs) = doc.get("pairs").and_then(Json::as_array) {
-                // A decide/equiv/bench envelope.
+                // A decide/equiv/bench envelope. Only a bench envelope may
+                // carry certificate-less timing entries; everything else
+                // must present a re-checkable result.
+                let is_bench = doc.get("command").and_then(Json::as_str) == Some("bench");
                 for (i, entry) in pairs.iter().enumerate() {
                     saw_entries = true;
                     let label = format!("{}", i + 1);
-                    check_entry(&mut report, &label, entry)
+                    check_entry(&mut report, &label, entry, is_bench)
                         .map_err(|e| CliError::Failure(format!("{location}: pair {label}: {e}")))?;
                 }
             } else if doc.get("id").is_some() {
@@ -935,7 +994,7 @@ fn cmd_verify(
                         "[{label}] recorded {stage} error: nothing to re-check\n"
                     ));
                 } else {
-                    check_entry(&mut report, &label, &doc)
+                    check_entry(&mut report, &label, &doc, false)
                         .map_err(|e| CliError::Failure(format!("{location}: {e}")))?;
                 }
             } else {
@@ -952,9 +1011,14 @@ fn cmd_verify(
         ));
     }
     let summary = format!(
-        "verify: {} counterexample(s) verified, {} contained verdict(s), {} recorded error \
-         line(s), {} failure(s)\n",
-        report.verified, report.contained, report.error_lines, report.failed
+        "verify: {} counterexample(s) verified, {} contained verdict(s), {} timing-only \
+         entr{}, {} recorded error line(s), {} failure(s)\n",
+        report.verified,
+        report.contained,
+        report.timing_entries,
+        if report.timing_entries == 1 { "y" } else { "ies" },
+        report.error_lines,
+        report.failed
     );
     write_out(out, &report.lines)?;
     write_out(out, &summary)?;
@@ -1170,19 +1234,29 @@ fn cmd_bench(args: &[String], stdin: &mut dyn Read) -> CliResult {
     }
     let arith = dioph_arith::stats::snapshot().since(&arith_before);
     if opts.json {
-        let hit_rate = match arith.hit_rate() {
+        // `hit_rate` is a JSON number or the literal `null` when the timed
+        // region recorded no operations at all — both shapes round-trip
+        // through `jsonv`/`verify` (pinned by tests; the totals behind the
+        // rates saturate instead of wrapping on counter overflow).
+        let rate_or_null = |rate: Option<f64>| match rate {
             Some(rate) => format!("{rate:.6}"),
             None => "null".to_string(),
         };
+        let hit_rate = rate_or_null(arith.hit_rate());
+        let int_hit_rate = rate_or_null(arith.int_hit_rate());
         Ok(format!(
             "{{\"command\":\"bench\",\"algorithm\":\"{}\",\"engine\":\"{}\",\"repeat\":{},\
              \"total_ns\":{total_ns},\"arith_small_path\":{{\"small_hits\":{},\
-             \"big_fallbacks\":{},\"hit_rate\":{hit_rate}}},\"pairs\":[{}]}}\n",
+             \"big_fallbacks\":{},\"hit_rate\":{hit_rate}}},\
+             \"arith_int_path\":{{\"small_hits\":{},\"big_fallbacks\":{},\
+             \"hit_rate\":{int_hit_rate}}},\"pairs\":[{}]}}\n",
             opts.algorithm_name,
             opts.engine_name,
             opts.repeat,
             arith.small_hits,
             arith.big_fallbacks,
+            arith.int_small_hits,
+            arith.int_big_fallbacks,
             json_pairs.join(",")
         ))
     } else {
@@ -1202,6 +1276,17 @@ fn cmd_bench(args: &[String], stdin: &mut dyn Read) -> CliResult {
                 rate * 100.0,
                 arith.total(),
                 arith.big_fallbacks
+            )
+            .expect("writing to a String cannot fail");
+        }
+        if let Some(rate) = arith.int_hit_rate() {
+            writeln!(
+                human,
+                "arith int path: {:.1}% of {} integer kernel op(s) stayed machine-word \
+                 ({} fell back to limbs)",
+                rate * 100.0,
+                arith.int_total(),
+                arith.int_big_fallbacks
             )
             .expect("writing to a String cannot fail");
         }
@@ -1362,6 +1447,109 @@ mod tests {
             .and_then(|n| n.parse().ok())
             .expect("small_hits must be a JSON number");
         assert!(hits > 0, "{out}");
+    }
+
+    #[test]
+    fn lp_route_is_output_invariant() {
+        // The fraction-free route must not change a byte of any output mode
+        // (the envelope keeps naming the engine family, not the route).
+        let input = "q(x) <- R^2(x, x). p(x) <- R^3(x, x).\n\
+                     q2(x) <- R(x, x), S(x). p2(x) <- R(x, x).";
+        for command in ["decide", "equiv", "batch"] {
+            let workload =
+                if command == "equiv" { "q(x) <- R^2(x, x). p(x) <- R^3(x, x)." } else { input };
+            for extra in [&[][..], &["--json"][..]] {
+                let mut base = vec![command];
+                base.extend_from_slice(extra);
+                let reference = run_ok(&base, workload);
+                for route in ["simplex", "bareiss", "auto", "fraction-free", "rational"] {
+                    let mut routed = base.clone();
+                    routed.extend_from_slice(&["--lp-route", route]);
+                    assert_eq!(
+                        run_ok(&routed, workload),
+                        reference,
+                        "{command} {extra:?} diverged under --lp-route {route}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lp_route_usage_errors() {
+        assert!(run_err(&["decide", "--lp-route", "abacus"], "").0);
+        assert!(run_err(&["decide", "--lp-route"], "").0, "--lp-route needs a value");
+        assert!(
+            run_err(&["decide", "--engine", "fourier-motzkin", "--lp-route", "bareiss"], "").0,
+            "the route refines the simplex engine only"
+        );
+        assert!(run_err(&["decide", "--set", "--lp-route", "bareiss"], "").0);
+        assert!(run_err(&["gen", "--lp-route", "bareiss"], "").0, "gen has no LP");
+        // Explicitly restating the default simplex engine is fine.
+        let out = run_ok(
+            &["decide", "--engine", "simplex", "--lp-route", "bareiss"],
+            "q(x) <- R(x, x). p(x) <- R(x, x).",
+        );
+        assert!(out.contains("contained"), "{out}");
+    }
+
+    #[test]
+    fn bench_json_round_trips_through_jsonv_and_verify() {
+        // The bench document must parse with the in-house JSON reader —
+        // including the `"hit_rate":null` shape when a counter saw no ops —
+        // and `verify` must accept it instead of erroring on the
+        // certificate-free pair entries.
+        let input = "q(x) <- R^2(x, x). p(x) <- R^3(x, x).";
+        let out = run_ok(&["bench", "--json", "--repeat", "2"], input);
+        let doc = Json::parse(out.trim_end()).expect("bench --json must be valid JSON");
+        for section in ["arith_small_path", "arith_int_path"] {
+            let rate = doc
+                .get(section)
+                .and_then(|s| s.get("hit_rate"))
+                .unwrap_or_else(|| panic!("{section}.hit_rate missing: {out}"));
+            assert!(
+                matches!(rate, Json::Null | Json::Number(_)),
+                "{section}.hit_rate must be null or a number, got {rate:?}"
+            );
+        }
+        let verified = run_ok(&["verify"], &out);
+        assert!(verified.contains("bench timing entry"), "{verified}");
+        assert!(verified.contains("1 timing-only entry"), "{verified}");
+        assert!(verified.contains("0 failure(s)"), "{verified}");
+        // A synthetic zero-op document pins the null branch end to end.
+        let null_doc = "{\"command\":\"bench\",\"algorithm\":\"most-general\",\
+             \"engine\":\"simplex\",\"repeat\":1,\"total_ns\":0,\
+             \"arith_small_path\":{\"small_hits\":0,\"big_fallbacks\":0,\"hit_rate\":null},\
+             \"arith_int_path\":{\"small_hits\":0,\"big_fallbacks\":0,\"hit_rate\":null},\
+             \"pairs\":[{\"index\":1,\"containee\":\"q(x) <- R(x, x)\",\
+             \"containing\":\"p(x) <- R(x, x)\",\"verdict\":\"contained\",\"runs\":1,\
+             \"min_ns\":1,\"mean_ns\":1,\"max_ns\":1}]}";
+        assert_eq!(
+            Json::parse(null_doc)
+                .expect("shape must parse")
+                .get("arith_small_path")
+                .and_then(|s| s.get("hit_rate")),
+            Some(&Json::Null)
+        );
+        let verified = run_ok(&["verify"], null_doc);
+        assert!(verified.contains("0 failure(s)"), "{verified}");
+    }
+
+    #[test]
+    fn certificate_less_entries_outside_bench_envelopes_still_fail_verification() {
+        // Tamper scenario: strip a decide pair's "result" certificate and
+        // plant a bare "verdict" string. The bench timing-entry path must
+        // not wave it through — only a "command":"bench" envelope may carry
+        // certificate-less entries.
+        let honest = run_ok(&["decide", "--json"], "q(x) <- R(x, x), S(x). p(x) <- R(x, x).");
+        let (before, _) = honest.split_once(",\"result\":").expect("decide emits a result");
+        let tampered = format!("{before},\"verdict\":\"not_contained\"}}]}}\n");
+        assert!(Json::parse(tampered.trim_end()).is_ok(), "fixture must stay valid JSON");
+        let (result, _) = run_captured(&["verify"], &tampered);
+        let Err(CliError::Failure(message)) = result else {
+            panic!("a certificate-less decide entry must fail verification");
+        };
+        assert!(message.contains("neither"), "{message}");
     }
 
     #[test]

@@ -548,6 +548,63 @@ fn workload_files_reproduce_the_paper_fixtures() {
     assert_eq!(probe, vec![pe::section3_probe_example(), pe::section3_probe_example()]);
 }
 
+/// Runs the binary with `DIOPH_LP_BUDGET` set (the linalg testing override
+/// that shrinks the simplex iteration budget), returning the full output.
+fn run_with_lp_budget(args: &[&str], stdin: &str, budget: &str) -> Output {
+    let mut child = Command::new(BIN)
+        .args(args)
+        .env("DIOPH_LP_BUDGET", budget)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("the diophantus binary must spawn");
+    child
+        .stdin
+        .take()
+        .expect("stdin was piped")
+        .write_all(stdin.as_bytes())
+        .expect("writing to the child's stdin");
+    child.wait_with_output().expect("the diophantus binary must exit")
+}
+
+#[test]
+fn lp_iteration_budget_blowout_is_a_per_pair_error_not_a_poisoned_pool() {
+    // Regression for the simplex budget assert: a blown budget used to
+    // panic the worker thread holding the pair and take the whole engine
+    // pool down with it. Under a 1-iteration budget every LP-reaching pair
+    // must now fail with a structured decide error, and --keep-going must
+    // stream past every one of them.
+    // Both pairs are not-contained: their MPI systems are feasible, so the
+    // simplex must genuinely pivot (at least one pivot plus the optimality
+    // pass), which a 1-iteration budget cannot cover.
+    let input = "q1(x) <- R(x, x), S1(x). p1(x) <- R(x, x).\n\
+                 q2(x) <- R(x, x), S2(x). p2(x) <- R(x, x).\n";
+    let out = run_with_lp_budget(&["batch", "--keep-going", "--jobs", "2", "--json"], input, "1");
+    assert_eq!(out.status.code(), Some(1), "failures must still exit non-zero");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 2, "both pairs must be answered: {stdout}");
+    for line in &lines {
+        assert!(line.contains("\"error\":{\"stage\":\"decide\""), "{line}");
+        assert!(line.contains("iteration budget"), "{line}");
+    }
+
+    // decide (no --keep-going) surfaces the same failure as a diagnostic.
+    let out = run_with_lp_budget(&["decide"], "q(x) <- R(x, x), S(x). p(x) <- R(x, x).", "1");
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("iteration budget"), "{stderr}");
+
+    // Sanity: the same stream under the default budget succeeds, on both
+    // LP routes.
+    for route in ["simplex", "bareiss"] {
+        let out = stdout_of(&["batch", "--lp-route", route], input);
+        assert_eq!(out.lines().count(), 2, "{route}: {out}");
+        assert!(!out.contains("error"), "{route}: {out}");
+    }
+}
+
 #[test]
 fn workload_files_decide_with_the_paper_verdicts() {
     let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("examples/workloads");
