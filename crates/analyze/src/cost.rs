@@ -1,0 +1,179 @@
+//! The static cost pass: bounds on the engine work a paper-decidable pair
+//! implies, computed without compiling anything.
+//!
+//! Two quantities drive the decision procedure's cost:
+//!
+//! * the **probe space** — `--algorithm all-probes` decodes
+//!   `|adom(I_q1)|^arity` candidate tuples (`ProbeSpace::raw_len`); the
+//!   default most-general algorithm (Theorem 5.3) skips the enumeration,
+//!   so a large probe space is an advisory, not an error;
+//! * the **strict homogeneous system** (Theorem 4.1) — one unknown per
+//!   distinct atom of the grounded containee, one row per term of the
+//!   containment-mapping polynomial. The unknown count is exact; the row
+//!   count is bounded by the number of containment mappings, for which two
+//!   independent static bounds are taken (assignments of the containing
+//!   query's existential variables into the active domain, and per-atom
+//!   image choices).
+//!
+//! The estimates are pinned against the real `ProbeSpace::raw_len` and
+//! `StrictHomogeneousSystem` dimensions in the facade crate's
+//! `tests/analysis.rs`.
+
+use dioph_cq::{canonical_active_domain, ConjunctiveQuery};
+
+/// Static cost bounds for one paper-decidable pair. Values saturate at
+/// `u128::MAX` instead of overflowing (a saturated estimate is far past
+/// every advisory threshold anyway).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CostEstimate {
+    /// `|adom(I_{q1})|^arity`, the candidate-tuple count of the containee's
+    /// probe space — equal to `ProbeSpace::raw_len` whenever that fits in
+    /// `usize`. `None` when the containee's head carries constants (probe
+    /// tuples are defined for all-variable heads only).
+    pub probe_space: Option<u128>,
+    /// Exact number of LP unknowns: distinct atoms of the containee
+    /// grounded with the most-general probe tuple (the dimension of the
+    /// strict homogeneous system).
+    pub lp_unknowns: u64,
+    /// Upper bound on the LP row count: the system has one row per
+    /// polynomial term, and at most one term per containment mapping.
+    pub lp_rows_bound: u128,
+}
+
+impl CostEstimate {
+    /// `lp_unknowns × lp_rows_bound`, the bounded cell count of the LP
+    /// tableau (saturating) — the quantity the `D031` advisory thresholds.
+    pub fn lp_cells_bound(&self) -> u128 {
+        u128::from(self.lp_unknowns).saturating_mul(self.lp_rows_bound)
+    }
+}
+
+fn checked_pow_saturating(base: u128, exp: usize) -> u128 {
+    u32::try_from(exp).ok().and_then(|e| base.checked_pow(e)).unwrap_or(u128::MAX)
+}
+
+/// Computes the static cost bounds of a pair whose containee is in the
+/// paper fragment (projection-free, safe, non-empty body). The caller is
+/// expected to have classified the pair first; the function itself never
+/// panics on other inputs, but the bounds are only meaningful for
+/// paper-decidable pairs.
+pub fn estimate_cost(containee: &ConjunctiveQuery, containing: &ConjunctiveQuery) -> CostEstimate {
+    let probe_space = if containee.head().iter().all(dioph_cq::Term::is_var) {
+        let domain = canonical_active_domain(containee).len() as u128;
+        Some(if containee.arity() == 0 {
+            // A Boolean query has exactly one (empty) candidate tuple.
+            1
+        } else {
+            checked_pow_saturating(domain, containee.arity())
+        })
+    } else {
+        None
+    };
+
+    // Grounding with the most-general probe tuple replaces every variable
+    // of a projection-free containee by its canonical constant; the
+    // distinct atoms of the result are exactly the LP unknowns.
+    let grounded = containee.most_general_grounding();
+    let lp_unknowns = grounded.distinct_atom_count() as u64;
+
+    // Bound 1: every existential variable of the containing query maps into
+    // the grounded containee's active domain (head variables are pinned to
+    // the probe tuple by the containment-mapping condition).
+    let adom = canonical_active_domain(&grounded).len() as u128;
+    let bound_vars = checked_pow_saturating(adom, containing.existential_variables().len());
+
+    // Bound 2: a homomorphism is determined by the image of each distinct
+    // body atom (an atom's image fixes all variables at its positions), and
+    // each atom can only land on a grounded atom of the same relation and
+    // arity.
+    let mut bound_atoms: u128 = 1;
+    for atom in containing.body_atoms() {
+        let compatible = grounded
+            .body_atoms()
+            .filter(|g| g.relation() == atom.relation() && g.terms().len() == atom.terms().len())
+            .count() as u128;
+        bound_atoms = bound_atoms.saturating_mul(compatible);
+    }
+
+    CostEstimate { probe_space, lp_unknowns, lp_rows_bound: bound_vars.min(bound_atoms) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dioph_cq::{parse_query, ProbeSpace};
+
+    fn q(text: &str) -> ConjunctiveQuery {
+        parse_query(text).unwrap()
+    }
+
+    #[test]
+    fn probe_space_matches_the_real_probe_space() {
+        // The paper's Section 3 sixteen-probe example and a few shapes.
+        for text in [
+            "q(x1, x2) <- R(x1, x2), R(x1, 'c2'), R('c1', x2)",
+            "q(x1, x2) <- R^2(x1, x2), P^3(x2, x2)",
+            "b() <- R('a', 'b')",
+            "d(x, x) <- R(x, x)",
+        ] {
+            let query = q(text);
+            let estimate = estimate_cost(&query, &query);
+            assert_eq!(
+                estimate.probe_space,
+                Some(ProbeSpace::new(&query).raw_len() as u128),
+                "{text}"
+            );
+        }
+    }
+
+    #[test]
+    fn constant_heads_have_no_probe_space() {
+        let containee = q("q('c1') <- R('c1', 'c1')");
+        assert_eq!(estimate_cost(&containee, &containee).probe_space, None);
+    }
+
+    #[test]
+    fn unknowns_count_distinct_grounded_atoms() {
+        // q1 grounds to {R²(x̂1,x̂2), R³(x̂1,c2), R(c1,x̂2)}: 3 distinct atoms.
+        let q1 = q("q1(x1, x2) <- R^2(x1, x2), R^3(x1, 'c2'), R('c1', x2)");
+        let q2 = q("q2(x1, x2) <- R^3(x1, x2), R^2(x1, y1), R^2(y2, y1)");
+        let estimate = estimate_cost(&q1, &q2);
+        assert_eq!(estimate.lp_unknowns, 3);
+        // Containing query: 2 existential variables over a 4-element active
+        // domain {x̂1, x̂2, c1, c2} bounds the mappings by 4² = 16; the
+        // per-atom bound is 3³ = 27; the estimate takes the minimum.
+        assert_eq!(estimate.lp_rows_bound, 16);
+        assert_eq!(estimate.lp_cells_bound(), 48);
+    }
+
+    #[test]
+    fn per_atom_bound_kicks_in_for_constrained_relations() {
+        // expmap shape: containing body R(x,x), E(x,z0), E(x,z1) against a
+        // grounded containee with 1 R-atom and 2 E-atoms: per-atom bound
+        // 1·2·2 = 4 beats the variable bound 3² = 9.
+        let containee = q("q1(x) <- R(x, x), E(x, 'a'), E(x, 'b')");
+        let containing = q("q2(x) <- R(x, x), E(x, z0), E(x, z1)");
+        let estimate = estimate_cost(&containee, &containing);
+        assert_eq!(estimate.lp_unknowns, 3);
+        assert_eq!(estimate.lp_rows_bound, 4);
+    }
+
+    #[test]
+    fn unmatchable_relations_zero_the_bound() {
+        let containee = q("q(x) <- R(x, x)");
+        let containing = q("p(x) <- S(x, y)");
+        assert_eq!(estimate_cost(&containee, &containing).lp_rows_bound, 0);
+    }
+
+    #[test]
+    fn huge_spaces_saturate_instead_of_overflowing() {
+        // 50 head variables over a 50-element domain: 50^50 ≈ 8.9e84 is far
+        // past u128::MAX ≈ 3.4e38, so the estimate saturates.
+        let head: Vec<String> = (0..50).map(|i| format!("x{i}")).collect();
+        let body: Vec<String> = head.iter().map(|v| format!("R({v}, {v})")).collect();
+        let text = format!("q({}) <- {}", head.join(", "), body.join(", "));
+        let query = q(&text);
+        let estimate = estimate_cost(&query, &query);
+        assert_eq!(estimate.probe_space, Some(u128::MAX));
+    }
+}

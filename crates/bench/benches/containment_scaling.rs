@@ -27,7 +27,7 @@ fn bench_containee_scaling(c: &mut Criterion) {
             BenchmarkId::from_parameter(length),
             &(containee, containing),
             |b, (containee, containing)| {
-                b.iter(|| decider.decide(black_box(containee), black_box(containing)).unwrap())
+                b.iter(|| decider.decide(black_box(containee), black_box(containing)).unwrap());
             },
         );
     }
@@ -43,7 +43,7 @@ fn bench_containing_scaling(c: &mut Criterion) {
             BenchmarkId::from_parameter(k),
             &(containee, containing),
             |b, (containee, containing)| {
-                b.iter(|| decider.decide(black_box(containee), black_box(containing)).unwrap())
+                b.iter(|| decider.decide(black_box(containee), black_box(containing)).unwrap());
             },
         );
     }
@@ -64,7 +64,7 @@ fn bench_all_probes_vs_most_general(c: &mut Criterion) {
                 BenchmarkId::new(label, length),
                 &(containee.clone(), containing.clone()),
                 |b, (containee, containing)| {
-                    b.iter(|| decider.decide(black_box(containee), black_box(containing)).unwrap())
+                    b.iter(|| decider.decide(black_box(containee), black_box(containing)).unwrap());
                 },
             );
         }

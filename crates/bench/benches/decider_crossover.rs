@@ -45,7 +45,7 @@ fn bench_contained_instances(c: &mut Criterion) {
                         // The guess-and-check baseline may exceed its budget;
                         // the time spent is what the experiment measures.
                         let _ = black_box(decider.decide(containee, containing));
-                    })
+                    });
                 },
             );
         }
@@ -69,7 +69,7 @@ fn bench_not_contained_instance(c: &mut Criterion) {
         group.bench_function(BenchmarkId::new(label, "section3"), |b| {
             b.iter(|| {
                 let _ = black_box(decider.decide(&containee, &containing));
-            })
+            });
         });
     }
     group.finish();

@@ -52,7 +52,7 @@ fn bench_probe_parallel_e4(c: &mut Criterion) {
         assert_eq!(verdict, reference, "jobs={jobs} must match the sequential verdict");
         assert_eq!(verdict.to_json(), reference.to_json(), "JSON certificates must be identical");
     }
-    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
     println!(
         "engine_scaling: {cores} hardware thread(s) available \
          (speedups over jobs=1 need cores > 1; verdict identity holds regardless)"
@@ -71,7 +71,7 @@ fn bench_probe_parallel_e4(c: &mut Criterion) {
             BenchmarkId::from_parameter(jobs),
             &(containee.clone(), containing.clone()),
             |b, (containee, containing)| {
-                b.iter(|| engine.decide(black_box(containee), black_box(containing)).unwrap())
+                b.iter(|| engine.decide(black_box(containee), black_box(containing)).unwrap());
             },
         );
     }
@@ -90,7 +90,7 @@ fn bench_probe_parallel_lp_ablation(c: &mut Criterion) {
                 BenchmarkId::new(label, jobs),
                 &(containee.clone(), containing.clone()),
                 |b, (containee, containing)| {
-                    b.iter(|| engine.decide(black_box(containee), black_box(containing)).unwrap())
+                    b.iter(|| engine.decide(black_box(containee), black_box(containing)).unwrap());
                 },
             );
         }
@@ -123,7 +123,7 @@ fn bench_batch_stream(c: &mut Criterion) {
                 });
                 assert_eq!(stats.failures, 0);
                 verdicts
-            })
+            });
         });
     }
     group.finish();

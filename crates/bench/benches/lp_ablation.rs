@@ -45,7 +45,7 @@ fn bench_dimension_sweep(c: &mut Criterion) {
                         for sys in systems {
                             black_box(sys.is_feasible(engine).unwrap());
                         }
-                    })
+                    });
                 },
             );
         }
@@ -77,7 +77,7 @@ fn bench_row_sweep(c: &mut Criterion) {
                         for sys in systems {
                             black_box(sys.is_feasible(engine).unwrap());
                         }
-                    })
+                    });
                 },
             );
         }
@@ -110,7 +110,7 @@ fn bench_mpi_derived_systems(c: &mut Criterion) {
                         for sys in systems {
                             black_box(sys.is_feasible(engine).unwrap());
                         }
-                    })
+                    });
                 },
             );
         }
@@ -141,7 +141,7 @@ fn bench_simplex_scale(c: &mut Criterion) {
                     for sys in systems {
                         black_box(sys.is_feasible(FeasibilityEngine::Simplex).unwrap());
                     }
-                })
+                });
             },
         );
     }
@@ -160,7 +160,7 @@ fn bench_simplex_scale(c: &mut Criterion) {
                     for sys in systems {
                         black_box(sys.is_feasible(FeasibilityEngine::Simplex).unwrap());
                     }
-                })
+                });
             },
         );
     }
@@ -207,7 +207,7 @@ fn bench_past_the_cliff(c: &mut Criterion) {
                         for sys in systems {
                             black_box(sys.is_feasible(engine).unwrap());
                         }
-                    })
+                    });
                 },
             );
         }
@@ -233,7 +233,7 @@ fn bench_past_the_cliff(c: &mut Criterion) {
                     for sys in systems {
                         black_box(sys.is_feasible(FeasibilityEngine::Bareiss).unwrap());
                     }
-                })
+                });
             },
         );
     }

@@ -35,7 +35,7 @@ fn bench_unknown_scaling(c: &mut Criterion) {
                             mpi.has_diophantine_solution(FeasibilityEngine::Simplex).unwrap(),
                         );
                     }
-                })
+                });
             },
         );
     }
@@ -52,7 +52,7 @@ fn bench_term_scaling(c: &mut Criterion) {
                 for mpi in instances {
                     black_box(mpi.has_diophantine_solution(FeasibilityEngine::Simplex).unwrap());
                 }
-            })
+            });
         });
     }
     group.finish();
@@ -72,7 +72,7 @@ fn bench_witness_extraction(c: &mut Criterion) {
                     for mpi in instances {
                         black_box(mpi.diophantine_solution(FeasibilityEngine::Simplex).unwrap());
                     }
-                })
+                });
             },
         );
     }

@@ -28,7 +28,7 @@ fn bench_section2_bag_evaluation(c: &mut Criterion) {
     println!("E1: q^mu(c1,c2) = 10, q^mu(c1,c5) = 30 — matches the paper");
 
     c.bench_function("E1/section2_bag_evaluation", |b| {
-        b.iter(|| bag_answer_multiplicity(black_box(&q), black_box(&bag), black_box(&c1c2)))
+        b.iter(|| bag_answer_multiplicity(black_box(&q), black_box(&bag), black_box(&c1c2)));
     });
 }
 
@@ -42,16 +42,16 @@ fn bench_section2_containment_table(c: &mut Criterion) {
     println!("E1: q1 ⊑b q2, q2 ⋢b q1, q1 ⊑b q3 — matches the paper");
 
     c.bench_function("E1/set_containment_q1_q2", |b| {
-        b.iter(|| set_containment(black_box(&q1), black_box(&q2)).holds())
+        b.iter(|| set_containment(black_box(&q1), black_box(&q2)).holds());
     });
     c.bench_function("E1/bag_containment_q1_in_q2(contained)", |b| {
-        b.iter(|| is_bag_contained(black_box(&q1), black_box(&q2)).unwrap().holds())
+        b.iter(|| is_bag_contained(black_box(&q1), black_box(&q2)).unwrap().holds());
     });
     c.bench_function("E1/bag_containment_q2_in_q1(counterexample)", |b| {
-        b.iter(|| is_bag_contained(black_box(&q2), black_box(&q1)).unwrap().holds())
+        b.iter(|| is_bag_contained(black_box(&q2), black_box(&q1)).unwrap().holds());
     });
     c.bench_function("E1/bag_containment_q1_in_q3(projections)", |b| {
-        b.iter(|| is_bag_contained(black_box(&q1), black_box(&q3)).unwrap().holds())
+        b.iter(|| is_bag_contained(black_box(&q1), black_box(&q3)).unwrap().holds());
     });
 }
 
@@ -67,16 +67,16 @@ fn bench_section3_compilation_and_mpi(c: &mut Criterion) {
     c.bench_function("E2/compile_running_example_mpi", |b| {
         b.iter(|| {
             CompiledProbe::compile(black_box(&q1), black_box(&q2), black_box(&probe)).unwrap()
-        })
+        });
     });
     for engine in [FeasibilityEngine::Simplex, FeasibilityEngine::FourierMotzkin] {
         c.bench_function(&format!("E2/solve_running_example_mpi/{engine:?}"), |b| {
-            b.iter(|| compiled.mpi().diophantine_solution(black_box(engine)).unwrap())
+            b.iter(|| compiled.mpi().diophantine_solution(black_box(engine)).unwrap());
         });
     }
     c.bench_function("E2/full_decision_with_witness", |b| {
         let decider = BagContainmentDecider::new(Algorithm::MostGeneralProbe);
-        b.iter(|| decider.decide(black_box(&q1), black_box(&q2)).unwrap())
+        b.iter(|| decider.decide(black_box(&q1), black_box(&q2)).unwrap());
     });
 }
 

@@ -36,7 +36,7 @@ fn bench_not_contained_instance(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("E8/running_example");
     group.bench_function("complete_decider", |b| {
-        b.iter(|| decider.decide(black_box(&containee), black_box(&containing)).unwrap())
+        b.iter(|| decider.decide(black_box(&containee), black_box(&containing)).unwrap());
     });
     for attempts in [10usize, 100, 1_000] {
         group.bench_with_input(
@@ -47,7 +47,7 @@ fn bench_not_contained_instance(c: &mut Criterion) {
                 let mut rng = bench_rng();
                 b.iter(|| {
                     black_box(refute_by_random_bags(&containee, &containing, config, &mut rng))
-                })
+                });
             },
         );
     }
@@ -61,12 +61,12 @@ fn bench_contained_instance(c: &mut Criterion) {
     let decider = BagContainmentDecider::new(Algorithm::MostGeneralProbe);
     let mut group = c.benchmark_group("E8/contained_instance");
     group.bench_function("complete_decider", |b| {
-        b.iter(|| decider.decide(black_box(&containee), black_box(&containing)).unwrap())
+        b.iter(|| decider.decide(black_box(&containee), black_box(&containing)).unwrap());
     });
     group.bench_function("random_refuter_200_attempts", |b| {
         let config = RefutationConfig { attempts: 200, max_multiplicity: 6 };
         let mut rng = bench_rng();
-        b.iter(|| black_box(refute_by_random_bags(&containee, &containing, config, &mut rng)))
+        b.iter(|| black_box(refute_by_random_bags(&containee, &containing, config, &mut rng)));
     });
     group.finish();
 }

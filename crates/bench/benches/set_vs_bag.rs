@@ -30,7 +30,7 @@ fn bench_contained_family(c: &mut Criterion) {
             BenchmarkId::new("set", atoms),
             &(containee.clone(), containing.clone()),
             |b, (containee, containing)| {
-                b.iter(|| set_containment(black_box(containee), black_box(containing)).holds())
+                b.iter(|| set_containment(black_box(containee), black_box(containing)).holds());
             },
         );
         group.bench_with_input(
@@ -39,7 +39,7 @@ fn bench_contained_family(c: &mut Criterion) {
             |b, (containee, containing)| {
                 b.iter(|| {
                     is_bag_contained(black_box(containee), black_box(containing)).unwrap().holds()
-                })
+                });
             },
         );
     }
@@ -53,10 +53,10 @@ fn bench_paper_pairs(c: &mut Criterion) {
     let q2 = paper_examples::section2_query_q2();
     let mut group = c.benchmark_group("E9/paper_pair");
     group.bench_function("set_q2_in_q1", |b| {
-        b.iter(|| set_containment(black_box(&q2), black_box(&q1)).holds())
+        b.iter(|| set_containment(black_box(&q2), black_box(&q1)).holds());
     });
     group.bench_function("bag_q2_in_q1", |b| {
-        b.iter(|| is_bag_contained(black_box(&q2), black_box(&q1)).unwrap().holds())
+        b.iter(|| is_bag_contained(black_box(&q2), black_box(&q1)).unwrap().holds());
     });
     group.finish();
 }

@@ -25,7 +25,7 @@ fn bench_random_graphs(c: &mut Criterion) {
         assert_eq!(direct, via);
         println!("E5: G({vertices}, 0.5) with {} edges → 3-colorable = {via}", graph.edge_count());
         group.bench_with_input(BenchmarkId::from_parameter(vertices), &graph, |b, graph| {
-            b.iter(|| three_colorable_via_containment(black_box(graph), &decider))
+            b.iter(|| three_colorable_via_containment(black_box(graph), &decider));
         });
     }
     group.finish();
@@ -36,7 +36,7 @@ fn bench_direct_oracle(c: &mut Criterion) {
     for vertices in [4usize, 6, 8, 10, 12] {
         let graph = bench_graph(vertices, 0.5);
         group.bench_with_input(BenchmarkId::from_parameter(vertices), &graph, |b, graph| {
-            b.iter(|| black_box(graph).is_three_colorable())
+            b.iter(|| black_box(graph).is_three_colorable());
         });
     }
     group.finish();
@@ -55,7 +55,7 @@ fn bench_hard_instances(c: &mut Criterion) {
             BenchmarkId::from_parameter(vertices),
             &(containee, containing),
             |b, (containee, containing)| {
-                b.iter(|| decider.decide(black_box(containee), black_box(containing)).unwrap())
+                b.iter(|| decider.decide(black_box(containee), black_box(containing)).unwrap());
             },
         );
     }

@@ -181,6 +181,29 @@ pub enum ContainmentError {
     },
 }
 
+impl ContainmentError {
+    /// The stable `dioph-analyze` lint code for this error, when the error
+    /// is a *fragment* violation the static analyzer can also detect
+    /// (`D001` unsafe-query, `D002` containee-not-projection-free, `D003`
+    /// empty-body). Engine-budget errors have no static counterpart and
+    /// return `None`.
+    ///
+    /// This is the unification point between engine-time validation and the
+    /// `diophantus check` lint pass: both report the same code for the same
+    /// defect, so a pair that `check` passes clean (at error level) is never
+    /// rejected by `CompiledPair::new` for a statically detectable reason.
+    pub fn lint_code(&self) -> Option<&'static str> {
+        match self {
+            ContainmentError::UnsafeQuery { .. } => Some("D001"),
+            ContainmentError::ContaineeNotProjectionFree { .. } => Some("D002"),
+            ContainmentError::EmptyBody { .. } => Some("D003"),
+            ContainmentError::BudgetExceeded { .. } | ContainmentError::IterationBudget { .. } => {
+                None
+            }
+        }
+    }
+}
+
 impl From<dioph_linalg::LinalgError> for ContainmentError {
     fn from(error: dioph_linalg::LinalgError) -> Self {
         match error {

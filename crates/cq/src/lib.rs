@@ -36,6 +36,7 @@ pub mod paper_examples;
 mod parser;
 mod probe;
 mod query;
+mod span;
 mod substitution;
 mod term;
 mod ucq;
@@ -45,9 +46,13 @@ pub use homomorphism::{
     containment_mappings, containment_mappings_to_grounded, homomorphisms_into, is_set_contained,
     query_homomorphisms, query_homomorphisms_with_answer,
 };
-pub use parser::{parse_program, parse_query, parse_ucq, ParseQueryError, ProgramParseError};
+pub use parser::{
+    parse_program, parse_program_spanned, parse_query, parse_query_spanned, parse_ucq,
+    ParseQueryError, ProgramParseError,
+};
 pub use probe::{canonical_active_domain, most_general_probe_tuple, probe_tuples, ProbeSpace};
 pub use query::ConjunctiveQuery;
+pub use span::{line_column, AtomOccurrence, QuerySpans, Span, SpannedQuery};
 pub use substitution::Substitution;
 pub use term::Term;
 pub use ucq::UnionOfConjunctiveQueries;

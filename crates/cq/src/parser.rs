@@ -25,6 +25,7 @@ use core::fmt;
 
 use crate::atom::Atom;
 use crate::query::ConjunctiveQuery;
+use crate::span::{line_column, AtomOccurrence, QuerySpans, Span, SpannedQuery};
 use crate::term::Term;
 use crate::ucq::UnionOfConjunctiveQueries;
 
@@ -59,6 +60,13 @@ impl std::error::Error for ParseQueryError {}
 /// Parses a conjunctive query written in datalog notation with optional
 /// multiplicity superscripts (see the module documentation for the grammar).
 pub fn parse_query(input: &str) -> Result<ConjunctiveQuery, ParseQueryError> {
+    parse_query_spanned(input).map(|sq| sq.query)
+}
+
+/// Like [`parse_query`], but also returns the span side table recording
+/// where the head, every body-atom occurrence and every term sit in `input`
+/// (see [`SpannedQuery`]).
+pub fn parse_query_spanned(input: &str) -> Result<SpannedQuery, ParseQueryError> {
     let mut p = Parser::new(input);
     let q = p.query()?;
     p.skip_ws();
@@ -128,24 +136,6 @@ impl fmt::Display for ProgramParseError {
 
 impl std::error::Error for ProgramParseError {}
 
-/// Resolves a byte offset into 1-based `(line, column)` coordinates, where
-/// the column counts characters (UTF-8 code points), not bytes.
-fn line_column(input: &str, position: usize) -> (usize, usize) {
-    let position = position.min(input.len());
-    let bytes = input.as_bytes();
-    let mut line = 1;
-    let mut line_start = 0;
-    for (i, &b) in bytes.iter().enumerate().take(position) {
-        if b == b'\n' {
-            line += 1;
-            line_start = i + 1;
-        }
-    }
-    // Count characters by counting non-continuation bytes.
-    let column = 1 + bytes[line_start..position].iter().filter(|b| (*b & 0xC0) != 0x80).count();
-    (line, column)
-}
-
 /// Replaces `%`/`#` line comments with spaces, keeping every byte offset
 /// (and the line structure) identical so error positions computed on the
 /// stripped text remain valid in the original.
@@ -187,6 +177,13 @@ fn blank_comments(input: &str) -> String {
 /// assert_eq!((err.line(), err.column()), (2, 14));
 /// ```
 pub fn parse_program(input: &str) -> Result<Vec<ConjunctiveQuery>, ProgramParseError> {
+    parse_program_spanned(input).map(|queries| queries.into_iter().map(|sq| sq.query).collect())
+}
+
+/// Like [`parse_program`], but each query comes with its span side table
+/// (see [`SpannedQuery`]). Comment blanking keeps byte offsets identical, so
+/// every span indexes into the **original** `input`, comments and all.
+pub fn parse_program_spanned(input: &str) -> Result<Vec<SpannedQuery>, ProgramParseError> {
     let cleaned = blank_comments(input);
     let mut p = Parser::new(&cleaned);
     let mut queries = Vec::new();
@@ -288,10 +285,13 @@ impl<'a> Parser<'a> {
             .map_err(|_| ParseQueryError::new("number too large", start))
     }
 
-    fn query(&mut self) -> Result<ConjunctiveQuery, ParseQueryError> {
+    fn query(&mut self) -> Result<SpannedQuery, ParseQueryError> {
+        self.skip_ws();
+        let name_start = self.pos;
         let name = self.identifier()?;
+        let name_span = Span::new(name_start, self.pos);
         self.expect(b'(')?;
-        let head = self.term_list(b')')?;
+        let (head, head_term_spans) = self.term_list(b')')?;
         self.expect(b')')?;
         // Arrow: "<-" or ":-".
         self.skip_ws();
@@ -307,15 +307,18 @@ impl<'a> Parser<'a> {
         self.skip_ws();
         // Body: the keyword "true" (not merely a relation name that starts
         // with it, like `trueness`) or a list of atoms.
-        let mut atoms: Vec<(Atom, u64)> = Vec::new();
+        let mut occurrences: Vec<AtomOccurrence> = Vec::new();
         let rest = &self.bytes[self.pos..];
         let true_keyword = rest.starts_with(b"true")
             && !matches!(rest.get(4), Some(b) if b.is_ascii_alphanumeric() || *b == b'_');
+        let mut body_end;
         if true_keyword {
             self.pos += 4;
+            body_end = self.pos;
         } else {
             loop {
-                atoms.push(self.atom()?);
+                occurrences.push(self.atom()?);
+                body_end = self.pos;
                 self.skip_ws();
                 if self.peek() == Some(b',') {
                     self.pos += 1;
@@ -329,11 +332,22 @@ impl<'a> Parser<'a> {
         if self.terminated {
             self.pos += 1;
         }
-        Ok(ConjunctiveQuery::new(name, head, atoms))
+        let atoms = occurrences.iter().map(|occ| (occ.atom.clone(), occ.multiplicity));
+        let query = ConjunctiveQuery::new(name, head, atoms);
+        let spans = QuerySpans {
+            span: Span::new(name_start, body_end),
+            name_span,
+            head_term_spans,
+            atoms: occurrences,
+        };
+        Ok(SpannedQuery { query, spans })
     }
 
-    fn atom(&mut self) -> Result<(Atom, u64), ParseQueryError> {
+    fn atom(&mut self) -> Result<AtomOccurrence, ParseQueryError> {
+        self.skip_ws();
+        let start = self.pos;
         let relation = self.identifier()?;
+        let relation_span = Span::new(start, self.pos);
         self.skip_ws();
         let mult = if self.peek() == Some(b'^') {
             self.pos += 1;
@@ -347,19 +361,28 @@ impl<'a> Parser<'a> {
             1
         };
         self.expect(b'(')?;
-        let terms = self.term_list(b')')?;
+        let (terms, term_spans) = self.term_list(b')')?;
         self.expect(b')')?;
-        Ok((Atom::new(relation, terms), mult))
+        Ok(AtomOccurrence {
+            atom: Atom::new(relation, terms),
+            multiplicity: mult,
+            span: Span::new(start, self.pos),
+            relation_span,
+            term_spans,
+        })
     }
 
-    fn term_list(&mut self, closing: u8) -> Result<Vec<Term>, ParseQueryError> {
+    fn term_list(&mut self, closing: u8) -> Result<(Vec<Term>, Vec<Span>), ParseQueryError> {
         let mut terms = Vec::new();
+        let mut spans = Vec::new();
         self.skip_ws();
         if self.peek() == Some(closing) {
-            return Ok(terms);
+            return Ok((terms, spans));
         }
         loop {
-            terms.push(self.term()?);
+            let (term, span) = self.term()?;
+            terms.push(term);
+            spans.push(span);
             self.skip_ws();
             if self.peek() == Some(b',') {
                 self.pos += 1;
@@ -367,36 +390,40 @@ impl<'a> Parser<'a> {
                 break;
             }
         }
-        Ok(terms)
+        Ok((terms, spans))
     }
 
-    fn term(&mut self) -> Result<Term, ParseQueryError> {
+    fn term(&mut self) -> Result<(Term, Span), ParseQueryError> {
         self.skip_ws();
-        match self.peek() {
+        let start = self.pos;
+        let term = match self.peek() {
             Some(b'\'') => {
                 self.pos += 1;
                 let name = self.identifier()?;
                 self.expect(b'\'')?;
-                Ok(Term::constant(name))
+                Term::constant(name)
             }
             Some(b'^') => {
                 self.pos += 1;
                 let name = self.identifier()?;
-                Ok(Term::canon(name))
+                Term::canon(name)
             }
             Some(b) if b.is_ascii_digit() => {
                 let n = self.number()?;
-                Ok(Term::constant(n.to_string()))
+                Term::constant(n.to_string())
             }
-            Some(b) if b.is_ascii_alphabetic() || b == b'_' => Ok(Term::var(self.identifier()?)),
-            other => Err(ParseQueryError::new(
-                format!(
-                    "expected a term, found {}",
-                    other.map_or("end of input".to_string(), |b| format!("'{}'", b as char))
-                ),
-                self.pos,
-            )),
-        }
+            Some(b) if b.is_ascii_alphabetic() || b == b'_' => Term::var(self.identifier()?),
+            other => {
+                return Err(ParseQueryError::new(
+                    format!(
+                        "expected a term, found {}",
+                        other.map_or("end of input".to_string(), |b| format!("'{}'", b as char))
+                    ),
+                    self.pos,
+                ))
+            }
+        };
+        Ok((term, Span::new(start, self.pos)))
     }
 }
 

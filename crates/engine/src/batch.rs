@@ -23,8 +23,9 @@ use std::io::BufRead;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 
+use dioph_analyze::first_fragment_error;
 use dioph_containment::{BagContainment, BagContainmentDecider, CompiledPair, ContainmentError};
-use dioph_cq::{parse_program, ConjunctiveQuery};
+use dioph_cq::{parse_program_spanned, ConjunctiveQuery};
 
 use crate::DecisionEngine;
 
@@ -266,6 +267,13 @@ impl<R: BufRead> JobReader<R> {
     fn consume_line(&mut self, line: &str) {
         let mut in_comment = false;
         for ch in line.chars() {
+            // Don't start a job's source with the whitespace left over from
+            // the line a previous job ended on: diagnostics are job-relative
+            // (`line:column` within `Job::source`), so every job must begin
+            // at 1:1 with its first meaningful character.
+            if self.buffer.is_empty() && ch.is_whitespace() {
+                continue;
+            }
             self.buffer.push(ch);
             if in_comment {
                 continue;
@@ -342,7 +350,7 @@ fn decide_source(
     cache: &CompilationCache,
     source: &str,
 ) -> Result<PairOutcome, BatchError> {
-    let queries = parse_program(source).map_err(|e| BatchError::Parse {
+    let queries = parse_program_spanned(source).map_err(|e| BatchError::Parse {
         message: format!("{}:{}: {}", e.line(), e.column(), e.message()),
     })?;
     let mut it = queries.into_iter();
@@ -353,6 +361,19 @@ fn decide_source(
                 .to_string(),
         });
     };
+    // Pre-flight fragment check: a containee the compiler would reject is
+    // reported with its job-relative line:column and stable lint code
+    // instead of the span-less `ContainmentError` rendering.
+    if let Some(rendered) = first_fragment_error(&containee, source) {
+        return Err(BatchError::Decide {
+            message: format!(
+                "cannot decide {} ⊑b {}: {rendered}",
+                containee.query.name(),
+                containing.query.name()
+            ),
+        });
+    }
+    let (containee, containing) = (containee.query, containing.query);
     let pair = cache.get_or_compile(&containee, &containing).map_err(|e| BatchError::Decide {
         message: format!("cannot decide {} ⊑b {}: {e}", containee.name(), containing.name()),
     })?;
@@ -439,6 +460,7 @@ where
 mod tests {
     use super::*;
     use crate::EngineConfig;
+    use dioph_cq::parse_program;
 
     fn reader(text: &str) -> JobReader<&[u8]> {
         JobReader::new(text.as_bytes())
@@ -579,6 +601,9 @@ mod tests {
         let decide = got[2].outcome.as_ref().unwrap_err();
         assert_eq!(decide.stage(), "decide");
         assert!(decide.message().contains("projection-free"), "{decide}");
+        // The fragment pre-check names the job-relative position of the
+        // offending variable and the stable lint code.
+        assert!(decide.message().contains("1:15: error[D002]"), "{decide}");
         assert!(got[3].outcome.is_ok());
         assert_eq!(stats.failures, 2);
         assert_eq!(stats.jobs_processed, 4);

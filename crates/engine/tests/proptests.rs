@@ -54,7 +54,7 @@ fn assert_engine_matches_sequential(kind: WorkloadKind, seed: u64, algorithm: Al
                     );
                 }
                 (Err(se), Err(pe)) => {
-                    assert_eq!(pe, se, "{} jobs={jobs}: errors must agree", pair.label)
+                    assert_eq!(pe, se, "{} jobs={jobs}: errors must agree", pair.label);
                 }
                 other => panic!("{} jobs={jobs}: outcome mismatch {other:?}", pair.label),
             }

@@ -442,7 +442,7 @@ mod tests {
         let big = 1i64 << 40;
         let rows: Vec<Vec<i64>> =
             vec![vec![big, -big + 1, 3], vec![-big + 3, big, -2], vec![1, -2, big]];
-        let refs: Vec<&[i64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let refs: Vec<&[i64]> = rows.iter().map(std::vec::Vec::as_slice).collect();
         let outcome = assert_routes_identical(&refs, &[1, 1, 1]);
         assert!(outcome.is_feasible());
     }

@@ -181,7 +181,7 @@ impl StrictHomogeneousSystem {
             return Ok(Some(vec![Rational::zero(); self.dimension]));
         }
         // A row of all zeros can never be strictly positive.
-        if self.rows.iter().any(|row| row.is_zero_row()) {
+        if self.rows.iter().any(super::row::GenRow::is_zero_row) {
             return Ok(None);
         }
         let engine = self.resolve_auto(engine);

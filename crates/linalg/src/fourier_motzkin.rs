@@ -253,7 +253,7 @@ mod tests {
     fn check_feasible(sys: &LinearSystem) -> Vec<Rational> {
         match solve(sys) {
             FmOutcome::Feasible(w) => {
-                assert!(sys.is_satisfied_by(&w), "witness {:?} must satisfy system", w);
+                assert!(sys.is_satisfied_by(&w), "witness {w:?} must satisfy system");
                 w
             }
             FmOutcome::Infeasible => panic!("expected feasible system"),

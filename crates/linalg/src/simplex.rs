@@ -66,7 +66,7 @@ impl SimplexOutcome {
 /// Panics if the number of rows of `a` differs from the length of `b`, or if
 /// the rows of `a` have inconsistent lengths.
 pub fn feasible_point(a: &[Vec<Rational>], b: &[Rational]) -> Result<SimplexOutcome, LinalgError> {
-    let n = a.first().map_or(0, |r| r.len());
+    let n = a.first().map_or(0, std::vec::Vec::len);
     for row in a {
         assert_eq!(row.len(), n, "ragged matrix passed to simplex");
     }
@@ -389,7 +389,7 @@ mod tests {
         let x = assert_feasible(&a, &b);
         // The paper's solution direction (0, 2, 1) also satisfies the scaled system.
         assert!(crate::system::dot(&a[0], &vec_r(&[0, 2, 1])) >= r(1, 1));
-        assert!(!x.iter().all(|v| v.is_zero()));
+        assert!(!x.iter().all(dioph_arith::Rational::is_zero));
     }
 
     #[test]

@@ -1,0 +1,78 @@
+//! The generators must emit lint-clean programs: every workload family,
+//! at every seed, renders to a program that passes
+//! `diophantus check --deny warnings` — zero errors, zero warnings
+//! (cost-advisory notes are allowed and keep exit 0), and every pair
+//! classified paper-decidable.
+//!
+//! This is the contract behind the CI `gen | check --deny warnings` smoke,
+//! stated as a property over the whole seed space instead of one seed.
+
+use dioph_analyze::{analyze_source, FragmentClass, LintConfig, Severity};
+use dioph_workloads::suite::{generate_pairs, WorkloadKind, WorkloadPair};
+use proptest::prelude::*;
+
+fn kinds() -> Vec<WorkloadKind> {
+    vec![
+        WorkloadKind::Specialization { atoms: 4 },
+        WorkloadKind::Inflated { atoms: 4 },
+        WorkloadKind::Contained { atoms: 4 },
+        WorkloadKind::Path { length: 2 },
+        WorkloadKind::ExponentialMapping { mappings_log2: 1 },
+        WorkloadKind::ThreeColorability { vertices: 5 },
+    ]
+}
+
+/// Renders pairs the way `diophantus gen` does: one query per line,
+/// terminated with `.`, consecutive lines forming (containee, containing)
+/// pairs.
+fn render_program(pairs: &[WorkloadPair]) -> String {
+    let mut text = String::new();
+    for pair in pairs {
+        text.push_str(&format!("{}.\n{}.\n", pair.containee, pair.containing));
+    }
+    text
+}
+
+fn assert_lint_clean(kind: WorkloadKind, seed: u64) {
+    let pairs = generate_pairs(kind, 3, seed);
+    let source = render_program(&pairs);
+    let mut config = LintConfig::new();
+    config.deny_warnings();
+    let analysis = analyze_source(&source, &config);
+
+    for d in analysis.all_diagnostics() {
+        assert!(
+            d.severity < Severity::Warning,
+            "{kind:?} seed {seed}: generator emitted a lintable program: {}\n{source}",
+            d.render("<gen>")
+        );
+    }
+    assert_eq!(analysis.pairs.len(), pairs.len(), "{kind:?} seed {seed}");
+    for pair in &analysis.pairs {
+        assert_eq!(
+            pair.fragment,
+            FragmentClass::PaperDecidable,
+            "{kind:?} seed {seed} pair {}",
+            pair.index
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every workload family stays warning-free across the seed space.
+    #[test]
+    fn generated_workloads_are_lint_clean(seed in any::<u64>(), kind_index in 0usize..6) {
+        assert_lint_clean(kinds()[kind_index], seed);
+    }
+}
+
+/// The fixed CI seed stays clean for every family — the deterministic
+/// anchor the `gen | check --deny warnings --json` CI step relies on.
+#[test]
+fn ci_seed_is_lint_clean_for_every_kind() {
+    for kind in kinds() {
+        assert_lint_clean(kind, 2019);
+    }
+}

@@ -44,7 +44,8 @@ fn main() {
     let system = compiled.mpi().to_strict_system();
     println!("\nlinear system {{(e - e_h)·ε > 0}}:");
     for row in system.rows() {
-        let rendered: Vec<String> = row.to_dense_vec().iter().map(|c| c.to_string()).collect();
+        let rendered: Vec<String> =
+            row.to_dense_vec().iter().map(std::string::ToString::to_string).collect();
         println!("  ({}) · ε > 0", rendered.join(", "));
     }
 

@@ -33,7 +33,8 @@ fn main() {
     let system = mpi.to_strict_system();
     println!("\nTheorem 4.1 system (one row per polynomial monomial):");
     for row in system.rows() {
-        let rendered: Vec<String> = row.to_dense_vec().iter().map(|c| c.to_string()).collect();
+        let rendered: Vec<String> =
+            row.to_dense_vec().iter().map(std::string::ToString::to_string).collect();
         println!("  ({}) · ε > 0", rendered.join(", "));
     }
 

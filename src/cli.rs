@@ -34,13 +34,14 @@ use std::fmt::Write as _;
 use std::io::{BufReader, Read, Write};
 use std::time::Instant;
 
+use dioph_analyze::{analyze_source, containee_fragment_diagnostics, LintConfig, Severity};
 use dioph_arith::Natural;
 use dioph_bagdb::{bag_answer_multiplicity, BagInstance};
 use dioph_containment::{
     json, set_containment, Algorithm, BagContainment, BagContainmentDecider, CompiledPair,
     ContainmentError, FeasibilityEngine,
 };
-use dioph_cq::{parse_program, parse_query, Atom, ConjunctiveQuery, Term};
+use dioph_cq::{parse_program_spanned, parse_query, Atom, ConjunctiveQuery, SpannedQuery, Term};
 use dioph_engine::{DecisionEngine, EngineConfig, JobReader, Verdict};
 use dioph_workloads::suite::{generate_pairs, WorkloadKind, WorkloadPair};
 
@@ -72,6 +73,11 @@ COMMANDS:
               verdict line per pair, emitted in input order as soon as each
               pair (and all before it) is done. Compilation is shared across
               identical pairs in the stream. An empty stream is not an error.
+    check     Statically analyse query programs without deciding anything:
+              span-carrying lints with stable codes (D001 unsafe-query,
+              D013 duplicate-atom, …), a decidability-fragment label per
+              pair, and static cost advisories. Exits with the worst
+              severity found: 0 (clean or notes), 1 (warnings), 2 (errors).
     verify    Re-check the counterexample bags recorded in `--json` output
               (from decide, equiv or batch) with the independent Equation-2
               bag evaluator. Exits 1 if any certificate fails.
@@ -104,6 +110,16 @@ OPTIONS (batch):
                          structured error line and the stream continues;
                          the exit status is still 1 if anything failed.
 
+OPTIONS (check):
+    --deny <LINT>        Promote a lint (code or name) to an error; the
+                         special value `warnings` promotes every warning.
+    --allow <LINT>       Suppress a lint entirely.
+    -W, --warn <LINT>    Set a lint to warning (enables allow-by-default
+                         lints like D010 unused-variable). The last flag
+                         naming a lint wins. Codes and severities are
+                         catalogued in docs/diagnostics.md.
+    --json               One machine-readable document for the whole run.
+
 OPTIONS (gen):
     <KIND>               spec (default) | inflated | contained | path |
                          expmap | threecol
@@ -132,7 +148,8 @@ INPUT FORMAT:
 
 EXIT STATUS:
     0 on success (whatever the verdicts), 1 on input/decision errors,
-    2 on usage errors.
+    2 on usage errors. check maps its worst diagnostic severity to the
+    same scale: notes 0, warnings 1, errors 2.
 ";
 
 /// Runs the CLI with the given arguments (excluding the program name),
@@ -153,6 +170,7 @@ pub fn run(args: &[String]) -> i32 {
             1
         }
         Err(CliError::Reported) => 1,
+        Err(CliError::Lints(code)) => code,
         Err(CliError::Usage(message)) => {
             eprintln!("diophantus: {message}\nRun `diophantus help` for usage.");
             2
@@ -178,6 +196,9 @@ enum CliError {
     Reported,
     /// The consumer closed stdout mid-stream — a clean exit, code 0.
     BrokenPipe,
+    /// `check` found diagnostics; the report already went to stdout. Carries
+    /// the exit code of the worst severity (1 warnings, 2 errors).
+    Lints(i32),
 }
 
 type CliResult = Result<String, CliError>;
@@ -206,6 +227,9 @@ fn dispatch(
         // appear as results arrive, not when the whole input is consumed.
         "batch" => return cmd_batch(&args[1..], stdin, out),
         "verify" => return cmd_verify(&args[1..], stdin, out),
+        // check writes its report itself: the diagnostics must reach the
+        // user even when the run ends with a non-zero lint exit code.
+        "check" => return cmd_check(&args[1..], stdin, out),
         "gen" => cmd_gen(&args[1..]),
         "bench" => cmd_bench(&args[1..], stdin),
         "help" | "--help" | "-h" => Ok(HELP.to_string()),
@@ -419,37 +443,69 @@ fn parse_decide_opts(args: &[String]) -> Result<DecideOpts, CliError> {
 // Input loading
 // ---------------------------------------------------------------------------
 
-fn load_queries(files: &[String], stdin: &mut dyn Read) -> Result<Vec<ConjunctiveQuery>, CliError> {
-    let mut sources: Vec<(String, String)> = Vec::new();
+/// One input file (or stdin) with its raw text — kept around so span-carrying
+/// diagnostics can name the file and resolve line/column positions.
+struct LoadedSource {
+    name: String,
+    text: String,
+}
+
+fn read_sources(files: &[String], stdin: &mut dyn Read) -> Result<Vec<LoadedSource>, CliError> {
+    let mut sources: Vec<LoadedSource> = Vec::new();
     if files.is_empty() {
         let mut text = String::new();
         stdin.read_to_string(&mut text).map_err(|e| CliError::Failure(format!("<stdin>: {e}")))?;
-        sources.push(("<stdin>".to_string(), text));
+        sources.push(LoadedSource { name: "<stdin>".to_string(), text });
     } else {
         for file in files {
             let text = std::fs::read_to_string(file)
                 .map_err(|e| CliError::Failure(format!("{file}: {e}")))?;
-            sources.push((file.clone(), text));
+            sources.push(LoadedSource { name: file.clone(), text });
         }
     }
+    Ok(sources)
+}
+
+/// A parsed query tagged with the index of the [`LoadedSource`] it came from.
+type SourcedQuery = (usize, SpannedQuery);
+
+/// Parses every source, keeping the span side-table and a back-pointer from
+/// each query to the source it came from (an index into the returned list).
+fn load_spanned_queries(
+    files: &[String],
+    stdin: &mut dyn Read,
+) -> Result<(Vec<LoadedSource>, Vec<SourcedQuery>), CliError> {
+    let sources = read_sources(files, stdin)?;
     let mut queries = Vec::new();
-    for (name, text) in &sources {
-        let parsed = parse_program(text).map_err(|e| {
-            CliError::Failure(format!("{name}:{}:{}: {}", e.line(), e.column(), e.message()))
+    for (index, source) in sources.iter().enumerate() {
+        let parsed = parse_program_spanned(&source.text).map_err(|e| {
+            CliError::Failure(format!(
+                "{}:{}:{}: {}",
+                source.name,
+                e.line(),
+                e.column(),
+                e.message()
+            ))
         })?;
         // Each source must pair up on its own: concatenating an odd-count
         // file would silently shift every later pair by one query.
         if !parsed.len().is_multiple_of(2) {
             return Err(CliError::Failure(format!(
-                "{name}: holds {} queries, but every input must hold an even number \
+                "{}: holds {} queries, but every input must hold an even number \
                  (consecutive (containee, containing) pairs); concatenate files with `cat` \
                  if a pair spans them",
+                source.name,
                 parsed.len()
             )));
         }
-        queries.extend(parsed);
+        queries.extend(parsed.into_iter().map(|q| (index, q)));
     }
-    Ok(queries)
+    Ok((sources, queries))
+}
+
+fn load_queries(files: &[String], stdin: &mut dyn Read) -> Result<Vec<ConjunctiveQuery>, CliError> {
+    let (_, queries) = load_spanned_queries(files, stdin)?;
+    Ok(queries.into_iter().map(|(_, q)| q.query).collect())
 }
 
 fn into_pairs(
@@ -545,6 +601,41 @@ fn decide_direction(
     }
 }
 
+/// Pre-flight fragment check for `decide`/`equiv` under bag semantics: a
+/// containee outside the engine's fragment (unsafe, projection-bearing,
+/// empty-bodied) is reported with the file, line and column of the offending
+/// variable — the engine's own [`ContainmentError`] knows only query names.
+fn precheck_containees(
+    sources: &[LoadedSource],
+    queries: &[SourcedQuery],
+    mutual: bool,
+) -> Result<(), CliError> {
+    let config = LintConfig::new();
+    for chunk in queries.chunks_exact(2) {
+        // equiv decides both directions, so both queries act as containee;
+        // forward is decided (and therefore reported) first.
+        let mut roles = vec![(&chunk[0], &chunk[1])];
+        if mutual {
+            roles.push((&chunk[1], &chunk[0]));
+        }
+        for ((source_index, left), (_, right)) in roles {
+            let source = &sources[*source_index];
+            let Some(d) =
+                containee_fragment_diagnostics(left, &source.text, &config).into_iter().next()
+            else {
+                continue;
+            };
+            return Err(CliError::Failure(format!(
+                "{} (cannot decide {} ⊑b {})",
+                d.render(&source.name),
+                left.query.name(),
+                right.query.name(),
+            )));
+        }
+    }
+    Ok(())
+}
+
 fn cmd_decide(args: &[String], stdin: &mut dyn Read, mutual: bool) -> CliResult {
     let opts = parse_decide_opts(args)?;
     if opts.repeat_set {
@@ -553,7 +644,13 @@ fn cmd_decide(args: &[String], stdin: &mut dyn Read, mutual: bool) -> CliResult 
     if opts.keep_going {
         return Err(CliError::Usage("--keep-going only applies to batch".to_string()));
     }
-    let pairs = into_pairs(load_queries(&opts.files, stdin)?)?;
+    let (sources, spanned) = load_spanned_queries(&opts.files, stdin)?;
+    if opts.semantics == Semantics::Bag {
+        // Set semantics (Chandra–Merlin) accepts any safe-or-not shape the
+        // grammar allows, so only the bag path is pre-checked.
+        precheck_containees(&sources, &spanned, mutual)?;
+    }
+    let pairs = into_pairs(spanned.into_iter().map(|(_, q)| q.query).collect())?;
     let backend = DecideBackend::from_opts(&opts);
     let mut human = String::new();
     let mut json_pairs: Vec<String> = Vec::new();
@@ -740,6 +837,172 @@ fn cmd_batch(
         )));
     }
     Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// check
+// ---------------------------------------------------------------------------
+
+struct CheckOpts {
+    json: bool,
+    config: LintConfig,
+    files: Vec<String>,
+}
+
+fn parse_check_opts(args: &[String]) -> Result<CheckOpts, CliError> {
+    let mut json = false;
+    let mut config = LintConfig::new();
+    let mut files = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--deny" => {
+                let value = next_value(&mut it, "--deny")?;
+                if value == "warnings" {
+                    config.deny_warnings();
+                } else {
+                    config.set(&value, Severity::Error).map_err(CliError::Usage)?;
+                }
+            }
+            "--allow" => {
+                let value = next_value(&mut it, "--allow")?;
+                config.set(&value, Severity::Allow).map_err(CliError::Usage)?;
+            }
+            "-W" | "--warn" => {
+                let value = next_value(&mut it, "-W")?;
+                config.set(&value, Severity::Warning).map_err(CliError::Usage)?;
+            }
+            flag if flag.starts_with('-') && flag.len() > 1 => {
+                return Err(CliError::Usage(format!("unknown option '{flag}' for check")));
+            }
+            file => files.push(file.to_string()),
+        }
+    }
+    Ok(CheckOpts { json, config, files })
+}
+
+/// Renders one diagnostic as a JSON object (stable key order, so `--json`
+/// output is byte-reproducible and pinned by a golden fixture).
+fn diagnostic_to_json(d: &dioph_analyze::Diagnostic) -> String {
+    let span = match d.span {
+        Some(span) => format!("{{\"start\":{},\"end\":{}}}", span.start, span.end),
+        None => "null".to_string(),
+    };
+    format!(
+        "{{\"code\":\"{}\",\"name\":\"{}\",\"severity\":\"{}\",\"query\":{},\"line\":{},\
+         \"column\":{},\"span\":{span},\"message\":{}}}",
+        d.code,
+        d.name,
+        d.severity,
+        json::string(&d.query),
+        d.line,
+        d.column,
+        json::string(&d.message),
+    )
+}
+
+/// Renders one pair analysis as a JSON object.
+fn pair_analysis_to_json(pair: &dioph_analyze::PairAnalysis) -> String {
+    let cost = match &pair.cost {
+        Some(cost) => {
+            let probe = match cost.probe_space {
+                Some(n) => n.to_string(),
+                None => "null".to_string(),
+            };
+            format!(
+                "{{\"probe_space\":{probe},\"lp_unknowns\":{},\"lp_rows_bound\":{}}}",
+                cost.lp_unknowns, cost.lp_rows_bound
+            )
+        }
+        None => "null".to_string(),
+    };
+    format!(
+        "{{\"index\":{},\"containee\":{},\"containing\":{},\"fragment\":\"{}\",\"cost\":{cost}}}",
+        pair.index,
+        json::string(&pair.containee),
+        json::string(&pair.containing),
+        pair.fragment.label(),
+    )
+}
+
+fn cmd_check(args: &[String], stdin: &mut dyn Read, out: &mut dyn Write) -> Result<(), CliError> {
+    let opts = parse_check_opts(args)?;
+    let sources = read_sources(&opts.files, stdin)?;
+    let mut human = String::new();
+    let mut json_files: Vec<String> = Vec::new();
+    let mut totals = (0usize, 0usize, 0usize);
+    let mut exit = 0;
+    for source in &sources {
+        let analysis = analyze_source(&source.text, &opts.config);
+        let (errors, warnings, notes) = analysis.counts();
+        totals = (totals.0 + errors, totals.1 + warnings, totals.2 + notes);
+        exit = exit.max(analysis.max_severity().map_or(0, Severity::exit_code));
+        if opts.json {
+            let diagnostics: Vec<String> =
+                analysis.all_diagnostics().map(diagnostic_to_json).collect();
+            let pairs: Vec<String> = analysis.pairs.iter().map(pair_analysis_to_json).collect();
+            json_files.push(format!(
+                "{{\"file\":{},\"diagnostics\":[{}],\"pairs\":[{}]}}",
+                json::string(&source.name),
+                diagnostics.join(","),
+                pairs.join(","),
+            ));
+        } else {
+            for d in analysis.all_diagnostics() {
+                writeln!(human, "{}", d.render(&source.name))
+                    .expect("writing to a String cannot fail");
+            }
+            for pair in &analysis.pairs {
+                let cost = match &pair.cost {
+                    Some(c) => match c.probe_space {
+                        Some(p) => format!(
+                            " (probe space {p}, lp ≤ {}×{})",
+                            c.lp_unknowns, c.lp_rows_bound
+                        ),
+                        None => {
+                            format!(" (lp ≤ {}×{})", c.lp_unknowns, c.lp_rows_bound)
+                        }
+                    },
+                    None => String::new(),
+                };
+                writeln!(
+                    human,
+                    "{}: pair {} ({} ⊑b {}): {}{cost}",
+                    source.name, pair.index, pair.containee, pair.containing, pair.fragment
+                )
+                .expect("writing to a String cannot fail");
+            }
+        }
+    }
+    if opts.json {
+        write_out(
+            out,
+            &format!(
+                "{{\"command\":\"check\",\"files\":[{}],\"summary\":{{\"errors\":{},\
+                 \"warnings\":{},\"notes\":{},\"exit\":{exit}}}}}\n",
+                json_files.join(","),
+                totals.0,
+                totals.1,
+                totals.2,
+            ),
+        )?;
+    } else {
+        if totals != (0, 0, 0) {
+            writeln!(
+                human,
+                "check: {} error(s), {} warning(s), {} note(s)",
+                totals.0, totals.1, totals.2
+            )
+            .expect("writing to a String cannot fail");
+        }
+        write_out(out, &human)?;
+    }
+    if exit == 0 {
+        Ok(())
+    } else {
+        Err(CliError::Lints(exit))
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -1301,7 +1564,7 @@ mod tests {
     /// Runs `dispatch` against in-memory stdin/stdout; returns the captured
     /// stdout alongside the outcome (batch writes output even on failure).
     fn run_captured(args: &[&str], stdin: &str) -> (Result<(), CliError>, String) {
-        let args: Vec<String> = args.iter().map(|a| a.to_string()).collect();
+        let args: Vec<String> = args.iter().map(std::string::ToString::to_string).collect();
         let mut input = stdin.as_bytes();
         let mut out: Vec<u8> = Vec::new();
         let result = dispatch(&args, &mut input, &mut out);
@@ -1316,6 +1579,7 @@ mod tests {
             }
             (Err(CliError::Reported), _) => panic!("unexpected mid-stream failure"),
             (Err(CliError::BrokenPipe), _) => panic!("unexpected broken pipe"),
+            (Err(CliError::Lints(code)), out) => panic!("unexpected lint exit {code}:\n{out}"),
         }
     }
 
@@ -1326,6 +1590,19 @@ mod tests {
             (Err(CliError::Failure(m)), _) => (false, m),
             (Err(CliError::Reported), _) => (false, "<reported on stderr>".to_string()),
             (Err(CliError::BrokenPipe), _) => panic!("unexpected broken pipe"),
+            (Err(CliError::Lints(code)), out) => panic!("unexpected lint exit {code}:\n{out}"),
+        }
+    }
+
+    /// Runs `check`, returning the exit code and the captured report.
+    fn run_check(args: &[&str], stdin: &str) -> (i32, String) {
+        match run_captured(args, stdin) {
+            (Ok(()), out) => (0, out),
+            (Err(CliError::Lints(code)), out) => (code, out),
+            (Err(CliError::Usage(m) | CliError::Failure(m)), _) => {
+                panic!("unexpected error: {m}")
+            }
+            (Err(CliError::Reported | CliError::BrokenPipe), _) => panic!("unexpected outcome"),
         }
     }
 
@@ -1743,6 +2020,92 @@ mod tests {
     fn undecidable_containees_fail_with_context() {
         let (_, message) = run_err(&["decide"], "q(x) <- R(x, y). p(x) <- R(x, x).");
         assert!(message.contains("projection-free"), "{message}");
+    }
+
+    #[test]
+    fn decide_fragment_errors_name_the_position_of_the_variable() {
+        // The projection-bearing variable y sits at line 1, column 14.
+        let (usage, message) = run_err(&["decide"], "q(x) <- R(x, y).\np(x) <- R(x, x).");
+        assert!(!usage);
+        assert!(message.starts_with("<stdin>:1:14: error[D002]"), "{message}");
+        assert!(message.contains("cannot decide q ⊑b p"), "{message}");
+        // An unsafe containee points at the offending head variable.
+        let (_, message) = run_err(&["decide"], "q(x, z) <- R(x, x).\np(x, z) <- R(x, z).");
+        assert!(message.starts_with("<stdin>:1:6: error[D001]"), "{message}");
+        // equiv validates both sides; a right-hand defect is positioned too.
+        let (_, message) = run_err(&["equiv"], "q(x) <- R(x, x).\np(x) <- R(x, y).\n");
+        assert!(message.starts_with("<stdin>:2:14: error[D002]"), "{message}");
+        assert!(message.contains("cannot decide p ⊑b q"), "{message}");
+        // decide only validates the left side: the same program decides fine.
+        let out = run_ok(&["decide"], "q(x) <- R(x, x).\np(x) <- R(x, y).\n");
+        assert!(out.contains("q ⊑b p"), "{out}");
+        // Set semantics accepts projection-bearing containees unchanged.
+        let out = run_ok(&["decide", "--set"], "q(x) <- R(x, y).\np(x) <- R(x, x).");
+        assert!(out.contains("⊑s"), "{out}");
+    }
+
+    #[test]
+    fn check_clean_program_is_exit_zero_with_fragment_labels() {
+        let (code, out) = run_check(&["check"], ACCEPTANCE);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("pair 1 (q ⊑b p): paper-decidable"), "{out}");
+        assert!(!out.contains("error["), "{out}");
+    }
+
+    #[test]
+    fn check_reports_spanned_diagnostics_with_severity_exit_codes() {
+        // An error-level defect (projection-bearing containee): exit 2.
+        let (code, out) = run_check(&["check"], "q(x) <- R(x, y).\np(x) <- R(x, x).");
+        assert_eq!(code, 2, "{out}");
+        assert!(out.contains("<stdin>:1:14: error[D002]"), "{out}");
+        assert!(out.contains("pair 1 (q ⊑b p): bag-set"), "{out}");
+        assert!(out.contains("check: 1 error(s)"), "{out}");
+        // A warning-level defect (duplicate atom): exit 1.
+        let dup = "q(x) <- R(x, x), R(x, x).\np(x) <- R(x, x).";
+        let (code, out) = run_check(&["check"], dup);
+        assert_eq!(code, 1, "{out}");
+        assert!(out.contains("warning[D013]"), "{out}");
+        // --deny warnings promotes it to exit 2; --allow silences it.
+        let (code, _) = run_check(&["check", "--deny", "warnings"], dup);
+        assert_eq!(code, 2);
+        let (code, out) = run_check(&["check", "--allow", "duplicate-atom"], dup);
+        assert_eq!(code, 0, "{out}");
+        // -W opts an allow-by-default lint in.
+        let cart = "q(x, y) <- R(x, x), S(y, y).\np(x, y) <- R(x, y), S(y, x).";
+        let (code, _) = run_check(&["check"], cart);
+        assert_eq!(code, 0);
+        let (code, out) = run_check(&["check", "-W", "cartesian-product-body"], cart);
+        assert_eq!(code, 1);
+        assert!(out.contains("warning[D011]"), "{out}");
+        // A syntax error is a D000 diagnostic, not a CLI failure.
+        let (code, out) = run_check(&["check"], "q(x <- R(x, x).");
+        assert_eq!(code, 2, "{out}");
+        assert!(out.contains("error[D000]"), "{out}");
+    }
+
+    #[test]
+    fn check_json_documents_the_run() {
+        let (code, out) =
+            run_check(&["check", "--json"], "q(x) <- R(x, x), R(x, x).\np(x) <- R(x, x).");
+        assert_eq!(code, 1, "{out}");
+        assert!(out.starts_with("{\"command\":\"check\","), "{out}");
+        assert!(out.contains("\"code\":\"D013\""), "{out}");
+        assert!(out.contains("\"span\":{\"start\":17,\"end\":24}"), "{out}");
+        assert!(out.contains("\"fragment\":\"paper-decidable\""), "{out}");
+        assert!(out.contains("\"cost\":{\"probe_space\":1,"), "{out}");
+        assert!(
+            out.contains("\"summary\":{\"errors\":0,\"warnings\":1,\"notes\":0,\"exit\":1}"),
+            "{out}"
+        );
+        assert!(out.ends_with("}\n"), "{out}");
+    }
+
+    #[test]
+    fn check_rejects_unknown_lints_and_flags() {
+        assert!(run_err(&["check", "--deny", "D999"], "").0);
+        assert!(run_err(&["check", "--allow", "nonsense"], "").0);
+        assert!(run_err(&["check", "-W"], "").0, "-W needs a value");
+        assert!(run_err(&["check", "--frobnicate"], "").0);
     }
 
     #[test]

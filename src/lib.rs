@@ -9,6 +9,9 @@
 //! * [`linalg`] — exact LP feasibility (Fourier–Motzkin and simplex);
 //! * [`poly`] — monomials, polynomials and Monomial–Polynomial Inequalities;
 //! * [`cq`] — conjunctive queries, homomorphisms, probe tuples, parsing;
+//! * [`analyze`] — span-carrying static analysis: lints with stable codes,
+//!   fragment classification and static cost bounds (the machinery behind
+//!   `diophantus check`);
 //! * [`bagdb`] — set/bag instances and Equation-2 evaluation;
 //! * [`containment`] — the set- and bag-containment deciders with
 //!   counterexample extraction (the paper's contribution);
@@ -33,6 +36,7 @@
 pub mod cli;
 mod jsonv;
 
+pub use dioph_analyze as analyze;
 pub use dioph_arith as arith;
 pub use dioph_bagdb as bagdb;
 pub use dioph_containment as containment;
@@ -42,6 +46,10 @@ pub use dioph_linalg as linalg;
 pub use dioph_poly as poly;
 pub use dioph_workloads as workloads;
 
+pub use dioph_analyze::{
+    analyze_source, classify_pair, estimate_cost, CostEstimate, Diagnostic, FragmentClass,
+    LintConfig, ProgramAnalysis, Severity,
+};
 pub use dioph_arith::{Integer, Natural, Rational};
 pub use dioph_bagdb::{bag_answer_multiplicity, bag_answers, BagInstance, SetInstance};
 pub use dioph_containment::{

@@ -1,0 +1,164 @@
+//! Pins the static analysis pass against the real engine: the cost
+//! estimates of `dioph-analyze` are computed without compiling anything,
+//! so these tests build the actual [`CompiledPair`] for every example and
+//! generated workload pair and assert that
+//!
+//! * the static probe-space count equals `ProbeSpace::raw_len` of the
+//!   compiled pair,
+//! * the static LP unknown count equals the dimension of the compiled
+//!   most-general probe's strict homogeneous system (Theorem 4.1), and
+//! * the static row bound dominates both the polynomial's term count and
+//!   the row count of the materialised system,
+//!
+//! and that the fragment classifier labels every committed example pair
+//! and every `WorkloadKind` suite the way the engine's admission check
+//! does.
+
+use diophantus::containment::CompiledPair;
+use diophantus::cq::{parse_program, ConjunctiveQuery};
+use diophantus::workloads::{generate_pairs, WorkloadKind};
+use diophantus::{classify_pair, estimate_cost, FragmentClass};
+
+const ALL_KINDS: [WorkloadKind; 6] = [
+    WorkloadKind::Specialization { atoms: 4 },
+    WorkloadKind::Inflated { atoms: 4 },
+    WorkloadKind::Contained { atoms: 4 },
+    WorkloadKind::Path { length: 2 },
+    WorkloadKind::ExponentialMapping { mappings_log2: 1 },
+    WorkloadKind::ThreeColorability { vertices: 5 },
+];
+
+const EXAMPLES: [&str; 3] = [
+    "examples/workloads/section2.dl",
+    "examples/workloads/section3.dl",
+    "examples/workloads/probe_example.dl",
+];
+
+fn example_pairs(path: &str) -> Vec<(ConjunctiveQuery, ConjunctiveQuery)> {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("{path}: {e}"));
+    let queries = parse_program(&text).unwrap_or_else(|e| panic!("{path}: {e}"));
+    assert!(queries.len().is_multiple_of(2), "{path}: odd query count");
+    let mut queries = queries.into_iter();
+    let mut pairs = Vec::new();
+    while let (Some(a), Some(b)) = (queries.next(), queries.next()) {
+        pairs.push((a, b));
+    }
+    pairs
+}
+
+/// Asserts the static estimate against the dimensions the engine actually
+/// materialises for one paper-decidable pair.
+fn assert_estimate_matches_engine(
+    containee: &ConjunctiveQuery,
+    containing: &ConjunctiveQuery,
+    label: &str,
+) {
+    let estimate = estimate_cost(containee, containing);
+    let compiled = CompiledPair::new(containee.clone(), containing.clone())
+        .unwrap_or_else(|e| panic!("{label}: engine rejected a paper-decidable pair: {e}"));
+
+    // Probe space: the static count is exact.
+    assert_eq!(
+        estimate.probe_space,
+        Some(compiled.probe_space().raw_len() as u128),
+        "{label}: probe space"
+    );
+
+    // LP unknowns: exactly the dimension of the strict homogeneous system
+    // built from the most-general probe's MPI.
+    let probe = compiled.most_general();
+    let system = probe.mpi().to_strict_system();
+    assert_eq!(probe.dimension(), system.dimension(), "{label}: MPI vs system dimension");
+    assert_eq!(estimate.lp_unknowns, probe.dimension() as u64, "{label}: LP unknowns");
+
+    // Row bound: one system row per polynomial term, at most one term per
+    // containment mapping — the static bound must dominate all three.
+    let terms = probe.mpi().polynomial().term_count() as u128;
+    assert!(
+        estimate.lp_rows_bound >= terms,
+        "{label}: row bound {} < {terms} polynomial terms",
+        estimate.lp_rows_bound
+    );
+    assert!(
+        estimate.lp_rows_bound >= system.len() as u128,
+        "{label}: row bound {} < {} system rows",
+        estimate.lp_rows_bound,
+        system.len()
+    );
+    assert!(
+        estimate.lp_rows_bound >= probe.mapping_count() as u128,
+        "{label}: row bound {} < {} containment mappings",
+        estimate.lp_rows_bound,
+        probe.mapping_count()
+    );
+}
+
+#[test]
+fn example_workloads_classify_as_documented() {
+    // Every committed example pair has a projection-free containee, so the
+    // whole directory sits in the paper fragment — including section2
+    // pairs 3 and 4, whose *containing* query q3 carries projections.
+    for path in EXAMPLES {
+        let pairs = example_pairs(path);
+        assert!(!pairs.is_empty(), "{path}: no pairs");
+        for (i, (containee, containing)) in pairs.iter().enumerate() {
+            assert_eq!(
+                classify_pair(containee, containing),
+                FragmentClass::PaperDecidable,
+                "{path} pair {}",
+                i + 1
+            );
+        }
+    }
+}
+
+#[test]
+fn example_estimates_match_the_compiled_pair() {
+    for path in EXAMPLES {
+        for (i, (containee, containing)) in example_pairs(path).iter().enumerate() {
+            assert_estimate_matches_engine(
+                containee,
+                containing,
+                &format!("{path} pair {}", i + 1),
+            );
+        }
+    }
+}
+
+#[test]
+fn section3_estimates_are_exact() {
+    // The paper's running example: the grounded containee has 3 distinct
+    // atoms (unknowns u1, u2, u3) and the containing query's 2 existential
+    // variables range over a 4-element active domain, bounding the mapping
+    // count by 16. The engine's actual polynomial stays within the bound.
+    let (containee, containing) =
+        example_pairs("examples/workloads/section3.dl").into_iter().next().unwrap();
+    let estimate = estimate_cost(&containee, &containing);
+    assert_eq!(estimate.lp_unknowns, 3);
+    assert_eq!(estimate.lp_rows_bound, 16);
+    assert_eq!(estimate.probe_space, Some(16), "4-element domain, arity 2");
+
+    let compiled = CompiledPair::new(containee, containing).unwrap();
+    let probe = compiled.most_general();
+    assert_eq!(probe.dimension(), 3);
+    assert!(probe.mapping_count() <= 16);
+    assert_eq!(compiled.probe_space().raw_len(), 16);
+}
+
+#[test]
+fn generated_suites_classify_paper_decidable_with_matching_estimates() {
+    // Every generator family emits projection-free containees by
+    // construction; the classifier and the engine must agree on all of
+    // them, and the static cost pass must match what the engine builds.
+    for kind in ALL_KINDS {
+        for pair in generate_pairs(kind, 3, 2019) {
+            assert_eq!(
+                classify_pair(&pair.containee, &pair.containing),
+                FragmentClass::PaperDecidable,
+                "{}",
+                pair.label
+            );
+            assert_estimate_matches_engine(&pair.containee, &pair.containing, &pair.label);
+        }
+    }
+}

@@ -88,6 +88,13 @@ impl Json {
             other => panic!("expected an array, got {other:?}"),
         }
     }
+
+    fn as_f64(&self) -> f64 {
+        match self {
+            Json::Number(n) => *n,
+            other => panic!("expected a number, got {other:?}"),
+        }
+    }
 }
 
 struct JsonParser<'a> {
@@ -622,4 +629,93 @@ fn workload_files_decide_with_the_paper_verdicts() {
     let probe = dir.join("probe_example.dl");
     let out = stdout_of(&["decide", "--algorithm", "all-probes", probe.to_str().unwrap()], "");
     assert!(out.contains("contained (checked 16 probe tuple(s))"), "{out}");
+}
+
+// ---------------------------------------------------------------------------
+// check: the static analysis subcommand
+// ---------------------------------------------------------------------------
+
+#[test]
+fn check_clean_input_exits_zero_with_fragment_labels() {
+    let out = run(&["check"], ACCEPTANCE);
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("pair 1 (q ⊑b p): paper-decidable"), "{text}");
+
+    // The committed example workloads are lint-clean at --deny warnings.
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("examples/workloads");
+    for file in ["section2.dl", "section3.dl", "probe_example.dl"] {
+        let path = dir.join(file);
+        let out = run(&["check", "--deny", "warnings", path.to_str().unwrap()], "");
+        assert_eq!(out.status.code(), Some(0), "{file} must lint clean");
+    }
+}
+
+#[test]
+fn check_warnings_exit_one_and_deny_promotes_to_two() {
+    let dup = "q(x) <- R(x, x), R(x, x).\np(x) <- R(x, x).";
+    let out = run(&["check"], dup);
+    assert_eq!(out.status.code(), Some(1));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("<stdin>:1:18: warning[D013] duplicate-atom"), "{text}");
+
+    let out = run(&["check", "--deny", "warnings"], dup);
+    assert_eq!(out.status.code(), Some(2), "--deny warnings promotes the exit code");
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("error[D013]"), "{text}");
+
+    let out = run(&["check", "--allow", "D013"], dup);
+    assert_eq!(out.status.code(), Some(0), "--allow silences the lint");
+}
+
+#[test]
+fn check_json_matches_the_golden_fixture_byte_for_byte() {
+    // The fixture input is piped through stdin so the reported file name
+    // (`<stdin>`) — and therefore every byte of the output — is independent
+    // of where the checkout lives.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let input = std::fs::read_to_string(root.join("tests/golden/check.dl")).unwrap();
+    let expected = std::fs::read_to_string(root.join("tests/golden/check.json")).unwrap();
+    let out = run(&["check", "--json"], &input);
+    assert_eq!(out.status.code(), Some(2), "the fixture holds two error-level lints");
+    assert_eq!(String::from_utf8(out.stdout).unwrap(), expected, "check --json output drifted");
+}
+
+#[test]
+fn check_json_reports_every_generated_suite_clean() {
+    // `gen | check --deny warnings --json` is the CI smoke: every generator
+    // must emit lint-clean programs (cost notes are allowed — they do not
+    // affect the exit code).
+    for kind in ["spec", "inflated", "contained", "path", "expmap", "threecol"] {
+        let workload = stdout_of(&["gen", kind, "--count", "3", "--seed", "2019"], "");
+        let out = run(&["check", "--deny", "warnings", "--json"], &workload);
+        assert_eq!(out.status.code(), Some(0), "gen {kind} must lint clean");
+        let doc = Json::parse(&String::from_utf8(out.stdout).unwrap());
+        let summary = doc.get("summary");
+        assert_eq!(summary.get("errors").as_f64(), 0.0, "{kind}");
+        assert_eq!(summary.get("warnings").as_f64(), 0.0, "{kind}");
+        // Every generated pair is inside the paper fragment.
+        for file in doc.get("files").as_array() {
+            for pair in file.get("pairs").as_array() {
+                assert_eq!(pair.get("fragment").as_str(), "paper-decidable", "{kind}");
+            }
+        }
+    }
+}
+
+#[test]
+fn decide_on_bad_file_input_names_file_line_and_column() {
+    let dir = std::env::temp_dir().join(format!("dioph-check-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("projection.dl");
+    std::fs::write(&path, "q(x) <- R(x, y).\np(x) <- R(x, x).\n").unwrap();
+    let out = run(&["decide", path.to_str().unwrap()], "");
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(
+        stderr.contains(&format!("{}:1:14: error[D002]", path.display())),
+        "decide must name the file, line and column of the offending variable: {stderr}"
+    );
+    assert!(stderr.contains("projection-free"), "{stderr}");
+    std::fs::remove_dir_all(&dir).unwrap();
 }

@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Greps first-party sources for constructs that must never reach main,
+# independently of (and in addition to) the clippy lint gate:
+#
+#   * dbg!(...), todo!(...), unimplemented!(...) — debug leftovers;
+#   * non-Relaxed atomic memory orderings outside #[cfg(test)] code — the
+#     engine's atomics are flags and counters with no cross-thread data
+#     dependencies (channels carry the data), so every ordering is Relaxed;
+#     anything stronger is either a mistake or needs a design discussion.
+#
+# Exits non-zero listing every offending line. Vendored crates under
+# vendor/ keep their upstream style and are not scanned.
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+
+scan() {
+    local label="$1" pattern="$2"
+    # First-party Rust sources only: the facade, the workspace crates and
+    # the integration tests; vendor/ and target/ are excluded.
+    local matches
+    matches=$(grep -rnE "$pattern" src crates tests --include='*.rs' | grep -v '^\s*//' || true)
+    if [ -n "$matches" ]; then
+        echo "forbid.sh: $label:" >&2
+        echo "$matches" >&2
+        fail=1
+    fi
+}
+
+scan "dbg! macro left in code" '\bdbg!\('
+scan "todo! macro left in code" '\btodo!\('
+scan "unimplemented! macro left in code" '\bunimplemented!\('
+
+# Atomic orderings: match the std::sync::atomic::Ordering variants only —
+# cmp::Ordering (Less/Equal/Greater) appears all over the codebase and is
+# fine. Test modules are allowed to use stronger orderings for stress
+# harnesses; first-party non-test code must stay Relaxed.
+ordering_matches=$(grep -rnE 'Ordering::(SeqCst|Acquire|Release|AcqRel)' src crates --include='*.rs' \
+    | grep -v '^\s*//' || true)
+if [ -n "$ordering_matches" ]; then
+    filtered=""
+    while IFS= read -r line; do
+        file="${line%%:*}"
+        # Allow matches in files' #[cfg(test)] regions: approximate by
+        # checking whether the match line comes after a `mod tests` marker.
+        lineno=$(echo "$line" | cut -d: -f2)
+        teststart=$(grep -n '#\[cfg(test)\]' "$file" | head -1 | cut -d: -f1)
+        if [ -n "$teststart" ] && [ "$lineno" -gt "$teststart" ]; then
+            continue
+        fi
+        filtered="${filtered}${line}"$'\n'
+    done <<< "$ordering_matches"
+    if [ -n "${filtered%$'\n'}" ]; then
+        echo "forbid.sh: non-Relaxed atomic ordering outside #[cfg(test)]:" >&2
+        printf '%s' "$filtered" >&2
+        fail=1
+    fi
+fi
+
+if [ "$fail" -eq 0 ]; then
+    echo "forbid.sh: clean"
+fi
+exit "$fail"
