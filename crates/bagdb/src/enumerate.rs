@@ -1,0 +1,197 @@
+//! Bounded enumeration of ground atoms and bag instances.
+//!
+//! The Ioannidis–Ramakrishnan polynomial-encoding viewpoint turns bag
+//! containment over a *fixed* fact set into a statement about polynomials in
+//! the facts' multiplicities, so exhaustively sweeping every multiplicity
+//! vector below a bound is a complete ground truth **for that fact set and
+//! bound**. These helpers are the substrate of that sweep: [`ground_atoms`]
+//! spans the fact space of a schema over a bounded active domain, and
+//! [`enumerate_bounded_bags`] walks every bag over a fact list with
+//! multiplicities `0..=max` in a fixed odometer order, which is what the
+//! differential fuzzing oracle uses as its brute-force side.
+
+use dioph_arith::Natural;
+use dioph_cq::{Atom, Term};
+
+use crate::instance::BagInstance;
+
+/// All ground atoms over the given relation schema and active domain, in a
+/// deterministic order (relations in input order, argument tuples in
+/// odometer order over the domain).
+///
+/// # Panics
+/// Panics if any domain term is not a constant.
+pub fn ground_atoms(relations: &[(String, usize)], domain: &[Term]) -> Vec<Atom> {
+    for term in domain {
+        assert!(term.as_var().is_none(), "the active domain holds constants, got variable {term}");
+    }
+    let mut out = Vec::new();
+    for (name, arity) in relations {
+        if domain.is_empty() && *arity > 0 {
+            continue;
+        }
+        // Odometer over `arity` digits in base `domain.len()`; a full wrap
+        // (including the zero-digit wrap of a nullary relation) ends the
+        // walk for this relation.
+        let mut digits = vec![0usize; *arity];
+        loop {
+            out.push(Atom::new(name.clone(), digits.iter().map(|&d| domain[d].clone()).collect()));
+            let mut wrapped = true;
+            for pos in (0..*arity).rev() {
+                digits[pos] += 1;
+                if digits[pos] < domain.len() {
+                    wrapped = false;
+                    break;
+                }
+                digits[pos] = 0;
+            }
+            if wrapped {
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// Number of bags [`enumerate_bounded_bags`] will yield for `fact_count`
+/// facts and multiplicities `0..=max_multiplicity`: `(max+1)^facts`.
+/// `None` when the count overflows `u128` — a sweep that large should be
+/// sampled, not enumerated.
+pub fn bounded_bag_count(fact_count: usize, max_multiplicity: u64) -> Option<u128> {
+    let base = u128::from(max_multiplicity) + 1;
+    let mut total: u128 = 1;
+    for _ in 0..fact_count {
+        total = total.checked_mul(base)?;
+    }
+    Some(total)
+}
+
+/// Iterator over **every** bag instance on a fixed fact list with each
+/// multiplicity drawn from `0..=max_multiplicity`, in odometer order
+/// (the all-zero, i.e. empty, bag first; the last fact's multiplicity varies
+/// fastest). See [`enumerate_bounded_bags`].
+#[derive(Clone, Debug)]
+pub struct BoundedBags {
+    facts: Vec<Atom>,
+    multiplicities: Vec<u64>,
+    max: u64,
+    done: bool,
+}
+
+impl Iterator for BoundedBags {
+    type Item = BagInstance;
+
+    fn next(&mut self) -> Option<BagInstance> {
+        if self.done {
+            return None;
+        }
+        let bag = BagInstance::from_multiplicities(
+            self.facts
+                .iter()
+                .zip(&self.multiplicities)
+                .filter(|(_, &m)| m > 0)
+                .map(|(fact, &m)| (fact.clone(), Natural::from(m))),
+        );
+        // Advance the odometer; wrapping back to all zeros ends the walk.
+        let mut pos = self.multiplicities.len();
+        loop {
+            if pos == 0 {
+                self.done = true;
+                break;
+            }
+            pos -= 1;
+            self.multiplicities[pos] += 1;
+            if self.multiplicities[pos] <= self.max {
+                break;
+            }
+            self.multiplicities[pos] = 0;
+        }
+        Some(bag)
+    }
+}
+
+/// Enumerates every bag over `facts` with multiplicities in
+/// `0..=max_multiplicity` — `(max+1)^facts.len()` bags in total (check the
+/// size with [`bounded_bag_count`] before walking a large fact list).
+///
+/// # Panics
+/// Panics if any fact is not ground.
+pub fn enumerate_bounded_bags(facts: &[Atom], max_multiplicity: u64) -> BoundedBags {
+    for fact in facts {
+        assert!(fact.is_ground(), "bag instances contain only ground atoms, got {fact}");
+    }
+    BoundedBags {
+        facts: facts.to_vec(),
+        multiplicities: vec![0; facts.len()],
+        max: max_multiplicity,
+        done: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(n: &str) -> Term {
+        Term::constant(n)
+    }
+
+    #[test]
+    fn ground_atoms_span_the_fact_space() {
+        let relations = vec![("R".to_string(), 2), ("S".to_string(), 1)];
+        let domain = vec![c("a"), c("b")];
+        let atoms = ground_atoms(&relations, &domain);
+        // 2^2 binary facts + 2 unary facts.
+        assert_eq!(atoms.len(), 6);
+        assert_eq!(atoms[0], Atom::new("R", vec![c("a"), c("a")]));
+        assert_eq!(atoms[1], Atom::new("R", vec![c("a"), c("b")]));
+        assert_eq!(atoms[4], Atom::new("S", vec![c("a")]));
+        // Deterministic: a second call yields the identical list.
+        assert_eq!(atoms, ground_atoms(&relations, &domain));
+    }
+
+    #[test]
+    fn nullary_relations_yield_one_fact_even_on_an_empty_domain() {
+        let relations = vec![("B".to_string(), 0), ("R".to_string(), 1)];
+        let atoms = ground_atoms(&relations, &[]);
+        assert_eq!(atoms, vec![Atom::new("B", Vec::new())]);
+    }
+
+    #[test]
+    #[should_panic(expected = "constants")]
+    fn variables_are_rejected_from_the_domain() {
+        let _ = ground_atoms(&[("R".to_string(), 1)], &[Term::var("x")]);
+    }
+
+    #[test]
+    fn bag_enumeration_is_exhaustive_and_ordered() {
+        let facts = vec![Atom::new("R", vec![c("a")]), Atom::new("S", vec![c("b")])];
+        let bags: Vec<BagInstance> = enumerate_bounded_bags(&facts, 2).collect();
+        assert_eq!(bags.len(), 9);
+        assert_eq!(bounded_bag_count(facts.len(), 2), Some(9));
+        // First bag is empty, last has every multiplicity at the bound.
+        assert!(bags[0].is_empty());
+        assert_eq!(bags[8].multiplicity(&facts[0]), Natural::from(2u64));
+        assert_eq!(bags[8].multiplicity(&facts[1]), Natural::from(2u64));
+        // All distinct.
+        for (i, a) in bags.iter().enumerate() {
+            for b in &bags[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_facts_enumerate_exactly_the_empty_bag() {
+        let bags: Vec<BagInstance> = enumerate_bounded_bags(&[], 5).collect();
+        assert_eq!(bags.len(), 1);
+        assert!(bags[0].is_empty());
+        assert_eq!(bounded_bag_count(0, 5), Some(1));
+    }
+
+    #[test]
+    fn bag_count_overflow_is_reported() {
+        assert_eq!(bounded_bag_count(200, u64::MAX), None);
+        assert_eq!(bounded_bag_count(3, 3), Some(64));
+    }
+}

@@ -116,26 +116,71 @@ pub fn ucq_set_answers(
     out
 }
 
-/// `true` iff the bag answer of `containee` is a sub-bag of the bag answer of
-/// `containing` on this particular bag instance — i.e. the containment
-/// `containee ⊑b containing` is not *violated* by `bag`.
+/// A witness that one particular bag instance violates a containment
+/// `containee ⊑b containing`: an answer tuple whose multiplicity in the
+/// containee's bag answer strictly exceeds its multiplicity in the containing
+/// query's answer.
 ///
-/// This is the per-instance check used to validate extracted counterexamples
-/// and by the random-refutation baseline; the full containment decision
-/// (quantifying over all bags) lives in `dioph-containment`.
+/// Returned by [`bag_containment_holds_on`] so disagreement reports (and the
+/// fuzzing oracle's shrinker) can say *which* tuple broke the containment,
+/// not merely that one did.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct BagViolation {
+    /// The violating answer tuple.
+    pub tuple: Vec<Term>,
+    /// Multiplicity of `tuple` in the containee's answer over the bag.
+    pub containee_multiplicity: Natural,
+    /// Multiplicity of `tuple` in the containing query's answer over the bag.
+    pub containing_multiplicity: Natural,
+}
+
+impl std::fmt::Display for BagViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "tuple (")?;
+        for (i, t) in self.tuple.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(
+            f,
+            ") has containee multiplicity {} > containing multiplicity {}",
+            self.containee_multiplicity, self.containing_multiplicity
+        )
+    }
+}
+
+/// Checks that the bag answer of `containee` is a sub-bag of the bag answer
+/// of `containing` on this particular bag instance — i.e. the containment
+/// `containee ⊑b containing` is not *violated* by `bag`. On violation the
+/// first offending tuple (in tuple order, so the result is deterministic) is
+/// returned with both multiplicities.
+///
+/// This is the per-instance check used to validate extracted counterexamples,
+/// by the random-refutation baseline and by the differential fuzzing oracle;
+/// the full containment decision (quantifying over all bags) lives in
+/// `dioph-containment`.
+///
+/// # Errors
+/// The violation witness, when `bag` violates the containment.
 pub fn bag_containment_holds_on(
     containee: &ConjunctiveQuery,
     containing: &ConjunctiveQuery,
     bag: &BagInstance,
-) -> bool {
+) -> Result<(), BagViolation> {
     let lhs = bag_answers(containee, bag);
     for (tuple, mult) in lhs {
         let rhs = bag_answer_multiplicity(containing, bag, &tuple);
         if mult > rhs {
-            return false;
+            return Err(BagViolation {
+                tuple,
+                containee_multiplicity: mult,
+                containing_multiplicity: rhs,
+            });
         }
     }
-    true
+    Ok(())
 }
 
 #[cfg(test)]
@@ -188,8 +233,12 @@ mod tests {
             BagInstance::from_u64_multiplicities(paper_examples::section2_counterexample_bag());
         assert_eq!(bag_answer_multiplicity(&q1, &bag, &[c("c1"), c("c2")]), nat(4));
         assert_eq!(bag_answer_multiplicity(&q2, &bag, &[c("c1"), c("c2")]), nat(8));
-        assert!(bag_containment_holds_on(&q1, &q2, &bag));
-        assert!(!bag_containment_holds_on(&q2, &q1, &bag));
+        assert!(bag_containment_holds_on(&q1, &q2, &bag).is_ok());
+        let violation = bag_containment_holds_on(&q2, &q1, &bag).unwrap_err();
+        assert_eq!(violation.tuple, vec![c("c1"), c("c2")]);
+        assert_eq!(violation.containee_multiplicity, nat(8));
+        assert_eq!(violation.containing_multiplicity, nat(4));
+        assert!(violation.to_string().contains("8 > containing multiplicity 4"));
     }
 
     #[test]

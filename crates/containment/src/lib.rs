@@ -51,7 +51,9 @@ pub use compile::{CompiledPair, CompiledProbe};
 pub use decider::{
     are_bag_equivalent, bag_equivalence, is_bag_contained, Algorithm, BagContainmentDecider,
 };
-pub use set::{are_set_equivalent, is_bag_set_contained, set_containment, SetContainment};
+pub use set::{
+    are_set_equivalent, bag_set_containment, is_bag_set_contained, set_containment, SetContainment,
+};
 
 // Re-export the configuration enum callers need to select an LP engine.
 pub use dioph_linalg::FeasibilityEngine;

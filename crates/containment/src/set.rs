@@ -13,6 +13,9 @@
 
 use dioph_cq::{containment_mappings, is_set_contained, ConjunctiveQuery, Substitution};
 
+use crate::certificate::ContainmentError;
+use crate::compile::validate_containee;
+
 /// Result of a set-containment check, carrying the witnessing containment
 /// mapping when containment holds.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -62,13 +65,30 @@ pub fn are_set_equivalent(q1: &ConjunctiveQuery, q2: &ConjunctiveQuery) -> bool 
 ///
 /// # Panics
 /// Panics if the containee has existential variables — the equivalence with
-/// set containment is only claimed for the projection-free case.
+/// set containment is only claimed for the projection-free case. Use
+/// [`bag_set_containment`] for a non-panicking, witness-carrying variant.
 pub fn is_bag_set_contained(containee: &ConjunctiveQuery, containing: &ConjunctiveQuery) -> bool {
     assert!(
         containee.is_projection_free(),
         "bag-set containment is reduced to set containment only for projection-free containees"
     );
     is_set_contained(containee, containing)
+}
+
+/// Decides bag-set containment `containee ⊑bs containing` with a certificate:
+/// the witnessing containment mapping when it holds.
+///
+/// The containee must lie in the same fragment the bag decider accepts
+/// (non-empty body, projection-free, safe) — the Section 3 reduction to set
+/// containment is only claimed there — otherwise the corresponding
+/// [`ContainmentError`] is returned instead of panicking, mirroring
+/// [`CompiledPair::new`](crate::CompiledPair::new).
+pub fn bag_set_containment(
+    containee: &ConjunctiveQuery,
+    containing: &ConjunctiveQuery,
+) -> Result<SetContainment, ContainmentError> {
+    validate_containee(containee)?;
+    Ok(set_containment(containee, containing))
 }
 
 #[cfg(test)]
@@ -125,5 +145,28 @@ mod tests {
         let q3 = paper_examples::section2_query_q3();
         let q1 = paper_examples::section2_query_q1();
         let _ = is_bag_set_contained(&q3, &q1);
+    }
+
+    #[test]
+    fn bag_set_certificates_carry_witnesses_and_fragment_errors() {
+        let q1 = paper_examples::section2_query_q1();
+        let q2 = paper_examples::section2_query_q2();
+        let q3 = paper_examples::section2_query_q3();
+
+        let r = bag_set_containment(&q1, &q2).unwrap();
+        assert!(r.holds());
+        assert_eq!(r.witness().unwrap().get("x1"), Some(&Term::var("x1")));
+
+        let disjoint = parse_query("p(x) <- S(x, x)").unwrap();
+        assert_eq!(bag_set_containment(&q1, &disjoint).unwrap(), SetContainment::NotContained);
+
+        // Out-of-fragment containees error instead of panicking.
+        let err = bag_set_containment(&q3, &q1).unwrap_err();
+        assert!(matches!(err, crate::ContainmentError::ContaineeNotProjectionFree { .. }));
+        let empty = parse_query("e() <- true").unwrap();
+        assert!(matches!(
+            bag_set_containment(&empty, &q1).unwrap_err(),
+            crate::ContainmentError::EmptyBody { .. }
+        ));
     }
 }

@@ -1,0 +1,97 @@
+//! Seeded random case generation.
+//!
+//! Cases are deliberately *small* — the oracle's brute-force side enumerates
+//! bag databases and Equation-2 assignment spaces, so a handful of atoms over
+//! a two-relation schema is the sweet spot: cheap to sweep exhaustively, yet
+//! already rich enough to exercise every probe/LP code path. The mix covers
+//! the repo's workload families: specialisation pairs (contained by
+//! construction), inflated pairs (usually not contained), the optimizer
+//! join shapes (chains/stars/cliques with shared subqueries), and fully
+//! adversarial random pairs where containment is rare.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use dioph_cq::ConjunctiveQuery;
+use dioph_workloads::joins::{chain_pair, clique_pair, star_pair};
+use dioph_workloads::random::{
+    inflated_pair, random_cq, random_projection_free_cq, specialization_pair, QueryShape,
+};
+
+/// One generated `(containee, containing)` pair with its family label.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct FuzzCase {
+    /// The generator family the case came from (`specialization`,
+    /// `inflated`, `chain`, `star`, `clique` or `adversarial`).
+    pub label: &'static str,
+    /// The containee (left-hand side of `⊑b`), in the paper fragment.
+    pub containee: ConjunctiveQuery,
+    /// The containing query (right-hand side of `⊑b`).
+    pub containing: ConjunctiveQuery,
+}
+
+/// The query shape every random family draws from: two binary relations,
+/// three atom occurrences, two head and two existential variables, one
+/// constant, multiplicities ≤ 2. Small enough that the canonical fact set
+/// stays exhaustively sweepable.
+fn fuzz_shape() -> QueryShape {
+    QueryShape {
+        relations: vec![("R".to_string(), 2), ("S".to_string(), 2)],
+        atom_occurrences: 3,
+        head_variables: 2,
+        existential_variables: 2,
+        constants: 1,
+        max_multiplicity: 2,
+    }
+}
+
+/// Generates the case for `(seed, index)`, deterministically. The returned
+/// queries are renamed `q{index}a` / `q{index}b` in `diophantus gen` style.
+pub fn generate_case(seed: u64, index: usize) -> FuzzCase {
+    let mut rng = StdRng::seed_from_u64(crate::derive_seed(seed, index as u64));
+    let shape = fuzz_shape();
+    let (label, (containee, containing)) = match rng.random_range(0..6u32) {
+        0 => ("specialization", specialization_pair(&shape, &mut rng)),
+        1 => ("inflated", inflated_pair(&shape, &mut rng)),
+        2 => ("chain", chain_pair(rng.random_range(2..=3), &mut rng)),
+        3 => ("star", star_pair(rng.random_range(2..=3), &mut rng)),
+        4 => ("clique", clique_pair(3, &mut rng)),
+        _ => {
+            let containee = random_projection_free_cq("q_containee", &shape, &mut rng);
+            let containing = random_cq("q_containing", &shape, &mut rng);
+            ("adversarial", (containee, containing))
+        }
+    };
+    FuzzCase {
+        label,
+        containee: containee.with_name(format!("q{index}a")),
+        containing: containing.with_name(format!("q{index}b")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cases_are_deterministic_and_in_fragment() {
+        let mut labels = std::collections::BTreeSet::new();
+        for index in 0..40 {
+            let a = generate_case(7, index);
+            let b = generate_case(7, index);
+            assert_eq!(a, b);
+            assert!(a.containee.is_projection_free(), "{}", a.containee);
+            assert!(a.containee.is_safe(), "{}", a.containee);
+            assert!(a.containee.distinct_atom_count() > 0);
+            assert_eq!(a.containee.name(), format!("q{index}a"));
+            labels.insert(a.label);
+        }
+        // 40 draws hit every family with overwhelming probability.
+        assert!(labels.len() >= 5, "families seen: {labels:?}");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        assert_ne!(generate_case(1, 0).containee, generate_case(2, 0).containee);
+    }
+}

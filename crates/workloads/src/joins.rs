@@ -1,0 +1,151 @@
+//! Optimizer-trace-style join-shape workloads: chains, stars and cliques.
+//!
+//! Query optimizers fire containment checks over a narrow family of shapes —
+//! linear join chains, star schemas (one fact relation joined to many
+//! dimension relations), and dense clique joins. These generators produce
+//! `(containee, containing)` pairs in the paper fragment built on exactly
+//! those shapes: the containing query is the join shape with its interior
+//! variables existential, the containee is its image under a random
+//! substitution grounding every existential variable into a head variable or
+//! constant (the Section 2 specialisation argument, so each pair is
+//! bag-contained **by construction**). Relation names are drawn from a small
+//! shared pool, so independently generated pairs share subqueries — the
+//! workload the fuzzing oracle and the `serve` load generator both want.
+
+use rand::Rng;
+
+use dioph_cq::{Atom, ConjunctiveQuery, Substitution, Term};
+
+/// The shared relation pool all join shapes draw from. Two names keep the
+/// schema small enough that distinct pairs overlap on subqueries.
+const RELATION_POOL: [&str; 2] = ["R", "S"];
+
+fn pool_relation(rng: &mut impl Rng) -> &'static str {
+    RELATION_POOL[rng.random_range(0..RELATION_POOL.len())]
+}
+
+/// Grounds every existential variable of `containing` into a random head
+/// variable or the constant `'c0'`, yielding a projection-free containee
+/// that is bag-contained in `containing` by the specialisation argument.
+fn specialize(containing: &ConjunctiveQuery, rng: &mut impl Rng) -> ConjunctiveQuery {
+    let mut targets: Vec<Term> = containing.head().to_vec();
+    targets.push(Term::constant("c0"));
+    let sigma = Substitution::from_pairs(
+        containing
+            .existential_variables()
+            .into_iter()
+            .map(|v| (v, targets[rng.random_range(0..targets.len())].clone())),
+    );
+    containing.apply_substitution(&sigma).with_name("q_containee")
+}
+
+/// A linear join chain `q(x0, x_len) ← R₁(x0, y1), R₂(y1, y2), …,
+/// R_len(y_{len-1}, x_len)` with each `Rᵢ` drawn from the shared pool,
+/// paired with a specialisation containee. Requires `length ≥ 1`.
+pub fn chain_pair(length: usize, rng: &mut impl Rng) -> (ConjunctiveQuery, ConjunctiveQuery) {
+    assert!(length >= 1, "a chain needs at least one edge");
+    let node = |i: usize| {
+        if i == 0 {
+            Term::var("x0")
+        } else if i == length {
+            Term::var("x1")
+        } else {
+            Term::var(format!("y{i}"))
+        }
+    };
+    let body: Vec<Atom> =
+        (0..length).map(|i| Atom::new(pool_relation(rng), vec![node(i), node(i + 1)])).collect();
+    let containing = ConjunctiveQuery::from_atom_list(
+        "q_containing",
+        vec![Term::var("x0"), Term::var("x1")],
+        body,
+    );
+    (specialize(&containing, rng), containing)
+}
+
+/// A star join `q(x0) ← R₁(x0, y1), …, R_rays(x0, y_rays)` — one hub joined
+/// to `rays` existential satellites, relations from the shared pool — paired
+/// with a specialisation containee. Requires `rays ≥ 1`.
+pub fn star_pair(rays: usize, rng: &mut impl Rng) -> (ConjunctiveQuery, ConjunctiveQuery) {
+    assert!(rays >= 1, "a star needs at least one ray");
+    let hub = Term::var("x0");
+    let body: Vec<Atom> = (1..=rays)
+        .map(|i| Atom::new(pool_relation(rng), vec![hub.clone(), Term::var(format!("y{i}"))]))
+        .collect();
+    let containing = ConjunctiveQuery::from_atom_list("q_containing", vec![hub], body);
+    (specialize(&containing, rng), containing)
+}
+
+/// A clique join over `vertices` nodes — an `E` edge atom for every unordered
+/// node pair, first node free, the rest existential — paired with a
+/// specialisation containee. Requires `vertices ≥ 2`.
+pub fn clique_pair(vertices: usize, rng: &mut impl Rng) -> (ConjunctiveQuery, ConjunctiveQuery) {
+    assert!(vertices >= 2, "a clique needs at least two vertices");
+    let node = |i: usize| if i == 0 { Term::var("x0") } else { Term::var(format!("y{i}")) };
+    let mut body = Vec::new();
+    for i in 0..vertices {
+        for j in i + 1..vertices {
+            body.push(Atom::new("E", vec![node(i), node(j)]));
+        }
+    }
+    let containing = ConjunctiveQuery::from_atom_list("q_containing", vec![node(0)], body);
+    (specialize(&containing, rng), containing)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dioph_containment::is_bag_contained;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn chain_pairs_are_contained_by_construction() {
+        for seed in 0..10 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let (containee, containing) = chain_pair(3, &mut rng);
+            assert!(containee.is_projection_free(), "{containee}");
+            assert!(containee.is_safe(), "{containee}");
+            assert_eq!(containing.total_atom_count(), 3);
+            assert!(is_bag_contained(&containee, &containing).unwrap().holds());
+        }
+    }
+
+    #[test]
+    fn star_pairs_are_contained_by_construction() {
+        for seed in 0..10 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let (containee, containing) = star_pair(4, &mut rng);
+            assert!(containee.is_projection_free(), "{containee}");
+            assert_eq!(containing.total_atom_count(), 4);
+            assert!(is_bag_contained(&containee, &containing).unwrap().holds());
+        }
+    }
+
+    #[test]
+    fn clique_pairs_are_contained_by_construction() {
+        for seed in 0..5 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let (containee, containing) = clique_pair(3, &mut rng);
+            assert!(containee.is_projection_free(), "{containee}");
+            // C(3, 2) edge atoms.
+            assert_eq!(containing.total_atom_count(), 3);
+            assert!(is_bag_contained(&containee, &containing).unwrap().holds());
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_uses_the_shared_pool() {
+        let a = chain_pair(4, &mut StdRng::seed_from_u64(5));
+        let b = chain_pair(4, &mut StdRng::seed_from_u64(5));
+        assert_eq!(a, b);
+        let (_, containing) = a;
+        assert!(containing.body_atoms().all(|at| RELATION_POOL.contains(&at.relation())));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two vertices")]
+    fn degenerate_cliques_are_rejected() {
+        let _ = clique_pair(1, &mut StdRng::seed_from_u64(0));
+    }
+}

@@ -10,6 +10,8 @@
 //! * [`random`] — random conjunctive queries, including pairs that are
 //!   bag-contained by construction (specialisation pairs) and pairs designed
 //!   to break containment (experiments E4, E6, E9);
+//! * [`joins`] — optimizer-trace-style join shapes (chains, stars, cliques
+//!   over a shared relation pool) with specialisation containees;
 //! * [`refutation`] — the sound-but-incomplete random-bag refutation baseline
 //!   (experiment E8);
 //! * [`suite`] — named, seed-reproducible workload suites (the generator
@@ -22,6 +24,7 @@
 #![warn(missing_docs)]
 
 pub mod graphs;
+pub mod joins;
 pub mod polynomials;
 pub mod random;
 pub mod refutation;
@@ -29,6 +32,7 @@ pub mod suite;
 pub mod threecol;
 
 pub use graphs::Graph;
+pub use joins::{chain_pair, clique_pair, star_pair};
 pub use random::QueryShape;
 pub use refutation::{refute_by_random_bags, RefutationConfig};
 pub use suite::{generate_pairs, WorkloadKind, WorkloadPair};

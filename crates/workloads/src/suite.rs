@@ -14,6 +14,7 @@ use rand::SeedableRng;
 use dioph_cq::{Atom, ConjunctiveQuery, Term};
 
 use crate::graphs::Graph;
+use crate::joins::{chain_pair, clique_pair, star_pair};
 use crate::random::{inflated_pair, specialization_pair, QueryShape};
 use crate::threecol::three_colorability_instance;
 
@@ -65,6 +66,24 @@ pub enum WorkloadKind {
     /// over Erdős–Rényi graphs `G(vertices, 1/2)` (the E5 workload).
     ThreeColorability {
         /// Number of vertices of each random graph.
+        vertices: usize,
+    },
+    /// Optimizer-style linear join chains with specialisation containees —
+    /// contained by construction (see [`crate::joins::chain_pair`]).
+    Chain {
+        /// Number of binary edge atoms in the chain.
+        length: usize,
+    },
+    /// Star joins (one hub, `rays` existential satellites) with
+    /// specialisation containees (see [`crate::joins::star_pair`]).
+    Star {
+        /// Number of satellite atoms joined to the hub.
+        rays: usize,
+    },
+    /// Clique joins (an edge atom per unordered vertex pair) with
+    /// specialisation containees (see [`crate::joins::clique_pair`]).
+    Clique {
+        /// Number of clique vertices.
         vertices: usize,
     },
 }
@@ -160,6 +179,16 @@ pub fn generate_pairs(kind: WorkloadKind, count: usize, seed: u64) -> Vec<Worklo
                     format!("threecol(vertices={vertices}, seed={seed})"),
                     three_colorability_instance(&Graph::random(vertices, 0.5, &mut rng)),
                 ),
+                WorkloadKind::Chain { length } => {
+                    (format!("chain(length={length}, seed={seed})"), chain_pair(length, &mut rng))
+                }
+                WorkloadKind::Star { rays } => {
+                    (format!("star(rays={rays}, seed={seed})"), star_pair(rays, &mut rng))
+                }
+                WorkloadKind::Clique { vertices } => (
+                    format!("clique(vertices={vertices}, seed={seed})"),
+                    clique_pair(vertices, &mut rng),
+                ),
             };
             WorkloadPair {
                 label,
@@ -175,13 +204,16 @@ mod tests {
     use super::*;
     use dioph_containment::is_bag_contained;
 
-    const ALL_KINDS: [WorkloadKind; 6] = [
+    const ALL_KINDS: [WorkloadKind; 9] = [
         WorkloadKind::Specialization { atoms: 4 },
         WorkloadKind::Inflated { atoms: 4 },
         WorkloadKind::Contained { atoms: 4 },
         WorkloadKind::Path { length: 2 },
         WorkloadKind::ExponentialMapping { mappings_log2: 1 },
         WorkloadKind::ThreeColorability { vertices: 5 },
+        WorkloadKind::Chain { length: 3 },
+        WorkloadKind::Star { rays: 3 },
+        WorkloadKind::Clique { vertices: 3 },
     ];
 
     #[test]
@@ -219,6 +251,9 @@ mod tests {
             WorkloadKind::Specialization { atoms: 4 },
             WorkloadKind::Contained { atoms: 4 },
             WorkloadKind::Path { length: 1 },
+            WorkloadKind::Chain { length: 3 },
+            WorkloadKind::Star { rays: 3 },
+            WorkloadKind::Clique { vertices: 3 },
         ] {
             for pair in generate_pairs(kind, 3, 11) {
                 assert!(

@@ -5,10 +5,10 @@
 //! stays as dependency-free as the rest of the workspace (the build
 //! environment has no crates.io access).
 //!
-//! Six subcommands drive the pipeline end to end:
+//! The subcommands drive the pipeline end to end:
 //!
 //! * `decide` — parse datalog query pairs from files or stdin and decide
-//!   set/bag containment, printing verdicts and counterexample bags;
+//!   set/bag/bag-set containment, printing verdicts and counterexample bags;
 //! * `equiv` — decide bag equivalence (mutual containment) per pair;
 //! * `batch` — the streaming front-end of `dioph-engine`: decide a
 //!   continuous stream of pairs on a worker pool (`--jobs`), emitting one
@@ -16,9 +16,14 @@
 //!   per-pair failures (`--keep-going`);
 //! * `verify` — re-check the counterexample bags of a `--json` output file
 //!   with the independent Equation-2 bag evaluator;
+//! * `fuzz` — the differential fuzzing oracle of `dioph-fuzz`: seeded
+//!   random pairs are decided through the probe pool and cross-checked
+//!   against brute-force bag-database ground truth, certificate replay and
+//!   Chandra–Merlin set containment; disagreements are shrunk to minimal
+//!   reproducers;
 //! * `gen` — emit seed-reproducible random workloads (specialisation pairs,
-//!   3-colorability reductions, E4/E6/E9 shapes) in the same datalog
-//!   notation `decide` reads;
+//!   3-colorability reductions, E4/E6/E9 shapes, optimizer join shapes) in
+//!   the same datalog notation `decide` reads;
 //! * `bench` — time a workload file and print per-pair latency statistics.
 //!
 //! `decide` and `equiv` also take `--jobs N`: with more than one job they
@@ -38,11 +43,12 @@ use dioph_analyze::{analyze_source, containee_fragment_diagnostics, LintConfig, 
 use dioph_arith::Natural;
 use dioph_bagdb::{bag_answer_multiplicity, BagInstance};
 use dioph_containment::{
-    json, set_containment, Algorithm, BagContainment, BagContainmentDecider, CompiledPair,
-    ContainmentError, FeasibilityEngine,
+    bag_set_containment, json, set_containment, Algorithm, BagContainment, BagContainmentDecider,
+    CompiledPair, ContainmentError, FeasibilityEngine, SetContainment,
 };
 use dioph_cq::{parse_program_spanned, parse_query, Atom, ConjunctiveQuery, SpannedQuery, Term};
 use dioph_engine::{DecisionEngine, EngineConfig, JobReader, Verdict};
+use dioph_fuzz::{run_fuzz, run_replay, FuzzConfig, Injection};
 use dioph_workloads::suite::{generate_pairs, WorkloadKind, WorkloadPair};
 
 use crate::jsonv::Json;
@@ -79,8 +85,14 @@ COMMANDS:
               pair, and static cost advisories. Exits with the worst
               severity found: 0 (clean or notes), 1 (warnings), 2 (errors).
     verify    Re-check the counterexample bags recorded in `--json` output
-              (from decide, equiv or batch) with the independent Equation-2
-              bag evaluator. Exits 1 if any certificate fails.
+              (from decide, equiv, batch or fuzz) with the independent
+              Equation-2 bag evaluator. Exits 1 if any certificate fails.
+    fuzz      Differential fuzzing: seeded random pairs in the paper
+              fragment are decided through the probe pool and cross-checked
+              against brute-force bag-database ground truth, certificate
+              replay and set containment as a necessary condition.
+              Disagreements are shrunk to minimal reproducers; exits 1 if
+              any disagreement survives.
     gen       Emit a seed-reproducible random workload in the same datalog
               notation `decide` reads.
     bench     Time the decision procedure on a workload and print per-pair
@@ -91,6 +103,10 @@ COMMANDS:
 OPTIONS (decide, equiv, batch, bench):
     --bag                Bag semantics (default).
     --set                Set semantics (Chandra–Merlin); decide/equiv only.
+    --bag-set            Bag-set semantics (bag queries over set databases);
+                         decide/equiv only. Requires a projection-free
+                         containee, where the verdict coincides with set
+                         containment (the paper's Section 3 remark).
     --algorithm <NAME>   most-general (default) | all-probes | guess-check
     --budget <N>         Enumeration budget for guess-check (default 1000000).
     --engine <NAME>      simplex (default) | fourier-motzkin
@@ -120,13 +136,33 @@ OPTIONS (check):
                          catalogued in docs/diagnostics.md.
     --json               One machine-readable document for the whole run.
 
+OPTIONS (fuzz):
+    --seed <S>           Master seed (default 538510896); every case and
+                         database stream derives from it deterministically.
+    --cases <N>          Generated cases (default 100); not with --replay.
+    --max-adom <N>       Active-domain bound for random schema databases
+                         (default 3).
+    --max-mult <N>       Multiplicity bound for every swept bag (default 2).
+    --samples <N>        Sampled bags when exhaustive enumeration is too
+                         large, and the random-database budget (default 32).
+    --replay <DIR>       Replay the *.dl corpus files in DIR (sorted by
+                         name, consecutive pairs) instead of generating.
+    --inject <BUG>       Self-test: corrupt the decider with flip-verdict or
+                         tamper-certificate and prove the oracle catches it.
+    --lp-route <NAME>    As for decide; the report is byte-identical across
+                         routes and --jobs values by construction.
+    --jobs <N>           Worker threads for the probe pool (default 1).
+    --json               Machine-readable report; `diophantus verify`
+                         re-checks its certificates and shrunk witnesses.
+
 OPTIONS (gen):
     <KIND>               spec (default) | inflated | contained | path |
-                         expmap | threecol
+                         expmap | threecol | chain | star | clique
     --count <N>          Number of pairs to emit (default 5).
     --size <K>           Size parameter: atom occurrences (spec, inflated,
                          contained), path length (path), log2 of the mapping
-                         count (expmap), vertices (threecol).
+                         count (expmap), vertices (threecol, clique), chain
+                         length (chain), rays (star).
     --seed <S>           RNG seed; output is byte-for-byte reproducible.
     --json               Machine-readable output.
 
@@ -227,6 +263,9 @@ fn dispatch(
         // appear as results arrive, not when the whole input is consumed.
         "batch" => return cmd_batch(&args[1..], stdin, out),
         "verify" => return cmd_verify(&args[1..], stdin, out),
+        // fuzz writes its report itself: the verdict lines must reach the
+        // user even when disagreements make the run exit non-zero.
+        "fuzz" => return cmd_fuzz(&args[1..], out),
         // check writes its report itself: the diagnostics must reach the
         // user even when the run ends with a non-zero lint exit code.
         "check" => return cmd_check(&args[1..], stdin, out),
@@ -247,6 +286,12 @@ fn dispatch(
 enum Semantics {
     Bag,
     Set,
+    /// Bag queries over set-valued databases: for the projection-free
+    /// containees the bag fragment admits, the verdict coincides with set
+    /// containment (the paper's Section 3 remark), but the mode still
+    /// enforces the fragment so out-of-scope pairs error instead of
+    /// silently degrading to plain set semantics.
+    BagSet,
 }
 
 impl Semantics {
@@ -254,6 +299,7 @@ impl Semantics {
         match self {
             Semantics::Bag => "bag",
             Semantics::Set => "set",
+            Semantics::BagSet => "bag-set",
         }
     }
 
@@ -262,6 +308,7 @@ impl Semantics {
         match self {
             Semantics::Bag => "⊑b",
             Semantics::Set => "⊑s",
+            Semantics::BagSet => "⊑bs",
         }
     }
 }
@@ -318,6 +365,7 @@ fn parse_decide_opts(args: &[String]) -> Result<DecideOpts, CliError> {
         match arg.as_str() {
             "--bag" => semantics = Semantics::Bag,
             "--set" => semantics = Semantics::Set,
+            "--bag-set" => semantics = Semantics::BagSet,
             "--json" => json = true,
             "--jobs" => {
                 jobs = parse_count(&next_value(&mut it, "--jobs")?, "--jobs")?;
@@ -354,9 +402,9 @@ fn parse_decide_opts(args: &[String]) -> Result<DecideOpts, CliError> {
         }
     }
     // Flag combinations that would be silently ignored are rejected instead:
-    // the set-semantics check never touches the bag machinery, and the
-    // budget only configures the guess-check enumeration.
-    if semantics == Semantics::Set {
+    // neither the set- nor the bag-set-semantics check touches the bag
+    // machinery, and the budget only configures guess-check enumeration.
+    if semantics != Semantics::Bag {
         for (set, flag) in [
             (algorithm_set, "--algorithm"),
             (engine_set, "--engine"),
@@ -366,7 +414,8 @@ fn parse_decide_opts(args: &[String]) -> Result<DecideOpts, CliError> {
         ] {
             if set {
                 return Err(CliError::Usage(format!(
-                    "{flag} only applies to bag semantics; drop --set"
+                    "{flag} only applies to bag semantics; drop --{}",
+                    semantics.name()
                 )));
             }
         }
@@ -585,20 +634,35 @@ fn decide_direction(
             let rendered = if opts.json { result.to_json() } else { result.to_string() };
             Ok((result.holds(), rendered))
         }
-        Semantics::Set => {
-            let result = set_containment(containee, containing);
-            let rendered = match (result.witness(), opts.json) {
-                (Some(witness), false) => format!("contained (witness homomorphism {witness})"),
-                (Some(witness), true) => format!(
-                    "{{\"verdict\":\"contained\",\"witness\":{}}}",
-                    json::string(&witness.to_string())
-                ),
-                (None, false) => "not contained (no containment mapping exists)".to_string(),
-                (None, true) => "{\"verdict\":\"not_contained\"}".to_string(),
-            };
-            Ok((result.holds(), rendered))
+        Semantics::Set => Ok(render_set_result(&set_containment(containee, containing), opts.json)),
+        Semantics::BagSet => {
+            let result = bag_set_containment(containee, containing).map_err(|e| {
+                CliError::Failure(format!(
+                    "cannot decide {} {} {}: {e}",
+                    containee.name(),
+                    opts.semantics.symbol(),
+                    containing.name()
+                ))
+            })?;
+            Ok(render_set_result(&result, opts.json))
         }
     }
+}
+
+/// Renders a [`SetContainment`] verdict (shared by set and bag-set modes —
+/// the latter coincides with set containment on its fragment, so both carry
+/// the same witness-homomorphism certificates).
+fn render_set_result(result: &SetContainment, json_mode: bool) -> (bool, String) {
+    let rendered = match (result.witness(), json_mode) {
+        (Some(witness), false) => format!("contained (witness homomorphism {witness})"),
+        (Some(witness), true) => format!(
+            "{{\"verdict\":\"contained\",\"witness\":{}}}",
+            json::string(&witness.to_string())
+        ),
+        (None, false) => "not contained (no containment mapping exists)".to_string(),
+        (None, true) => "{\"verdict\":\"not_contained\"}".to_string(),
+    };
+    (result.holds(), rendered)
 }
 
 /// Pre-flight fragment check for `decide`/`equiv` under bag semantics: a
@@ -609,6 +673,7 @@ fn precheck_containees(
     sources: &[LoadedSource],
     queries: &[SourcedQuery],
     mutual: bool,
+    symbol: &str,
 ) -> Result<(), CliError> {
     let config = LintConfig::new();
     for chunk in queries.chunks_exact(2) {
@@ -626,7 +691,7 @@ fn precheck_containees(
                 continue;
             };
             return Err(CliError::Failure(format!(
-                "{} (cannot decide {} ⊑b {})",
+                "{} (cannot decide {} {symbol} {})",
                 d.render(&source.name),
                 left.query.name(),
                 right.query.name(),
@@ -645,10 +710,11 @@ fn cmd_decide(args: &[String], stdin: &mut dyn Read, mutual: bool) -> CliResult 
         return Err(CliError::Usage("--keep-going only applies to batch".to_string()));
     }
     let (sources, spanned) = load_spanned_queries(&opts.files, stdin)?;
-    if opts.semantics == Semantics::Bag {
+    if opts.semantics != Semantics::Set {
         // Set semantics (Chandra–Merlin) accepts any safe-or-not shape the
-        // grammar allows, so only the bag path is pre-checked.
-        precheck_containees(&sources, &spanned, mutual)?;
+        // grammar allows; both the bag and bag-set paths enforce the
+        // projection-free containee fragment up front, with positions.
+        precheck_containees(&sources, &spanned, mutual, opts.semantics.symbol())?;
     }
     let pairs = into_pairs(spanned.into_iter().map(|(_, q)| q.query).collect())?;
     let backend = DecideBackend::from_opts(&opts);
@@ -671,7 +737,11 @@ fn cmd_decide(args: &[String], stdin: &mut dyn Read, mutual: bool) -> CliResult 
                     backward.1,
                 ));
             } else {
-                let eq_symbol = if opts.semantics == Semantics::Bag { "≡b" } else { "≡s" };
+                let eq_symbol = match opts.semantics {
+                    Semantics::Bag => "≡b",
+                    Semantics::Set => "≡s",
+                    Semantics::BagSet => "≡bs",
+                };
                 let verdict = if equivalent { "equivalent" } else { "NOT equivalent" };
                 writeln!(
                     human,
@@ -782,8 +852,11 @@ fn cmd_batch(
     out: &mut dyn Write,
 ) -> Result<(), CliError> {
     let opts = parse_decide_opts(args)?;
-    if opts.semantics == Semantics::Set {
-        return Err(CliError::Usage("batch decides bag containment; drop --set".to_string()));
+    if opts.semantics != Semantics::Bag {
+        return Err(CliError::Usage(format!(
+            "batch decides bag containment; drop --{}",
+            opts.semantics.name()
+        )));
     }
     if opts.repeat_set {
         return Err(CliError::Usage("--repeat only applies to bench".to_string()));
@@ -1084,45 +1157,7 @@ fn check_direction(
         )),
         "not_contained" => {
             let ce = member(result, "counterexample")?;
-            let probe_json = member(ce, "probe")?.as_array().ok_or("\"probe\" must be an array")?;
-            let probe: Vec<Term> = probe_json
-                .iter()
-                .map(|t| term_from_text(t.as_str().ok_or("probe terms must be strings")?))
-                .collect::<Result<_, String>>()?;
-            let bag_json = member(ce, "bag")?.as_array().ok_or("\"bag\" must be an array")?;
-            let mut entries: Vec<(Atom, Natural)> = Vec::with_capacity(bag_json.len());
-            for entry in bag_json {
-                let atom = atom_from_text(member_str(entry, "atom")?)?;
-                let mult = Natural::from_decimal_str(member_str(entry, "multiplicity")?)
-                    .map_err(|e| format!("bad multiplicity: {e}"))?;
-                entries.push((atom, mult));
-            }
-            let bag = BagInstance::from_multiplicities(entries);
-            let recorded_lhs = Natural::from_decimal_str(member_str(ce, "containee_multiplicity")?)
-                .map_err(|e| format!("bad containee_multiplicity: {e}"))?;
-            let recorded_rhs =
-                Natural::from_decimal_str(member_str(ce, "containing_multiplicity")?)
-                    .map_err(|e| format!("bad containing_multiplicity: {e}"))?;
-
-            // The independent check: Equation 2, sharing no code with the
-            // MPI route that produced the certificate.
-            let lhs = bag_answer_multiplicity(containee, &bag, &probe);
-            let rhs = bag_answer_multiplicity(containing, &bag, &probe);
-            if lhs != recorded_lhs {
-                return Err(format!(
-                    "recorded containee multiplicity {recorded_lhs}, evaluator says {lhs}"
-                ));
-            }
-            if rhs != recorded_rhs {
-                return Err(format!(
-                    "recorded containing multiplicity {recorded_rhs}, evaluator says {rhs}"
-                ));
-            }
-            if lhs <= rhs {
-                return Err(format!(
-                    "the recorded bag does not violate containment ({lhs} ≤ {rhs})"
-                ));
-            }
+            let (lhs, rhs) = check_counterexample(containee, containing, ce)?;
             Ok((
                 true,
                 format!(
@@ -1134,6 +1169,90 @@ fn check_direction(
         }
         other => Err(format!("unknown verdict '{other}'")),
     }
+}
+
+/// Re-checks one recorded counterexample object against the independent
+/// Equation-2 evaluator; on success returns the verified (containee,
+/// containing) multiplicities. Shared by the decide/equiv/batch certificate
+/// path and the fuzz disagreement-witness path.
+fn check_counterexample(
+    containee: &ConjunctiveQuery,
+    containing: &ConjunctiveQuery,
+    ce: &Json,
+) -> Result<(Natural, Natural), String> {
+    let probe_json = member(ce, "probe")?.as_array().ok_or("\"probe\" must be an array")?;
+    let probe: Vec<Term> = probe_json
+        .iter()
+        .map(|t| term_from_text(t.as_str().ok_or("probe terms must be strings")?))
+        .collect::<Result<_, String>>()?;
+    let bag_json = member(ce, "bag")?.as_array().ok_or("\"bag\" must be an array")?;
+    let mut entries: Vec<(Atom, Natural)> = Vec::with_capacity(bag_json.len());
+    for entry in bag_json {
+        let atom = atom_from_text(member_str(entry, "atom")?)?;
+        let mult = Natural::from_decimal_str(member_str(entry, "multiplicity")?)
+            .map_err(|e| format!("bad multiplicity: {e}"))?;
+        entries.push((atom, mult));
+    }
+    let bag = BagInstance::from_multiplicities(entries);
+    let recorded_lhs = Natural::from_decimal_str(member_str(ce, "containee_multiplicity")?)
+        .map_err(|e| format!("bad containee_multiplicity: {e}"))?;
+    let recorded_rhs = Natural::from_decimal_str(member_str(ce, "containing_multiplicity")?)
+        .map_err(|e| format!("bad containing_multiplicity: {e}"))?;
+
+    // The independent check: Equation 2, sharing no code with the
+    // MPI route that produced the certificate.
+    let lhs = bag_answer_multiplicity(containee, &bag, &probe);
+    let rhs = bag_answer_multiplicity(containing, &bag, &probe);
+    if lhs != recorded_lhs {
+        return Err(format!(
+            "recorded containee multiplicity {recorded_lhs}, evaluator says {lhs}"
+        ));
+    }
+    if rhs != recorded_rhs {
+        return Err(format!(
+            "recorded containing multiplicity {recorded_rhs}, evaluator says {rhs}"
+        ));
+    }
+    if lhs <= rhs {
+        return Err(format!("the recorded bag does not violate containment ({lhs} ≤ {rhs})"));
+    }
+    Ok((lhs, rhs))
+}
+
+/// Re-checks one fuzz disagreement entry: the shrunk reproducer's
+/// counterexample (when the disagreement carries one) must still violate
+/// containment under the independent evaluator. Structural problems (missing
+/// keys, unparseable queries) are hard errors, like everywhere in `verify`.
+fn check_disagreement(report: &mut VerifyReport, label: &str, entry: &Json) -> Result<(), String> {
+    let kind = member_str(entry, "kind")?;
+    let minimized = member(entry, "minimized")?;
+    let containee = parse_query(member_str(minimized, "containee")?)
+        .map_err(|e| format!("minimized containee does not parse: {e}"))?;
+    let containing = parse_query(member_str(minimized, "containing")?)
+        .map_err(|e| format!("minimized containing query does not parse: {e}"))?;
+    match minimized.get("counterexample") {
+        Some(ce) => {
+            let outcome = check_counterexample(&containee, &containing, ce).map(|(lhs, rhs)| {
+                format!(
+                    "recorded {kind} disagreement: minimized witness verified \
+                     ({} ⋢b {} on the recorded bag, {lhs} > {rhs})",
+                    containee.name(),
+                    containing.name()
+                )
+            });
+            report.record(label, outcome);
+        }
+        None => {
+            // Set-side disagreements (a bag-set/set mismatch, a Contained
+            // verdict without a set witness) have no bag to replay; they are
+            // surfaced but nothing is independently re-checkable.
+            report.error_lines += 1;
+            report.lines.push_str(&format!(
+                "[{label}] recorded {kind} disagreement: no counterexample to re-check\n"
+            ));
+        }
+    }
+    Ok(())
 }
 
 /// Parses the two query texts of a certificate entry and re-checks one or
@@ -1233,15 +1352,43 @@ fn cmd_verify(
             let doc = Json::parse(line)
                 .map_err(|e| CliError::Failure(format!("{location}: not JSON: {e}")))?;
             if let Some(pairs) = doc.get("pairs").and_then(Json::as_array) {
-                // A decide/equiv/bench envelope. Only a bench envelope may
-                // carry certificate-less timing entries; everything else
-                // must present a re-checkable result.
-                let is_bench = doc.get("command").and_then(Json::as_str) == Some("bench");
+                // A decide/equiv/bench/fuzz envelope. Only a bench envelope
+                // may carry certificate-less timing entries, and only a fuzz
+                // envelope may record per-pair decision errors; everything
+                // else must present a re-checkable result.
+                let command = doc.get("command").and_then(Json::as_str);
+                let is_bench = command == Some("bench");
+                let is_fuzz = command == Some("fuzz");
                 for (i, entry) in pairs.iter().enumerate() {
                     saw_entries = true;
                     let label = format!("{}", i + 1);
+                    if is_fuzz {
+                        if let Some(error) = entry.get("error") {
+                            let code =
+                                error.get("code").and_then(Json::as_str).unwrap_or("no code");
+                            report.error_lines += 1;
+                            report.lines.push_str(&format!(
+                                "[{label}] recorded decide error ({code}): nothing to re-check\n"
+                            ));
+                            continue;
+                        }
+                    }
                     check_entry(&mut report, &label, entry, is_bench)
                         .map_err(|e| CliError::Failure(format!("{location}: pair {label}: {e}")))?;
+                }
+                if is_fuzz {
+                    let disagreements =
+                        doc.get("disagreements").and_then(Json::as_array).ok_or_else(|| {
+                            CliError::Failure(format!(
+                                "{location}: fuzz envelope is missing \"disagreements\""
+                            ))
+                        })?;
+                    for (i, entry) in disagreements.iter().enumerate() {
+                        saw_entries = true;
+                        let label = format!("disagreement {}", i + 1);
+                        check_disagreement(&mut report, &label, entry)
+                            .map_err(|e| CliError::Failure(format!("{location}: {label}: {e}")))?;
+                    }
                 }
             } else if doc.get("id").is_some() {
                 // A batch --json line.
@@ -1292,6 +1439,170 @@ fn cmd_verify(
         )));
     }
     Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// fuzz
+// ---------------------------------------------------------------------------
+
+struct FuzzOpts {
+    config: FuzzConfig,
+    json: bool,
+    replay: Option<String>,
+}
+
+fn parse_fuzz_opts(args: &[String]) -> Result<FuzzOpts, CliError> {
+    let mut config = FuzzConfig::default();
+    let mut json = false;
+    let mut replay: Option<String> = None;
+    let mut cases_set = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--seed" => {
+                let text = next_value(&mut it, "--seed")?;
+                config.seed = text
+                    .parse()
+                    .map_err(|_| CliError::Usage(format!("--seed needs a number, got '{text}'")))?;
+            }
+            "--cases" => {
+                config.cases = parse_count(&next_value(&mut it, "--cases")?, "--cases")?;
+                cases_set = true;
+            }
+            "--max-adom" => {
+                config.max_adom = parse_count(&next_value(&mut it, "--max-adom")?, "--max-adom")?;
+            }
+            "--max-mult" => {
+                let text = next_value(&mut it, "--max-mult")?;
+                config.max_mult = text.parse().map_err(|_| {
+                    CliError::Usage(format!("--max-mult needs a number, got '{text}'"))
+                })?;
+            }
+            "--samples" => {
+                config.samples = parse_count(&next_value(&mut it, "--samples")?, "--samples")?;
+            }
+            "--jobs" => config.jobs = parse_count(&next_value(&mut it, "--jobs")?, "--jobs")?,
+            "--lp-route" => {
+                let route = next_value(&mut it, "--lp-route")?;
+                config.engine = match route.as_str() {
+                    "simplex" | "rational" => FeasibilityEngine::Simplex,
+                    "bareiss" | "fraction-free" => FeasibilityEngine::Bareiss,
+                    "auto" => FeasibilityEngine::Auto,
+                    other => {
+                        return Err(CliError::Usage(format!(
+                            "unknown LP route '{other}' (expected simplex, bareiss or auto)"
+                        )))
+                    }
+                };
+            }
+            "--replay" => replay = Some(next_value(&mut it, "--replay")?),
+            "--inject" => {
+                let bug = next_value(&mut it, "--inject")?;
+                config.injection = Some(match bug.as_str() {
+                    "flip-verdict" => Injection::FlipVerdict,
+                    "tamper-certificate" => Injection::TamperCertificate,
+                    other => {
+                        return Err(CliError::Usage(format!(
+                            "unknown injection '{other}' (expected flip-verdict or \
+                             tamper-certificate)"
+                        )))
+                    }
+                });
+            }
+            flag if flag.starts_with("--") => {
+                return Err(CliError::Usage(format!("unknown option '{flag}'")))
+            }
+            positional => {
+                return Err(CliError::Usage(format!(
+                    "unexpected argument '{positional}' (fuzz generates its own cases; \
+                     use --replay DIR for a corpus)"
+                )))
+            }
+        }
+    }
+    if cases_set && replay.is_some() {
+        return Err(CliError::Usage(
+            "--cases only applies to generated runs; drop --replay".to_string(),
+        ));
+    }
+    if config.jobs == 0 {
+        return Err(CliError::Usage("--jobs must be at least 1".to_string()));
+    }
+    if config.max_adom == 0 {
+        return Err(CliError::Usage("--max-adom must be at least 1".to_string()));
+    }
+    if config.max_mult == 0 {
+        return Err(CliError::Usage("--max-mult must be at least 1".to_string()));
+    }
+    Ok(FuzzOpts { config, json, replay })
+}
+
+/// Loads the `*.dl` corpus files of `dir` (sorted by file name, consecutive
+/// (containee, containing) pairs per file) as labelled replay cases.
+fn load_corpus(dir: &str) -> Result<Vec<(String, ConjunctiveQuery, ConjunctiveQuery)>, CliError> {
+    let entries = std::fs::read_dir(dir).map_err(|e| CliError::Failure(format!("{dir}: {e}")))?;
+    let mut paths: Vec<std::path::PathBuf> = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| CliError::Failure(format!("{dir}: {e}")))?;
+        let path = entry.path();
+        if path.extension().and_then(std::ffi::OsStr::to_str) == Some("dl") {
+            paths.push(path);
+        }
+    }
+    // Directory iteration order is filesystem-dependent; the corpus replay
+    // must not be, so the case order is pinned to the sorted file names.
+    paths.sort();
+    if paths.is_empty() {
+        return Err(CliError::Failure(format!("{dir}: no *.dl corpus files to replay")));
+    }
+    let mut pairs = Vec::new();
+    for path in &paths {
+        let name = path
+            .file_name()
+            .map_or_else(|| path.display().to_string(), |n| n.to_string_lossy().into_owned());
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| CliError::Failure(format!("{}: {e}", path.display())))?;
+        let queries = dioph_cq::parse_program(&text).map_err(|e| {
+            CliError::Failure(format!("{name}:{}:{}: {}", e.line(), e.column(), e.message()))
+        })?;
+        if queries.is_empty() || !queries.len().is_multiple_of(2) {
+            return Err(CliError::Failure(format!(
+                "{name}: holds {} queries, but every corpus file must hold a positive even \
+                 number (consecutive (containee, containing) pairs)",
+                queries.len()
+            )));
+        }
+        let mut it = queries.into_iter();
+        let mut index = 0usize;
+        while let (Some(containee), Some(containing)) = (it.next(), it.next()) {
+            index += 1;
+            pairs.push((format!("{name}:pair{index}"), containee, containing));
+        }
+    }
+    Ok(pairs)
+}
+
+fn cmd_fuzz(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let opts = parse_fuzz_opts(args)?;
+    let report = match &opts.replay {
+        Some(dir) => run_replay(&opts.config, load_corpus(dir)?),
+        None => run_fuzz(&opts.config),
+    };
+    if opts.json {
+        write_out(out, &report.to_json())?;
+    } else {
+        write_out(out, &report.disagreement_lines())?;
+        write_out(out, &format!("{}\n", report.summary_line()))?;
+    }
+    if report.disagreements.is_empty() {
+        Ok(())
+    } else {
+        Err(CliError::Failure(format!(
+            "{} disagreement(s) found (minimized reproducers above)",
+            report.disagreements.len()
+        )))
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -1365,10 +1676,31 @@ fn cmd_gen(args: &[String]) -> CliResult {
             }
             (WorkloadKind::ThreeColorability { vertices }, vertices)
         }
+        "chain" => {
+            let length = size.unwrap_or(3);
+            if length == 0 {
+                return Err(CliError::Usage("--size must be at least 1 for chain".to_string()));
+            }
+            (WorkloadKind::Chain { length }, length)
+        }
+        "star" => {
+            let rays = size.unwrap_or(3);
+            if rays == 0 {
+                return Err(CliError::Usage("--size must be at least 1 for star".to_string()));
+            }
+            (WorkloadKind::Star { rays }, rays)
+        }
+        "clique" => {
+            let vertices = size.unwrap_or(3);
+            if vertices < 2 {
+                return Err(CliError::Usage("--size must be at least 2 for clique".to_string()));
+            }
+            (WorkloadKind::Clique { vertices }, vertices)
+        }
         other => {
             return Err(CliError::Usage(format!(
                 "unknown workload kind '{other}' (expected spec, inflated, contained, path, \
-                 expmap or threecol)"
+                 expmap, threecol, chain, star or clique)"
             )))
         }
     };
@@ -1420,8 +1752,11 @@ fn format_ns(ns: u128) -> String {
 
 fn cmd_bench(args: &[String], stdin: &mut dyn Read) -> CliResult {
     let opts = parse_decide_opts(args)?;
-    if opts.semantics == Semantics::Set {
-        return Err(CliError::Usage("bench times the bag-containment decider; drop --set".into()));
+    if opts.semantics != Semantics::Bag {
+        return Err(CliError::Usage(format!(
+            "bench times the bag-containment decider; drop --{}",
+            opts.semantics.name()
+        )));
     }
     if opts.jobs_set {
         return Err(CliError::Usage(
@@ -1690,7 +2025,17 @@ mod tests {
 
     #[test]
     fn gen_covers_every_kind() {
-        for kind in ["spec", "inflated", "contained", "path", "expmap", "threecol"] {
+        for kind in [
+            "spec",
+            "inflated",
+            "contained",
+            "path",
+            "expmap",
+            "threecol",
+            "chain",
+            "star",
+            "clique",
+        ] {
             let out = run_ok(&["gen", kind, "--count", "2", "--seed", "7"], "");
             assert_eq!(out.matches("% pair").count(), 2, "{kind}: {out}");
             // Every emitted query parses back.
@@ -2125,6 +2470,9 @@ mod tests {
         assert!(run_err(&["decide", "--budget", "9"], "").0, "budget needs guess-check");
         assert!(run_err(&["gen", "path", "--size", "0"], "").0, "path needs size >= 1");
         assert!(run_err(&["gen", "threecol", "--size", "0"], "").0);
+        assert!(run_err(&["gen", "chain", "--size", "0"], "").0, "chain needs size >= 1");
+        assert!(run_err(&["gen", "star", "--size", "0"], "").0, "star needs size >= 1");
+        assert!(run_err(&["gen", "clique", "--size", "1"], "").0, "clique needs size >= 2");
         assert!(run_err(&["decide", "--jobs", "0"], "").0, "--jobs must be positive");
         assert!(run_err(&["decide", "--set", "--jobs", "2"], "").0, "set path has no engine");
         assert!(run_err(&["decide", "--keep-going"], "").0, "--keep-going is batch-only");
@@ -2138,10 +2486,163 @@ mod tests {
     #[test]
     fn help_and_version() {
         let help = run_ok(&["help"], "");
-        for needle in ["decide", "equiv", "gen", "bench", "docs/grammar.md", "ARCHITECTURE.md"] {
+        for needle in
+            ["decide", "equiv", "fuzz", "gen", "bench", "docs/grammar.md", "ARCHITECTURE.md"]
+        {
             assert!(help.contains(needle), "help must mention {needle}");
         }
         let version = run_ok(&["--version"], "");
         assert!(version.starts_with("diophantus "), "{version}");
+    }
+
+    #[test]
+    fn decide_bag_set_semantics_coincides_with_set_on_the_fragment() {
+        // R^2(x,x) ⊑ R(x,x): contained under set and bag-set semantics
+        // (multiplicities are invisible on set databases), NOT under bag.
+        let input = "q(x) <- R^2(x, x). p(x) <- R(x, x).";
+        let out = run_ok(&["decide", "--bag-set"], input);
+        assert!(out.contains("q ⊑bs p"), "{out}");
+        assert!(out.contains("contained (witness homomorphism"), "{out}");
+        let bag = run_ok(&["decide", "--bag"], input);
+        assert!(bag.contains("not contained"), "{bag}");
+        let set = run_ok(&["decide", "--set"], input);
+        assert_eq!(
+            out.replace("⊑bs", "⊑s"),
+            set,
+            "bag-set verdicts must coincide with set on the fragment"
+        );
+        // equiv decides both directions with the ≡bs symbol.
+        let out = run_ok(&["equiv", "--bag-set"], input);
+        assert!(out.contains("q ≡bs p: equivalent"), "{out}");
+        // The JSON envelope names the semantics.
+        let json = run_ok(&["decide", "--bag-set", "--json"], input);
+        assert!(json.contains("\"semantics\":\"bag-set\""), "{json}");
+        assert!(json.contains("\"witness\":"), "{json}");
+    }
+
+    #[test]
+    fn decide_bag_set_enforces_the_containee_fragment() {
+        // Unlike --set, the bag-set mode rejects projection-bearing
+        // containees — the Section 3 coincidence only covers the fragment.
+        let input = "q(x) <- R(x, y).\np(x) <- R(x, x).";
+        let (usage, message) = run_err(&["decide", "--bag-set"], input);
+        assert!(!usage);
+        assert!(message.starts_with("<stdin>:1:14: error[D002]"), "{message}");
+        assert!(message.contains("cannot decide q ⊑bs p"), "{message}");
+        let out = run_ok(&["decide", "--set"], input);
+        assert!(out.contains("⊑s"), "{out}");
+        // Bag-only engine flags stay rejected under --bag-set.
+        assert!(run_err(&["decide", "--bag-set", "--jobs", "2"], "").0);
+        assert!(run_err(&["decide", "--bag-set", "--lp-route", "bareiss"], "").0);
+        assert!(run_err(&["decide", "--bag-set", "--algorithm", "all-probes"], "").0);
+        assert!(run_err(&["batch", "--bag-set"], "").0, "batch is bag-only");
+        assert!(run_err(&["bench", "--bag-set"], "").0, "bench is bag-only");
+    }
+
+    #[test]
+    fn fuzz_runs_clean_and_is_reproducible() {
+        let args = &["fuzz", "--cases", "8", "--seed", "7", "--samples", "8"];
+        let a = run_ok(args, "");
+        assert!(a.contains("fuzz seed 7: 8 case(s)"), "{a}");
+        assert!(a.contains("0 disagreement(s)"), "{a}");
+        assert_eq!(a, run_ok(args, ""), "fuzz must be reproducible");
+    }
+
+    #[test]
+    fn fuzz_json_is_byte_identical_across_jobs_and_routes() {
+        let base = &["fuzz", "--cases", "6", "--seed", "3", "--samples", "8", "--json"];
+        let reference = run_ok(base, "");
+        assert!(
+            reference.starts_with("{\"command\":\"fuzz\",\"seed\":3,\"cases\":6,"),
+            "{reference}"
+        );
+        for extra in [
+            &["--jobs", "4"][..],
+            &["--lp-route", "bareiss"][..],
+            &["--lp-route", "auto", "--jobs", "2"][..],
+        ] {
+            let mut args = base.to_vec();
+            args.extend_from_slice(extra);
+            assert_eq!(run_ok(&args, ""), reference, "fuzz --json diverged under {extra:?}");
+        }
+    }
+
+    #[test]
+    fn fuzz_injected_bugs_exit_nonzero_with_minimized_reproducers() {
+        for bug in ["flip-verdict", "tamper-certificate"] {
+            let (result, out) = run_captured(
+                &["fuzz", "--cases", "8", "--seed", "7", "--samples", "8", "--inject", bug],
+                "",
+            );
+            let Err(CliError::Failure(message)) = result else {
+                panic!("--inject {bug} must make the run fail:\n{out}");
+            };
+            assert!(message.contains("disagreement(s) found"), "{bug}: {message}");
+            assert!(out.contains("minimized containee:"), "{bug}: {out}");
+            assert!(out.contains("minimized containing:"), "{bug}: {out}");
+        }
+    }
+
+    #[test]
+    fn fuzz_usage_errors() {
+        assert!(run_err(&["fuzz", "--cases", "3", "--replay", "dir"], "").0);
+        assert!(run_err(&["fuzz", "--inject", "nonsense"], "").0);
+        assert!(run_err(&["fuzz", "--lp-route", "abacus"], "").0);
+        assert!(run_err(&["fuzz", "--jobs", "0"], "").0);
+        assert!(run_err(&["fuzz", "--max-adom", "0"], "").0);
+        assert!(run_err(&["fuzz", "--max-mult", "0"], "").0);
+        assert!(run_err(&["fuzz", "--frobnicate"], "").0);
+        assert!(run_err(&["fuzz", "positional"], "").0);
+        let (usage, message) = run_err(&["fuzz", "--replay", "/nonexistent-corpus-dir"], "");
+        assert!(!usage, "a missing corpus directory is a failure, not a usage error");
+        assert!(message.contains("/nonexistent-corpus-dir"), "{message}");
+    }
+
+    #[test]
+    fn verify_accepts_fuzz_reports() {
+        // A clean report: every recorded certificate re-checks.
+        let report =
+            run_ok(&["fuzz", "--cases", "6", "--seed", "3", "--samples", "8", "--json"], "");
+        let out = run_ok(&["verify"], &report);
+        assert!(out.contains("0 failure(s)"), "{out}");
+
+        // Per-pair decision errors are acknowledged, not fatal.
+        let with_error = "{\"command\":\"fuzz\",\"pairs\":[{\"index\":0,\
+             \"error\":{\"message\":\"out of fragment\",\"code\":\"D002\"}}],\
+             \"disagreements\":[]}";
+        let out = run_ok(&["verify"], with_error);
+        assert!(out.contains("recorded decide error (D002)"), "{out}");
+        assert!(out.contains("1 recorded error line(s), 0 failure(s)"), "{out}");
+    }
+
+    #[test]
+    fn verify_rechecks_fuzz_disagreement_witnesses() {
+        // An injected verdict flip leaves shrunk witnesses in the report;
+        // verify must replay them through the independent evaluator. The
+        // corrupted pair entries themselves must FAIL verification — the
+        // report records the lie the injection told.
+        let (result, report) = run_captured(
+            &[
+                "fuzz",
+                "--cases",
+                "8",
+                "--seed",
+                "7",
+                "--samples",
+                "8",
+                "--json",
+                "--inject",
+                "flip-verdict",
+            ],
+            "",
+        );
+        assert!(matches!(result, Err(CliError::Failure(_))));
+        let (vresult, out) = run_captured(&["verify"], &report);
+        assert!(matches!(vresult, Err(CliError::Failure(_))), "{out}");
+        assert!(out.contains("VERIFICATION FAILED"), "{out}");
+        assert!(out.contains("disagreement"), "{out}");
+        if out.contains("minimized witness verified") {
+            assert!(out.contains("contained-refuted-by-database"), "{out}");
+        }
     }
 }

@@ -18,7 +18,10 @@
 //! * [`engine`] — the parallel batch decision engine with its shared
 //!   compilation cache (the machinery behind `diophantus batch` and
 //!   `--jobs`);
-//! * [`workloads`] — graphs, reductions and random query generators.
+//! * [`workloads`] — graphs, reductions and random query generators;
+//! * [`fuzz`] — the differential fuzzing oracle cross-checking the MPI
+//!   decider against bounded bag-database ground truth (the machinery
+//!   behind `diophantus fuzz`).
 //!
 //! The most common entry points are re-exported at the crate root.
 //!
@@ -42,6 +45,7 @@ pub use dioph_bagdb as bagdb;
 pub use dioph_containment as containment;
 pub use dioph_cq as cq;
 pub use dioph_engine as engine;
+pub use dioph_fuzz as fuzz;
 pub use dioph_linalg as linalg;
 pub use dioph_poly as poly;
 pub use dioph_workloads as workloads;
@@ -53,8 +57,9 @@ pub use dioph_analyze::{
 pub use dioph_arith::{Integer, Natural, Rational};
 pub use dioph_bagdb::{bag_answer_multiplicity, bag_answers, BagInstance, SetInstance};
 pub use dioph_containment::{
-    are_bag_equivalent, bag_equivalence, is_bag_contained, set_containment, Algorithm,
-    BagContainment, BagContainmentDecider, ContainmentError, Counterexample, FeasibilityEngine,
+    are_bag_equivalent, bag_equivalence, bag_set_containment, is_bag_contained, set_containment,
+    Algorithm, BagContainment, BagContainmentDecider, ContainmentError, Counterexample,
+    FeasibilityEngine,
 };
 pub use dioph_cq::{
     parse_program, parse_query, parse_ucq, ConjunctiveQuery, Term, UnionOfConjunctiveQueries,
