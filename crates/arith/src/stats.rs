@@ -11,37 +11,40 @@
 //! per-phase reading should [`reset`] first (or subtract a prior
 //! [`snapshot`]); concurrent arithmetic keeps counting while you read, so
 //! treat snapshots as statistics, not exact event counts.
+//!
+//! The cells themselves live in the `dioph-obs` registry (under
+//! `arith.small_hits`, `arith.big_fallbacks`, `arith.int_small_hits` and
+//! `arith.int_big_fallbacks`), so arithmetic tallies land in the same
+//! `--metrics` output as every other subsystem; this module is the
+//! arith-shaped facade over those cells.
 
-use core::sync::atomic::{AtomicU64, Ordering};
-
-static SMALL_HITS: AtomicU64 = AtomicU64::new(0);
-static BIG_FALLBACKS: AtomicU64 = AtomicU64::new(0);
-static INT_SMALL_HITS: AtomicU64 = AtomicU64::new(0);
-static INT_BIG_FALLBACKS: AtomicU64 = AtomicU64::new(0);
+use dioph_obs::registry::{
+    ARITH_BIG_FALLBACKS, ARITH_INT_BIG_FALLBACKS, ARITH_INT_SMALL_HITS, ARITH_SMALL_HITS,
+};
 
 /// Records one rational operation served entirely by the machine-word path.
 #[inline]
 pub(crate) fn record_small_hit() {
-    SMALL_HITS.fetch_add(1, Ordering::Relaxed);
+    ARITH_SMALL_HITS.incr();
 }
 
 /// Records one rational operation that fell back to the limb path.
 #[inline]
 pub(crate) fn record_big_fallback() {
-    BIG_FALLBACKS.fetch_add(1, Ordering::Relaxed);
+    ARITH_BIG_FALLBACKS.incr();
 }
 
 /// Records one integer kernel operation (exact division, gcd) served by the
 /// machine-word path.
 #[inline]
 pub(crate) fn record_int_small_hit() {
-    INT_SMALL_HITS.fetch_add(1, Ordering::Relaxed);
+    ARITH_INT_SMALL_HITS.incr();
 }
 
 /// Records one integer kernel operation that fell back to the limb path.
 #[inline]
 pub(crate) fn record_int_big_fallback() {
-    INT_BIG_FALLBACKS.fetch_add(1, Ordering::Relaxed);
+    ARITH_INT_BIG_FALLBACKS.incr();
 }
 
 /// A point-in-time reading of the fast-path counters.
@@ -109,19 +112,19 @@ impl Snapshot {
 /// Reads the current counter values.
 pub fn snapshot() -> Snapshot {
     Snapshot {
-        small_hits: SMALL_HITS.load(Ordering::Relaxed),
-        big_fallbacks: BIG_FALLBACKS.load(Ordering::Relaxed),
-        int_small_hits: INT_SMALL_HITS.load(Ordering::Relaxed),
-        int_big_fallbacks: INT_BIG_FALLBACKS.load(Ordering::Relaxed),
+        small_hits: ARITH_SMALL_HITS.get(),
+        big_fallbacks: ARITH_BIG_FALLBACKS.get(),
+        int_small_hits: ARITH_INT_SMALL_HITS.get(),
+        int_big_fallbacks: ARITH_INT_BIG_FALLBACKS.get(),
     }
 }
 
 /// Resets every counter to zero.
 pub fn reset() {
-    SMALL_HITS.store(0, Ordering::Relaxed);
-    BIG_FALLBACKS.store(0, Ordering::Relaxed);
-    INT_SMALL_HITS.store(0, Ordering::Relaxed);
-    INT_BIG_FALLBACKS.store(0, Ordering::Relaxed);
+    ARITH_SMALL_HITS.reset();
+    ARITH_BIG_FALLBACKS.reset();
+    ARITH_INT_SMALL_HITS.reset();
+    ARITH_INT_BIG_FALLBACKS.reset();
 }
 
 #[cfg(test)]

@@ -15,6 +15,10 @@
 //! * **Batch stream sweep** — a stream of E4 exponential-mapping pairs
 //!   through `run_batch`, measuring pair-level parallelism end to end
 //!   (parse → compile → decide → in-order emission).
+//! * **Skew sweep** — one giant all-probes pair buried in a crowd of small
+//!   pairs, the worst case for pair-level parallelism. The harness reads
+//!   the `dioph-obs` worker-pool metrics and prints per-worker claim/busy
+//!   figures plus a starvation ratio before timing.
 
 use std::time::{Duration, Instant};
 
@@ -129,6 +133,78 @@ fn bench_batch_stream(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_batch_skew(c: &mut Criterion) {
+    // A deliberately skewed stream: one giant all-probes pair (256 probe
+    // tuples) buried in a crowd of small exponential-mapping pairs. This is
+    // the worst case for pair-level parallelism — whichever worker claims
+    // the giant serialises the tail — and the per-worker pool metrics make
+    // the imbalance visible: the run prints each worker's claim count and
+    // busy time plus a starvation ratio (most/least busy worker).
+    let mut text = String::new();
+    let (giant_containee, giant_containing) = path_self_containment(PATH_LENGTH);
+    text.push_str(&format!("{giant_containee}.\n{giant_containing}.\n"));
+    for _ in 0..12 {
+        let (containee, containing) = exponential_mapping_instance(4);
+        text.push_str(&format!("{containee}.\n{containing}.\n"));
+    }
+
+    dioph_obs::phase::set_timing(true);
+    dioph_obs::pool::reset();
+    let engine = DecisionEngine::new(EngineConfig {
+        jobs: 4,
+        algorithm: Algorithm::AllProbes,
+        engine: FeasibilityEngine::Simplex,
+    });
+    let stats = engine.run_batch(JobReader::new(text.as_bytes()), |v| {
+        black_box(&v);
+        true
+    });
+    assert_eq!(stats.failures, 0);
+    let workers: Vec<_> =
+        dioph_obs::pool::snapshot().into_iter().filter(|w| w.pool == "batch").collect();
+    for w in &workers {
+        println!(
+            "engine_scaling: skew batch worker {}: {} claim(s), busy {:.1}ms, max job {:.1}ms",
+            w.worker,
+            w.claims,
+            w.busy_ns as f64 / 1e6,
+            w.max_unit_ns as f64 / 1e6
+        );
+    }
+    let busiest = workers.iter().map(|w| w.busy_ns).max().unwrap_or(0);
+    let idlest = workers.iter().map(|w| w.busy_ns).min().unwrap_or(0);
+    if idlest > 0 {
+        println!(
+            "engine_scaling: skew starvation ratio (busiest/idlest worker): {:.2}x",
+            busiest as f64 / idlest as f64
+        );
+    } else {
+        println!("engine_scaling: skew starvation ratio: unbounded (a worker never ran a job)");
+    }
+
+    let mut group = c.benchmark_group("engine/batch_skew");
+    for jobs in [1usize, 4] {
+        let engine = DecisionEngine::new(EngineConfig {
+            jobs,
+            algorithm: Algorithm::AllProbes,
+            engine: FeasibilityEngine::Simplex,
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(jobs), &text, |b, text| {
+            b.iter(|| {
+                let mut verdicts = 0usize;
+                let stats = engine.run_batch(JobReader::new(text.as_bytes()), |v| {
+                    black_box(&v);
+                    verdicts += 1;
+                    true
+                });
+                assert_eq!(stats.failures, 0);
+                verdicts
+            });
+        });
+    }
+    group.finish();
+}
+
 fn config() -> Criterion {
     Criterion::default()
         .sample_size(10)
@@ -139,6 +215,7 @@ fn config() -> Criterion {
 criterion_group! {
     name = benches;
     config = config();
-    targets = bench_probe_parallel_e4, bench_probe_parallel_lp_ablation, bench_batch_stream
+    targets = bench_probe_parallel_e4, bench_probe_parallel_lp_ablation, bench_batch_stream,
+        bench_batch_skew
 }
 criterion_main!(benches);

@@ -55,6 +55,10 @@ impl CompiledProbe {
         containing: &ConjunctiveQuery,
         probe: &[Term],
     ) -> Option<CompiledProbe> {
+        // Memoised slots reach this function only on their first fill, so the
+        // counter reads as "cold compilations".
+        dioph_obs::registry::CACHE_PROBE_COMPILED.incr();
+        let _compile_span = dioph_obs::span(dioph_obs::Phase::Compile);
         let grounded = containee.ground_with(probe)?;
         // Unknowns: the distinct atoms of body(q1(t)), in deterministic order.
         let atoms: Vec<Atom> = grounded.body_atoms().cloned().collect();
@@ -72,6 +76,7 @@ impl CompiledProbe {
         // Polynomial side: one monomial per containment mapping h ∈ CM(q2, q1(t)).
         let mappings = containment_mappings_to_grounded(containing, &grounded);
         let mapping_count = mappings.len();
+        dioph_obs::registry::CONTAINMENT_MAPPINGS.add(mapping_count as u64);
         let mut polynomial = Polynomial::zero(n);
         for h in &mappings {
             let image = containing.apply_substitution(h);

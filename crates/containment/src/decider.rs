@@ -92,6 +92,17 @@ impl BagContainmentDecider {
     /// [`ContainmentError::BudgetExceeded`] for an exhausted guess-and-check
     /// budget (validation errors are caught earlier, by [`CompiledPair::new`]).
     pub fn decide_pair(&self, pair: &CompiledPair) -> Result<BagContainment, ContainmentError> {
+        dioph_obs::registry::ENGINE_PAIRS_DECIDED.incr();
+        let result = self.decide_pair_inner(pair);
+        if let Ok(verdict) = &result {
+            observe_verdict(verdict);
+        }
+        result
+    }
+
+    /// The sequential decision loop behind [`Self::decide_pair`] (split out so
+    /// the public entry point records registry counters exactly once).
+    fn decide_pair_inner(&self, pair: &CompiledPair) -> Result<BagContainment, ContainmentError> {
         if self.algorithm == Algorithm::MostGeneralProbe {
             let compiled = pair.most_general();
             return Ok(match self.decide_probe(compiled)? {
@@ -130,11 +141,28 @@ impl BagContainmentDecider {
         &self,
         compiled: &CompiledProbe,
     ) -> Result<Option<Vec<Natural>>, ContainmentError> {
+        dioph_obs::registry::CONTAINMENT_PROBES_DECIDED.incr();
+        let _probe_span = dioph_obs::span(dioph_obs::Phase::Probe);
         match self.algorithm {
             Algorithm::MostGeneralProbe | Algorithm::AllProbes => {
                 Ok(compiled.mpi().diophantine_solution(self.engine)?)
             }
             Algorithm::GuessCheck { budget } => guess_check_probe(compiled, budget),
+        }
+    }
+}
+
+/// Tallies one verdict into the registry. Public so the probe-parallel pool
+/// in `dioph-engine` — which assembles its [`BagContainment`] from merged
+/// probe events rather than through [`BagContainmentDecider::decide_pair`] —
+/// counts identically to the sequential loop.
+pub fn observe_verdict(verdict: &BagContainment) {
+    match verdict {
+        BagContainment::Contained { .. } => {
+            dioph_obs::registry::ENGINE_VERDICTS_CONTAINED.incr();
+        }
+        BagContainment::NotContained(_) => {
+            dioph_obs::registry::ENGINE_VERDICTS_NOT_CONTAINED.incr();
         }
     }
 }

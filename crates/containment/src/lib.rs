@@ -49,7 +49,8 @@ mod set;
 pub use certificate::{BagContainment, ContainmentError, Counterexample};
 pub use compile::{CompiledPair, CompiledProbe};
 pub use decider::{
-    are_bag_equivalent, bag_equivalence, is_bag_contained, Algorithm, BagContainmentDecider,
+    are_bag_equivalent, bag_equivalence, is_bag_contained, observe_verdict, Algorithm,
+    BagContainmentDecider,
 };
 pub use set::{
     are_set_equivalent, bag_set_containment, is_bag_set_contained, set_containment, SetContainment,

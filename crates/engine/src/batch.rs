@@ -173,6 +173,7 @@ impl CompilationCache {
         let key = (normalised_text(containee), normalised_text(containing));
         if let Some(pair) = self.map.lock().expect("cache users never panic").get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            dioph_obs::registry::CACHE_COMPILED_PAIR_HITS.incr();
             return Ok(Arc::clone(pair));
         }
         // Validate outside the lock; CompiledPair fills its probe slots
@@ -183,9 +184,11 @@ impl CompilationCache {
             // Another worker compiled the same pair while we validated; keep
             // the incumbent so both jobs share one per-probe cache.
             self.hits.fetch_add(1, Ordering::Relaxed);
+            dioph_obs::registry::CACHE_COMPILED_PAIR_HITS.incr();
             return Ok(Arc::clone(raced));
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
+        dioph_obs::registry::CACHE_COMPILED_PAIR_MISSES.incr();
         if map.len() >= self.capacity {
             map.clear();
         }
@@ -350,9 +353,13 @@ fn decide_source(
     cache: &CompilationCache,
     source: &str,
 ) -> Result<PairOutcome, BatchError> {
-    let queries = parse_program_spanned(source).map_err(|e| BatchError::Parse {
-        message: format!("{}:{}: {}", e.line(), e.column(), e.message()),
-    })?;
+    let queries = {
+        let _parse_span = dioph_obs::span(dioph_obs::Phase::Parse);
+        parse_program_spanned(source).map_err(|e| BatchError::Parse {
+            message: format!("{}:{}: {}", e.line(), e.column(), e.message()),
+        })?
+    };
+    dioph_obs::registry::PARSE_QUERIES.add(queries.len() as u64);
     let mut it = queries.into_iter();
     let (Some(containee), Some(containing), None) = (it.next(), it.next(), it.next()) else {
         return Err(BatchError::Parse {
@@ -364,7 +371,11 @@ fn decide_source(
     // Pre-flight fragment check: a containee the compiler would reject is
     // reported with its job-relative line:column and stable lint code
     // instead of the span-less `ContainmentError` rendering.
-    if let Some(rendered) = first_fragment_error(&containee, source) {
+    let fragment_error = {
+        let _check_span = dioph_obs::span(dioph_obs::Phase::Check);
+        first_fragment_error(&containee, source)
+    };
+    if let Some(rendered) = fragment_error {
         return Err(BatchError::Decide {
             message: format!(
                 "cannot decide {} ⊑b {}: {rendered}",
@@ -401,26 +412,53 @@ where
     let job_rx = Mutex::new(job_rx);
     let (out_tx, out_rx) = mpsc::channel::<(u64, Verdict)>();
     let stop = AtomicBool::new(false);
+    // Jobs sent by the feeder but not yet picked up by a worker; its
+    // high-water mark is the `engine.batch.queue_depth.max` gauge (a full
+    // queue means the feeder is ahead and backpressure is doing the work).
+    let in_flight = AtomicU64::new(0);
 
     std::thread::scope(|s| {
-        for _ in 0..workers {
+        for worker in 0..workers {
             let out_tx = out_tx.clone();
-            let (job_rx, cache, decider) = (&job_rx, &cache, &decider);
-            s.spawn(move || loop {
-                let claimed = job_rx.lock().expect("batch workers never panic").recv();
-                let Ok((seq, job)) = claimed else { break };
-                let verdict = process_job(decider, cache, job);
-                if out_tx.send((seq, verdict)).is_err() {
-                    break;
+            let (job_rx, cache, decider, in_flight) = (&job_rx, &cache, &decider, &in_flight);
+            s.spawn(move || {
+                dioph_obs::trace::name_current_thread(&format!("batch-worker-{worker}"));
+                let mut jobs_done = 0u64;
+                let mut busy_ns = 0u64;
+                let mut max_unit_ns = 0u64;
+                loop {
+                    let claimed = job_rx.lock().expect("batch workers never panic").recv();
+                    let Ok((seq, job)) = claimed else { break };
+                    in_flight.fetch_sub(1, Ordering::Relaxed);
+                    jobs_done += 1;
+                    let unit_start =
+                        dioph_obs::phase::timing_enabled().then(std::time::Instant::now);
+                    let verdict = process_job(decider, cache, job);
+                    if let Some(start) = unit_start {
+                        let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                        busy_ns = busy_ns.saturating_add(ns);
+                        max_unit_ns = max_unit_ns.max(ns);
+                    }
+                    if out_tx.send((seq, verdict)).is_err() {
+                        break;
+                    }
                 }
+                dioph_obs::pool::record("batch", worker, jobs_done, busy_ns, max_unit_ns);
             });
         }
         drop(out_tx);
 
-        let stop_ref = &stop;
+        let (stop_ref, in_flight_ref) = (&stop, &in_flight);
         s.spawn(move || {
             for (seq, job) in (0u64..).zip(jobs) {
-                if stop_ref.load(Ordering::Relaxed) || job_tx.send((seq, job)).is_err() {
+                if stop_ref.load(Ordering::Relaxed) {
+                    break;
+                }
+                // Count the job in flight *before* sending: a worker may
+                // pick it up (and decrement) the instant the send lands.
+                let depth = in_flight_ref.fetch_add(1, Ordering::Relaxed) + 1;
+                dioph_obs::registry::ENGINE_BATCH_QUEUE_DEPTH_MAX.record_max(depth);
+                if job_tx.send((seq, job)).is_err() {
                     break;
                 }
             }
@@ -438,10 +476,13 @@ where
             }
             pending.insert(seq, verdict);
             while let Some(verdict) = pending.remove(&next_seq) {
+                let _merge_span = dioph_obs::span(dioph_obs::Phase::Merge);
                 next_seq += 1;
                 stats.jobs_processed += 1;
+                dioph_obs::registry::ENGINE_BATCH_JOBS.incr();
                 if verdict.outcome.is_err() {
                     stats.failures += 1;
+                    dioph_obs::registry::ENGINE_BATCH_FAILURES.incr();
                 }
                 if !emit(verdict) {
                     stop.store(true, Ordering::Relaxed);

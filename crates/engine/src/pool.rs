@@ -24,6 +24,7 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 use dioph_arith::Natural;
 use dioph_containment::{BagContainment, BagContainmentDecider, CompiledPair, ContainmentError};
@@ -43,6 +44,7 @@ pub(crate) fn decide_pair_parallel(
     pair: &CompiledPair,
     jobs: usize,
 ) -> Result<BagContainment, ContainmentError> {
+    dioph_obs::registry::ENGINE_PAIRS_DECIDED.incr();
     let raw_len = pair.probe_space().raw_len();
     let workers = jobs.min(raw_len).max(1);
 
@@ -52,42 +54,63 @@ pub(crate) fn decide_pair_parallel(
     let checked = AtomicUsize::new(0);
 
     std::thread::scope(|s| {
-        for _ in 0..workers {
-            s.spawn(|| loop {
-                let index = next.fetch_add(1, Ordering::Relaxed);
-                if index >= raw_len {
-                    break;
+        for worker in 0..workers {
+            let (next, cutoff, first_event, checked) = (&next, &cutoff, &first_event, &checked);
+            s.spawn(move || {
+                dioph_obs::trace::name_current_thread(&format!("probe-worker-{worker}"));
+                let mut claims = 0u64;
+                let mut busy_ns = 0u64;
+                let mut max_unit_ns = 0u64;
+                loop {
+                    let index = next.fetch_add(1, Ordering::Relaxed);
+                    if index >= raw_len {
+                        break;
+                    }
+                    claims += 1;
+                    dioph_obs::registry::ENGINE_PROBES_CLAIMED.incr();
+                    // An event at a lower index already decides the pair;
+                    // skipping is only an optimisation (a stale read costs
+                    // wasted work, never a wrong merge).
+                    if index > cutoff.load(Ordering::Relaxed) {
+                        continue;
+                    }
+                    let unit_start = dioph_obs::phase::timing_enabled().then(Instant::now);
+                    let Some(compiled) = pair.probe(index) else { continue };
+                    checked.fetch_add(1, Ordering::Relaxed);
+                    let outcome = decider.decide_probe(compiled);
+                    if let Some(start) = unit_start {
+                        let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                        busy_ns = busy_ns.saturating_add(ns);
+                        max_unit_ns = max_unit_ns.max(ns);
+                    }
+                    let event = match outcome {
+                        Ok(None) => continue,
+                        Ok(Some(assignment)) => ProbeEvent::Witness(assignment),
+                        Err(error) => ProbeEvent::Error(error),
+                    };
+                    let mut earliest = first_event.lock().expect("probe workers never panic");
+                    if earliest.as_ref().is_none_or(|(winner, _)| index < *winner) {
+                        *earliest = Some((index, event));
+                        cutoff.store(index, Ordering::Relaxed);
+                    }
                 }
-                // An event at a lower index already decides the pair; skipping
-                // is only an optimisation (a stale read costs wasted work,
-                // never a wrong merge).
-                if index > cutoff.load(Ordering::Relaxed) {
-                    continue;
-                }
-                let Some(compiled) = pair.probe(index) else { continue };
-                checked.fetch_add(1, Ordering::Relaxed);
-                let event = match decider.decide_probe(compiled) {
-                    Ok(None) => continue,
-                    Ok(Some(assignment)) => ProbeEvent::Witness(assignment),
-                    Err(error) => ProbeEvent::Error(error),
-                };
-                let mut earliest = first_event.lock().expect("probe workers never panic");
-                if earliest.as_ref().is_none_or(|(winner, _)| index < *winner) {
-                    *earliest = Some((index, event));
-                    cutoff.store(index, Ordering::Relaxed);
-                }
+                dioph_obs::pool::record("probe", worker, claims, busy_ns, max_unit_ns);
             });
         }
     });
 
-    match first_event.into_inner().expect("probe workers never panic") {
+    let result = match first_event.into_inner().expect("probe workers never panic") {
         Some((index, ProbeEvent::Witness(assignment))) => {
             let compiled = pair.probe(index).expect("the winning event came from a probe");
             Ok(BagContainment::NotContained(Box::new(pair.counterexample(compiled, &assignment))))
         }
         Some((_, ProbeEvent::Error(error))) => Err(error),
         None => Ok(BagContainment::Contained { probes_checked: checked.into_inner() }),
+    };
+    if let Ok(verdict) = &result {
+        dioph_containment::observe_verdict(verdict);
     }
+    result
 }
 
 #[cfg(test)]

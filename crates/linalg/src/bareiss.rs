@@ -148,6 +148,7 @@ pub fn feasible_point_int_with_budget(
 
     loop {
         iterations += 1;
+        dioph_obs::registry::LP_BAREISS_PIVOTS.incr();
         if iterations > max_iterations {
             return Err(LinalgError::IterationBudget { iterations: max_iterations });
         }

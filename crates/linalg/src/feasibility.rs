@@ -177,6 +177,8 @@ impl StrictHomogeneousSystem {
         &self,
         engine: FeasibilityEngine,
     ) -> Result<Option<Vec<Rational>>, LinalgError> {
+        dioph_obs::registry::LP_FEASIBILITY_CALLS.incr();
+        let _lp_span = dioph_obs::span(dioph_obs::Phase::Lp);
         if self.rows.is_empty() {
             return Ok(Some(vec![Rational::zero(); self.dimension]));
         }

@@ -137,6 +137,7 @@ pub(crate) fn solve_forms(dim: usize, mut current: Vec<UpperForm>) -> FmOutcome 
                 rest.push(UpperForm { row, strict: lo.strict || up.strict, constant });
             }
         }
+        dioph_obs::registry::LP_FM_ELIMINATIONS.incr();
         steps.push(EliminationStep { var, lowers, uppers });
         current = rest;
     }

@@ -186,6 +186,7 @@ pub fn feasible_point_rows_with_budget(
 
     loop {
         iterations += 1;
+        dioph_obs::registry::LP_SIMPLEX_PIVOTS.incr();
         if iterations > max_iterations {
             return Err(LinalgError::IterationBudget { iterations: max_iterations });
         }

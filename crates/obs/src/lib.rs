@@ -1,0 +1,34 @@
+//! # dioph-obs — unified observability for the diophantus workspace
+//!
+//! Std-only, dependency-free instrumentation, in three layers:
+//!
+//! * [`registry`] — the counter/gauge registry: relaxed-atomic cells under
+//!   stable dotted names with snapshot/delta semantics. This crate is the
+//!   **one sanctioned home for atomics** in the workspace (enforced by
+//!   `tools/forbid.sh`); other crates bump registry cells instead of
+//!   declaring their own.
+//! * [`phase`] — lightweight spans over the real pipeline phases
+//!   (parse → check → compile → probe → lp → merge), aggregated into
+//!   per-phase wall-clock + invocation counts. Off by default; one relaxed
+//!   load per span when disabled.
+//! * [`trace`] — Chrome trace-event collection: with tracing enabled every
+//!   span also lands on its thread's track, and [`trace::Trace::to_chrome_json`]
+//!   renders a file loadable in `chrome://tracing`/Perfetto.
+//! * [`pool`] — per-worker claim/busy statistics from the probe and batch
+//!   pools (the starvation evidence the work-stealing refactor needs).
+//!
+//! The full counter and phase catalogue, with stability guarantees, lives
+//! in `docs/metrics.md` (rendered below) — every example there is compiled
+//! and run as a doctest of this crate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![doc = include_str!("../../../docs/metrics.md")]
+
+pub mod phase;
+pub mod pool;
+pub mod registry;
+pub mod trace;
+
+pub use phase::{span, Phase, PhaseStat, Span};
+pub use registry::{counter, counters, snapshot, Counter, Kind, MetricsSnapshot, Stability};

@@ -1,0 +1,77 @@
+//! Per-worker pool statistics — the starvation evidence for the
+//! work-stealing roadmap item.
+//!
+//! The probe pool and the batch pool record, per worker, how many work units
+//! the worker claimed and how long it was busy. Unlike the registry (fixed
+//! cardinality, hot path), worker stats have dynamic cardinality — `--jobs`
+//! is a runtime choice — and are recorded **once per worker per run**, so a
+//! mutexed table is the right shape.
+
+use std::sync::Mutex;
+
+/// Accumulated work of one pool worker.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Which pool the worker belonged to (`"probe"` or `"batch"`).
+    pub pool: &'static str,
+    /// The worker's index within its pool.
+    pub worker: usize,
+    /// Work units (probe claims, batch jobs) the worker processed.
+    pub claims: u64,
+    /// Total time spent inside work units, in nanoseconds (zero when timing
+    /// was disabled — claims are always counted).
+    pub busy_ns: u64,
+    /// The longest single work unit, in nanoseconds.
+    pub max_unit_ns: u64,
+}
+
+static WORKERS: Mutex<Vec<WorkerStats>> = Mutex::new(Vec::new());
+
+/// Merges one worker's run into the table (summing claims and busy time,
+/// keeping the larger maximum — a worker index recurs across runs in one
+/// process).
+pub fn record(pool: &'static str, worker: usize, claims: u64, busy_ns: u64, max_unit_ns: u64) {
+    let Ok(mut table) = WORKERS.lock() else { return };
+    if let Some(slot) = table.iter_mut().find(|s| s.pool == pool && s.worker == worker) {
+        slot.claims = slot.claims.saturating_add(claims);
+        slot.busy_ns = slot.busy_ns.saturating_add(busy_ns);
+        slot.max_unit_ns = slot.max_unit_ns.max(max_unit_ns);
+    } else {
+        table.push(WorkerStats { pool, worker, claims, busy_ns, max_unit_ns });
+    }
+}
+
+/// The current table, sorted by (pool, worker).
+pub fn snapshot() -> Vec<WorkerStats> {
+    let mut table = WORKERS.lock().map(|t| t.clone()).unwrap_or_default();
+    table.sort_by(|a, b| (a.pool, a.worker).cmp(&(b.pool, b.worker)));
+    table
+}
+
+/// Clears the table (the CLI resets it at command start so a command
+/// reports only its own workers; benches reset between sections).
+pub fn reset() {
+    if let Ok(mut table) = WORKERS.lock() {
+        table.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_merge_per_worker_and_sort() {
+        // The table is process-global; use a pool name no production code
+        // records into so parallel tests cannot interfere.
+        record("test-pool-b", 1, 2, 100, 80);
+        record("test-pool-b", 0, 5, 500, 200);
+        record("test-pool-b", 1, 3, 50, 120);
+        let mine: Vec<WorkerStats> =
+            snapshot().into_iter().filter(|s| s.pool == "test-pool-b").collect();
+        assert_eq!(mine.len(), 2);
+        assert_eq!((mine[0].worker, mine[0].claims), (0, 5));
+        assert_eq!((mine[1].worker, mine[1].claims, mine[1].busy_ns), (1, 5, 150));
+        assert_eq!(mine[1].max_unit_ns, 120);
+    }
+}

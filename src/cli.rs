@@ -86,7 +86,8 @@ COMMANDS:
               severity found: 0 (clean or notes), 1 (warnings), 2 (errors).
     verify    Re-check the counterexample bags recorded in `--json` output
               (from decide, equiv, batch or fuzz) with the independent
-              Equation-2 bag evaluator. Exits 1 if any certificate fails.
+              Equation-2 bag evaluator; `--metrics` blocks are structurally
+              validated alongside. Exits 1 if any certificate fails.
     fuzz      Differential fuzzing: seeded random pairs in the paper
               fragment are decided through the probe pool and cross-checked
               against brute-force bag-database ground truth, certificate
@@ -120,6 +121,17 @@ OPTIONS (decide, equiv, batch, bench):
                          probe tuples of each pair across threads; batch
                          fans whole pairs. Verdicts are identical for any N.
     --json               Machine-readable output (JSON lines for batch).
+    --metrics            Append this command's observability counters to the
+                         output: a human table, or a \"metrics\" member on
+                         --json envelopes (batch emits one trailing
+                         {\"metrics\":...} line). Deterministic counters are
+                         identical for any --jobs and --lp-route choice;
+                         timings and per-worker figures are labelled
+                         volatile. `verify` acknowledges the block.
+    --trace-out <FILE>   Write a Chrome trace-event JSON timeline of the
+                         pipeline phases (parse, check, compile, probe, LP,
+                         merge) with one track per worker thread; load it in
+                         chrome://tracing or Perfetto.
 
 OPTIONS (batch):
     --keep-going         A pair that fails to read, parse or decide emits a
@@ -154,6 +166,9 @@ OPTIONS (fuzz):
     --jobs <N>           Worker threads for the probe pool (default 1).
     --json               Machine-readable report; `diophantus verify`
                          re-checks its certificates and shrunk witnesses.
+    --metrics            As for decide: counters on the report (a \"metrics\"
+                         member under --json).
+    --trace-out <FILE>   As for decide: Chrome trace-event JSON timeline.
 
 OPTIONS (gen):
     <KIND>               spec (default) | inflated | contained | path |
@@ -325,6 +340,8 @@ struct DecideOpts {
     jobs: usize,
     jobs_set: bool,
     keep_going: bool,
+    metrics: bool,
+    trace_out: Option<String>,
     files: Vec<String>,
 }
 
@@ -359,6 +376,8 @@ fn parse_decide_opts(args: &[String]) -> Result<DecideOpts, CliError> {
     let mut jobs = 1usize;
     let mut jobs_set = false;
     let mut keep_going = false;
+    let mut metrics = false;
+    let mut trace_out: Option<String> = None;
     let mut files = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -372,6 +391,8 @@ fn parse_decide_opts(args: &[String]) -> Result<DecideOpts, CliError> {
                 jobs_set = true;
             }
             "--keep-going" => keep_going = true,
+            "--metrics" => metrics = true,
+            "--trace-out" => trace_out = Some(next_value(&mut it, "--trace-out")?),
             "--algorithm" => {
                 algorithm_name = next_value(&mut it, "--algorithm")?;
                 algorithm_set = true;
@@ -411,6 +432,11 @@ fn parse_decide_opts(args: &[String]) -> Result<DecideOpts, CliError> {
             (route_set, "--lp-route"),
             (budget_set, "--budget"),
             (jobs_set, "--jobs"),
+            // The observability layer instruments the bag pipeline; the set
+            // and bag-set checks never touch it, so a metrics request there
+            // would silently report zeros.
+            (metrics, "--metrics"),
+            (trace_out.is_some(), "--trace-out"),
         ] {
             if set {
                 return Err(CliError::Usage(format!(
@@ -484,8 +510,135 @@ fn parse_decide_opts(args: &[String]) -> Result<DecideOpts, CliError> {
         jobs,
         jobs_set,
         keep_going,
+        metrics,
+        trace_out,
         files,
     })
+}
+
+// ---------------------------------------------------------------------------
+// Metrics / tracing
+// ---------------------------------------------------------------------------
+
+/// Registry and phase readings taken at command start, so everything a
+/// command reports is a delta of its own work — never a process-lifetime
+/// total (in-process callers like the test harness run many commands in one
+/// process).
+struct MetricsBaseline {
+    registry: dioph_obs::MetricsSnapshot,
+    phases: [dioph_obs::PhaseStat; 6],
+}
+
+/// Arms the observability layer for one command and records the baseline:
+/// spans are timed for `--metrics` and `--trace-out` runs, trace events are
+/// collected for `--trace-out`, and the per-worker table restarts so the
+/// command reports only its own workers.
+fn start_observability(metrics: bool, trace_out: Option<&str>) -> MetricsBaseline {
+    if metrics || trace_out.is_some() {
+        dioph_obs::phase::set_timing(true);
+        dioph_obs::pool::reset();
+    }
+    if trace_out.is_some() {
+        dioph_obs::trace::enable();
+        dioph_obs::trace::name_current_thread("main");
+    }
+    MetricsBaseline { registry: dioph_obs::snapshot(), phases: dioph_obs::phase::snapshot() }
+}
+
+/// Renders the `"metrics"` envelope member. The `"counters"` block holds
+/// exactly the [`Deterministic`](dioph_obs::Stability::Deterministic)
+/// registry cells — a pure function of the input and the algorithm,
+/// byte-identical across `--jobs` and `--lp-route` (pinned by tests).
+/// Everything route- or scheduling-dependent lands in `"volatile"`,
+/// `"phases"` and `"workers"`, which `verify` checks structurally only.
+fn metrics_json(baseline: &MetricsBaseline) -> String {
+    let registry = dioph_obs::snapshot().since(&baseline.registry);
+    let phases = dioph_obs::phase::since(&dioph_obs::phase::snapshot(), &baseline.phases);
+    let mut deterministic: Vec<String> = Vec::new();
+    let mut volatile: Vec<String> = Vec::new();
+    for (cell, value) in registry.iter() {
+        let block = match cell.stability() {
+            dioph_obs::Stability::Deterministic => &mut deterministic,
+            dioph_obs::Stability::Volatile => &mut volatile,
+        };
+        block.push(format!("\"{}\":{value}", cell.name()));
+    }
+    let phases: Vec<String> = phases
+        .iter()
+        .map(|stat| {
+            format!(
+                "{{\"phase\":\"{}\",\"calls\":{},\"wall_ns\":{}}}",
+                stat.phase.name(),
+                stat.calls,
+                stat.wall_ns
+            )
+        })
+        .collect();
+    let workers: Vec<String> = dioph_obs::pool::snapshot()
+        .iter()
+        .map(|w| {
+            format!(
+                "{{\"pool\":\"{}\",\"worker\":{},\"claims\":{},\"busy_ns\":{},\
+                 \"max_unit_ns\":{}}}",
+                w.pool, w.worker, w.claims, w.busy_ns, w.max_unit_ns
+            )
+        })
+        .collect();
+    format!(
+        "{{\"counters\":{{{}}},\"volatile\":{{{}}},\"phases\":[{}],\"workers\":[{}]}}",
+        deterministic.join(","),
+        volatile.join(","),
+        phases.join(","),
+        workers.join(",")
+    )
+}
+
+/// The human-readable metrics breakdown (`--metrics` without `--json`):
+/// phases with at least one span, non-zero counters, and the per-worker
+/// table.
+fn metrics_human(baseline: &MetricsBaseline) -> String {
+    let registry = dioph_obs::snapshot().since(&baseline.registry);
+    let phases = dioph_obs::phase::since(&dioph_obs::phase::snapshot(), &baseline.phases);
+    let mut out = String::from("metrics (this command):\n");
+    for stat in phases {
+        if stat.calls == 0 {
+            continue;
+        }
+        writeln!(
+            out,
+            "  phase {:<8} {:>7} span(s)  {:>10}",
+            stat.phase.name(),
+            stat.calls,
+            format_ns(u128::from(stat.wall_ns))
+        )
+        .expect("writing to a String cannot fail");
+    }
+    for (cell, value) in registry.iter() {
+        if value == 0 {
+            continue;
+        }
+        writeln!(out, "  {:<34} {value}", cell.name()).expect("writing to a String cannot fail");
+    }
+    for w in dioph_obs::pool::snapshot() {
+        writeln!(
+            out,
+            "  worker {}/{}: {} claim(s), busy {}, max unit {}",
+            w.pool,
+            w.worker,
+            w.claims,
+            format_ns(u128::from(w.busy_ns)),
+            format_ns(u128::from(w.max_unit_ns))
+        )
+        .expect("writing to a String cannot fail");
+    }
+    out
+}
+
+/// Drains the trace collector and writes the Chrome trace-event file.
+fn write_trace(path: &str) -> Result<(), CliError> {
+    let trace = dioph_obs::trace::take();
+    std::fs::write(path, trace.to_chrome_json())
+        .map_err(|e| CliError::Failure(format!("{path}: {e}")))
 }
 
 // ---------------------------------------------------------------------------
@@ -525,6 +678,7 @@ fn load_spanned_queries(
     stdin: &mut dyn Read,
 ) -> Result<(Vec<LoadedSource>, Vec<SourcedQuery>), CliError> {
     let sources = read_sources(files, stdin)?;
+    let _parse_span = dioph_obs::span(dioph_obs::Phase::Parse);
     let mut queries = Vec::new();
     for (index, source) in sources.iter().enumerate() {
         let parsed = parse_program_spanned(&source.text).map_err(|e| {
@@ -547,6 +701,7 @@ fn load_spanned_queries(
                 parsed.len()
             )));
         }
+        dioph_obs::registry::PARSE_QUERIES.add(parsed.len() as u64);
         queries.extend(parsed.into_iter().map(|q| (index, q)));
     }
     Ok((sources, queries))
@@ -675,6 +830,7 @@ fn precheck_containees(
     mutual: bool,
     symbol: &str,
 ) -> Result<(), CliError> {
+    let _check_span = dioph_obs::span(dioph_obs::Phase::Check);
     let config = LintConfig::new();
     for chunk in queries.chunks_exact(2) {
         // equiv decides both directions, so both queries act as containee;
@@ -709,6 +865,7 @@ fn cmd_decide(args: &[String], stdin: &mut dyn Read, mutual: bool) -> CliResult 
     if opts.keep_going {
         return Err(CliError::Usage("--keep-going only applies to batch".to_string()));
     }
+    let baseline = start_observability(opts.metrics, opts.trace_out.as_deref());
     let (sources, spanned) = load_spanned_queries(&opts.files, stdin)?;
     if opts.semantics != Semantics::Set {
         // Set semantics (Chandra–Merlin) accepts any safe-or-not shape the
@@ -779,17 +936,28 @@ fn cmd_decide(args: &[String], stdin: &mut dyn Read, mutual: bool) -> CliResult 
             .expect("writing to a String cannot fail");
         }
     }
+    if let Some(path) = &opts.trace_out {
+        write_trace(path)?;
+    }
     if opts.json {
         let command = if mutual { "equiv" } else { "decide" };
+        let metrics = if opts.metrics {
+            format!(",\"metrics\":{}", metrics_json(&baseline))
+        } else {
+            String::new()
+        };
         Ok(format!(
             "{{\"command\":\"{command}\",\"semantics\":\"{}\",\"algorithm\":\"{}\",\
-             \"engine\":\"{}\",\"pairs\":[{}]}}\n",
+             \"engine\":\"{}\",\"pairs\":[{}]{metrics}}}\n",
             opts.semantics.name(),
             opts.algorithm_name,
             opts.engine_name,
             json_pairs.join(",")
         ))
     } else {
+        if opts.metrics {
+            human.push_str(&metrics_human(&baseline));
+        }
         Ok(human)
     }
 }
@@ -861,6 +1029,7 @@ fn cmd_batch(
     if opts.repeat_set {
         return Err(CliError::Usage("--repeat only applies to bench".to_string()));
     }
+    let baseline = start_observability(opts.metrics, opts.trace_out.as_deref());
 
     // Input: stdin, or the FILEs concatenated — consumed lazily either way,
     // so verdicts stream out while input is still arriving.
@@ -902,6 +1071,19 @@ fn cmd_batch(
     });
     if let Some(error) = stream_error {
         return Err(error);
+    }
+    if let Some(path) = &opts.trace_out {
+        write_trace(path)?;
+    }
+    // The metrics trailer is emitted even when some pairs failed under
+    // --keep-going — the run completed, and the failure count is itself one
+    // of the deterministic counters.
+    if opts.metrics {
+        if opts.json {
+            write_out(out, &format!("{{\"metrics\":{}}}\n", metrics_json(&baseline)))?;
+        } else {
+            write_out(out, &metrics_human(&baseline))?;
+        }
     }
     if stats.failures > 0 {
         return Err(CliError::Failure(format!(
@@ -1093,6 +1275,9 @@ struct VerifyReport {
     /// through verify instead of erroring out.
     timing_entries: usize,
     error_lines: usize,
+    /// `"metrics"` envelope members (and batch `--metrics` trailer lines)
+    /// acknowledged and structurally validated.
+    metrics_blocks: usize,
     failed: usize,
 }
 
@@ -1107,6 +1292,94 @@ impl VerifyReport {
                 self.failed += 1;
                 self.lines.push_str(&format!("[{label}] VERIFICATION FAILED: {line}\n"));
             }
+        }
+    }
+}
+
+/// Structurally validates one `"metrics"` envelope member (decide, equiv,
+/// bench and fuzz envelopes, and the trailing batch `--metrics` line). The
+/// deterministic `"counters"` block must hold exactly the registry's
+/// deterministic cells as non-negative integers and satisfy the verdict
+/// invariant (contained + not-contained ≤ pairs decided); the volatile
+/// counters, phases and workers are timing- and scheduling-dependent by
+/// contract, so only their names and shapes are checked, never their values.
+fn check_metrics(metrics: &Json) -> Result<String, String> {
+    let uint = |value: &Json, what: &str| -> Result<u64, String> {
+        match value {
+            Json::Number(n) if *n >= 0.0 && n.fract() == 0.0 => Ok(*n as u64),
+            _ => Err(format!("{what} must be a non-negative integer")),
+        }
+    };
+    let Some(Json::Object(counters)) = metrics.get("counters") else {
+        return Err("\"metrics\" is missing its \"counters\" object".to_string());
+    };
+    let expected: Vec<&str> = dioph_obs::counters()
+        .iter()
+        .filter(|c| c.stability() == dioph_obs::Stability::Deterministic)
+        .map(|c| c.name())
+        .collect();
+    let names: Vec<&str> = counters.keys().map(String::as_str).collect();
+    if names != expected {
+        return Err(format!(
+            "deterministic counter block holds [{}]; the registry defines [{}]",
+            names.join(", "),
+            expected.join(", ")
+        ));
+    }
+    for (name, value) in counters {
+        uint(value, &format!("counter \"{name}\""))?;
+    }
+    let named = |name: &str| uint(&counters[name], name).expect("checked above");
+    let pairs = named("engine.pairs_decided");
+    let contained = named("engine.verdicts.contained");
+    let not_contained = named("engine.verdicts.not_contained");
+    if contained.saturating_add(not_contained) > pairs {
+        return Err(format!(
+            "verdict counters are inconsistent: {contained} contained + {not_contained} \
+             not-contained > {pairs} pairs decided"
+        ));
+    }
+    if let Some(volatile) = metrics.get("volatile") {
+        let Json::Object(map) = volatile else {
+            return Err("\"volatile\" must be an object".to_string());
+        };
+        for (name, value) in map {
+            if dioph_obs::registry::counter(name).is_none() {
+                return Err(format!("\"volatile\" names unknown counter \"{name}\""));
+            }
+            uint(value, &format!("volatile counter \"{name}\""))?;
+        }
+    }
+    let phases = member(metrics, "phases")?.as_array().ok_or("\"phases\" must be an array")?;
+    let known: Vec<&str> = dioph_obs::Phase::ALL.iter().map(|p| p.name()).collect();
+    for entry in phases {
+        let name = member_str(entry, "phase")?;
+        if !known.contains(&name) {
+            return Err(format!("unknown phase \"{name}\" (expected one of {})", known.join(", ")));
+        }
+        uint(member(entry, "calls")?, "phase calls")?;
+        uint(member(entry, "wall_ns")?, "phase wall_ns")?;
+    }
+    let workers = member(metrics, "workers")?.as_array().ok_or("\"workers\" must be an array")?;
+    for entry in workers {
+        member_str(entry, "pool")?;
+        uint(member(entry, "worker")?, "worker index")?;
+        uint(member(entry, "claims")?, "worker claims")?;
+    }
+    Ok(format!(
+        "metrics block verified ({pairs} pair decision(s): {contained} contained, \
+         {not_contained} not contained; volatile counters and timings skipped by contract)"
+    ))
+}
+
+/// Records one `"metrics"` member against the report.
+fn acknowledge_metrics(report: &mut VerifyReport, metrics: &Json) {
+    report.metrics_blocks += 1;
+    match check_metrics(metrics) {
+        Ok(line) => report.lines.push_str(&format!("[metrics] {line}\n")),
+        Err(diagnostic) => {
+            report.failed += 1;
+            report.lines.push_str(&format!("[metrics] VERIFICATION FAILED: {diagnostic}\n"));
         }
     }
 }
@@ -1390,6 +1663,9 @@ fn cmd_verify(
                             .map_err(|e| CliError::Failure(format!("{location}: {label}: {e}")))?;
                     }
                 }
+                if let Some(metrics) = doc.get("metrics") {
+                    acknowledge_metrics(&mut report, metrics);
+                }
             } else if doc.get("id").is_some() {
                 // A batch --json line.
                 saw_entries = true;
@@ -1407,6 +1683,11 @@ fn cmd_verify(
                     check_entry(&mut report, &label, &doc, false)
                         .map_err(|e| CliError::Failure(format!("{location}: {e}")))?;
                 }
+            } else if let Some(metrics) = doc.get("metrics") {
+                // The trailing `batch --json --metrics` line: a bare
+                // `{"metrics":{...}}` object after the per-job lines.
+                saw_entries = true;
+                acknowledge_metrics(&mut report, metrics);
             } else {
                 return Err(CliError::Failure(format!(
                     "{location}: unrecognised JSON (expected a decide/equiv envelope with \
@@ -1420,9 +1701,17 @@ fn cmd_verify(
             "no certificates in the input; pass a file produced with --json".to_string(),
         ));
     }
+    // Metrics blocks are opt-in (`--metrics`); the summary only grows a
+    // clause when one was actually present, so metrics-free documents keep
+    // their historical byte-identical summary line.
+    let metrics_clause = if report.metrics_blocks > 0 {
+        format!(", {} metrics block(s)", report.metrics_blocks)
+    } else {
+        String::new()
+    };
     let summary = format!(
         "verify: {} counterexample(s) verified, {} contained verdict(s), {} timing-only \
-         entr{}, {} recorded error line(s), {} failure(s)\n",
+         entr{}, {} recorded error line(s){metrics_clause}, {} failure(s)\n",
         report.verified,
         report.contained,
         report.timing_entries,
@@ -1449,12 +1738,16 @@ struct FuzzOpts {
     config: FuzzConfig,
     json: bool,
     replay: Option<String>,
+    metrics: bool,
+    trace_out: Option<String>,
 }
 
 fn parse_fuzz_opts(args: &[String]) -> Result<FuzzOpts, CliError> {
     let mut config = FuzzConfig::default();
     let mut json = false;
     let mut replay: Option<String> = None;
+    let mut metrics = false;
+    let mut trace_out: Option<String> = None;
     let mut cases_set = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -1497,6 +1790,8 @@ fn parse_fuzz_opts(args: &[String]) -> Result<FuzzOpts, CliError> {
                 };
             }
             "--replay" => replay = Some(next_value(&mut it, "--replay")?),
+            "--metrics" => metrics = true,
+            "--trace-out" => trace_out = Some(next_value(&mut it, "--trace-out")?),
             "--inject" => {
                 let bug = next_value(&mut it, "--inject")?;
                 config.injection = Some(match bug.as_str() {
@@ -1535,7 +1830,7 @@ fn parse_fuzz_opts(args: &[String]) -> Result<FuzzOpts, CliError> {
     if config.max_mult == 0 {
         return Err(CliError::Usage("--max-mult must be at least 1".to_string()));
     }
-    Ok(FuzzOpts { config, json, replay })
+    Ok(FuzzOpts { config, json, replay, metrics, trace_out })
 }
 
 /// Loads the `*.dl` corpus files of `dir` (sorted by file name, consecutive
@@ -1585,15 +1880,33 @@ fn load_corpus(dir: &str) -> Result<Vec<(String, ConjunctiveQuery, ConjunctiveQu
 
 fn cmd_fuzz(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let opts = parse_fuzz_opts(args)?;
+    let baseline = start_observability(opts.metrics, opts.trace_out.as_deref());
     let report = match &opts.replay {
         Some(dir) => run_replay(&opts.config, load_corpus(dir)?),
         None => run_fuzz(&opts.config),
     };
+    if let Some(path) = &opts.trace_out {
+        write_trace(path)?;
+    }
     if opts.json {
-        write_out(out, &report.to_json())?;
+        let mut rendered = report.to_json();
+        if opts.metrics {
+            // The report renders its own envelope; splice the metrics member
+            // in before the closing brace (the envelope ends "…}\n").
+            let body = rendered
+                .trim_end_matches('\n')
+                .strip_suffix('}')
+                .expect("the fuzz envelope is a JSON object")
+                .to_string();
+            rendered = format!("{body},\"metrics\":{}}}\n", metrics_json(&baseline));
+        }
+        write_out(out, &rendered)?;
     } else {
         write_out(out, &report.disagreement_lines())?;
         write_out(out, &format!("{}\n", report.summary_line()))?;
+        if opts.metrics {
+            write_out(out, &metrics_human(&baseline))?;
+        }
     }
     if report.disagreements.is_empty() {
         Ok(())
@@ -1768,14 +2081,19 @@ fn cmd_bench(args: &[String], stdin: &mut dyn Read) -> CliResult {
     if opts.keep_going {
         return Err(CliError::Usage("--keep-going only applies to batch".to_string()));
     }
+    let baseline = start_observability(opts.metrics, opts.trace_out.as_deref());
     let pairs = into_pairs(load_queries(&opts.files, stdin)?)?;
     let decider = BagContainmentDecider::new(opts.algorithm).with_engine(opts.engine);
     let mut human = String::new();
     let mut json_pairs: Vec<String> = Vec::new();
     let mut total_ns: u128 = 0;
-    // Counter deltas over the timed region report how often the hybrid
-    // numeric tower stayed on its allocation-free machine-word path.
-    let arith_before = dioph_arith::stats::snapshot();
+    // Counter deltas over the timed runs report how often the hybrid numeric
+    // tower stayed on its allocation-free machine-word path. Accumulated as
+    // one registry delta per repeat loop — not one process-lifetime reading
+    // at the end — so the numbers cover exactly the runs the latencies
+    // cover: compilation arithmetic and earlier in-process benches are
+    // excluded instead of silently folded in.
+    let mut arith = dioph_arith::stats::Snapshot::default();
     for (i, (containee, containing)) in pairs.iter().enumerate() {
         let index = i + 1;
         let cannot_decide = |e: &dyn std::fmt::Display| {
@@ -1793,12 +2111,20 @@ fn cmd_bench(args: &[String], stdin: &mut dyn Read) -> CliResult {
             .map_err(|e| cannot_decide(&e))?;
         let mut durations_ns: Vec<u128> = Vec::with_capacity(opts.repeat);
         let mut verdict: Option<BagContainment> = None;
+        let run_before = dioph_arith::stats::snapshot();
         for _ in 0..opts.repeat {
             let start = Instant::now();
             let result = decider.decide_pair(&pair).map_err(|e| cannot_decide(&e))?;
             durations_ns.push(start.elapsed().as_nanos());
             verdict.get_or_insert(result);
         }
+        let run_delta = dioph_arith::stats::snapshot().since(&run_before);
+        arith = dioph_arith::stats::Snapshot {
+            small_hits: arith.small_hits.saturating_add(run_delta.small_hits),
+            big_fallbacks: arith.big_fallbacks.saturating_add(run_delta.big_fallbacks),
+            int_small_hits: arith.int_small_hits.saturating_add(run_delta.int_small_hits),
+            int_big_fallbacks: arith.int_big_fallbacks.saturating_add(run_delta.int_big_fallbacks),
+        };
         let verdict = verdict.expect("repeat >= 1 guarantees at least one run");
         let min = *durations_ns.iter().min().expect("at least one run");
         let max = *durations_ns.iter().max().expect("at least one run");
@@ -1830,7 +2156,9 @@ fn cmd_bench(args: &[String], stdin: &mut dyn Read) -> CliResult {
             .expect("writing to a String cannot fail");
         }
     }
-    let arith = dioph_arith::stats::snapshot().since(&arith_before);
+    if let Some(path) = &opts.trace_out {
+        write_trace(path)?;
+    }
     if opts.json {
         // `hit_rate` is a JSON number or the literal `null` when the timed
         // region recorded no operations at all — both shapes round-trip
@@ -1842,12 +2170,17 @@ fn cmd_bench(args: &[String], stdin: &mut dyn Read) -> CliResult {
         };
         let hit_rate = rate_or_null(arith.hit_rate());
         let int_hit_rate = rate_or_null(arith.int_hit_rate());
+        let metrics = if opts.metrics {
+            format!(",\"metrics\":{}", metrics_json(&baseline))
+        } else {
+            String::new()
+        };
         Ok(format!(
             "{{\"command\":\"bench\",\"algorithm\":\"{}\",\"engine\":\"{}\",\"repeat\":{},\
              \"total_ns\":{total_ns},\"arith_small_path\":{{\"small_hits\":{},\
              \"big_fallbacks\":{},\"hit_rate\":{hit_rate}}},\
              \"arith_int_path\":{{\"small_hits\":{},\"big_fallbacks\":{},\
-             \"hit_rate\":{int_hit_rate}}},\"pairs\":[{}]}}\n",
+             \"hit_rate\":{int_hit_rate}}},\"pairs\":[{}]{metrics}}}\n",
             opts.algorithm_name,
             opts.engine_name,
             opts.repeat,
@@ -1887,6 +2220,9 @@ fn cmd_bench(args: &[String], stdin: &mut dyn Read) -> CliResult {
                 arith.int_big_fallbacks
             )
             .expect("writing to a String cannot fail");
+        }
+        if opts.metrics {
+            human.push_str(&metrics_human(&baseline));
         }
         Ok(human)
     }
@@ -2480,7 +2816,149 @@ mod tests {
         assert!(run_err(&["bench", "--keep-going"], "").0);
         assert!(run_err(&["batch", "--set"], "").0, "batch is bag-only");
         assert!(run_err(&["batch", "--repeat", "2"], "").0, "--repeat is bench-only");
+        assert!(run_err(&["decide", "--set", "--metrics"], "").0, "metrics is bag-only");
+        assert!(run_err(&["decide", "--bag-set", "--trace-out", "t.json"], "").0);
+        assert!(run_err(&["equiv", "--set", "--metrics"], "").0);
+        assert!(run_err(&["gen", "--metrics"], "").0, "gen has no decision pipeline");
+        assert!(run_err(&["check", "--trace-out", "t.json"], "").0);
+        assert!(run_err(&["decide", "--trace-out"], "").0, "--trace-out needs a FILE");
         assert!(run_err(&[], "").0);
+    }
+
+    // -- metrics / tracing --------------------------------------------------
+    //
+    // In-process tests share one registry across the whole (parallel) test
+    // binary, so commands running concurrently can bleed counter increments
+    // into each other's deltas. These tests therefore assert structure only;
+    // the byte-for-byte determinism contract is pinned by tests/metrics.rs,
+    // which spawns one isolated process per command line.
+
+    #[test]
+    fn decide_json_metrics_member_is_well_formed() {
+        let out = run_ok(&["decide", "--json", "--metrics"], ACCEPTANCE);
+        assert!(out.contains(",\"metrics\":{\"counters\":{"), "{out}");
+        let doc = Json::parse(out.trim_end()).expect("envelope must stay valid JSON");
+        let metrics = doc.get("metrics").expect("metrics member");
+        let Some(Json::Object(counters)) = metrics.get("counters") else {
+            panic!("counters must be an object: {out}");
+        };
+        let expected: Vec<&str> = dioph_obs::counters()
+            .iter()
+            .filter(|c| c.stability() == dioph_obs::Stability::Deterministic)
+            .map(|c| c.name())
+            .collect();
+        let names: Vec<&str> = counters.keys().map(String::as_str).collect();
+        assert_eq!(names, expected, "deterministic block must hold exactly the registry cells");
+        assert!(metrics.get("volatile").is_some(), "{out}");
+        assert!(metrics.get("phases").and_then(Json::as_array).is_some(), "{out}");
+        assert!(metrics.get("workers").and_then(Json::as_array).is_some(), "{out}");
+        // Without the flag the envelope must not mention metrics at all.
+        let plain = run_ok(&["decide", "--json"], ACCEPTANCE);
+        assert!(!plain.contains("metrics"), "{plain}");
+    }
+
+    #[test]
+    fn decide_human_metrics_breakdown_is_labelled() {
+        let out = run_ok(&["decide", "--metrics"], ACCEPTANCE);
+        assert!(out.contains("metrics (this command):"), "{out}");
+        assert!(out.contains("engine.pairs_decided"), "{out}");
+        let plain = run_ok(&["decide"], ACCEPTANCE);
+        assert!(!plain.contains("metrics"), "{plain}");
+    }
+
+    #[test]
+    fn batch_bench_fuzz_emit_metrics_under_json() {
+        let batch = run_ok(&["batch", "--json", "--metrics"], ACCEPTANCE);
+        let trailer = batch.lines().last().expect("batch emits a metrics trailer");
+        let doc = Json::parse(trailer).expect("trailer must be JSON");
+        assert!(doc.get("metrics").and_then(|m| m.get("counters")).is_some(), "{batch}");
+
+        let bench = run_ok(&["bench", "--json", "--repeat", "1", "--metrics"], ACCEPTANCE);
+        let doc = Json::parse(bench.trim_end()).expect("bench envelope must be JSON");
+        assert!(doc.get("metrics").and_then(|m| m.get("phases")).is_some(), "{bench}");
+
+        let fuzz = run_ok(&["fuzz", "--json", "--cases", "2", "--metrics"], "");
+        let doc = Json::parse(fuzz.trim_end()).expect("fuzz envelope must be JSON");
+        assert!(doc.get("metrics").and_then(|m| m.get("counters")).is_some(), "{fuzz}");
+        assert!(doc.get("summary").is_some(), "metrics must not displace the report: {fuzz}");
+    }
+
+    #[test]
+    fn trace_out_writes_a_chrome_trace() {
+        let dir = std::env::temp_dir().join(format!("dioph-cli-trace-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("decide.trace.json");
+        let path_str = path.to_str().expect("temp path is UTF-8");
+        run_ok(&["decide", "--jobs", "2", "--trace-out", path_str], ACCEPTANCE);
+        let text = std::fs::read_to_string(&path).expect("trace file must exist");
+        let doc = Json::parse(&text).expect("trace must be valid JSON");
+        let events = doc.get("traceEvents").and_then(Json::as_array).expect("traceEvents");
+        assert!(!events.is_empty(), "{text}");
+        for event in events {
+            let ph = event.get("ph").and_then(Json::as_str).expect("ph");
+            assert!(matches!(ph, "X" | "M"), "unexpected phase record {ph}: {text}");
+            assert!(event.get("pid").is_some() && event.get("tid").is_some(), "{text}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// A fully synthetic, value-controlled metrics block (in-process runs
+    /// cannot guarantee delta purity, so verify is tested against synthetic
+    /// splices rather than live output).
+    fn synthetic_metrics(contained: u64, pairs: u64, volatile: &str) -> String {
+        format!(
+            "{{\"counters\":{{\"engine.batch.failures\":0,\"engine.batch.jobs\":0,\
+             \"engine.pairs_decided\":{pairs},\"engine.verdicts.contained\":{contained},\
+             \"engine.verdicts.not_contained\":0,\"parse.queries\":2}},\
+             \"volatile\":{{{volatile}}},\
+             \"phases\":[{{\"phase\":\"probe\",\"calls\":4,\"wall_ns\":812}}],\
+             \"workers\":[{{\"pool\":\"probe\",\"worker\":0,\"claims\":4,\
+             \"busy_ns\":812,\"max_unit_ns\":311}}]}}"
+        )
+    }
+
+    #[test]
+    fn verify_acknowledges_metrics_blocks() {
+        let envelope = run_ok(&["decide", "--json"], ACCEPTANCE);
+        let spliced = format!(
+            "{},\"metrics\":{}}}\n",
+            envelope.trim_end().strip_suffix('}').expect("decide envelope is an object"),
+            synthetic_metrics(1, 1, "\"lp.simplex.pivots\":3")
+        );
+        let out = run_ok(&["verify"], &spliced);
+        assert!(out.contains("[metrics] metrics block verified"), "{out}");
+        assert!(out.contains("1 metrics block(s), 0 failure(s)"), "{out}");
+
+        // The batch trailer shape: a bare {"metrics":...} line.
+        let trailer = format!("{{\"metrics\":{}}}\n", synthetic_metrics(2, 3, ""));
+        let out = run_ok(&["verify"], &trailer);
+        assert!(out.contains("1 metrics block(s)"), "{out}");
+
+        // Metrics-free documents keep the historical summary line verbatim.
+        let out = run_ok(&["verify"], &envelope);
+        assert!(!out.contains("metrics"), "{out}");
+    }
+
+    #[test]
+    fn verify_rejects_corrupted_metrics_blocks() {
+        let reject = |metrics: &str, why: &str| {
+            let line = format!("{{\"metrics\":{metrics}}}\n");
+            let (usage, message) = run_err(&["verify"], &line);
+            assert!(!usage, "{why}: expected a verification failure, got usage error");
+            assert!(message.contains("failed verification"), "{why}: {message}");
+        };
+        // More verdicts than decided pairs.
+        reject(&synthetic_metrics(5, 1, ""), "verdict invariant");
+        // A volatile counter the registry does not define.
+        reject(&synthetic_metrics(1, 1, "\"lp.warp.calls\":1"), "unknown volatile counter");
+        // A deterministic block missing registry cells.
+        reject(
+            "{\"counters\":{\"engine.pairs_decided\":1},\"volatile\":{},\"phases\":[],\
+             \"workers\":[]}",
+            "incomplete deterministic block",
+        );
+        // Negative and fractional counters are not counts.
+        reject(&synthetic_metrics(1, 1, "\"lp.simplex.pivots\":-2"), "negative volatile counter");
     }
 
     #[test]

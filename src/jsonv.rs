@@ -1,16 +1,18 @@
-//! A minimal JSON reader for the `verify` subcommand.
+//! A minimal JSON reader for the `verify` subcommand and the test suite.
 //!
 //! The workspace is dependency-free (no serde), and `verify` only needs to
 //! read back the JSON the CLI itself emits: objects, arrays, strings,
 //! numbers, booleans and null, with the escape sequences `json::string`
 //! produces. Errors are values (not panics) so a malformed certificate file
-//! turns into a diagnostic, not a crash.
+//! turns into a diagnostic, not a crash. The module is public so integration
+//! tests (and downstream tooling) can parse `--json` envelopes and
+//! `--trace-out` files without a JSON dependency of their own.
 
 use std::collections::BTreeMap;
 
 /// A parsed JSON value.
 #[derive(Clone, PartialEq, Debug)]
-pub(crate) enum Json {
+pub enum Json {
     /// `null`.
     Null,
     /// `true` / `false`.
@@ -28,7 +30,7 @@ pub(crate) enum Json {
 
 impl Json {
     /// Parses one complete JSON value; trailing garbage is an error.
-    pub(crate) fn parse(text: &str) -> Result<Json, String> {
+    pub fn parse(text: &str) -> Result<Json, String> {
         let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
         let value = p.value()?;
         p.skip_ws();
@@ -39,7 +41,7 @@ impl Json {
     }
 
     /// Member lookup on an object.
-    pub(crate) fn get(&self, key: &str) -> Option<&Json> {
+    pub fn get(&self, key: &str) -> Option<&Json> {
         match self {
             Json::Object(map) => map.get(key),
             _ => None,
@@ -47,7 +49,7 @@ impl Json {
     }
 
     /// The string payload, if this is a string.
-    pub(crate) fn as_str(&self) -> Option<&str> {
+    pub fn as_str(&self) -> Option<&str> {
         match self {
             Json::String(s) => Some(s),
             _ => None,
@@ -55,7 +57,7 @@ impl Json {
     }
 
     /// The elements, if this is an array.
-    pub(crate) fn as_array(&self) -> Option<&[Json]> {
+    pub fn as_array(&self) -> Option<&[Json]> {
         match self {
             Json::Array(items) => Some(items),
             _ => None,

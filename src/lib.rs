@@ -37,7 +37,7 @@
 #![warn(missing_docs)]
 
 pub mod cli;
-mod jsonv;
+pub mod jsonv;
 
 pub use dioph_analyze as analyze;
 pub use dioph_arith as arith;

@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# Validates a `--trace-out` file as loadable Chrome trace-event JSON:
+#
+#   * the document parses as one JSON object;
+#   * `traceEvents` is a non-empty array;
+#   * every event is a complete span ("ph":"X") or metadata record
+#     ("ph":"M") carrying pid and tid;
+#   * spans carry numeric ts/dur microsecond fields.
+#
+# Usage: tools/check_trace.sh TRACE_FILE
+#
+# Prefers python3 for a real JSON parse; falls back to grep-level shape
+# checks on machines without it.
+set -euo pipefail
+
+if [ $# -ne 1 ]; then
+    echo "usage: $0 TRACE_FILE" >&2
+    exit 2
+fi
+trace="$1"
+
+if [ ! -s "$trace" ]; then
+    echo "check_trace.sh: $trace is missing or empty" >&2
+    exit 1
+fi
+
+if command -v python3 > /dev/null 2>&1; then
+    python3 - "$trace" << 'EOF'
+import json
+import sys
+
+path = sys.argv[1]
+with open(path, encoding="utf-8") as handle:
+    doc = json.load(handle)
+
+events = doc.get("traceEvents")
+assert isinstance(events, list), "traceEvents must be an array"
+assert events, "traceEvents must not be empty"
+
+spans = 0
+names = []
+for event in events:
+    ph = event.get("ph")
+    assert ph in ("X", "M"), f"unexpected event phase {ph!r}"
+    assert "pid" in event and "tid" in event, f"event missing pid/tid: {event}"
+    if ph == "X":
+        spans += 1
+        assert isinstance(event.get("ts"), (int, float)), f"bad ts: {event}"
+        assert isinstance(event.get("dur"), (int, float)), f"bad dur: {event}"
+        assert event["ts"] >= 0 and event["dur"] >= 0, f"negative time: {event}"
+    else:
+        assert event.get("name") == "thread_name", f"unknown metadata: {event}"
+        names.append(event["args"]["name"])
+
+assert spans > 0, "the trace must contain at least one span"
+print(
+    f"check_trace.sh: {path}: {spans} span(s) over "
+    f"{len(names)} named thread track(s): OK"
+)
+EOF
+else
+    # Grep fallback: the emitter writes one canonical object per event, so
+    # shape greps are meaningful even without a JSON parser.
+    grep -q '"traceEvents":\[' "$trace" || {
+        echo "check_trace.sh: $trace: no traceEvents array" >&2
+        exit 1
+    }
+    grep -q '"ph":"X"' "$trace" || {
+        echo "check_trace.sh: $trace: no complete spans" >&2
+        exit 1
+    }
+    grep -q '"ts":[0-9]' "$trace" || {
+        echo "check_trace.sh: $trace: spans carry no timestamps" >&2
+        exit 1
+    }
+    echo "check_trace.sh: $trace: shape OK (python3 unavailable, grep checks only)"
+fi

@@ -7,6 +7,12 @@
 #     engine's atomics are flags and counters with no cross-thread data
 #     dependencies (channels carry the data), so every ordering is Relaxed;
 #     anything stronger is either a mistake or needs a design discussion.
+#     This gate deliberately covers crates/obs too: metrics cells are the
+#     canonical Relaxed-only use case;
+#   * static atomics outside crates/obs — the metrics registry is the one
+#     sanctioned home for process-global atomic state. Ad-hoc global
+#     counters bypass its naming, stability classification and snapshot
+#     semantics; route new ones through dioph-obs instead.
 #
 # Exits non-zero listing every offending line. Vendored crates under
 # vendor/ keep their upstream style and are not scanned.
@@ -53,6 +59,31 @@ if [ -n "$ordering_matches" ]; then
     done <<< "$ordering_matches"
     if [ -n "${filtered%$'\n'}" ]; then
         echo "forbid.sh: non-Relaxed atomic ordering outside #[cfg(test)]:" >&2
+        printf '%s' "$filtered" >&2
+        fail=1
+    fi
+fi
+
+# Static atomics: process-global mutable state belongs in the dioph-obs
+# registry (stable names, stability classes, snapshot/delta semantics), so
+# a `static NAME: Atomic*` anywhere else is forbidden. Local `let`-bound
+# atomics (the engine's per-call scheduling counters) are fine and don't
+# match the pattern. Test modules may declare scratch statics.
+static_matches=$(grep -rnE 'static[[:space:]]+[A-Z0-9_]+:[[:space:]]*([a-z:]+::)?Atomic' \
+    src crates tests --include='*.rs' | grep -v '^crates/obs/' | grep -v '^\s*//' || true)
+if [ -n "$static_matches" ]; then
+    filtered=""
+    while IFS= read -r line; do
+        file="${line%%:*}"
+        lineno=$(echo "$line" | cut -d: -f2)
+        teststart=$(grep -n '#\[cfg(test)\]' "$file" | head -1 | cut -d: -f1)
+        if [ -n "$teststart" ] && [ "$lineno" -gt "$teststart" ]; then
+            continue
+        fi
+        filtered="${filtered}${line}"$'\n'
+    done <<< "$static_matches"
+    if [ -n "${filtered%$'\n'}" ]; then
+        echo "forbid.sh: static atomic outside crates/obs (route it through the dioph-obs registry):" >&2
         printf '%s' "$filtered" >&2
         fail=1
     fi
