@@ -35,49 +35,59 @@ const JOB_SWEEP: [usize; 4] = [1, 2, 4, 8];
 /// The E4 multi-probe instance the probe sweeps run on: 4^4 = 256 probes.
 const PATH_LENGTH: usize = 3;
 
+/// The grown probe sweep: path length 4 ⇒ 5^5 = 3125 probes per pair, the
+/// scale the unified scheduler's chunked claiming is sized for.
+const PATH_LENGTH_LARGE: usize = 4;
+
 fn engine_with(jobs: usize, engine: FeasibilityEngine) -> DecisionEngine {
     DecisionEngine::new(EngineConfig { jobs, algorithm: Algorithm::AllProbes, engine })
 }
 
 fn bench_probe_parallel_e4(c: &mut Criterion) {
-    let (containee, containing) = path_self_containment(PATH_LENGTH);
-
-    // Determinism gate + headline numbers: every job count must produce the
-    // same verdict bytes, and the sweep prints its own 1-vs-4 speedup.
-    let reference = engine_with(1, FeasibilityEngine::Simplex)
-        .decide(&containee, &containing)
-        .expect("the E4 pair decides");
-    let mut wall: Vec<(usize, Duration)> = Vec::new();
-    for jobs in JOB_SWEEP {
-        let engine = engine_with(jobs, FeasibilityEngine::Simplex);
-        let start = Instant::now();
-        let verdict = engine.decide(&containee, &containing).expect("the E4 pair decides");
-        wall.push((jobs, start.elapsed()));
-        assert_eq!(verdict, reference, "jobs={jobs} must match the sequential verdict");
-        assert_eq!(verdict.to_json(), reference.to_json(), "JSON certificates must be identical");
-    }
     let cores = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
     println!(
         "engine_scaling: {cores} hardware thread(s) available \
          (speedups over jobs=1 need cores > 1; verdict identity holds regardless)"
     );
-    for (jobs, elapsed) in &wall {
-        println!(
-            "engine_scaling: E4 path({PATH_LENGTH}) all-probes, jobs={jobs}: {:.1}ms (one run)",
-            elapsed.as_secs_f64() * 1e3
-        );
-    }
 
     let mut group = c.benchmark_group("engine/E4_probe_parallel");
-    for jobs in JOB_SWEEP {
-        let engine = engine_with(jobs, FeasibilityEngine::Simplex);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(jobs),
-            &(containee.clone(), containing.clone()),
-            |b, (containee, containing)| {
-                b.iter(|| engine.decide(black_box(containee), black_box(containing)).unwrap());
-            },
-        );
+    for length in [PATH_LENGTH, PATH_LENGTH_LARGE] {
+        let (containee, containing) = path_self_containment(length);
+        let probes = (length + 1).pow(length as u32 + 1);
+
+        // Determinism gate + headline numbers: every job count must produce
+        // the same verdict bytes, and the sweep prints its own wall clocks.
+        let reference = engine_with(1, FeasibilityEngine::Simplex)
+            .decide(&containee, &containing)
+            .expect("the E4 pair decides");
+        for jobs in JOB_SWEEP {
+            let engine = engine_with(jobs, FeasibilityEngine::Simplex);
+            let start = Instant::now();
+            let verdict = engine.decide(&containee, &containing).expect("the E4 pair decides");
+            let elapsed = start.elapsed();
+            assert_eq!(verdict, reference, "jobs={jobs} must match the sequential verdict");
+            assert_eq!(
+                verdict.to_json(),
+                reference.to_json(),
+                "JSON certificates must be identical"
+            );
+            println!(
+                "engine_scaling: E4 path({length}) all-probes ({probes} probes), jobs={jobs}: \
+                 {:.1}ms (one run)",
+                elapsed.as_secs_f64() * 1e3
+            );
+        }
+
+        for jobs in JOB_SWEEP {
+            let engine = engine_with(jobs, FeasibilityEngine::Simplex);
+            group.bench_with_input(
+                BenchmarkId::new(format!("path{length}"), jobs),
+                &(containee.clone(), containing.clone()),
+                |b, (containee, containing)| {
+                    b.iter(|| engine.decide(black_box(containee), black_box(containing)).unwrap());
+                },
+            );
+        }
     }
     group.finish();
 }
@@ -134,14 +144,17 @@ fn bench_batch_stream(c: &mut Criterion) {
 }
 
 fn bench_batch_skew(c: &mut Criterion) {
-    // A deliberately skewed stream: one giant all-probes pair (256 probe
-    // tuples) buried in a crowd of small exponential-mapping pairs. This is
-    // the worst case for pair-level parallelism — whichever worker claims
-    // the giant serialises the tail — and the per-worker pool metrics make
-    // the imbalance visible: the run prints each worker's claim count and
-    // busy time plus a starvation ratio (most/least busy worker).
+    // A deliberately skewed stream: one giant all-probes pair (3125 probe
+    // tuples) buried in a crowd of small exponential-mapping pairs. This
+    // was the worst case for pair-level parallelism — whichever worker
+    // claimed the giant serialised the tail, a measured ~130× busy ratio —
+    // and the unified (pair × probe) scheduler is the fix: the whole pool
+    // drains the giant's probe space in chunks. The per-worker pool metrics
+    // make the balance visible: the run prints each worker's claim count
+    // and busy time, the steal/claim-spread counters, and a starvation
+    // ratio (most/least busy worker).
     let mut text = String::new();
-    let (giant_containee, giant_containing) = path_self_containment(PATH_LENGTH);
+    let (giant_containee, giant_containing) = path_self_containment(PATH_LENGTH_LARGE);
     text.push_str(&format!("{giant_containee}.\n{giant_containing}.\n"));
     for _ in 0..12 {
         let (containee, containing) = exponential_mapping_instance(4);
@@ -150,6 +163,7 @@ fn bench_batch_skew(c: &mut Criterion) {
 
     dioph_obs::phase::set_timing(true);
     dioph_obs::pool::reset();
+    let before = dioph_obs::registry::snapshot();
     let engine = DecisionEngine::new(EngineConfig {
         jobs: 4,
         algorithm: Algorithm::AllProbes,
@@ -160,17 +174,24 @@ fn bench_batch_skew(c: &mut Criterion) {
         true
     });
     assert_eq!(stats.failures, 0);
+    let delta = dioph_obs::registry::snapshot().since(&before);
     let workers: Vec<_> =
         dioph_obs::pool::snapshot().into_iter().filter(|w| w.pool == "batch").collect();
     for w in &workers {
         println!(
-            "engine_scaling: skew batch worker {}: {} claim(s), busy {:.1}ms, max job {:.1}ms",
+            "engine_scaling: skew batch worker {}: {} claim(s), busy {:.1}ms, max unit {:.1}ms",
             w.worker,
             w.claims,
             w.busy_ns as f64 / 1e6,
             w.max_unit_ns as f64 / 1e6
         );
     }
+    println!(
+        "engine_scaling: skew units claimed: {}, steals: {}, claim spread (max-min): {}",
+        delta.get("engine.units_claimed").unwrap_or(0),
+        delta.get("engine.steals").unwrap_or(0),
+        delta.get("engine.claim_spread.max").unwrap_or(0)
+    );
     let busiest = workers.iter().map(|w| w.busy_ns).max().unwrap_or(0);
     let idlest = workers.iter().map(|w| w.busy_ns).min().unwrap_or(0);
     if idlest > 0 {
@@ -179,7 +200,7 @@ fn bench_batch_skew(c: &mut Criterion) {
             busiest as f64 / idlest as f64
         );
     } else {
-        println!("engine_scaling: skew starvation ratio: unbounded (a worker never ran a job)");
+        println!("engine_scaling: skew starvation ratio: unbounded (a worker never ran a unit)");
     }
 
     let mut group = c.benchmark_group("engine/batch_skew");

@@ -221,6 +221,16 @@ impl CompiledPair {
         self.space.get_or_init(|| ProbeSpace::new(&self.containee))
     }
 
+    /// The number of claimable probe units this pair exposes to a scheduler:
+    /// the raw probe-space length, floored at one so a degenerate (empty)
+    /// probe space still publishes a single no-op unit whose retirement
+    /// finalizes the pair. Indices `0..probe_units()` are exactly the values
+    /// [`Self::probe`] accepts, except in the degenerate case, which a
+    /// claimer must guard with [`ProbeSpace::raw_len`].
+    pub fn probe_units(&self) -> usize {
+        self.probe_space().raw_len().max(1)
+    }
+
     /// Resolves (and memoises) the compilation of the probe with raw index
     /// `index` in [`Self::probe_space`]; `None` when that index is not a
     /// probe tuple. Safe to call from many threads at once.

@@ -4,29 +4,37 @@
 //! A batch run wires four pieces together inside one `std::thread::scope`:
 //!
 //! ```text
-//!   input ──JobReader──▶ feeder ──sync_channel──▶ workers (parse, compile
-//!   (stdin,  (splits on    thread   (bounded:       via the shared
-//!    file)    '.' pair      │        backpressure)   CompilationCache,
-//!             boundaries)   │                        decide)
-//!                           ▼                          │
-//!                    collector (calling thread) ◀──────┘
-//!                    reorders by submission seq, emits Verdicts in order
+//!   input ──JobReader──▶ feeder ──admit──▶ unified scheduler ──▶ workers
+//!   (stdin,  (splits on    thread  (parse,  (each pair's probe    (claim
+//!    file)    '.' pair      │       check,   space published as    (pair,
+//!             boundaries)   │       compile) claimable units)      probe)
+//!                           ▼                                      chunks)
+//!                    collector (calling thread) ◀── finalized ──────┘
+//!                    reorders by submission seq,      verdicts
+//!                    emits Verdicts in order
 //! ```
 //!
-//! The input iterator is pulled lazily (the feeder blocks on the bounded
-//! channel when workers are saturated), so memory stays bounded no matter
-//! how long the stream is, and verdict `k` is emitted as soon as jobs
-//! `1..=k` are done — not when the stream ends.
+//! The feeder admits pairs: it parses, fragment-checks and compiles (via
+//! the shared [`CompilationCache`]) each job, answers broken jobs
+//! immediately, and publishes every compiled pair's probe space into the
+//! shared [`Scheduler`](crate::pool) as claimable unit ranges. Workers
+//! pull (pair, probe-index) chunks from *any* in-flight pair, so a giant
+//! pair amid small ones is drained by the whole pool. The input iterator
+//! is pulled lazily (the feeder blocks admission while the pool is
+//! saturated), so memory stays bounded no matter how long the stream is,
+//! and verdict `k` is emitted as soon as jobs `1..=k` are done — not when
+//! the stream ends.
 
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::io::BufRead;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 
 use dioph_analyze::first_fragment_error;
-use dioph_containment::{BagContainment, BagContainmentDecider, CompiledPair, ContainmentError};
+use dioph_containment::{Algorithm, BagContainment, CompiledPair, ContainmentError};
 use dioph_cq::{parse_program_spanned, ConjunctiveQuery};
 
+use crate::pool::{PairRef, Scheduler, UnitKind};
 use crate::DecisionEngine;
 
 /// How many compiled pairs the per-stream cache retains before it is
@@ -339,20 +347,64 @@ impl<R: BufRead> Iterator for JobReader<R> {
 // The batch runner
 // ---------------------------------------------------------------------------
 
-/// Parses, compiles and decides one job (runs on a worker thread).
-fn process_job(decider: &BagContainmentDecider, cache: &CompilationCache, job: Job) -> Verdict {
-    let outcome = match job.read_error {
-        Some(message) => Err(BatchError::Read { message }),
-        None => decide_source(decider, cache, &job.source),
-    };
-    Verdict { id: job.id, outcome }
+/// The feeder's admission decision for one job.
+enum Admission {
+    /// Already answered without scheduling (read / parse / fragment /
+    /// compile failure).
+    Answered(Verdict),
+    /// Compiled and ready to publish as claimable units.
+    Scheduled { context: JobContext, pair: Arc<CompiledPair> },
 }
 
-fn decide_source(
-    decider: &BagContainmentDecider,
+/// The job-local half of a scheduled pair: its id and *its own* parsed
+/// queries. The scheduler decides through the cached [`CompiledPair`],
+/// which may carry the names of whichever job compiled the same bodies
+/// first — the emitted [`Verdict`] must echo this job's names.
+struct JobContext {
+    id: u64,
+    containee: ConjunctiveQuery,
+    containing: ConjunctiveQuery,
+}
+
+impl JobContext {
+    /// Wraps the scheduler's pair result back into this job's verdict.
+    fn into_verdict(self, result: Result<BagContainment, ContainmentError>) -> Verdict {
+        let outcome = match result {
+            Ok(verdict) => {
+                Ok(PairOutcome { containee: self.containee, containing: self.containing, verdict })
+            }
+            Err(error) => Err(BatchError::Decide {
+                message: format!(
+                    "cannot decide {} ⊑b {}: {error}",
+                    self.containee.name(),
+                    self.containing.name()
+                ),
+            }),
+        };
+        Verdict { id: self.id, outcome }
+    }
+}
+
+/// Parses, checks and compiles one job (runs on the feeder thread; the
+/// probe decisions themselves stay on the workers, since a fresh
+/// [`CompiledPair`] fills its probe slots lazily).
+fn admit_job(cache: &CompilationCache, job: Job) -> Admission {
+    let id = job.id;
+    if let Some(message) = job.read_error {
+        return Admission::Answered(Verdict { id, outcome: Err(BatchError::Read { message }) });
+    }
+    match compile_source(cache, &job.source) {
+        Ok((containee, containing, pair)) => {
+            Admission::Scheduled { context: JobContext { id, containee, containing }, pair }
+        }
+        Err(error) => Admission::Answered(Verdict { id, outcome: Err(error) }),
+    }
+}
+
+fn compile_source(
     cache: &CompilationCache,
     source: &str,
-) -> Result<PairOutcome, BatchError> {
+) -> Result<(ConjunctiveQuery, ConjunctiveQuery, Arc<CompiledPair>), BatchError> {
     let queries = {
         let _parse_span = dioph_obs::span(dioph_obs::Phase::Parse);
         parse_program_spanned(source).map_err(|e| BatchError::Parse {
@@ -388,10 +440,7 @@ fn decide_source(
     let pair = cache.get_or_compile(&containee, &containing).map_err(|e| BatchError::Decide {
         message: format!("cannot decide {} ⊑b {}: {e}", containee.name(), containing.name()),
     })?;
-    let verdict = decider.decide_pair(&pair).map_err(|e| BatchError::Decide {
-        message: format!("cannot decide {} ⊑b {}: {e}", containee.name(), containing.name()),
-    })?;
-    Ok(PairOutcome { containee, containing, verdict })
+    Ok((containee, containing, pair))
 }
 
 /// See [`DecisionEngine::run_batch`].
@@ -405,73 +454,83 @@ where
     let decider = engine.sequential_decider();
     let mut stats = BatchStats::default();
 
-    // Bounded job channel: backpressure keeps the feeder from racing ahead
-    // of the workers on a long stream. Declared outside the scope so worker
-    // threads can borrow them for the scope's whole lifetime.
-    let (job_tx, job_rx) = mpsc::sync_channel::<(u64, Job)>(workers * 2);
-    let job_rx = Mutex::new(job_rx);
+    // Every scheduled pair publishes its units through one shared queue,
+    // so a worker drained of its own pair steals units from any other
+    // in-flight pair instead of idling behind a giant one.
+    let kind = if engine.config().algorithm == Algorithm::MostGeneralProbe {
+        UnitKind::MostGeneral
+    } else {
+        UnitKind::ProbeSpace
+    };
+    // The in-flight-task capacity is the old bounded job channel's
+    // backpressure: the feeder blocks when the pool is saturated, keeping
+    // memory bounded on endless streams.
+    let scheduler = Scheduler::new("batch", workers, workers * 2);
     let (out_tx, out_rx) = mpsc::channel::<(u64, Verdict)>();
-    let stop = AtomicBool::new(false);
-    // Jobs sent by the feeder but not yet picked up by a worker; its
-    // high-water mark is the `engine.batch.queue_depth.max` gauge (a full
-    // queue means the feeder is ahead and backpressure is doing the work).
-    let in_flight = AtomicU64::new(0);
+    // The job-local context of every scheduled pair, keyed by submission
+    // sequence; the finalizing worker takes it back out to assemble the
+    // verdict.
+    let contexts: Mutex<HashMap<u64, JobContext>> = Mutex::new(HashMap::new());
 
     std::thread::scope(|s| {
         for worker in 0..workers {
             let out_tx = out_tx.clone();
-            let (job_rx, cache, decider, in_flight) = (&job_rx, &cache, &decider, &in_flight);
+            let (scheduler, decider, contexts) = (&scheduler, &decider, &contexts);
             s.spawn(move || {
-                dioph_obs::trace::name_current_thread(&format!("batch-worker-{worker}"));
-                let mut jobs_done = 0u64;
-                let mut busy_ns = 0u64;
-                let mut max_unit_ns = 0u64;
-                loop {
-                    let claimed = job_rx.lock().expect("batch workers never panic").recv();
-                    let Ok((seq, job)) = claimed else { break };
-                    in_flight.fetch_sub(1, Ordering::Relaxed);
-                    jobs_done += 1;
-                    let unit_start =
-                        dioph_obs::phase::timing_enabled().then(std::time::Instant::now);
-                    let verdict = process_job(decider, cache, job);
-                    if let Some(start) = unit_start {
-                        let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
-                        busy_ns = busy_ns.saturating_add(ns);
-                        max_unit_ns = max_unit_ns.max(ns);
-                    }
-                    if out_tx.send((seq, verdict)).is_err() {
-                        break;
-                    }
-                }
-                dioph_obs::pool::record("batch", worker, jobs_done, busy_ns, max_unit_ns);
+                scheduler.run_worker(worker, decider, &|seq, result| {
+                    let context = contexts
+                        .lock()
+                        .expect("batch workers never panic")
+                        .remove(&seq)
+                        .expect("every scheduled job has a context");
+                    let _ = out_tx.send((seq, context.into_verdict(result)));
+                });
             });
         }
-        drop(out_tx);
 
-        let (stop_ref, in_flight_ref) = (&stop, &in_flight);
+        let feeder_tx = out_tx.clone();
+        drop(out_tx);
+        let (scheduler_ref, cache_ref, contexts_ref) = (&scheduler, &cache, &contexts);
         s.spawn(move || {
+            dioph_obs::trace::name_current_thread("batch-feeder");
             for (seq, job) in (0u64..).zip(jobs) {
-                if stop_ref.load(Ordering::Relaxed) {
+                if scheduler_ref.is_aborted() {
                     break;
                 }
-                // Count the job in flight *before* sending: a worker may
-                // pick it up (and decrement) the instant the send lands.
-                let depth = in_flight_ref.fetch_add(1, Ordering::Relaxed) + 1;
-                dioph_obs::registry::ENGINE_BATCH_QUEUE_DEPTH_MAX.record_max(depth);
-                if job_tx.send((seq, job)).is_err() {
-                    break;
+                match admit_job(cache_ref, job) {
+                    Admission::Answered(verdict) => {
+                        if feeder_tx.send((seq, verdict)).is_err() {
+                            break;
+                        }
+                    }
+                    Admission::Scheduled { context, pair } => {
+                        contexts_ref
+                            .lock()
+                            .expect("the batch feeder never panics")
+                            .insert(seq, context);
+                        if !scheduler_ref.admit(seq, PairRef::Shared(pair), kind) {
+                            // Aborted while waiting for a slot; the context
+                            // will never be finalized.
+                            contexts_ref
+                                .lock()
+                                .expect("the batch feeder never panics")
+                                .remove(&seq);
+                            break;
+                        }
+                    }
                 }
             }
+            scheduler_ref.close();
         });
 
         // Collector (this thread): reorder by submission sequence, emit in
         // order as soon as every earlier verdict is out. When `emit` asks to
-        // stop, the feeder is signalled and the remaining in-flight results
+        // stop, the scheduler is aborted and the remaining in-flight results
         // are drained without being emitted.
         let mut next_seq = 0u64;
         let mut pending: BTreeMap<u64, Verdict> = BTreeMap::new();
         for (seq, verdict) in out_rx {
-            if stop.load(Ordering::Relaxed) {
+            if scheduler.is_aborted() {
                 continue; // drain without emitting
             }
             pending.insert(seq, verdict);
@@ -485,13 +544,14 @@ where
                     dioph_obs::registry::ENGINE_BATCH_FAILURES.incr();
                 }
                 if !emit(verdict) {
-                    stop.store(true, Ordering::Relaxed);
+                    scheduler.abort();
                     break;
                 }
             }
         }
     });
 
+    scheduler.finish();
     stats.cache_hits = cache.hits();
     stats.cache_misses = cache.misses();
     stats

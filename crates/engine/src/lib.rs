@@ -8,22 +8,29 @@
 //! `std::sync::mpsc` (the build environment is offline; no rayon, no
 //! crossbeam):
 //!
-//! * [`DecisionEngine::decide`] fans the probe tuples of **one pair** across
-//!   a worker pool. Workers claim probe *indices* from a shared atomic
-//!   counter (the [`dioph_cq::ProbeSpace`] makes probes randomly
-//!   addressable), decide them with the exact same per-probe routine the
-//!   sequential decider uses, and the merge keeps the event with the
-//!   **lowest probe index** — so verdicts, counterexample bags and JSON
-//!   certificates are bit-identical to a sequential run, for any thread
-//!   count.
+//! Both fronts are served by **one scheduler** whose unit of work is a
+//! **(pair, probe-index) claim** from a shared queue (the
+//! [`dioph_cq::ProbeSpace`] makes probes randomly addressable, and
+//! [`CompiledPair::probe_units`] is the claiming surface):
+//!
+//! * [`DecisionEngine::decide`] admits **one pair** and fans its probe
+//!   units across a worker pool (capped at the unit count — `--jobs 8` on
+//!   a 3-probe pair spawns 3 threads). Workers claim unit chunks with a
+//!   relaxed atomic cursor, decide them with the exact same per-probe
+//!   routine the sequential decider uses, and the merge keeps the event
+//!   with the **lowest probe index** — so verdicts, counterexample bags
+//!   and JSON certificates are bit-identical to a sequential run, for any
+//!   thread count.
 //! * [`DecisionEngine::run_batch`] is the streaming front-end: a feeder
-//!   thread pulls [`Job`]s from an input iterator, a pool of workers
-//!   parses + compiles + decides whole pairs, and the collector emits
-//!   [`Verdict`]s strictly in submission order while later jobs are still in
-//!   flight. Compilation is amortised across the stream through a
-//!   [`CompiledPair`] cache keyed by the
-//!   pair's (name-normalised) text, so a stream that replays a pair reuses
-//!   its containment-mapping enumeration.
+//!   thread pulls [`Job`]s from an input iterator, parses + compiles them,
+//!   and publishes every admitted pair's probe space into the same shared
+//!   queue; workers pull unit chunks from *any* in-flight pair (a giant
+//!   pair amid small ones is drained by the whole pool instead of starving
+//!   one worker), and the collector emits [`Verdict`]s strictly in
+//!   submission order while later jobs are still in flight. Compilation is
+//!   amortised across the stream through a [`CompiledPair`] cache keyed by
+//!   the pair's (name-normalised) text, so a stream that replays a pair
+//!   reuses its containment-mapping enumeration.
 //! * [`JobReader`] turns any `BufRead` (stdin, a file) into a stream of
 //!   [`Job`]s without waiting for end of input, which is what lets
 //!   `diophantus batch` answer pair 1 while pair 1000 is still being typed.

@@ -107,4 +107,50 @@ proptest! {
         prop_assert_eq!(&runs[0], &runs[1]);
         prop_assert_eq!(&runs[0], &runs[2]);
     }
+
+    /// Skewed batch streams: a giant multi-probe pair interleaved with tiny
+    /// pairs at a random position. The unified scheduler lets every worker
+    /// pull the giant's probe units while tiny pairs come and go, and the
+    /// merged verdict stream must still be identical to the sequential run.
+    #[test]
+    fn interleaved_giant_and_tiny_pairs_merge_identically(
+        seed in 0u64..1_000_000,
+        giant_at in 0usize..5,
+    ) {
+        let giant = generate_pairs(WorkloadKind::Path { length: 2 }, 1, seed)
+            .pop()
+            .expect("the path family generates one pair");
+        let mut text = String::new();
+        for (i, pair) in
+            generate_pairs(WorkloadKind::ExponentialMapping { mappings_log2: 2 }, 4, seed)
+                .into_iter()
+                .enumerate()
+        {
+            if i == giant_at {
+                text.push_str(&format!("{}.\n{}.\n", giant.containee, giant.containing));
+            }
+            text.push_str(&format!("{}.\n{}.\n", pair.containee, pair.containing));
+        }
+        if giant_at >= 4 {
+            text.push_str(&format!("{}.\n{}.\n", giant.containee, giant.containing));
+        }
+        let mut runs: Vec<Vec<Verdict>> = Vec::new();
+        for jobs in JOB_COUNTS {
+            let engine = DecisionEngine::new(EngineConfig {
+                jobs,
+                algorithm: Algorithm::AllProbes,
+                engine: Default::default(),
+            });
+            let mut verdicts = Vec::new();
+            let stats = engine.run_batch(JobReader::new(text.as_bytes()), |v| {
+                verdicts.push(v);
+                true
+            });
+            prop_assert_eq!(stats.jobs_processed, 5, "jobs={}", jobs);
+            prop_assert_eq!(stats.failures, 0, "jobs={}", jobs);
+            runs.push(verdicts);
+        }
+        prop_assert_eq!(&runs[0], &runs[1], "jobs=2 diverged from sequential");
+        prop_assert_eq!(&runs[0], &runs[2], "jobs=4 diverged from sequential");
+    }
 }

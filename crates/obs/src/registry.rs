@@ -184,6 +184,13 @@ pub static ENGINE_BATCH_QUEUE_DEPTH_MAX: Counter = Counter::new(
     G,
     "high-water mark of jobs in flight between the batch feeder and the workers",
 );
+/// High-water mark of the per-run worker claim spread.
+pub static ENGINE_CLAIM_SPREAD_MAX: Counter = Counter::new(
+    "engine.claim_spread.max",
+    Vol,
+    G,
+    "high-water mark of the per-run claim spread (busiest minus idlest worker's claimed units)",
+);
 /// Pairs decided.
 pub static ENGINE_PAIRS_DECIDED: Counter = Counter::new(
     "engine.pairs_decided",
@@ -197,6 +204,21 @@ pub static ENGINE_PROBES_CLAIMED: Counter = Counter::new(
     Vol,
     C,
     "probe indices claimed by probe-pool workers (includes claims skipped past the cutoff)",
+);
+/// Unit chunks stolen from a pair another worker started.
+pub static ENGINE_STEALS: Counter = Counter::new(
+    "engine.steals",
+    Vol,
+    C,
+    "unit chunks claimed from a pair that a different worker claimed first",
+);
+/// Work units claimed by scheduler workers.
+pub static ENGINE_UNITS_CLAIMED: Counter = Counter::new(
+    "engine.units_claimed",
+    Vol,
+    C,
+    "(pair, probe-index) work units claimed by scheduler workers (includes units skipped past a \
+     cutoff)",
 );
 /// Contained verdicts.
 pub static ENGINE_VERDICTS_CONTAINED: Counter =
@@ -243,7 +265,7 @@ pub static PARSE_QUERIES: Counter =
 /// Every registry cell, sorted by name (the sort is pinned by a test, so
 /// snapshot iteration — and therefore every rendered counter block — is in
 /// stable name order).
-static COUNTERS: [&Counter; 21] = [
+static COUNTERS: [&Counter; 24] = [
     &ARITH_BIG_FALLBACKS,
     &ARITH_INT_BIG_FALLBACKS,
     &ARITH_INT_SMALL_HITS,
@@ -256,8 +278,11 @@ static COUNTERS: [&Counter; 21] = [
     &ENGINE_BATCH_FAILURES,
     &ENGINE_BATCH_JOBS,
     &ENGINE_BATCH_QUEUE_DEPTH_MAX,
+    &ENGINE_CLAIM_SPREAD_MAX,
     &ENGINE_PAIRS_DECIDED,
     &ENGINE_PROBES_CLAIMED,
+    &ENGINE_STEALS,
+    &ENGINE_UNITS_CLAIMED,
     &ENGINE_VERDICTS_CONTAINED,
     &ENGINE_VERDICTS_NOT_CONTAINED,
     &LP_BAREISS_PIVOTS,

@@ -27,8 +27,9 @@
 //! * `bench` — time a workload file and print per-pair latency statistics.
 //!
 //! `decide` and `equiv` also take `--jobs N`: with more than one job they
-//! route through [`DecisionEngine`], which fans the probe tuples of each
-//! pair across threads — verdicts are bit-identical to the sequential path.
+//! route through [`DecisionEngine`], whose worker pool claims (pair,
+//! probe-index) units from one shared queue — verdicts are bit-identical
+//! to the sequential path.
 //!
 //! Every deciding subcommand has a `--json` mode whose output embeds the
 //! [`BagContainment::to_json`] /
@@ -117,9 +118,10 @@ OPTIONS (decide, equiv, batch, bench):
                          whose pivot values outgrow machine words) | auto
                          (picks per system). Verdicts, witnesses and JSON
                          certificates are byte-identical for every route.
-    --jobs <N>           Worker threads (default 1). decide/equiv fan the
-                         probe tuples of each pair across threads; batch
-                         fans whole pairs. Verdicts are identical for any N.
+    --jobs <N>           Worker threads (default 1). Every mode schedules
+                         (pair, probe-index) units from one shared queue;
+                         batch lets the pool drain each pair's probe space
+                         in chunks. Verdicts are identical for any N.
     --json               Machine-readable output (JSON lines for batch).
     --metrics            Append this command's observability counters to the
                          output: a human table, or a \"metrics\" member on

@@ -418,6 +418,48 @@ fn gen_pipes_into_batch_with_json_lines_identical_across_job_counts() {
 }
 
 #[test]
+fn skewed_batch_stream_is_identical_across_jobs_and_routes() {
+    // One giant all-probes pair (256 probe tuples) leading a crowd of small
+    // pairs, with a broken pair wedged in the middle: the unified scheduler
+    // interleaves the giant's probe chunks with the small pairs, and
+    // per-pair failures cancel only their own units — the emitted stream
+    // (verdicts, error line, order) must stay byte-identical for every
+    // worker count and LP route.
+    let giant = stdout_of(&["gen", "path", "--count", "1", "--size", "3", "--seed", "11"], "");
+    let small = stdout_of(&["gen", "expmap", "--count", "5", "--size", "4", "--seed", "11"], "");
+    let input = format!("{giant}broken(x <- oops. pbroken(x) <- R(x, x).\n{small}");
+    let reference =
+        run(&["batch", "--keep-going", "--algorithm", "all-probes", "--jobs", "1"], &input);
+    assert_eq!(reference.status.code(), Some(1), "the broken pair must surface in the exit code");
+    let reference_stdout = String::from_utf8_lossy(&reference.stdout).into_owned();
+    assert!(reference_stdout.contains("[2] parse error:"), "{reference_stdout}");
+    assert_eq!(reference_stdout.lines().count(), 7, "{reference_stdout}");
+    for jobs in ["2", "4"] {
+        for route in ["simplex", "bareiss"] {
+            let out = run(
+                &[
+                    "batch",
+                    "--keep-going",
+                    "--algorithm",
+                    "all-probes",
+                    "--jobs",
+                    jobs,
+                    "--lp-route",
+                    route,
+                ],
+                &input,
+            );
+            assert_eq!(out.status.code(), Some(1), "--jobs {jobs} --lp-route {route}");
+            assert_eq!(
+                String::from_utf8_lossy(&out.stdout),
+                reference_stdout,
+                "skewed batch stream diverged at --jobs {jobs} --lp-route {route}"
+            );
+        }
+    }
+}
+
+#[test]
 fn batch_keep_going_reports_failures_without_stopping_the_stream() {
     let input = "q1(x) <- R(x, x). p1(x) <- R(x, x).\n\
                  broken(x <- oops. p2(x) <- R(x, x).\n\

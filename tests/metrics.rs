@@ -80,6 +80,53 @@ fn deterministic_counters_are_jobs_and_route_invariant() {
 }
 
 #[test]
+fn skewed_batch_streams_are_jobs_and_route_invariant() {
+    // One giant all-probes pair (a 256-probe path self-containment) buried
+    // amid small pairs: the workload where the unified scheduler's unit
+    // claiming matters most. Both the per-job verdict lines and the
+    // deterministic counters block must be byte-identical for every worker
+    // count and LP route, no matter how the giant's probe chunks interleave
+    // with the small pairs.
+    let giant = stdout_of(&["gen", "path", "--count", "1", "--size", "3", "--seed", "7"], "");
+    let small = stdout_of(&["gen", "expmap", "--count", "6", "--size", "4", "--seed", "7"], "");
+    let input = format!("{giant}{small}");
+    let mut outputs: Vec<(String, String, String)> = Vec::new();
+    for jobs in ["1", "2", "4"] {
+        for route in ["simplex", "bareiss"] {
+            let args = [
+                "batch",
+                "--algorithm",
+                "all-probes",
+                "--json",
+                "--metrics",
+                "--jobs",
+                jobs,
+                "--lp-route",
+                route,
+            ];
+            let out = stdout_of(&args, &input);
+            let trailer = out.rfind("{\"metrics\":").expect("batch emits a metrics trailer");
+            outputs.push((
+                format!("--jobs {jobs} --lp-route {route}"),
+                out[..trailer].to_string(),
+                counters_block(&out[trailer..]).to_string(),
+            ));
+        }
+    }
+    let (ref base_config, ref base_verdicts, ref base_counters) = outputs[0];
+    for (config, verdicts, counters) in &outputs {
+        assert_eq!(
+            verdicts, base_verdicts,
+            "skewed batch verdicts diverged between {base_config} and {config}"
+        );
+        assert_eq!(
+            counters, base_counters,
+            "skewed batch deterministic counters diverged between {base_config} and {config}"
+        );
+    }
+}
+
+#[test]
 fn metrics_off_leaves_every_output_byte_identical() {
     // `--metrics` must be purely additive: stripping the appended member
     // reproduces the flag-free output byte for byte (the golden suite pins
