@@ -22,22 +22,23 @@ use std::sync::OnceLock;
 use dioph_arith::Natural;
 use dioph_bagdb::{bag_answer_multiplicity, BagInstance};
 use dioph_cq::{
-    containment_mappings_to_grounded, most_general_probe_tuple, Atom, ConjunctiveQuery, ProbeSpace,
-    Term,
+    for_each_containment_mapping_to_grounded, most_general_probe_tuple, Atom, ConjunctiveQuery,
+    MappingBindings, ProbeSpace, Term,
 };
 use dioph_poly::{Monomial, Mpi, Polynomial};
 
 use crate::certificate::{ContainmentError, Counterexample};
 
 /// A bag-containment instance compiled to an MPI for one probe tuple.
+///
+/// The probe tuple and the unknown vector are not stored separately: the
+/// probe is the grounded containee's head, and unknown `u_j` is the `j`-th
+/// distinct atom of its body (in the deterministic body order).
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct CompiledProbe {
-    /// The probe tuple `t`.
-    probe: Vec<Term>,
-    /// The grounded containee `q1(t)`.
+    /// The grounded containee `q1(t)`; its head is the probe tuple `t` and
+    /// its distinct body atoms are the unknowns.
     grounded_containee: ConjunctiveQuery,
-    /// The unknown vector: atom `atoms[j]` corresponds to unknown `u_j`.
-    atoms: Vec<Atom>,
     /// The MPI `P^{q2}_{q1(t)}(u) < M_{q1(t)}(u)`.
     mpi: Mpi,
     /// Number of containment mappings found (before accumulation).
@@ -55,53 +56,68 @@ impl CompiledProbe {
         containing: &ConjunctiveQuery,
         probe: &[Term],
     ) -> Option<CompiledProbe> {
+        CompiledProbe::compile_owned(containee, containing, probe.to_vec())
+    }
+
+    /// [`Self::compile`] taking ownership of the probe tuple, so callers that
+    /// materialise the tuple anyway (the probe-space resolution of
+    /// [`CompiledPair::probe`]) hand it over instead of copying it again.
+    pub fn compile_owned(
+        containee: &ConjunctiveQuery,
+        containing: &ConjunctiveQuery,
+        probe: Vec<Term>,
+    ) -> Option<CompiledProbe> {
         // Memoised slots reach this function only on their first fill, so the
         // counter reads as "cold compilations".
         dioph_obs::registry::CACHE_PROBE_COMPILED.incr();
         let _compile_span = dioph_obs::span(dioph_obs::Phase::Compile);
-        let grounded = containee.ground_with(probe)?;
+        let grounded = containee.ground_with_tuple(probe)?;
         // Unknowns: the distinct atoms of body(q1(t)), in deterministic order.
-        let atoms: Vec<Atom> = grounded.body_atoms().cloned().collect();
-        let n = atoms.len();
-        let index_of = |atom: &Atom| -> Option<usize> { atoms.iter().position(|a| a == atom) };
+        // They are borrowed straight from the grounded query rather than
+        // cloned into a side vector; the grounded containee is kept alive in
+        // the compiled probe as the single owner of both the probe tuple (its
+        // head) and the unknown vector (its distinct body atoms).
+        let n = grounded.distinct_atom_count();
 
-        // Monomial side: exponents are the body multiplicities of q1(t).
+        // Monomial side: exponents are the body multiplicities of q1(t), in
+        // the same deterministic (sorted) order as the unknowns.
         let mut mono_exponents = vec![0u64; n];
-        for (atom, mult) in grounded.body() {
-            let j = index_of(atom).expect("atom of the grounded body must be an unknown");
+        for (j, (_atom, mult)) in grounded.body().enumerate() {
             mono_exponents[j] = mult;
         }
         let monomial = Monomial::new(mono_exponents);
 
         // Polynomial side: one monomial per containment mapping h ∈ CM(q2, q1(t)).
-        let mappings = containment_mappings_to_grounded(containing, &grounded);
-        let mapping_count = mappings.len();
-        dioph_obs::registry::CONTAINMENT_MAPPINGS.add(mapping_count as u64);
+        // The visitor enumeration never materialises a substitution or the
+        // image query h(q2): each image atom is matched term-wise against the
+        // unknown vector, and multiplicities of atoms that collapse under h
+        // accumulate directly into the reused exponent buffer (Equation 1).
         let mut polynomial = Polynomial::zero(n);
-        for h in &mappings {
-            let image = containing.apply_substitution(h);
-            let mut exponents = vec![0u64; n];
-            for (atom, mult) in image.body() {
-                let j = index_of(atom).expect(
+        let mut mapping_count = 0usize;
+        let mut exponents = vec![0u64; n];
+        for_each_containment_mapping_to_grounded(containing, &grounded, |h| {
+            mapping_count += 1;
+            exponents.iter_mut().for_each(|e| *e = 0);
+            for (atom, mult) in containing.body() {
+                let j = grounded.body_atoms().position(|cand| image_matches(cand, atom, h)).expect(
                     "the image of a containment mapping lies inside the canonical instance",
                 );
-                exponents[j] = mult;
+                exponents[j] += mult;
             }
-            polynomial.add_monomial(Monomial::new(exponents));
-        }
+            polynomial.add_monomial(Monomial::from_slice(&exponents));
+        });
+        dioph_obs::registry::CONTAINMENT_MAPPINGS.add(mapping_count as u64);
 
         Some(CompiledProbe {
-            probe: probe.to_vec(),
             grounded_containee: grounded,
-            atoms,
             mpi: Mpi::new(polynomial, monomial),
             mapping_count,
         })
     }
 
-    /// The probe tuple.
+    /// The probe tuple: the head of the grounded containee.
     pub fn probe(&self) -> &[Term] {
-        &self.probe
+        self.grounded_containee.head()
     }
 
     /// The grounded containee `q1(t)`.
@@ -109,14 +125,15 @@ impl CompiledProbe {
         &self.grounded_containee
     }
 
-    /// The unknown vector: the atom associated with each unknown.
-    pub fn atoms(&self) -> &[Atom] {
-        &self.atoms
+    /// The unknown vector: the atom associated with each unknown, in the
+    /// grounded containee's deterministic (sorted) body order.
+    pub fn atoms(&self) -> impl ExactSizeIterator<Item = &Atom> {
+        self.grounded_containee.body_atoms()
     }
 
     /// The number of unknowns.
     pub fn dimension(&self) -> usize {
-        self.atoms.len()
+        self.grounded_containee.distinct_atom_count()
     }
 
     /// The compiled MPI `P(u) < M(u)`.
@@ -132,7 +149,7 @@ impl CompiledProbe {
 
     /// Human-readable unknown names `u_{α}` for display.
     pub fn unknown_names(&self) -> Vec<String> {
-        self.atoms.iter().map(|a| format!("u_{a}")).collect()
+        self.atoms().map(|a| format!("u_{a}")).collect()
     }
 
     /// Turns a natural assignment to the unknowns into the corresponding bag
@@ -141,8 +158,8 @@ impl CompiledProbe {
     /// # Panics
     /// Panics if the assignment's length differs from the number of unknowns.
     pub fn assignment_to_bag(&self, assignment: &[Natural]) -> BagInstance {
-        assert_eq!(assignment.len(), self.atoms.len(), "assignment dimension mismatch");
-        BagInstance::from_multiplicities(self.atoms.iter().cloned().zip(assignment.iter().cloned()))
+        assert_eq!(assignment.len(), self.dimension(), "assignment dimension mismatch");
+        BagInstance::from_multiplicities(self.atoms().cloned().zip(assignment.iter().cloned()))
     }
 }
 
@@ -211,7 +228,7 @@ impl CompiledPair {
     pub fn most_general(&self) -> &CompiledProbe {
         self.most_general.get_or_init(|| {
             let probe = most_general_probe_tuple(&self.containee);
-            CompiledProbe::compile(&self.containee, &self.containing, &probe)
+            CompiledProbe::compile_owned(&self.containee, &self.containing, probe)
                 .expect("the most-general probe tuple always unifies with the head")
         })
     }
@@ -244,7 +261,7 @@ impl CompiledPair {
         slots[index]
             .get_or_init(|| {
                 space.tuple(index).map(|probe| {
-                    CompiledProbe::compile(&self.containee, &self.containing, &probe)
+                    CompiledProbe::compile_owned(&self.containee, &self.containing, probe)
                         .expect("probe tuples are unifiable with the head by construction")
                 })
             })
@@ -274,6 +291,19 @@ impl CompiledPair {
         );
         Counterexample { probe, bag, containee_multiplicity, containing_multiplicity }
     }
+}
+
+/// Does `candidate` equal the image `h(atom)`? Decided term-wise against the
+/// mapping's bindings, so the image atom is never materialised.
+fn image_matches(candidate: &Atom, atom: &Atom, h: &MappingBindings<'_>) -> bool {
+    candidate.relation() == atom.relation()
+        && candidate.arity() == atom.arity()
+        && atom.terms().iter().zip(candidate.terms()).all(|(pattern, target)| {
+            match pattern.as_var() {
+                Some(v) => h.image_of(v) == Some(target),
+                None => pattern == target,
+            }
+        })
 }
 
 /// Checks that `containee` lies in the fragment the paper's decision
@@ -326,7 +356,7 @@ mod tests {
         assert_eq!(compiled.mapping_count(), 3);
 
         // Identify the positions of the three unknowns.
-        let pos = |atom: &Atom| compiled.atoms().iter().position(|a| a == atom).unwrap();
+        let pos = |atom: &Atom| compiled.atoms().position(|a| a == atom).unwrap();
         let u1 = pos(&Atom::new("R", vec![Term::canon("x1"), Term::canon("x2")]));
         let u2 = pos(&Atom::new("R", vec![Term::constant("c1"), Term::canon("x2")]));
         let u3 = pos(&Atom::new("R", vec![Term::canon("x1"), Term::constant("c2")]));
@@ -415,7 +445,7 @@ mod tests {
         let assignment = vec![nat(1), nat(4), nat(3)];
         let bag = compiled.assignment_to_bag(&assignment);
         assert_eq!(bag.support_size(), 3);
-        for (atom, value) in compiled.atoms().iter().zip(&assignment) {
+        for (atom, value) in compiled.atoms().zip(&assignment) {
             assert_eq!(&bag.multiplicity(atom), value);
         }
     }

@@ -25,6 +25,7 @@ use dioph_linalg::FeasibilityEngine;
 
 use crate::certificate::{BagContainment, ContainmentError};
 use crate::compile::{CompiledPair, CompiledProbe};
+use crate::scratch::ProbeScratch;
 
 /// Which decision algorithm to run.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -103,9 +104,12 @@ impl BagContainmentDecider {
     /// The sequential decision loop behind [`Self::decide_pair`] (split out so
     /// the public entry point records registry counters exactly once).
     fn decide_pair_inner(&self, pair: &CompiledPair) -> Result<BagContainment, ContainmentError> {
+        // One scratch for the whole pair: every probe after the first runs
+        // through warmed buffers.
+        let mut scratch = ProbeScratch::new();
         if self.algorithm == Algorithm::MostGeneralProbe {
             let compiled = pair.most_general();
-            return Ok(match self.decide_probe(compiled)? {
+            return Ok(match self.decide_probe_in(compiled, &mut scratch)? {
                 Some(assignment) => BagContainment::NotContained(Box::new(
                     pair.counterexample(compiled, &assignment),
                 )),
@@ -116,7 +120,7 @@ impl BagContainmentDecider {
         for index in 0..pair.probe_space().raw_len() {
             let Some(compiled) = pair.probe(index) else { continue };
             checked += 1;
-            if let Some(assignment) = self.decide_probe(compiled)? {
+            if let Some(assignment) = self.decide_probe_in(compiled, &mut scratch)? {
                 return Ok(BagContainment::NotContained(Box::new(
                     pair.counterexample(compiled, &assignment),
                 )));
@@ -141,13 +145,34 @@ impl BagContainmentDecider {
         &self,
         compiled: &CompiledProbe,
     ) -> Result<Option<Vec<Natural>>, ContainmentError> {
+        let mut scratch = ProbeScratch::new();
+        self.decide_probe_in(compiled, &mut scratch)
+    }
+
+    /// [`Self::decide_probe`] through a caller-provided [`ProbeScratch`]:
+    /// every working buffer — the Theorem 4.1 system, the LP kernel tableau,
+    /// the guess-and-check enumeration state — is drawn from `scratch` and
+    /// recycled there, so a warmed scratch decides a probe with no heap
+    /// allocation beyond the returned witness. Reuse is capacity-only;
+    /// verdicts and witnesses are bit-identical to [`Self::decide_probe`],
+    /// which is what keeps parallel workers (one scratch each) byte-identical
+    /// to the sequential loop.
+    ///
+    /// # Errors
+    /// As [`Self::decide_probe`].
+    pub fn decide_probe_in(
+        &self,
+        compiled: &CompiledProbe,
+        scratch: &mut ProbeScratch,
+    ) -> Result<Option<Vec<Natural>>, ContainmentError> {
         dioph_obs::registry::CONTAINMENT_PROBES_DECIDED.incr();
         let _probe_span = dioph_obs::span(dioph_obs::Phase::Probe);
+        scratch.note_probe();
         match self.algorithm {
             Algorithm::MostGeneralProbe | Algorithm::AllProbes => {
-                Ok(compiled.mpi().diophantine_solution(self.engine)?)
+                Ok(compiled.mpi().diophantine_solution_in(self.engine, &mut scratch.mpi)?)
             }
-            Algorithm::GuessCheck { budget } => guess_check_probe(compiled, budget),
+            Algorithm::GuessCheck { budget } => guess_check_probe(compiled, budget, scratch),
         }
     }
 }
@@ -173,26 +198,33 @@ pub fn observe_verdict(verdict: &BagContainment) {
 fn guess_check_probe(
     compiled: &CompiledProbe,
     budget: u64,
+    scratch: &mut ProbeScratch,
 ) -> Result<Option<Vec<Natural>>, ContainmentError> {
     let n = compiled.dimension();
-    let mono = compiled.mpi().monomial().exponents_as_integers();
-    let rows: Vec<Vec<i128>> = compiled
-        .mpi()
-        .polynomial()
-        .terms()
-        .map(|(_, m)| {
-            let ei = m.exponents_as_integers();
-            mono.iter()
-                .zip(&ei)
-                .map(|(a, b)| (a - b).to_i128().expect("exponent differences fit in i128"))
-                .collect()
-        })
-        .collect();
+    let e = compiled.mpi().monomial().exponents();
+    // Exponent differences computed straight on the machine words (widened
+    // so u64::MAX − 0 stays exact), written into recycled row storage. Split
+    // borrow: the rows stay immutably borrowed while the enumeration mutates
+    // the composition buffer.
+    let ProbeScratch { gc_rows, gc_current, .. } = scratch;
+    let mut term_count = 0usize;
+    for (_, m) in compiled.mpi().polynomial().terms() {
+        if gc_rows.len() == term_count {
+            gc_rows.push(Vec::new()); // alloc-ok: outer growth, once per warm-up
+        }
+        let row = &mut gc_rows[term_count];
+        row.clear();
+        row.extend(e.iter().zip(m.exponents()).map(|(&a, &b)| a as i128 - b as i128));
+        term_count += 1;
+    }
+    // Rows past `term_count` are previous probes' leftovers: ignored here,
+    // kept warm for the next probe.
+    let rows = &gc_rows[..term_count];
 
     if rows.is_empty() {
         // No containment mapping at all: the all-ones bag already violates
         // containment for this probe tuple.
-        return Ok(Some(vec![Natural::one(); n]));
+        return Ok(Some(vec![Natural::one(); n])); // alloc-ok: returned witness
     }
 
     // Small-solution bound (Lemma 5.1): a solution exists iff one exists
@@ -212,10 +244,12 @@ fn guess_check_probe(
     // Enumerate candidate vectors by increasing component sum, so the
     // smallest violating directions are found first.
     let mut enumerated = 0u64;
-    let mut found: Option<Vec<u64>> = None;
-    let mut current = vec![0u64; n];
+    let mut found = false;
+    let current = gc_current;
+    current.clear();
+    current.resize(n, 0);
     'sums: for total in 0..=bound {
-        let control = enumerate_compositions(&mut current, 0, total, &mut |candidate| {
+        let control = enumerate_compositions(current, 0, total, &mut |candidate| {
             enumerated += 1;
             if enumerated > budget {
                 return EnumerationControl::Abort;
@@ -224,7 +258,7 @@ fn guess_check_probe(
                 row.iter().zip(candidate).map(|(&c, &d)| c * d as i128).sum::<i128>() > 0
             });
             if satisfies_all {
-                found = Some(candidate.to_vec());
+                found = true;
                 EnumerationControl::Stop
             } else {
                 EnumerationControl::Continue
@@ -238,16 +272,21 @@ fn guess_check_probe(
     if enumerated > budget {
         return Err(ContainmentError::BudgetExceeded { budget });
     }
-    Ok(found.map(|direction| {
-        // ξ_j = ζ*^{d_j}: raise the base straight from the enumerated
-        // machine-word exponents (no round trip through Natural and back).
-        let naturals: Vec<Natural> = direction.iter().copied().map(Natural::from).collect();
-        let base = compiled
-            .mpi()
-            .smallest_base_for(&naturals)
-            .expect("a direction satisfying every inequality yields a base");
-        direction.into_iter().map(|d| base.pow(d)).collect()
-    }))
+    if !found {
+        return Ok(None);
+    }
+    // On `Stop`, `enumerate_compositions` leaves the winning candidate in the
+    // composition buffer untouched — read it from there instead of cloning it
+    // inside the visitor.
+    let direction: &[u64] = current;
+    let naturals: Vec<Natural> = direction.iter().copied().map(Natural::from).collect(); // alloc-ok: base search input
+    let base = compiled
+        .mpi()
+        .smallest_base_for(&naturals)
+        .expect("a direction satisfying every inequality yields a base");
+    // ξ_j = ζ*^{d_j}: raise the base straight from the enumerated
+    // machine-word exponents (no round trip through Natural and back).
+    Ok(Some(direction.iter().map(|&d| base.pow(d)).collect())) // alloc-ok: returned witness
 }
 
 /// Convenience wrapper: decides `containee ⊑b containing` with the default

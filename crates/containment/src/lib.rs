@@ -44,6 +44,7 @@ mod certificate;
 mod compile;
 mod decider;
 pub mod json;
+mod scratch;
 mod set;
 
 pub use certificate::{BagContainment, ContainmentError, Counterexample};
@@ -52,6 +53,7 @@ pub use decider::{
     are_bag_equivalent, bag_equivalence, is_bag_contained, observe_verdict, Algorithm,
     BagContainmentDecider,
 };
+pub use scratch::ProbeScratch;
 pub use set::{
     are_set_equivalent, bag_set_containment, is_bag_set_contained, set_containment, SetContainment,
 };

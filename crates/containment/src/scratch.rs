@@ -1,0 +1,55 @@
+//! The probe layer of the scratch-memory discipline.
+//!
+//! [`ProbeScratch`] is the unit the engine hands out: one per worker thread
+//! (or one per pair on the sequential path), threaded through every
+//! [`BagContainmentDecider::decide_probe_in`] call that worker makes. It
+//! bundles the MPI/LP scratch of the layers below with the guess-and-check
+//! enumeration buffers, so a warmed scratch decides each successive probe —
+//! on either the LP route or the enumeration route — without fresh heap
+//! allocations beyond the returned witness.
+//!
+//! Reuse is capacity-only: verdicts and witnesses through a warmed scratch
+//! are bit-identical to the fresh-allocation route (pinned by the
+//! differential tests in `tests/scratch_differential.rs`).
+//!
+//! Observability: every probe served by an already-warmed scratch bumps
+//! `alloc.scratch.reuses` — on a healthy hot loop that counter tracks
+//! `containment.probes.decided` minus one per worker.
+//!
+//! [`BagContainmentDecider::decide_probe_in`]: crate::BagContainmentDecider::decide_probe_in
+
+use dioph_poly::MpiScratch;
+
+/// Recycled buffers for deciding probes: the MPI/LP scratch of the layers
+/// below plus the guess-and-check enumeration buffers.
+#[derive(Debug, Default)]
+pub struct ProbeScratch {
+    /// The MPI-system and LP-kernel scratch (the LP route).
+    pub(crate) mpi: MpiScratch,
+    /// Guess-and-check: one exponent-difference row per polynomial term,
+    /// row storage recycled across probes.
+    pub(crate) gc_rows: Vec<Vec<i128>>,
+    /// Guess-and-check: the composition being enumerated.
+    pub(crate) gc_current: Vec<u64>,
+    /// Whether this scratch has decided a probe before (drives the
+    /// `alloc.scratch.reuses` counter).
+    pub(crate) warmed: bool,
+}
+
+impl ProbeScratch {
+    /// A cold scratch; buffers warm up over the first probe and are recycled
+    /// from then on.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one probe served by this scratch: counts an
+    /// `alloc.scratch.reuses` when the scratch is already warm.
+    pub(crate) fn note_probe(&mut self) {
+        if self.warmed {
+            dioph_obs::registry::ALLOC_SCRATCH_REUSES.incr();
+        } else {
+            self.warmed = true;
+        }
+    }
+}

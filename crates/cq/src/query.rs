@@ -75,7 +75,7 @@ impl ConjunctiveQuery {
     }
 
     /// The set of distinct body atoms (`body(q)` in the paper).
-    pub fn body_atoms(&self) -> impl Iterator<Item = &Atom> {
+    pub fn body_atoms(&self) -> impl ExactSizeIterator<Item = &Atom> {
         self.body.keys()
     }
 
@@ -180,21 +180,62 @@ impl ConjunctiveQuery {
     /// variables that would need two different values, or a head constant
     /// that differs from the corresponding component of `t`).
     pub fn ground_with(&self, tuple: &[Term]) -> Option<ConjunctiveQuery> {
+        self.ground_with_tuple(tuple.to_vec())
+    }
+
+    /// [`Self::ground_with`] taking ownership of the tuple, which becomes the
+    /// grounded head — the probe-compilation hot path materialises the tuple
+    /// anyway and hands it over instead of re-cloning every component.
+    pub fn ground_with_tuple(&self, tuple: Vec<Term>) -> Option<ConjunctiveQuery> {
         if tuple.len() != self.head.len() {
             return None;
         }
-        let mut sigma = Substitution::identity();
-        if !sigma.unify_tuples(&self.head, tuple) {
-            return None;
+        // Positional head bindings in a tiny association list: heads are
+        // short, and the substitution machinery would allocate owned names
+        // and term clones per probe on the compilation hot path. Body
+        // variables outside the head (non-projection-free queries) are left
+        // unchanged, exactly as an under-defined substitution would.
+        let mut binds: Vec<(&str, &Term)> = Vec::with_capacity(self.head.len());
+        for (pattern, target) in self.head.iter().zip(&tuple) {
+            match pattern.as_var() {
+                Some(v) => match binds.iter().find(|(bound, _)| *bound == v) {
+                    Some((_, existing)) if *existing != target => return None,
+                    Some(_) => {}
+                    None => binds.push((v, target)),
+                },
+                None => {
+                    if pattern != target {
+                        return None;
+                    }
+                }
+            }
         }
-        Some(self.apply_substitution(&sigma))
+        // Unification succeeded, so the grounded head is the tuple itself;
+        // multiplicities of body atoms that collapse under the grounding
+        // accumulate in ConjunctiveQuery::new (Equation 1).
+        let subst = |t: &Term| match t.as_var() {
+            Some(v) => binds
+                .iter()
+                .find(|(b, _)| *b == v)
+                .map_or_else(|| t.clone(), |(_, img)| (*img).clone()),
+            None => t.clone(),
+        };
+        let body: Vec<(Atom, u64)> = self
+            .body
+            .iter()
+            .map(|(atom, &mult)| {
+                (Atom::new(atom.relation(), atom.terms().iter().map(&subst).collect()), mult)
+            })
+            .collect();
+        Some(ConjunctiveQuery::new(self.name.clone(), tuple, body))
     }
 
     /// The *most-general grounding* `q(t*)`: every head variable is replaced
     /// by its canonical constant (Theorem 5.3's most-general probe tuple).
     pub fn most_general_grounding(&self) -> ConjunctiveQuery {
         let tuple: Vec<Term> = self.head.iter().map(Term::canonicalize).collect();
-        self.ground_with(&tuple).expect("the most-general probe tuple always unifies with the head")
+        self.ground_with_tuple(tuple)
+            .expect("the most-general probe tuple always unifies with the head")
     }
 
     /// Renames the query (display only).

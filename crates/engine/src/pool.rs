@@ -65,7 +65,9 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
 use dioph_arith::Natural;
-use dioph_containment::{BagContainment, BagContainmentDecider, CompiledPair, ContainmentError};
+use dioph_containment::{
+    BagContainment, BagContainmentDecider, CompiledPair, ContainmentError, ProbeScratch,
+};
 
 /// The outcome of one probe that can decide the whole pair.
 enum ProbeEvent {
@@ -287,6 +289,11 @@ impl<'a> Scheduler<'a> {
         let mut claims = 0u64;
         let mut busy_ns = 0u64;
         let mut max_unit_ns = 0u64;
+        // One scratch per worker thread for the whole run: every probe this
+        // worker decides — across chunks, across pairs — reuses the same
+        // warmed buffers. Scratch reuse is capacity-only, so worker verdicts
+        // stay bit-identical to the sequential loop.
+        let mut scratch = ProbeScratch::new();
         let mut current: Option<Arc<PairTask<'a>>> = None;
         loop {
             let task = match current.take() {
@@ -320,8 +327,14 @@ impl<'a> Scheduler<'a> {
             if claim.is_err_and(|owner| owner != worker) {
                 dioph_obs::registry::ENGINE_STEALS.incr();
             }
-            let (decided, event) =
-                self.decide_units(&task, decider, start..end, &mut busy_ns, &mut max_unit_ns);
+            let (decided, event) = self.decide_units(
+                &task,
+                decider,
+                start..end,
+                &mut scratch,
+                &mut busy_ns,
+                &mut max_unit_ns,
+            );
             let finished = {
                 let mut progress = task.progress.lock().expect("scheduler workers never panic");
                 if let Some((index, event)) = event {
@@ -353,6 +366,7 @@ impl<'a> Scheduler<'a> {
         task: &PairTask<'a>,
         decider: &BagContainmentDecider,
         range: std::ops::Range<usize>,
+        scratch: &mut ProbeScratch,
         busy_ns: &mut u64,
         max_unit_ns: &mut u64,
     ) -> (usize, Option<(usize, ProbeEvent)>) {
@@ -377,7 +391,7 @@ impl<'a> Scheduler<'a> {
             };
             let Some(compiled) = compiled else { continue };
             decided += 1;
-            let outcome = decider.decide_probe(compiled);
+            let outcome = decider.decide_probe_in(compiled, scratch);
             if let Some(unit_start) = unit_start {
                 let ns = u64::try_from(unit_start.elapsed().as_nanos()).unwrap_or(u64::MAX);
                 *busy_ns = busy_ns.saturating_add(ns);

@@ -42,6 +42,7 @@ use dioph_arith::{Integer, Natural, Rational};
 
 use crate::error::{iteration_budget, LinalgError};
 use crate::row::{merge_sparse, sparse_is_worth_it, GenRow, IntRow};
+use crate::scratch::{auto_pooled, KernelScratch};
 use crate::simplex::SimplexOutcome;
 
 /// Finds `x ≥ 0` with `A·x ≥ b` for integer rows, by fraction-free phase-1
@@ -77,17 +78,31 @@ pub fn feasible_point_int_with_budget(
     b: Vec<Integer>,
     max_iterations: usize,
 ) -> Result<SimplexOutcome, LinalgError> {
+    let mut scratch = KernelScratch::default();
+    feasible_point_int_in(n, &a, &b, max_iterations, &mut scratch)
+}
+
+/// [`feasible_point_int_with_budget`] through a caller-provided scratch, the
+/// fraction-free twin of [`crate::simplex::feasible_point_rows_in`]: all
+/// working buffers are recycled, reuse is capacity-only, and pivots and
+/// outcome are bit-identical to the fresh-allocation route.
+pub(crate) fn feasible_point_int_in(
+    n: usize,
+    a: &[IntRow],
+    b: &[Integer],
+    max_iterations: usize,
+    scratch: &mut KernelScratch<Integer>,
+) -> Result<SimplexOutcome, LinalgError> {
     assert_eq!(a.len(), b.len(), "row count mismatch between A and b");
-    let m = a.len();
-    for row in &a {
+    for row in a {
         assert_eq!(row.dim(), n, "row dimension mismatch in simplex input");
     }
-    if m == 0 {
-        return Ok(SimplexOutcome::Feasible(vec![Rational::zero(); n]));
+    if a.is_empty() {
+        return Ok(SimplexOutcome::Feasible(vec![Rational::zero(); n])); // alloc-ok: returned witness
     }
     // Ratio-test-free pruning: a row with no positive coefficient cannot
     // reach a positive right-hand side on x ≥ 0.
-    if a.iter().zip(&b).any(|(row, b_i)| {
+    if a.iter().zip(b).any(|(row, b_i)| {
         b_i.is_positive() && row.iter_nonzero().all(|(_, value)| !value.is_positive())
     }) {
         return Ok(SimplexOutcome::Infeasible);
@@ -98,15 +113,12 @@ pub fn feasible_point_int_with_budget(
     // the surplus cannot start basic.
     //
     // Column layout: [ x (n) | s (m) | artificials (k) ].
-    let mut needs_artificial: Vec<bool> = Vec::with_capacity(m);
-    let mut rhs: Vec<Integer> = Vec::with_capacity(m);
-    let mut entry_rows: Vec<Vec<(usize, Integer)>> = Vec::with_capacity(m);
-
+    scratch.reset();
     for (i, (a_row, b_i)) in a.iter().zip(b).enumerate() {
-        let mut entries: Vec<(usize, Integer)> =
-            a_row.iter_nonzero().map(|(col, v)| (col, v.clone())).collect();
+        let mut entries = scratch.pool.take();
+        entries.extend(a_row.iter_nonzero().map(|(col, v)| (col, v.clone())));
         entries.push((n + i, Integer::minus_one()));
-        let mut rhs_i = b_i;
+        let mut rhs_i = b_i.clone();
         if rhs_i.is_negative() || rhs_i.is_zero() {
             // Flip the equation so the rhs is non-negative and the surplus
             // column carries +1 (it then serves as the initial basis).
@@ -115,35 +127,83 @@ pub fn feasible_point_int_with_budget(
                 *value = -taken;
             }
             rhs_i = -rhs_i;
-            needs_artificial.push(false);
+            scratch.needs_artificial.push(false);
         } else {
-            needs_artificial.push(true);
+            scratch.needs_artificial.push(true);
         }
-        entry_rows.push(entries);
-        rhs.push(rhs_i);
+        scratch.staged.push(entries);
+        scratch.rhs.push(rhs_i);
     }
 
-    let k = needs_artificial.iter().filter(|&&needs| needs).count();
+    attach_artificials_and_run(n, max_iterations, scratch)
+}
+
+/// The feasibility front door for MPI-derived systems: decides
+/// `A·x ≥ 1, x ≥ 0` (the homogeneity scaling of `A·x > 0`) for the stored
+/// integer rows directly, with no materialised `b` and no row clones.
+/// Pivots and outcome are bit-identical to [`feasible_point_int`] on cloned
+/// rows with `b = 1`.
+pub(crate) fn feasible_point_scaled_in(
+    n: usize,
+    a: &[IntRow],
+    scratch: &mut KernelScratch<Integer>,
+) -> Result<SimplexOutcome, LinalgError> {
+    let max_iterations = iteration_budget(n + 2 * a.len(), a.len());
+    if a.is_empty() {
+        return Ok(SimplexOutcome::Feasible(vec![Rational::zero(); n])); // alloc-ok: returned witness
+    }
+    // Ratio-test-free pruning, with b = 1 always positive.
+    if a.iter().any(|row| row.iter_nonzero().all(|(_, value)| !value.is_positive())) {
+        return Ok(SimplexOutcome::Infeasible);
+    }
+    scratch.reset();
+    for (i, a_row) in a.iter().enumerate() {
+        debug_assert_eq!(a_row.dim(), n, "row dimension mismatch in simplex input");
+        let mut entries = scratch.pool.take();
+        entries.extend(a_row.iter_nonzero().map(|(col, v)| (col, v.clone())));
+        entries.push((n + i, Integer::minus_one()));
+        // rhs = 1 is positive, so every row starts on an artificial variable
+        // (the `b_i > 0` arm of the general construction).
+        scratch.needs_artificial.push(true);
+        scratch.staged.push(entries);
+        scratch.rhs.push(Integer::one());
+    }
+
+    attach_artificials_and_run(n, max_iterations, scratch)
+}
+
+/// Second construction pass plus the pivot loop, mirroring the rational
+/// route's split: artificial columns are attached once the artificial count
+/// is known, then the fraction-free pivoting runs to optimality.
+fn attach_artificials_and_run(
+    n: usize,
+    max_iterations: usize,
+    scratch: &mut KernelScratch<Integer>,
+) -> Result<SimplexOutcome, LinalgError> {
+    let m = scratch.staged.len();
+    let k = scratch.needs_artificial.iter().filter(|&&needs| needs).count();
     let total = n + m + k;
 
-    let mut rows: Vec<IntRow> = Vec::with_capacity(m);
-    let mut basis: Vec<usize> = Vec::with_capacity(m);
     // Per-row positive denominators: row i represents rows[i] / dens[i].
-    let mut dens: Vec<Natural> = vec![Natural::one(); m];
+    scratch.dens.resize(m, Natural::one());
     {
         let mut art_idx = 0;
-        for (i, mut entries) in entry_rows.into_iter().enumerate() {
-            if needs_artificial[i] {
+        for i in 0..m {
+            let mut entries = core::mem::take(&mut scratch.staged[i]);
+            if scratch.needs_artificial[i] {
                 entries.push((n + m + art_idx, Integer::one()));
-                basis.push(n + m + art_idx);
+                scratch.basis.push(n + m + art_idx);
                 art_idx += 1;
             } else {
-                basis.push(n + i);
+                scratch.basis.push(n + i);
             }
-            rows.push(IntRow::auto(total, entries));
+            let row = auto_pooled(total, entries, &mut scratch.pool);
+            scratch.rows.push(row);
         }
+        scratch.staged.clear();
     }
 
+    let KernelScratch { rows, rhs, dens, basis, in_basis, reduced, merge_buf, .. } = scratch;
     let mut iterations = 0usize;
 
     loop {
@@ -157,15 +217,16 @@ pub fn feasible_point_int_with_budget(
         // summing across rows needs the true per-row scales). This is the
         // only per-entry rational arithmetic left: the eliminate pass below
         // — where the rational route spends its time — is pure integers.
-        let mut in_basis = vec![false; total];
-        for &basic in &basis {
+        in_basis.clear();
+        in_basis.resize(total, false);
+        for &basic in basis.iter() {
             in_basis[basic] = true;
         }
-        let mut reduced: Vec<Rational> = Vec::with_capacity(total);
+        reduced.clear();
         for j in 0..total {
             reduced.push(if j >= n + m { Rational::one() } else { Rational::zero() });
         }
-        for ((row, den), &basic) in rows.iter().zip(&dens).zip(&basis) {
+        for ((row, den), &basic) in rows.iter().zip(dens.iter()).zip(basis.iter()) {
             if basic >= n + m {
                 for (j, value) in row.iter_nonzero() {
                     reduced[j] -= &Rational::new(value.clone(), den.clone());
@@ -186,7 +247,7 @@ pub fn feasible_point_int_with_budget(
             if !obj.is_zero() {
                 return Ok(SimplexOutcome::Infeasible);
             }
-            let mut x = vec![Rational::zero(); n];
+            let mut x = vec![Rational::zero(); n]; // alloc-ok: returned witness
             for i in 0..m {
                 if basis[i] < n {
                     // Canonical rational: identical to the value the
@@ -256,7 +317,7 @@ pub fn feasible_point_int_with_budget(
                 let (head, tail) = rows.split_at_mut(leave);
                 (&tail[0], &mut head[i])
             };
-            eliminate_fraction_free(target_row, &pivot, &factor, leave_row, enter);
+            eliminate_fraction_free(target_row, &pivot, &factor, leave_row, enter, merge_buf);
             rhs[i] = &(&pivot * &rhs[i]) - &(&factor * &rhs[leave]);
             dens[i] = &dens[i] * &pivot.magnitude();
             normalise_row(target_row, &mut rhs[i], &mut dens[i]);
@@ -271,13 +332,16 @@ pub fn feasible_point_int_with_budget(
 /// The fraction-free elimination step: `target ← pivot·target − factor·src`,
 /// skipping the column `skip` (whose coefficient the caller already removed
 /// with `take`). A sparse row that fills in past the density threshold is
-/// densified here, mirroring [`GenRow::eliminate`].
+/// densified here, mirroring [`GenRow::eliminate`]. The sparse merge writes
+/// into `spare` (swapped with the row's storage afterwards), so the pivot
+/// loop recycles one buffer across every elimination.
 fn eliminate_fraction_free(
     target: &mut IntRow,
     pivot: &Integer,
     factor: &Integer,
     src: &IntRow,
     skip: usize,
+    spare: &mut Vec<(usize, Integer)>,
 ) {
     match target {
         GenRow::Dense(v) => {
@@ -299,7 +363,8 @@ fn eliminate_fraction_free(
             }
         }
         GenRow::Sparse(s) => {
-            s.entries = merge_sparse(
+            merge_sparse(
+                spare,
                 &s.entries,
                 src,
                 skip,
@@ -307,6 +372,7 @@ fn eliminate_fraction_free(
                 |vs| -(factor * vs),
                 |vt, vs| &(vt * pivot) - &(factor * vs),
             );
+            core::mem::swap(&mut s.entries, spare);
             if !sparse_is_worth_it(s.entries.len(), s.dim) {
                 *target = GenRow::Dense(s.to_dense());
             }

@@ -25,6 +25,7 @@ use crate::bareiss;
 use crate::error::LinalgError;
 use crate::fourier_motzkin::{self, FmOutcome, UpperForm};
 use crate::row::{IntRow, Row};
+use crate::scratch::{LpScratch, RowPool};
 use crate::simplex::{self, SimplexOutcome};
 use crate::system::{Constraint, LinearSystem, Relation};
 
@@ -69,7 +70,7 @@ pub struct StrictHomogeneousSystem {
 impl StrictHomogeneousSystem {
     /// Creates an empty system over `dimension` unknowns.
     pub fn new(dimension: usize) -> Self {
-        StrictHomogeneousSystem { dimension, rows: Vec::new() }
+        StrictHomogeneousSystem { dimension, rows: Vec::new() } // alloc-ok: empty constructor
     }
 
     /// Number of unknowns.
@@ -116,6 +117,19 @@ impl StrictHomogeneousSystem {
     /// Adds a row given as `i64` coefficients (convenience).
     pub fn push_row_i64(&mut self, row: &[i64]) {
         self.push_row(row.iter().map(|&c| Integer::from(c)).collect());
+    }
+
+    /// Clears the system for reuse at a (possibly different) dimension,
+    /// tearing the old rows back down into `pool` — the recycling half of
+    /// the scratch-memory discipline: a caller that owns one system and one
+    /// pool rebuilds MPI-derived systems with no fresh row allocations in
+    /// the steady state (pair with [`Self::push_sparse_row`] on entries
+    /// obtained from [`RowPool::take`]).
+    pub fn reset_with_pool(&mut self, dimension: usize, pool: &mut RowPool<Integer>) {
+        self.dimension = dimension;
+        for row in self.rows.drain(..) {
+            pool.reclaim(row);
+        }
     }
 
     /// Checks whether a natural-number assignment satisfies every row.
@@ -177,10 +191,29 @@ impl StrictHomogeneousSystem {
         &self,
         engine: FeasibilityEngine,
     ) -> Result<Option<Vec<Rational>>, LinalgError> {
+        let mut scratch = LpScratch::default();
+        self.rational_solution_in(engine, &mut scratch)
+    }
+
+    /// [`Self::rational_solution`] through a caller-provided scratch: the
+    /// simplex and fraction-free routes draw every working buffer from
+    /// `scratch` (recycled there afterwards), so a warmed scratch decides a
+    /// system with no heap allocation beyond the returned witness. Reuse is
+    /// capacity-only — verdicts and witnesses are bit-identical to the
+    /// fresh-allocation route. The Fourier–Motzkin engine ignores the
+    /// scratch (it is not on any hot path).
+    ///
+    /// # Errors
+    /// As [`Self::rational_solution`].
+    pub fn rational_solution_in(
+        &self,
+        engine: FeasibilityEngine,
+        scratch: &mut LpScratch,
+    ) -> Result<Option<Vec<Rational>>, LinalgError> {
         dioph_obs::registry::LP_FEASIBILITY_CALLS.incr();
         let _lp_span = dioph_obs::span(dioph_obs::Phase::Lp);
         if self.rows.is_empty() {
-            return Ok(Some(vec![Rational::zero(); self.dimension]));
+            return Ok(Some(vec![Rational::zero(); self.dimension])); // alloc-ok: returned witness
         }
         // A row of all zeros can never be strictly positive.
         if self.rows.iter().any(super::row::GenRow::is_zero_row) {
@@ -189,9 +222,15 @@ impl StrictHomogeneousSystem {
         let engine = self.resolve_auto(engine);
         match engine {
             FeasibilityEngine::Simplex => {
-                // Homogeneity: A·ε > 0, ε ≥ 0 feasible  ⟺  A·ε ≥ 1, ε ≥ 0 feasible.
-                let b = vec![Rational::one(); self.rows.len()];
-                match simplex::feasible_point_rows(self.dimension, self.to_sparse_rows(), b)? {
+                // Homogeneity: A·ε > 0, ε ≥ 0 feasible  ⟺  A·ε ≥ 1, ε ≥ 0
+                // feasible — the scaled kernel bakes in b = 1 and converts
+                // the stored integer coefficients straight into pooled
+                // tableau storage.
+                match simplex::feasible_point_scaled_in(
+                    self.dimension,
+                    &self.rows,
+                    &mut scratch.rational,
+                )? {
                     SimplexOutcome::Feasible(x) => Ok(Some(x)),
                     SimplexOutcome::Infeasible => Ok(None),
                 }
@@ -199,8 +238,11 @@ impl StrictHomogeneousSystem {
             FeasibilityEngine::Bareiss => {
                 // Same homogeneity scaling; the stored integer rows are
                 // handed over untranslated.
-                let b = vec![Integer::one(); self.rows.len()];
-                match bareiss::feasible_point_int(self.dimension, self.to_int_rows(), b)? {
+                match bareiss::feasible_point_scaled_in(
+                    self.dimension,
+                    &self.rows,
+                    &mut scratch.integer,
+                )? {
                     SimplexOutcome::Feasible(x) => Ok(Some(x)),
                     SimplexOutcome::Infeasible => Ok(None),
                 }
@@ -221,6 +263,7 @@ impl StrictHomogeneousSystem {
                     });
                 }
                 for j in 0..self.dimension {
+                    // alloc-ok: Fourier–Motzkin route, not scratch-threaded
                     let row = Row::sparse(self.dimension, vec![(j, -Rational::one())]);
                     forms.push(UpperForm { row, strict: false, constant: Rational::zero() });
                 }
@@ -273,6 +316,19 @@ impl StrictHomogeneousSystem {
         Ok(self.rational_solution(engine)?.map(|rational| scale_to_naturals(&rational)))
     }
 
+    /// [`Self::natural_solution`] through a caller-provided scratch (see
+    /// [`Self::rational_solution_in`]).
+    ///
+    /// # Errors
+    /// As [`Self::rational_solution`].
+    pub fn natural_solution_in(
+        &self,
+        engine: FeasibilityEngine,
+        scratch: &mut LpScratch,
+    ) -> Result<Option<Vec<Natural>>, LinalgError> {
+        Ok(self.rational_solution_in(engine, scratch)?.map(|rational| scale_to_naturals(&rational)))
+    }
+
     /// `true` iff the system admits a solution (equivalently: the associated
     /// MPI admits a Diophantine solution, by Theorem 4.1).
     ///
@@ -280,6 +336,19 @@ impl StrictHomogeneousSystem {
     /// As [`Self::rational_solution`].
     pub fn is_feasible(&self, engine: FeasibilityEngine) -> Result<bool, LinalgError> {
         Ok(self.rational_solution(engine)?.is_some())
+    }
+
+    /// [`Self::is_feasible`] through a caller-provided scratch (see
+    /// [`Self::rational_solution_in`]).
+    ///
+    /// # Errors
+    /// As [`Self::rational_solution`].
+    pub fn is_feasible_in(
+        &self,
+        engine: FeasibilityEngine,
+        scratch: &mut LpScratch,
+    ) -> Result<bool, LinalgError> {
+        Ok(self.rational_solution_in(engine, scratch)?.is_some())
     }
 }
 

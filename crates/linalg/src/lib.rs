@@ -52,6 +52,7 @@ mod error;
 mod feasibility;
 pub mod fourier_motzkin;
 pub mod row;
+pub mod scratch;
 pub mod simplex;
 mod system;
 
@@ -59,5 +60,6 @@ pub use error::LinalgError;
 pub use feasibility::{scale_to_naturals, FeasibilityEngine, StrictHomogeneousSystem};
 pub use fourier_motzkin::FmOutcome;
 pub use row::{Coeff, GenRow, GenSparseRow, IntRow, Row, SparseRow};
+pub use scratch::{LpScratch, RowPool};
 pub use simplex::SimplexOutcome;
 pub use system::{dot, dot_int, dot_int_int, dot_int_nat, Constraint, LinearSystem, Relation};

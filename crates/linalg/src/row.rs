@@ -118,7 +118,7 @@ impl<T: Coeff> GenSparseRow<T> {
     }
 
     pub(crate) fn to_dense(&self) -> Vec<T> {
-        let mut out = vec![T::default(); self.dim];
+        let mut out = vec![T::default(); self.dim]; // alloc-ok: densification
         for (col, value) in &self.entries {
             out[*col] = value.clone();
         }
@@ -177,7 +177,7 @@ impl<T: Coeff> GenRow<T> {
         if sparse_is_worth_it(sparse.nnz(), dim) {
             GenRow::Sparse(sparse)
         } else {
-            let mut out = vec![T::default(); dim];
+            let mut out = vec![T::default(); dim]; // alloc-ok: densification
             for (col, value) in sparse.entries {
                 out[col] = value;
             }
@@ -340,6 +340,22 @@ impl Row {
     /// knows to be zero). A sparse row that fills in past the densify
     /// threshold is converted to dense here.
     pub fn eliminate(&mut self, factor: &Rational, src: &Row, skip: usize) {
+        let mut spare = Vec::new(); // alloc-ok: convenience wrapper; hot loops use eliminate_with
+        self.eliminate_with(factor, src, skip, &mut spare);
+    }
+
+    /// [`Self::eliminate`] with a caller-provided merge buffer: the sparse
+    /// merge writes into `spare` and swaps it with the row's entry storage,
+    /// so a buffer threaded through a pivot loop makes every elimination
+    /// allocation-free in the steady state. On return `spare` holds the
+    /// row's *previous* entries (cleared on next use).
+    pub fn eliminate_with(
+        &mut self,
+        factor: &Rational,
+        src: &Row,
+        skip: usize,
+        spare: &mut Vec<(usize, Rational)>,
+    ) {
         match self {
             GenRow::Dense(v) => {
                 for (col, coeff) in src.iter_nonzero() {
@@ -351,7 +367,16 @@ impl Row {
                 }
             }
             GenRow::Sparse(s) => {
-                s.entries = merge_eliminate(&s.entries, factor, src, skip);
+                merge_sparse(
+                    spare,
+                    &s.entries,
+                    src,
+                    skip,
+                    Rational::clone,
+                    |vs| -(factor * vs),
+                    |vt, vs| vt - &(factor * vs),
+                );
+                core::mem::swap(&mut s.entries, spare);
                 if !sparse_is_worth_it(s.entries.len(), s.dim) {
                     *self = GenRow::Dense(s.to_dense());
                 }
@@ -436,38 +461,25 @@ impl<'a, T: Coeff> Iterator for RowIter<'a, T> {
     }
 }
 
-/// Merges `target - factor * src` over sorted entry streams, skipping the
-/// `skip` column of `src` and dropping exact zeros.
-fn merge_eliminate(
-    target: &[(usize, Rational)],
-    factor: &Rational,
-    src: &Row,
-    skip: usize,
-) -> Vec<(usize, Rational)> {
-    merge_sparse(
-        target,
-        src,
-        skip,
-        Rational::clone,
-        |vs| -(factor * vs),
-        |vt, vs| vt - &(factor * vs),
-    )
-}
-
 /// The sorted two-stream merge both elimination kernels share: walks the
 /// `target` entries and the non-`skip` entries of `src` in column order,
 /// producing `map_target(v)` for target-only columns, `map_src(v)` for
 /// src-only columns and `combine(vt, vs)` where both are present. Exact
 /// zeros are dropped, preserving the sparse no-stored-zeros invariant.
+///
+/// The merge writes into `out` (cleared first) so pivot loops can recycle
+/// one output buffer across eliminations instead of allocating per merge.
 pub(crate) fn merge_sparse<T: Coeff>(
+    out: &mut Vec<(usize, T)>,
     target: &[(usize, T)],
     src: &GenRow<T>,
     skip: usize,
     mut map_target: impl FnMut(&T) -> T,
     mut map_src: impl FnMut(&T) -> T,
     mut combine: impl FnMut(&T, &T) -> T,
-) -> Vec<(usize, T)> {
-    let mut out: Vec<(usize, T)> = Vec::with_capacity(target.len() + src.nnz());
+) {
+    out.clear();
+    out.reserve(target.len() + src.nnz());
     let mut it = target.iter().peekable();
     let mut is = src.iter_nonzero().filter(|&(col, _)| col != skip).peekable();
     loop {
@@ -504,7 +516,6 @@ pub(crate) fn merge_sparse<T: Coeff>(
             out.push((col, value));
         }
     }
-    out
 }
 
 impl<T: Coeff> fmt::Display for GenRow<T> {

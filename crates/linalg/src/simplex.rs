@@ -27,7 +27,8 @@
 use dioph_arith::Rational;
 
 use crate::error::{iteration_budget, LinalgError};
-use crate::row::Row;
+use crate::row::{IntRow, Row};
+use crate::scratch::{auto_pooled, KernelScratch};
 
 /// Result of a phase-1 simplex run.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -108,13 +109,29 @@ pub fn feasible_point_rows_with_budget(
     b: Vec<Rational>,
     max_iterations: usize,
 ) -> Result<SimplexOutcome, LinalgError> {
+    let mut scratch = KernelScratch::default();
+    feasible_point_rows_in(n, &a, &b, max_iterations, &mut scratch)
+}
+
+/// [`feasible_point_rows_with_budget`] through a caller-provided scratch:
+/// every working buffer (standard-form staging, tableau rows, per-pivot
+/// reduced costs and basis bitmap, elimination merge output) is drawn from
+/// `scratch` and recycled there, so a warmed scratch makes the whole run
+/// allocation-free apart from the returned witness. Reuse is capacity-only:
+/// pivots and outcome are bit-identical to the fresh-allocation route.
+pub(crate) fn feasible_point_rows_in(
+    n: usize,
+    a: &[Row],
+    b: &[Rational],
+    max_iterations: usize,
+    scratch: &mut KernelScratch<Rational>,
+) -> Result<SimplexOutcome, LinalgError> {
     assert_eq!(a.len(), b.len(), "row count mismatch between A and b");
-    let m = a.len();
-    for row in &a {
+    for row in a {
         assert_eq!(row.dim(), n, "row dimension mismatch in simplex input");
     }
-    if m == 0 {
-        return Ok(SimplexOutcome::Feasible(vec![Rational::zero(); n]));
+    if a.is_empty() {
+        return Ok(SimplexOutcome::Feasible(vec![Rational::zero(); n])); // alloc-ok: returned witness
     }
 
     // Standard form: for every row  a_i·x - s_i = b_i  with s_i ≥ 0.
@@ -124,18 +141,15 @@ pub fn feasible_point_rows_with_budget(
     // rows receive an artificial variable.
     //
     // Column layout: [ x (n) | s (m) | artificials (k) ].
-    let mut needs_artificial: Vec<bool> = Vec::with_capacity(m);
-    let mut rhs: Vec<Rational> = Vec::with_capacity(m);
-    let mut entry_rows: Vec<Vec<(usize, Rational)>> = Vec::with_capacity(m);
-
+    scratch.reset();
     for (i, (a_row, b_i)) in a.iter().zip(b).enumerate() {
         // a_i·x - s_i = b_i, stored as sorted sparse entries over the final
         // column layout (the x-part indices are already increasing, and the
         // surplus column n+i comes after all of them).
-        let mut entries: Vec<(usize, Rational)> =
-            a_row.iter_nonzero().map(|(col, v)| (col, v.clone())).collect();
+        let mut entries = scratch.pool.take();
+        entries.extend(a_row.iter_nonzero().map(|(col, v)| (col, v.clone())));
         entries.push((n + i, -Rational::one()));
-        let mut rhs_i = b_i;
+        let mut rhs_i = b_i.clone();
         if rhs_i.is_negative() {
             // Multiply the whole equation by -1 so the rhs is non-negative;
             // the surplus column then carries +1 and can serve as the basis.
@@ -144,7 +158,7 @@ pub fn feasible_point_rows_with_budget(
                 *value = -taken;
             }
             rhs_i = -rhs_i;
-            needs_artificial.push(false);
+            scratch.needs_artificial.push(false);
         } else if rhs_i.is_zero() {
             // rhs already zero: the surplus variable (value 0) can be basic
             // only if its coefficient is +1; flip the row to make it so.
@@ -152,36 +166,80 @@ pub fn feasible_point_rows_with_budget(
                 let taken = core::mem::take(value);
                 *value = -taken;
             }
-            needs_artificial.push(false);
+            scratch.needs_artificial.push(false);
         } else {
-            needs_artificial.push(true);
+            scratch.needs_artificial.push(true);
         }
-        entry_rows.push(entries);
-        rhs.push(rhs_i);
+        scratch.staged.push(entries);
+        scratch.rhs.push(rhs_i);
     }
 
-    let artificial_rows: Vec<usize> = (0..m).filter(|&i| needs_artificial[i]).collect();
-    let k = artificial_rows.len();
+    attach_artificials_and_run(n, max_iterations, scratch)
+}
+
+/// The feasibility front door for MPI-derived systems: decides
+/// `A·x ≥ 1, x ≥ 0` for integer rows `A` (the homogeneity scaling of
+/// `A·x > 0`), converting each coefficient to [`Rational`] exactly once,
+/// straight into pooled entry storage — no intermediate rationalised row
+/// vector and no materialised `b`. Pivots and outcome are bit-identical to
+/// [`feasible_point_rows`] on `to_sparse_rows()` input with `b = 1`.
+pub(crate) fn feasible_point_scaled_in(
+    n: usize,
+    a: &[IntRow],
+    scratch: &mut KernelScratch<Rational>,
+) -> Result<SimplexOutcome, LinalgError> {
+    let max_iterations = iteration_budget(n + 2 * a.len(), a.len());
+    if a.is_empty() {
+        return Ok(SimplexOutcome::Feasible(vec![Rational::zero(); n])); // alloc-ok: returned witness
+    }
+    scratch.reset();
+    for (i, a_row) in a.iter().enumerate() {
+        debug_assert_eq!(a_row.dim(), n, "row dimension mismatch in simplex input");
+        let mut entries = scratch.pool.take();
+        entries.extend(a_row.iter_nonzero().map(|(col, v)| (col, Rational::from(v))));
+        entries.push((n + i, -Rational::one()));
+        // rhs = 1 is positive, so every row starts on an artificial variable
+        // (the `b_i > 0` arm of the general construction).
+        scratch.needs_artificial.push(true);
+        scratch.staged.push(entries);
+        scratch.rhs.push(Rational::one());
+    }
+
+    attach_artificials_and_run(n, max_iterations, scratch)
+}
+
+/// Second construction pass plus the pivot loop: extends the staged rows
+/// with their artificial column (the artificial count is only known once
+/// every row is staged), records the initial basis and pivots to optimality.
+fn attach_artificials_and_run(
+    n: usize,
+    max_iterations: usize,
+    scratch: &mut KernelScratch<Rational>,
+) -> Result<SimplexOutcome, LinalgError> {
+    let m = scratch.staged.len();
+    let k = scratch.needs_artificial.iter().filter(|&&needs| needs).count();
     let total = n + m + k;
 
     // Extend rows with their artificial column and record the initial basis.
-    let mut rows: Vec<Row> = Vec::with_capacity(m);
-    let mut basis: Vec<usize> = Vec::with_capacity(m);
     {
         let mut art_idx = 0;
-        for (i, mut entries) in entry_rows.into_iter().enumerate() {
-            if needs_artificial[i] {
+        for i in 0..m {
+            let mut entries = core::mem::take(&mut scratch.staged[i]);
+            if scratch.needs_artificial[i] {
                 entries.push((n + m + art_idx, Rational::one()));
-                basis.push(n + m + art_idx);
+                scratch.basis.push(n + m + art_idx);
                 art_idx += 1;
             } else {
                 // The surplus/slack column of this row has coefficient +1.
-                basis.push(n + i);
+                scratch.basis.push(n + i);
             }
-            rows.push(Row::auto(total, entries));
+            let row = auto_pooled(total, entries, &mut scratch.pool);
+            scratch.rows.push(row);
         }
+        scratch.staged.clear();
     }
 
+    let KernelScratch { rows, rhs, basis, in_basis, reduced, merge_buf, .. } = scratch;
     let mut iterations = 0usize;
 
     loop {
@@ -195,15 +253,16 @@ pub fn feasible_point_rows_with_budget(
         // cost vector is 0/1 (1 exactly on artificial columns), so the sum
         // collapses to plain subtractions over the non-zeros of the
         // artificial-basic rows — one pass over stored entries, no lookups.
-        let mut in_basis = vec![false; total];
-        for &basic in &basis {
+        in_basis.clear();
+        in_basis.resize(total, false);
+        for &basic in basis.iter() {
             in_basis[basic] = true;
         }
-        let mut reduced: Vec<Rational> = Vec::with_capacity(total);
+        reduced.clear();
         for j in 0..total {
             reduced.push(if j >= n + m { Rational::one() } else { Rational::zero() });
         }
-        for (row, &basic) in rows.iter().zip(&basis) {
+        for (row, &basic) in rows.iter().zip(basis.iter()) {
             if basic >= n + m {
                 for (j, value) in row.iter_nonzero() {
                     reduced[j] -= value;
@@ -225,7 +284,7 @@ pub fn feasible_point_rows_with_budget(
                 return Ok(SimplexOutcome::Infeasible);
             }
             // Feasible: read off the x-part of the basic solution.
-            let mut x = vec![Rational::zero(); n];
+            let mut x = vec![Rational::zero(); n]; // alloc-ok: returned witness
             for i in 0..m {
                 if basis[i] < n {
                     x[basis[i]] = rhs[i].clone();
@@ -291,7 +350,7 @@ pub fn feasible_point_rows_with_budget(
                 let (head, tail) = rows.split_at_mut(leave);
                 (&tail[0], &mut head[i])
             };
-            target_row.eliminate(&factor, leave_row, enter);
+            target_row.eliminate_with(&factor, leave_row, enter, merge_buf);
             // Pivot boundary: elimination can cancel earlier fill-in, and a
             // densified row whose density receded must not stay dense (the
             // one-way ratchet made later passes scan dead zeros).

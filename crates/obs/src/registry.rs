@@ -107,6 +107,49 @@ impl Counter {
 use Kind::{Counter as C, Gauge as G};
 use Stability::{Deterministic as Det, Volatile as Vol};
 
+/// Heap allocations observed by the counting-allocator harness.
+pub static ALLOC_HEAP_ALLOCS: Counter = Counter::new(
+    "alloc.heap.allocs",
+    Vol,
+    C,
+    "heap allocations observed by the counting-allocator harness (zero when no counting \
+     allocator is installed in the binary)",
+);
+/// Monomials whose exponents fit the inline cap.
+pub static ALLOC_MONOMIAL_INLINE: Counter = Counter::new(
+    "alloc.monomial.inline",
+    Vol,
+    C,
+    "monomial exponent vectors stored inline on the stack (length within the inline cap)",
+);
+/// Monomials whose exponents spilled to the heap.
+pub static ALLOC_MONOMIAL_SPILLS: Counter = Counter::new(
+    "alloc.monomial.spills",
+    Vol,
+    C,
+    "monomial exponent vectors that spilled to the heap (length past the inline cap)",
+);
+/// High-water mark of pooled row buffers held by one scratch.
+pub static ALLOC_POOL_ROWS_HWM: Counter = Counter::new(
+    "alloc.pool.rows.hwm",
+    Vol,
+    G,
+    "high-water mark of recycled row buffers held by a single probe scratch's pools",
+);
+/// Scratch buffer acquisitions served from recycled capacity.
+pub static ALLOC_SCRATCH_REUSES: Counter = Counter::new(
+    "alloc.scratch.reuses",
+    Vol,
+    C,
+    "probe decisions served by an already-warmed ProbeScratch (recycled buffer capacity)",
+);
+/// Scratch buffer acquisitions that had to allocate fresh.
+pub static ALLOC_SCRATCH_SPILLS: Counter = Counter::new(
+    "alloc.scratch.spills",
+    Vol,
+    C,
+    "pooled-buffer requests the scratch pools could not serve from recycled capacity",
+);
 /// Rational ops that fell back to the limb representation.
 pub static ARITH_BIG_FALLBACKS: Counter = Counter::new(
     "arith.big_fallbacks",
@@ -265,7 +308,13 @@ pub static PARSE_QUERIES: Counter =
 /// Every registry cell, sorted by name (the sort is pinned by a test, so
 /// snapshot iteration — and therefore every rendered counter block — is in
 /// stable name order).
-static COUNTERS: [&Counter; 24] = [
+static COUNTERS: [&Counter; 30] = [
+    &ALLOC_HEAP_ALLOCS,
+    &ALLOC_MONOMIAL_INLINE,
+    &ALLOC_MONOMIAL_SPILLS,
+    &ALLOC_POOL_ROWS_HWM,
+    &ALLOC_SCRATCH_REUSES,
+    &ALLOC_SCRATCH_SPILLS,
     &ARITH_BIG_FALLBACKS,
     &ARITH_INT_BIG_FALLBACKS,
     &ARITH_INT_SMALL_HITS,

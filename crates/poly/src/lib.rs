@@ -38,8 +38,10 @@ mod gmpi;
 mod monomial;
 mod mpi;
 mod polynomial;
+mod scratch;
 
 pub use gmpi::OneDimGmpi;
 pub use monomial::{Monomial, MonomialDisplay};
 pub use mpi::{Mpi, MpiDisplay, OneDimMpi};
 pub use polynomial::{Polynomial, PolynomialDisplay};
+pub use scratch::MpiScratch;

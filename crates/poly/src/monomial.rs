@@ -1,8 +1,91 @@
-//! Multivariate monomials with natural-number exponents.
+//! Multivariate monomials with natural-number exponents, stored in an
+//! inline small-vector: exponent vectors of dimension ≤ [`INLINE_EXPONENTS`]
+//! live on the stack, longer ones spill to the heap, and `Eq`/`Ord`/`Hash`
+//! are canonical across the split (both representations compare and hash
+//! exactly as the exponent *slice* does) — the same hybrid discipline as
+//! `dioph_arith::Natural`'s inline/limb split.
 
 use core::fmt;
+use core::hash::{Hash, Hasher};
 
 use dioph_arith::{Integer, Natural};
+use dioph_obs::registry;
+
+/// Exponent vectors up to this dimension are stored inline on the stack.
+///
+/// The paper's systems keep the unknown count at the containee's body-atom
+/// count; the committed workloads and the generators rarely exceed a
+/// handful, so eight machine words cover the common case without making
+/// every `Monomial` enormous.
+pub const INLINE_EXPONENTS: usize = 8;
+
+/// The hybrid exponent storage: inline up to [`INLINE_EXPONENTS`], heap
+/// past it. Comparison/hash always go through [`ExpVec::as_slice`], so the
+/// representation never leaks into ordering (the `Polynomial` term order —
+/// and with it every golden-pinned byte of output — is the plain
+/// lexicographic slice order the old `Vec<u64>` storage had).
+#[derive(Clone, Debug)]
+enum ExpVec {
+    /// Dimension ≤ [`INLINE_EXPONENTS`]: exponents on the stack.
+    Inline { len: u8, buf: [u64; INLINE_EXPONENTS] },
+    /// Dimension past the cap: the classic heap vector.
+    Heap(Vec<u64>),
+}
+
+impl ExpVec {
+    /// All-zero exponents of the given dimension.
+    fn zeros(len: usize) -> Self {
+        if len <= INLINE_EXPONENTS {
+            registry::ALLOC_MONOMIAL_INLINE.incr();
+            ExpVec::Inline { len: len as u8, buf: [0; INLINE_EXPONENTS] }
+        } else {
+            registry::ALLOC_MONOMIAL_SPILLS.incr();
+            ExpVec::Heap(vec![0; len])
+        }
+    }
+
+    /// Builds from a slice without taking ownership (allocation-free within
+    /// the inline cap).
+    fn from_slice(exponents: &[u64]) -> Self {
+        if exponents.len() <= INLINE_EXPONENTS {
+            registry::ALLOC_MONOMIAL_INLINE.incr();
+            let mut buf = [0; INLINE_EXPONENTS];
+            buf[..exponents.len()].copy_from_slice(exponents);
+            ExpVec::Inline { len: exponents.len() as u8, buf }
+        } else {
+            registry::ALLOC_MONOMIAL_SPILLS.incr();
+            ExpVec::Heap(exponents.to_vec())
+        }
+    }
+
+    /// Takes ownership of a vector, moving short ones inline (the vector's
+    /// allocation is dropped; past the cap it is kept as-is).
+    fn from_vec(exponents: Vec<u64>) -> Self {
+        if exponents.len() <= INLINE_EXPONENTS {
+            registry::ALLOC_MONOMIAL_INLINE.incr();
+            let mut buf = [0; INLINE_EXPONENTS];
+            buf[..exponents.len()].copy_from_slice(&exponents);
+            ExpVec::Inline { len: exponents.len() as u8, buf }
+        } else {
+            registry::ALLOC_MONOMIAL_SPILLS.incr();
+            ExpVec::Heap(exponents)
+        }
+    }
+
+    fn as_slice(&self) -> &[u64] {
+        match self {
+            ExpVec::Inline { len, buf } => &buf[..*len as usize],
+            ExpVec::Heap(v) => v,
+        }
+    }
+
+    fn as_mut_slice(&mut self) -> &mut [u64] {
+        match self {
+            ExpVec::Inline { len, buf } => &mut buf[..*len as usize],
+            ExpVec::Heap(v) => v,
+        }
+    }
+}
 
 /// A monomial `u₁^{e₁} · u₂^{e₂} · … · uₙ^{eₙ}` over a fixed vector of `n`
 /// unknowns, represented densely by its exponent vector.
@@ -11,20 +94,60 @@ use dioph_arith::{Integer, Natural};
 /// [`crate::Polynomial`] terms. This mirrors Definition 3.2 of the paper,
 /// where the monomial associated with a projection-free query has coefficient
 /// one and natural exponents (the body multiplicities).
-#[derive(Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+#[derive(Clone, Debug)]
 pub struct Monomial {
-    exponents: Vec<u64>,
+    exponents: ExpVec,
+}
+
+// Equality, ordering and hashing are all over the exponent *slice*, never
+// the representation: `Inline` and `Heap` monomials with equal exponents
+// are one value. The `Ord` is the lexicographic slice order the derived
+// `Vec<u64>` impl had, which `Polynomial`'s `BTreeMap` term order — and
+// therefore every byte of golden-pinned JSON — depends on.
+impl PartialEq for Monomial {
+    fn eq(&self, other: &Self) -> bool {
+        self.exponents() == other.exponents()
+    }
+}
+
+impl Eq for Monomial {}
+
+impl PartialOrd for Monomial {
+    fn partial_cmp(&self, other: &Self) -> Option<core::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Monomial {
+    fn cmp(&self, other: &Self) -> core::cmp::Ordering {
+        self.exponents().cmp(other.exponents())
+    }
+}
+
+impl Hash for Monomial {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // Slice hashing (what `Vec<u64>` hashes as too): canonical across
+        // the inline/heap split.
+        self.exponents().hash(state);
+    }
 }
 
 impl Monomial {
     /// The constant monomial `1` over `dimension` unknowns (all exponents 0).
     pub fn constant(dimension: usize) -> Self {
-        Monomial { exponents: vec![0; dimension] }
+        Monomial { exponents: ExpVec::zeros(dimension) }
     }
 
     /// Builds a monomial from its exponent vector.
     pub fn new(exponents: Vec<u64>) -> Self {
-        Monomial { exponents }
+        Monomial { exponents: ExpVec::from_vec(exponents) }
+    }
+
+    /// Builds a monomial from an exponent slice — allocation-free within the
+    /// inline cap, which is what lets compilation stage exponents in one
+    /// recycled buffer instead of allocating a `Vec` per monomial.
+    pub fn from_slice(exponents: &[u64]) -> Self {
+        Monomial { exponents: ExpVec::from_slice(exponents) }
     }
 
     /// A single unknown `u_i` over `dimension` unknowns.
@@ -33,40 +156,42 @@ impl Monomial {
     /// Panics if `index >= dimension`.
     pub fn unknown(dimension: usize, index: usize) -> Self {
         assert!(index < dimension, "unknown index out of range");
-        let mut exponents = vec![0; dimension];
-        exponents[index] = 1;
+        let mut exponents = ExpVec::zeros(dimension);
+        exponents.as_mut_slice()[index] = 1;
         Monomial { exponents }
     }
 
     /// Number of unknowns (the dimension `n` of the paper's n-MPI).
     pub fn dimension(&self) -> usize {
-        self.exponents.len()
+        self.exponents().len()
     }
 
     /// The exponent vector.
     pub fn exponents(&self) -> &[u64] {
-        &self.exponents
+        self.exponents.as_slice()
     }
 
-    /// The exponent vector as signed integers (used when building the linear
-    /// system of Theorem 4.1).
-    pub fn exponents_as_integers(&self) -> Vec<Integer> {
-        self.exponents.iter().map(|&e| Integer::from(e)).collect()
+    /// The exponents as signed integers, in unknown order (used when
+    /// building the linear system of Theorem 4.1). An iterator rather than a
+    /// fresh `Vec<Integer>`: callers staging rows write the values straight
+    /// into their own (recycled) storage.
+    pub fn integer_exponents(&self) -> impl Iterator<Item = Integer> + '_ {
+        self.exponents().iter().map(|&e| Integer::from(e))
     }
 
     /// The exponent of unknown `i`.
     pub fn exponent(&self, i: usize) -> u64 {
-        self.exponents[i]
+        self.exponents()[i]
     }
 
     /// Total degree: the sum of all exponents.
     pub fn degree(&self) -> u64 {
-        self.exponents.iter().sum()
+        self.exponents().iter().sum()
     }
 
     /// `true` iff this is the constant monomial 1.
     pub fn is_constant(&self) -> bool {
-        self.exponents.iter().all(|&e| e == 0)
+        self.exponents().iter().all(|&e| e == 0)
     }
 
     /// Multiplies two monomials over the same unknowns (adds exponents).
@@ -75,19 +200,17 @@ impl Monomial {
     /// Panics if the dimensions differ.
     pub fn mul(&self, other: &Monomial) -> Monomial {
         assert_eq!(self.dimension(), other.dimension(), "monomial dimension mismatch");
-        Monomial {
-            exponents: self
-                .exponents
-                .iter()
-                .zip(&other.exponents)
-                .map(|(a, b)| a.checked_add(*b).expect("monomial exponent overflow"))
-                .collect(),
+        let mut out = self.clone();
+        for (a, b) in out.exponents.as_mut_slice().iter_mut().zip(other.exponents()) {
+            *a = a.checked_add(*b).expect("monomial exponent overflow");
         }
+        out
     }
 
     /// Raises the exponent of unknown `i` by `by`.
     pub fn raise(&mut self, i: usize, by: u64) {
-        self.exponents[i] = self.exponents[i].checked_add(by).expect("monomial exponent overflow");
+        let slot = &mut self.exponents.as_mut_slice()[i];
+        *slot = slot.checked_add(by).expect("monomial exponent overflow");
     }
 
     /// Evaluates the monomial at a natural-number point.
@@ -97,7 +220,7 @@ impl Monomial {
     pub fn evaluate(&self, point: &[Natural]) -> Natural {
         assert_eq!(point.len(), self.dimension(), "evaluation point dimension mismatch");
         let mut acc = Natural::one();
-        for (value, &exp) in point.iter().zip(&self.exponents) {
+        for (value, &exp) in point.iter().zip(self.exponents()) {
             if exp == 0 {
                 continue;
             }
@@ -116,7 +239,7 @@ impl Monomial {
     pub fn weighted_degree(&self, d: &[Natural]) -> Natural {
         assert_eq!(d.len(), self.dimension(), "weight vector dimension mismatch");
         let mut acc = Natural::zero();
-        for (&e, w) in self.exponents.iter().zip(d) {
+        for (&e, w) in self.exponents().iter().zip(d) {
             if e != 0 && !w.is_zero() {
                 acc += &(&Natural::from(e) * w);
             }
@@ -160,7 +283,7 @@ fn format_monomial(
         return write!(f, "1");
     }
     let mut first = true;
-    for (i, &e) in m.exponents.iter().enumerate() {
+    for (i, &e) in m.exponents().iter().enumerate() {
         if e == 0 {
             continue;
         }
@@ -251,6 +374,57 @@ mod tests {
     #[should_panic(expected = "dimension mismatch")]
     fn dimension_mismatch_panics() {
         let _ = Monomial::new(vec![1]).mul(&Monomial::new(vec![1, 2]));
+    }
+
+    #[test]
+    fn inline_and_heap_monomials_are_one_value() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        // Around the inline cap: dimension at the cap stays inline, one past
+        // it spills — and none of Eq/Ord/Hash can tell the difference.
+        for dim in [INLINE_EXPONENTS - 1, INLINE_EXPONENTS, INLINE_EXPONENTS + 1, 31] {
+            let exps: Vec<u64> = (0..dim as u64).collect();
+            let via_vec = Monomial::new(exps.clone());
+            let via_slice = Monomial::from_slice(&exps);
+            assert_eq!(via_vec, via_slice);
+            assert_eq!(via_vec.cmp(&via_slice), core::cmp::Ordering::Equal);
+            let hash = |m: &Monomial| {
+                let mut h = DefaultHasher::new();
+                m.hash(&mut h);
+                h.finish()
+            };
+            assert_eq!(hash(&via_vec), hash(&via_slice), "dim {dim}");
+            assert_eq!(via_vec.exponents(), exps.as_slice());
+        }
+    }
+
+    #[test]
+    fn ordering_is_the_lexicographic_slice_order() {
+        // The Polynomial term order (and with it golden JSON bytes) depends
+        // on Monomial's Ord being exactly the Vec<u64>-derived lexicographic
+        // order, across representations and lengths.
+        let mut raw: Vec<Vec<u64>> = vec![
+            vec![],
+            vec![0],
+            vec![0, 5],
+            vec![1],
+            vec![1, 0, 0, 0, 0, 0, 0, 0, 0],
+            vec![1, 2],
+            vec![2, 1, 3],
+            vec![2, 1, 3, 0, 0, 0, 0, 0, 1],
+        ];
+        let mut monos: Vec<Monomial> = raw.iter().map(|v| Monomial::from_slice(v)).collect();
+        raw.sort();
+        monos.sort();
+        let resorted: Vec<Vec<u64>> = monos.iter().map(|m| m.exponents().to_vec()).collect();
+        assert_eq!(resorted, raw);
+    }
+
+    #[test]
+    fn integer_exponents_iterate_in_unknown_order() {
+        let m = Monomial::new(vec![2, 0, 3]);
+        let ints: Vec<Integer> = m.integer_exponents().collect();
+        assert_eq!(ints, vec![Integer::from(2u64), Integer::from(0u64), Integer::from(3u64)]);
     }
 
     #[test]

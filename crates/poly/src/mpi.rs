@@ -20,6 +20,7 @@ use dioph_linalg::{FeasibilityEngine, LinalgError, StrictHomogeneousSystem};
 
 use crate::monomial::Monomial;
 use crate::polynomial::Polynomial;
+use crate::scratch::MpiScratch;
 
 /// An n-dimensional Monomial–Polynomial Inequality `P(u) < M(u)`.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -86,6 +87,36 @@ impl Mpi {
         sys
     }
 
+    /// [`Self::to_strict_system`] into a caller-provided scratch: the system
+    /// lives in `scratch` (readable afterwards via [`MpiScratch::system`]),
+    /// its rows built from — and, at the next call, torn back down into —
+    /// the scratch's recycled entry pool. The produced system is equal to
+    /// the one [`Self::to_strict_system`] returns; reuse is capacity-only.
+    pub fn to_strict_system_in<'s>(
+        &self,
+        scratch: &'s mut MpiScratch,
+    ) -> &'s StrictHomogeneousSystem {
+        let n = self.dimension();
+        let e = self.monomial.exponents();
+        let MpiScratch { sys, lp } = scratch;
+        let pool = lp.int_pool();
+        sys.reset_with_pool(n, pool);
+        for (_, mono) in self.polynomial.terms() {
+            // Same entry values and order as `to_strict_system`, written into
+            // a pooled vector instead of a fresh one.
+            let mut entries = pool.take();
+            entries.extend(
+                e.iter()
+                    .zip(mono.exponents())
+                    .enumerate()
+                    .filter(|(_, (&a, &b))| a != b)
+                    .map(|(j, (&a, &b))| (j, Integer::from(a as i128 - b as i128))),
+            );
+            sys.push_sparse_row(entries);
+        }
+        sys
+    }
+
     /// Decides whether the MPI admits a Diophantine solution (Theorem 4.1 +
     /// Theorem 4.2), without constructing one.
     ///
@@ -98,6 +129,26 @@ impl Mpi {
             return Ok(true);
         }
         self.to_strict_system().is_feasible(engine)
+    }
+
+    /// [`Self::has_diophantine_solution`] through a caller-provided scratch:
+    /// both the Theorem 4.1 system and the LP kernel's working set draw on
+    /// `scratch`, so a warmed scratch decides an MPI with no fresh heap
+    /// allocation. Verdicts are bit-identical to the scratch-free route.
+    ///
+    /// # Errors
+    /// As [`Self::has_diophantine_solution`].
+    pub fn has_diophantine_solution_in(
+        &self,
+        engine: FeasibilityEngine,
+        scratch: &mut MpiScratch,
+    ) -> Result<bool, LinalgError> {
+        if self.polynomial.is_zero() {
+            return Ok(true);
+        }
+        self.to_strict_system_in(scratch);
+        let MpiScratch { sys, lp } = scratch;
+        sys.is_feasible_in(engine, lp)
     }
 
     /// Finds an explicit Diophantine solution, if one exists.
@@ -122,7 +173,7 @@ impl Mpi {
     ) -> Result<Option<Vec<Natural>>, LinalgError> {
         let n = self.dimension();
         if self.polynomial.is_zero() {
-            return Ok(Some(vec![Natural::one(); n]));
+            return Ok(Some(vec![Natural::one(); n])); // alloc-ok: returned witness
         }
         let Some(d) = self.to_strict_system().natural_solution(engine)? else {
             return Ok(None);
@@ -135,6 +186,39 @@ impl Mpi {
                 zeta.pow(exp)
             })
             .collect();
+        debug_assert!(self.is_solution(&point), "constructed witness must satisfy the MPI");
+        Ok(Some(point))
+    }
+
+    /// [`Self::diophantine_solution`] through a caller-provided scratch (see
+    /// [`Self::has_diophantine_solution_in`]); the returned witness is the
+    /// only allocation a warmed scratch leaves behind, and it is
+    /// bit-identical to the scratch-free route's.
+    ///
+    /// # Errors
+    /// As [`Self::diophantine_solution`].
+    pub fn diophantine_solution_in(
+        &self,
+        engine: FeasibilityEngine,
+        scratch: &mut MpiScratch,
+    ) -> Result<Option<Vec<Natural>>, LinalgError> {
+        let n = self.dimension();
+        if self.polynomial.is_zero() {
+            return Ok(Some(vec![Natural::one(); n])); // alloc-ok: returned witness
+        }
+        self.to_strict_system_in(scratch);
+        let MpiScratch { sys, lp } = scratch;
+        let Some(d) = sys.natural_solution_in(engine, lp)? else {
+            return Ok(None);
+        };
+        let zeta = self.smallest_base_for(&d).expect("a base must exist for a valid direction d");
+        let point: Vec<Natural> = d
+            .iter()
+            .map(|dj| {
+                let exp = dj.to_u64().expect("LP-derived exponent should fit in u64");
+                zeta.pow(exp)
+            })
+            .collect(); // alloc-ok: returned witness
         debug_assert!(self.is_solution(&point), "constructed witness must satisfy the MPI");
         Ok(Some(point))
     }
@@ -438,6 +522,38 @@ mod tests {
         let n = mpi.dimension();
         assert!(!mpi.is_solution(&vec![Natural::zero(); n]));
         assert!(!mpi.is_solution(&vec![Natural::one(); n]));
+    }
+
+    #[test]
+    fn scratch_route_matches_fresh_route() {
+        // The `_in` entry points must produce the identical system, verdict
+        // and witness as their scratch-free twins — warmed or cold.
+        let mut scratch = MpiScratch::new();
+        let cases = [
+            paper_mpi(),
+            Mpi::new(
+                Polynomial::from_terms(
+                    1,
+                    [(nat(1), Monomial::new(vec![4])), (nat(1), Monomial::new(vec![2]))],
+                ),
+                Monomial::new(vec![4]),
+            ),
+            Mpi::new(Polynomial::zero(2), Monomial::new(vec![1, 2])),
+        ];
+        for engine in [FeasibilityEngine::Simplex, FeasibilityEngine::Bareiss] {
+            // Reuse one scratch across all cases: later cases run warmed.
+            for mpi in &cases {
+                assert_eq!(&mpi.to_strict_system(), mpi.to_strict_system_in(&mut scratch));
+                assert_eq!(
+                    mpi.has_diophantine_solution(engine).unwrap(),
+                    mpi.has_diophantine_solution_in(engine, &mut scratch).unwrap(),
+                );
+                assert_eq!(
+                    mpi.diophantine_solution(engine).unwrap(),
+                    mpi.diophantine_solution_in(engine, &mut scratch).unwrap(),
+                );
+            }
+        }
     }
 
     #[test]

@@ -80,7 +80,6 @@ fn main() {
     // also violates containment: 98 < 108.
     let paper_assignment: Vec<diophantus::Natural> = compiled
         .atoms()
-        .iter()
         .map(|atom| {
             let value: u64 = match atom.to_string().as_str() {
                 "R(^x1, ^x2)" => 1,

@@ -2,6 +2,47 @@
 //! containment and equivalence, generate random workloads and time the
 //! decision procedure. All the logic lives in [`diophantus::cli`]; run
 //! `diophantus help` for usage.
+//!
+//! The binary installs a counting global allocator: every heap allocation
+//! (alloc and the growth half of realloc; frees are not counted) bumps the
+//! `alloc.heap.allocs` registry cell, which is how `bench --json` reports
+//! *measured* heap allocations per probe next to the scratch-reuse
+//! counters. One relaxed `fetch_add` per allocation is noise against the
+//! allocator call itself; library consumers of `diophantus` are unaffected
+//! (the allocator is installed here, in the binary crate, only).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+
+/// Delegates to the system allocator, counting allocations into the
+/// `dioph-obs` registry (the workspace's one sanctioned home for global
+/// atomic state — `Counter::add` is a single relaxed `fetch_add`).
+struct CountingAllocator;
+
+// SAFETY: every method delegates directly to `System`, which upholds the
+// `GlobalAlloc` contract; the registry bump neither allocates nor panics.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        diophantus::obs::registry::ALLOC_HEAP_ALLOCS.incr();
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        diophantus::obs::registry::ALLOC_HEAP_ALLOCS.incr();
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        diophantus::obs::registry::ALLOC_HEAP_ALLOCS.incr();
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();

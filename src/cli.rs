@@ -2065,6 +2065,43 @@ fn format_ns(ns: u128) -> String {
     }
 }
 
+/// Allocation-discipline tallies accumulated over `bench`'s timed repeat
+/// loops (one registry delta per loop, mirroring the arith fast-path
+/// snapshots), rendered as the `"alloc"` block of `bench --json`.
+#[derive(Default)]
+struct AllocTally {
+    /// Heap allocations observed by the counting allocator (zero outside
+    /// the installed binary — in-process tests have no counting allocator).
+    heap_allocs: u64,
+    /// Probe tuples decided in the timed region (the denominator).
+    probes: u64,
+    monomial_inline: u64,
+    monomial_spills: u64,
+    scratch_reuses: u64,
+    scratch_spills: u64,
+    /// High-water mark (gauge): the deepest pooled-row stash any scratch
+    /// reached, maxed across repeat loops.
+    pool_rows_hwm: u64,
+}
+
+impl AllocTally {
+    fn absorb(&mut self, delta: &dioph_obs::MetricsSnapshot) {
+        let get = |name: &str| delta.get(name).unwrap_or(0);
+        self.heap_allocs = self.heap_allocs.saturating_add(get("alloc.heap.allocs"));
+        self.probes = self.probes.saturating_add(get("containment.probes.decided"));
+        self.monomial_inline = self.monomial_inline.saturating_add(get("alloc.monomial.inline"));
+        self.monomial_spills = self.monomial_spills.saturating_add(get("alloc.monomial.spills"));
+        self.scratch_reuses = self.scratch_reuses.saturating_add(get("alloc.scratch.reuses"));
+        self.scratch_spills = self.scratch_spills.saturating_add(get("alloc.scratch.spills"));
+        self.pool_rows_hwm = self.pool_rows_hwm.max(get("alloc.pool.rows.hwm"));
+    }
+
+    /// Mean heap allocations per decided probe, or `None` with no probes.
+    fn heap_allocs_per_probe(&self) -> Option<f64> {
+        (self.probes > 0).then(|| self.heap_allocs as f64 / self.probes as f64)
+    }
+}
+
 fn cmd_bench(args: &[String], stdin: &mut dyn Read) -> CliResult {
     let opts = parse_decide_opts(args)?;
     if opts.semantics != Semantics::Bag {
@@ -2096,6 +2133,9 @@ fn cmd_bench(args: &[String], stdin: &mut dyn Read) -> CliResult {
     // cover: compilation arithmetic and earlier in-process benches are
     // excluded instead of silently folded in.
     let mut arith = dioph_arith::stats::Snapshot::default();
+    // Same discipline for the allocation counters: per-loop registry deltas,
+    // so the per-probe figure covers exactly the timed decisions.
+    let mut alloc = AllocTally::default();
     for (i, (containee, containing)) in pairs.iter().enumerate() {
         let index = i + 1;
         let cannot_decide = |e: &dyn std::fmt::Display| {
@@ -2114,6 +2154,7 @@ fn cmd_bench(args: &[String], stdin: &mut dyn Read) -> CliResult {
         let mut durations_ns: Vec<u128> = Vec::with_capacity(opts.repeat);
         let mut verdict: Option<BagContainment> = None;
         let run_before = dioph_arith::stats::snapshot();
+        let reg_before = dioph_obs::snapshot();
         for _ in 0..opts.repeat {
             let start = Instant::now();
             let result = decider.decide_pair(&pair).map_err(|e| cannot_decide(&e))?;
@@ -2121,6 +2162,7 @@ fn cmd_bench(args: &[String], stdin: &mut dyn Read) -> CliResult {
             verdict.get_or_insert(result);
         }
         let run_delta = dioph_arith::stats::snapshot().since(&run_before);
+        alloc.absorb(&dioph_obs::snapshot().since(&reg_before));
         arith = dioph_arith::stats::Snapshot {
             small_hits: arith.small_hits.saturating_add(run_delta.small_hits),
             big_fallbacks: arith.big_fallbacks.saturating_add(run_delta.big_fallbacks),
@@ -2172,6 +2214,7 @@ fn cmd_bench(args: &[String], stdin: &mut dyn Read) -> CliResult {
         };
         let hit_rate = rate_or_null(arith.hit_rate());
         let int_hit_rate = rate_or_null(arith.int_hit_rate());
+        let allocs_per_probe = rate_or_null(alloc.heap_allocs_per_probe());
         let metrics = if opts.metrics {
             format!(",\"metrics\":{}", metrics_json(&baseline))
         } else {
@@ -2182,7 +2225,11 @@ fn cmd_bench(args: &[String], stdin: &mut dyn Read) -> CliResult {
              \"total_ns\":{total_ns},\"arith_small_path\":{{\"small_hits\":{},\
              \"big_fallbacks\":{},\"hit_rate\":{hit_rate}}},\
              \"arith_int_path\":{{\"small_hits\":{},\"big_fallbacks\":{},\
-             \"hit_rate\":{int_hit_rate}}},\"pairs\":[{}]{metrics}}}\n",
+             \"hit_rate\":{int_hit_rate}}},\
+             \"alloc\":{{\"heap_allocs\":{},\"probes\":{},\
+             \"heap_allocs_per_probe\":{allocs_per_probe},\"monomial_inline\":{},\
+             \"monomial_spills\":{},\"scratch_reuses\":{},\"scratch_spills\":{},\
+             \"pool_rows_hwm\":{}}},\"pairs\":[{}]{metrics}}}\n",
             opts.algorithm_name,
             opts.engine_name,
             opts.repeat,
@@ -2190,6 +2237,13 @@ fn cmd_bench(args: &[String], stdin: &mut dyn Read) -> CliResult {
             arith.big_fallbacks,
             arith.int_small_hits,
             arith.int_big_fallbacks,
+            alloc.heap_allocs,
+            alloc.probes,
+            alloc.monomial_inline,
+            alloc.monomial_spills,
+            alloc.scratch_reuses,
+            alloc.scratch_spills,
+            alloc.pool_rows_hwm,
             json_pairs.join(",")
         ))
     } else {
@@ -2220,6 +2274,15 @@ fn cmd_bench(args: &[String], stdin: &mut dyn Read) -> CliResult {
                 rate * 100.0,
                 arith.int_total(),
                 arith.int_big_fallbacks
+            )
+            .expect("writing to a String cannot fail");
+        }
+        if let Some(per_probe) = alloc.heap_allocs_per_probe() {
+            writeln!(
+                human,
+                "alloc: {} heap alloc(s) over {} probe(s) ({per_probe:.1}/probe), \
+                 {} scratch reuse(s), {} spill(s)",
+                alloc.heap_allocs, alloc.probes, alloc.scratch_reuses, alloc.scratch_spills
             )
             .expect("writing to a String cannot fail");
         }
@@ -2407,6 +2470,51 @@ mod tests {
             .and_then(|n| n.parse().ok())
             .expect("small_hits must be a JSON number");
         assert!(hits > 0, "{out}");
+    }
+
+    #[test]
+    fn bench_json_reports_the_alloc_block() {
+        // The allocation-discipline block sits next to the arith fast-path
+        // tallies and covers exactly the timed repeat loops.
+        // A 16-probe pair, so the per-pair scratch demonstrably serves many
+        // probes per decision.
+        let input = "q(x1, x2) <- R(x1, x2), R('c1', x2), R^3(x1, 'c2').\n\
+                     p(x1, x2) <- R(x1, x2), R('c1', x2), R^3(x1, 'c2').";
+        let out = run_ok(&["bench", "--json", "--repeat", "2", "--algorithm", "all-probes"], input);
+        let doc = Json::parse(out.trim_end()).expect("bench --json must be valid JSON");
+        let alloc = doc.get("alloc").unwrap_or_else(|| panic!("alloc block missing: {out}"));
+        for key in [
+            "heap_allocs",
+            "probes",
+            "heap_allocs_per_probe",
+            "monomial_inline",
+            "monomial_spills",
+            "scratch_reuses",
+            "scratch_spills",
+            "pool_rows_hwm",
+        ] {
+            assert!(alloc.get(key).is_some(), "alloc.{key} missing: {out}");
+        }
+        // The timed region decided probes, so the denominator is live and
+        // the per-probe figure is a number (not null). The heap count itself
+        // is zero here — the in-process test harness installs no counting
+        // allocator — which is exactly the documented fallback shape.
+        let probes = match alloc.get("probes") {
+            Some(Json::Number(n)) => *n,
+            other => panic!("alloc.probes must be a number, got {other:?}"),
+        };
+        assert!(probes > 0.0, "{out}");
+        assert!(
+            matches!(alloc.get("heap_allocs_per_probe"), Some(Json::Number(_))),
+            "per-probe figure must be a number when probes were decided: {out}"
+        );
+        // All-probes over one pair reuses the per-pair scratch: every probe
+        // after the first of each repeat counts as a warmed reuse.
+        let reuses = match alloc.get("scratch_reuses") {
+            Some(Json::Number(n)) => *n,
+            other => panic!("alloc.scratch_reuses must be a number, got {other:?}"),
+        };
+        assert!(reuses > 0.0, "{out}");
     }
 
     #[test]

@@ -47,6 +47,7 @@ pub use dioph_cq as cq;
 pub use dioph_engine as engine;
 pub use dioph_fuzz as fuzz;
 pub use dioph_linalg as linalg;
+pub use dioph_obs as obs;
 pub use dioph_poly as poly;
 pub use dioph_workloads as workloads;
 

@@ -96,7 +96,7 @@ fn section3_and_4_running_example_end_to_end() {
 
     // The paper's Diophantine solutions of the MPI, in the paper's unknown
     // order (u1, u2, u3) = (R(x̂1,x̂2), R(c1,x̂2), R(x̂1,c2)).
-    let position = |s: &str| compiled.atoms().iter().position(|a| a.to_string() == s).unwrap();
+    let position = |s: &str| compiled.atoms().position(|a| a.to_string() == s).unwrap();
     let u1 = position("R(^x1, ^x2)");
     let u2 = position("R('c1', ^x2)");
     let u3 = position("R(^x1, 'c2')");

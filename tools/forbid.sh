@@ -12,7 +12,16 @@
 #   * static atomics outside crates/obs — the metrics registry is the one
 #     sanctioned home for process-global atomic state. Ad-hoc global
 #     counters bypass its naming, stability classification and snapshot
-#     semantics; route new ones through dioph-obs instead.
+#     semantics; route new ones through dioph-obs instead;
+#   * Vec::new() / vec![ in the marked hot-loop modules — the probe loop
+#     runs on recycled scratch memory (ARCHITECTURE.md, "The scratch-memory
+#     discipline"), so an unannotated allocation in an LP kernel, the MPI
+#     compiler or the decider is a per-probe allocation regression waiting
+#     to happen. Deliberate allocations (returned witnesses, one-time
+#     warm-up growth, densification) carry an `// alloc-ok: <reason>`
+#     annotation on the same or the preceding line. The scratch layer
+#     itself (*/scratch.rs) is where allocation is supposed to happen and
+#     is exempt, as are #[cfg(test)] regions.
 #
 # Exits non-zero listing every offending line. Vendored crates under
 # vendor/ keep their upstream style and are not scanned.
@@ -87,6 +96,42 @@ if [ -n "$static_matches" ]; then
         printf '%s' "$filtered" >&2
         fail=1
     fi
+fi
+
+# Unannotated allocations in the hot-loop modules: the files the
+# zero-allocation probe loop runs through. A Vec::new()/vec![ here must be
+# annotated `// alloc-ok: <reason>` (same line or the line above) or live
+# in the file's #[cfg(test)] region. The scratch layer (*/scratch.rs) is
+# the sanctioned home for allocation and is deliberately not listed.
+hot_loop_files="
+crates/linalg/src/row.rs
+crates/linalg/src/simplex.rs
+crates/linalg/src/bareiss.rs
+crates/linalg/src/feasibility.rs
+crates/poly/src/mpi.rs
+crates/containment/src/decider.rs
+"
+alloc_filtered=""
+for file in $hot_loop_files; do
+    matches=$(grep -nE 'Vec::new\(\)|vec!\[' "$file" | grep -v '^\s*//' | grep -v 'alloc-ok' || true)
+    [ -n "$matches" ] || continue
+    teststart=$(grep -n '#\[cfg(test)\]' "$file" | head -1 | cut -d: -f1)
+    while IFS= read -r line; do
+        lineno="${line%%:*}"
+        if [ -n "$teststart" ] && [ "$lineno" -gt "$teststart" ]; then
+            continue
+        fi
+        # Annotation on the preceding line also counts (long expressions).
+        if [ "$lineno" -gt 1 ] && sed -n "$((lineno - 1))p" "$file" | grep -q 'alloc-ok'; then
+            continue
+        fi
+        alloc_filtered="${alloc_filtered}${file}:${line}"$'\n'
+    done <<< "$matches"
+done
+if [ -n "${alloc_filtered%$'\n'}" ]; then
+    echo "forbid.sh: unannotated allocation in a hot-loop module (recycle via the scratch layer, or annotate '// alloc-ok: <reason>'):" >&2
+    printf '%s' "$alloc_filtered" >&2
+    fail=1
 fi
 
 if [ "$fail" -eq 0 ]; then
